@@ -1,0 +1,78 @@
+// Ablation: how strong can the *algebraic* baseline get before PD's
+// Boolean-ring restructuring is needed? The paper (§2) argues kernel
+// extraction — the best algebraic flow — fails on XOR-dominated
+// arithmetic. Here the same SOP description runs through
+//   flat two-level → quick-factor → full kernel extraction (Brayton),
+// and then Progressive Decomposition, all mapped by the same flow.
+// Expected shape: the algebraic ladder improves control-dominated logic
+// (LZD) somewhat but never reaches the hierarchical PD/Oklobdzija QoR,
+// and on the majority function (pure symmetric/XOR structure) algebraic
+// factoring barely moves while PD collapses it via hidden counters.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "circuits/lzd.hpp"
+#include "circuits/majority.hpp"
+#include "eval/report.hpp"
+#include "synth/kernels.hpp"
+
+namespace {
+
+using pd::circuits::Benchmark;
+
+/// Runs one benchmark's SOP through all three algebraic levels plus PD.
+pd::eval::BenchReport baselineLadder(const Benchmark& bench,
+                                     const std::string& title) {
+    pd::eval::BenchReport rep;
+    rep.title = title;
+    pd::eval::Flow flow;
+
+    {
+        pd::anf::VarTable vt;
+        const auto spec = bench.sop(vt);
+        rep.rows.push_back(flow.runNetlist(
+            "SOP flat (two-level)", pd::synth::synthSopFlat(spec, vt), bench,
+            0, 0));
+    }
+    rep.rows.push_back(flow.runSopFactored("SOP quick-factor", bench, 0, 0));
+    {
+        pd::anf::VarTable vt;
+        const auto spec = bench.sop(vt);
+        rep.rows.push_back(flow.runNetlist(
+            "SOP kernel extraction [2]",
+            pd::synth::synthSopKernels(spec, vt), bench, 0, 0));
+    }
+    if (bench.anf)
+        rep.rows.push_back(
+            flow.runPd("Progressive Decomposition", bench, 0, 0));
+    return rep;
+}
+
+void BM_KernelExtractLzd(benchmark::State& state) {
+    const auto bench =
+        pd::circuits::makeLzd(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto spec = bench.sop(vt);
+        const auto nl = pd::synth::synthSopKernels(spec, vt);
+        benchmark::DoNotOptimize(nl.numNets());
+    }
+}
+BENCHMARK(BM_KernelExtractLzd)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << pd::eval::formatReport(baselineLadder(
+                     pd::circuits::makeLzd(16),
+                     "16-bit LZD: algebraic ladder vs PD (paper §2)"))
+              << '\n';
+    std::cout << pd::eval::formatReport(baselineLadder(
+                     pd::circuits::makeMajority(9),
+                     "9-bit Majority: algebraic ladder vs PD (paper §2)"))
+              << '\n';
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

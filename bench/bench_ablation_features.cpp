@@ -1,0 +1,115 @@
+// Ablation: how much each of the paper's optimizations contributes.
+//
+// Toggles §5.3 linear minimization, §5.4 size reduction, §5.5 identities,
+// and the null-space merging of §5.2 (plus the stronger-than-paper
+// complement null-spaces) on the circuits where each matters, reporting
+// leader counts and mapped QoR per configuration.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "circuits/adder.hpp"
+#include "circuits/lzd.hpp"
+#include "circuits/majority.hpp"
+#include "core/decomposer.hpp"
+#include "eval/table1.hpp"
+
+namespace {
+
+struct Config {
+    const char* name;
+    pd::core::DecomposeOptions opt;
+};
+
+std::vector<Config> configs() {
+    std::vector<Config> out;
+    pd::core::DecomposeOptions full;
+    out.push_back({"full (paper)", full});
+    {
+        auto o = full;
+        o.useIdentities = false;
+        o.useNullspaceMerging = false;
+        out.push_back({"no identities/nullspaces", o});
+    }
+    {
+        auto o = full;
+        o.useLinearMinimize = false;
+        out.push_back({"no linear minimization", o});
+    }
+    {
+        auto o = full;
+        o.useSizeReduction = false;
+        out.push_back({"no size reduction", o});
+    }
+    {
+        auto o = full;
+        o.useLinearMinimize = false;
+        o.useSizeReduction = false;
+        o.useIdentities = false;
+        o.useNullspaceMerging = false;
+        out.push_back({"bare findBasis", o});
+    }
+    {
+        auto o = full;
+        o.complementNullspace = true;
+        out.push_back({"+complement nullspaces", o});
+    }
+    return out;
+}
+
+void runCircuit(const std::string& title,
+                const pd::circuits::Benchmark& bench) {
+    std::cout << "-- " << title << " --\n";
+    std::cout << std::left << std::setw(28) << "configuration" << std::right
+              << std::setw(9) << "leaders" << std::setw(8) << "iters"
+              << std::setw(12) << "area um^2" << std::setw(11) << "delay ns"
+              << std::setw(10) << "verified" << '\n';
+    for (const auto& cfg : configs()) {
+        pd::eval::Flow flow;
+        const auto row = flow.runPd(cfg.name, bench, 0, 0, cfg.opt);
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames,
+                                           cfg.opt);
+        std::cout << std::left << std::setw(28) << cfg.name << std::right
+                  << std::setw(9) << d.totalBlockOutputs() << std::setw(8)
+                  << d.iterations << std::setw(12) << std::fixed
+                  << std::setprecision(1) << row.qor.area << std::setw(11)
+                  << std::setprecision(3) << row.qor.delay << std::setw(10)
+                  << (row.verified ? "yes" : "NO") << '\n';
+    }
+    std::cout << '\n';
+}
+
+void BM_FullVsBare(benchmark::State& state) {
+    const auto bench = pd::circuits::makeMajority(11);
+    pd::core::DecomposeOptions opt;
+    if (state.range(0) == 0) {
+        opt.useIdentities = false;
+        opt.useNullspaceMerging = false;
+        opt.useLinearMinimize = false;
+        opt.useSizeReduction = false;
+    }
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames, opt);
+        benchmark::DoNotOptimize(d.totalBlockOutputs());
+    }
+}
+BENCHMARK(BM_FullVsBare)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << "== Ablation of the paper's optimizations ==\n\n";
+    runCircuit("15-bit majority (identities matter)",
+               pd::circuits::makeMajority(15));
+    runCircuit("16-bit LZD (linear minimization matters)",
+               pd::circuits::makeLzd(16));
+    runCircuit("8-bit adder", pd::circuits::makeAdder(8));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

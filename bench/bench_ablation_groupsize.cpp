@@ -1,0 +1,66 @@
+// Ablation: group size k (the paper fixes k = 4 in §5.1 but notes other
+// values are possible). Sweeps k and reports hierarchy shape and QoR.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "circuits/counter.hpp"
+#include "circuits/lzd.hpp"
+#include "circuits/majority.hpp"
+#include "core/decomposer.hpp"
+#include "eval/table1.hpp"
+
+namespace {
+
+void sweep(const std::string& title, const pd::circuits::Benchmark& bench) {
+    std::cout << "-- " << title << " --\n";
+    std::cout << std::left << std::setw(6) << "k" << std::right
+              << std::setw(9) << "leaders" << std::setw(8) << "iters"
+              << std::setw(9) << "blocks" << std::setw(12) << "area um^2"
+              << std::setw(11) << "delay ns" << std::setw(10) << "verified"
+              << '\n';
+    for (std::size_t k = 2; k <= 6; ++k) {
+        pd::core::DecomposeOptions opt;
+        opt.k = k;
+        pd::eval::Flow flow;
+        const auto row = flow.runPd("k-sweep", bench, 0, 0, opt);
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d =
+            pd::core::decompose(vt, outs, bench.outputNames, opt);
+        std::cout << std::left << std::setw(6) << k << std::right
+                  << std::setw(9) << d.totalBlockOutputs() << std::setw(8)
+                  << d.iterations << std::setw(9) << d.blocks.size()
+                  << std::setw(12) << std::fixed << std::setprecision(1)
+                  << row.qor.area << std::setw(11) << std::setprecision(3)
+                  << row.qor.delay << std::setw(10)
+                  << (row.verified ? "yes" : "NO") << '\n';
+    }
+    std::cout << '\n';
+}
+
+void BM_DecomposeByK(benchmark::State& state) {
+    const auto bench = pd::circuits::makeLzd(16);
+    pd::core::DecomposeOptions opt;
+    opt.k = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames, opt);
+        benchmark::DoNotOptimize(d.blocks.size());
+    }
+}
+BENCHMARK(BM_DecomposeByK)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << "== Group-size (k) ablation; the paper uses k = 4 ==\n\n";
+    sweep("16-bit LZD", pd::circuits::makeLzd(16));
+    sweep("15-bit majority", pd::circuits::makeMajority(15));
+    sweep("12-bit counter", pd::circuits::makeCounter(12));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

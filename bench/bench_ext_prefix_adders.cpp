@@ -1,0 +1,58 @@
+// Extension experiment: the carry-lookahead family behind the paper's
+// "DesignWare" row. All classic prefix networks plus the ripple baseline
+// and the PD output are pushed through the same flow at 16 and 32 bits,
+// mapping the depth/area/wiring trade-off space around Table 1's adder
+// row (PD ≈ direct synthesis; lookahead faster).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "circuits/adder.hpp"
+#include "circuits/manual.hpp"
+#include "circuits/prefix.hpp"
+#include "eval/report.hpp"
+
+namespace {
+
+pd::eval::BenchReport adderFamilyReport(int n, bool withPd) {
+    pd::eval::BenchReport rep;
+    rep.title = std::to_string(n) + "-bit Adder family (extension around "
+                "Table 1, row 6)";
+    pd::eval::Flow flow;
+    const auto bench = pd::circuits::makeAdder(n);
+    rep.rows.push_back(flow.runNetlist("Ripple Carry Adder",
+                                       pd::circuits::rcaAdder(n), bench, 0, 0));
+    if (withPd && bench.anf)
+        rep.rows.push_back(flow.runPd("Progressive Decomposition", bench, 0, 0));
+    rep.rows.push_back(flow.runNetlist(
+        "Sklansky (DesignWare proxy)", pd::circuits::claAdder(n), bench, 0, 0));
+    rep.rows.push_back(flow.runNetlist(
+        "Kogge-Stone", pd::circuits::koggeStoneAdder(n), bench, 0, 0));
+    rep.rows.push_back(flow.runNetlist(
+        "Brent-Kung", pd::circuits::brentKungAdder(n), bench, 0, 0));
+    rep.rows.push_back(flow.runNetlist(
+        "Han-Carlson", pd::circuits::hanCarlsonAdder(n), bench, 0, 0));
+    pd::eval::satCrossCheck(rep);
+    return rep;
+}
+
+void BM_BuildPrefixAdder(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto nl = pd::circuits::koggeStoneAdder(n);
+        benchmark::DoNotOptimize(nl.numNets());
+    }
+}
+BENCHMARK(BM_BuildPrefixAdder)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << pd::eval::formatReport(adderFamilyReport(16, true)) << '\n';
+    // 32 bits: the flat Reed-Muller form of the 2-operand adder is ~2^32
+    // terms — PD is skipped (same wall as the paper's 32-bit LZD).
+    std::cout << pd::eval::formatReport(adderFamilyReport(32, false)) << '\n';
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 1 vs Fig. 2: the interconnect argument, quantified.
+//
+// The paper motivates hierarchy by contrasting the flat 16-bit LZD
+// (enormous pin count, every input feeding many position blocks) with
+// Oklobdzija's nibble-block design. This bench prints interconnect pins,
+// fan-out, and logic levels for the flat implementation, the expert
+// design, and the Progressive Decomposition output — the PD result must
+// land on the hierarchical side of the gap.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "circuits/lzd.hpp"
+#include "circuits/manual.hpp"
+#include "core/decomposer.hpp"
+#include "netlist/stats.hpp"
+#include "synth/hier_synth.hpp"
+
+namespace {
+
+void printRow(const std::string& name, const pd::netlist::Netlist& nl) {
+    const auto s = pd::netlist::computeStats(nl);
+    std::cout << std::left << std::setw(34) << name << std::right
+              << std::setw(8) << s.numGates << std::setw(14)
+              << s.interconnect << std::setw(12) << s.maxInputFanout
+              << std::setw(12) << s.maxFanout << std::setw(9) << s.levels
+              << '\n';
+}
+
+void BM_StatsFlatLzd(benchmark::State& state) {
+    for (auto _ : state) {
+        const auto nl = pd::circuits::flatLzd(16);
+        benchmark::DoNotOptimize(pd::netlist::computeStats(nl).interconnect);
+    }
+}
+BENCHMARK(BM_StatsFlatLzd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << "== Fig. 1 vs Fig. 2: 16-bit LZD interconnect/fan-in ==\n";
+    std::cout << std::left << std::setw(34) << "implementation" << std::right
+              << std::setw(8) << "gates" << std::setw(14) << "interconnect"
+              << std::setw(12) << "in-fanout" << std::setw(12) << "max-fo"
+              << std::setw(9) << "levels" << '\n';
+    std::cout << std::string(89, '-') << '\n';
+
+    printRow("flat (Fig. 1 description)", pd::circuits::flatLzd(16));
+    printRow("Oklobdzija [8] (Fig. 2)", pd::circuits::oklobdzijaLzd(16));
+
+    const auto bench = pd::circuits::makeLzd(16);
+    pd::anf::VarTable vt;
+    const auto outs = bench.anf(vt);
+    const auto d = pd::core::decompose(vt, outs, bench.outputNames);
+    printRow("Progressive Decomposition", pd::synth::synthDecomposition(d, vt));
+
+    std::cout << "\nSeries over width (flat vs hierarchical interconnect):\n";
+    std::cout << std::left << std::setw(8) << "width" << std::right
+              << std::setw(14) << "flat" << std::setw(14) << "hierarchical"
+              << '\n';
+    for (const int n : {4, 8, 16, 32}) {
+        const auto flat =
+            pd::netlist::computeStats(pd::circuits::flatLzd(n));
+        const auto hier =
+            pd::netlist::computeStats(pd::circuits::oklobdzijaLzd(n));
+        std::cout << std::left << std::setw(8) << n << std::right
+                  << std::setw(14) << flat.interconnect << std::setw(14)
+                  << hier.interconnect << '\n';
+    }
+    std::cout << '\n';
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Scaling study: the Reed-Muller representation wall (paper §6/§7).
+//
+// The paper reports that the 32-bit LZD cannot be processed because its
+// Reed-Muller form blows up, while the 32-bit LOD stays small. This bench
+// prints the measured growth laws (LOD linear, LZD/comparator/adder-carry
+// exponential: 2^n, 3^n, 2^n) and times decomposition across widths — the
+// quantitative version of the paper's closing remark that a compact ring
+// representation is the main open problem.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "circuits/adder.hpp"
+#include "circuits/comparator.hpp"
+#include "circuits/lzd.hpp"
+#include "core/decomposer.hpp"
+
+namespace {
+
+std::size_t termsOf(const pd::circuits::Benchmark& bench) {
+    if (!bench.anf) return 0;
+    pd::anf::VarTable vt;
+    std::size_t total = 0;
+    for (const auto& e : bench.anf(vt)) total += e.termCount();
+    return total;
+}
+
+void BM_DecomposeLodWide(benchmark::State& state) {
+    const auto bench =
+        pd::circuits::makeLod(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames);
+        benchmark::DoNotOptimize(d.blocks.size());
+    }
+}
+BENCHMARK(BM_DecomposeLodWide)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeComparatorWide(benchmark::State& state) {
+    const auto bench =
+        pd::circuits::makeComparator(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames);
+        benchmark::DoNotOptimize(d.blocks.size());
+    }
+}
+BENCHMARK(BM_DecomposeComparatorWide)
+    ->DenseRange(4, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using pd::circuits::makeAdder;
+    using pd::circuits::makeComparator;
+    using pd::circuits::makeLod;
+    using pd::circuits::makeLzd;
+
+    std::cout << "== Reed-Muller size growth (terms in the flat form) ==\n";
+    std::cout << std::left << std::setw(7) << "width" << std::right
+              << std::setw(12) << "LOD" << std::setw(12) << "LZD"
+              << std::setw(14) << "comparator" << std::setw(12) << "adder"
+              << '\n'
+              << std::string(57, '-') << '\n';
+    for (const int n : {4, 8, 16, 32}) {
+        std::cout << std::left << std::setw(7) << n << std::right
+                  << std::setw(12) << termsOf(makeLod(n)) << std::setw(12)
+                  << termsOf(makeLzd(n)) << std::setw(14)
+                  << (n <= 13 ? termsOf(makeComparator(n)) : 0)
+                  << std::setw(12)
+                  << (n <= 16 ? termsOf(makeAdder(n)) : 0) << '\n';
+    }
+    std::cout << "(0 = width refused: 3^n / 2^n blow-up — the paper's §7 "
+                 "wall; LOD stays linear, hence the 32-bit LOD row)\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

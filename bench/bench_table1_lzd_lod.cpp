@@ -1,0 +1,48 @@
+// Table 1, LZD/LOD rows: regenerates the paper's
+//   16-bit LZD/LOD : Unoptimised (SOP) 426.8µm² 0.36ns
+//                    Progressive Dec.  392.3µm² 0.30ns
+//   32-bit LOD     : Unoptimised (SOP) 1691.7µm² 0.54ns
+//                    Progressive Dec.  1062.7µm² 0.43ns
+// plus algorithm runtime benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "circuits/lzd.hpp"
+#include "core/decomposer.hpp"
+#include "eval/report.hpp"
+
+namespace {
+
+void BM_DecomposeLzd16(benchmark::State& state) {
+    const auto bench = pd::circuits::makeLzd(16);
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames);
+        benchmark::DoNotOptimize(d.blocks.size());
+    }
+}
+BENCHMARK(BM_DecomposeLzd16)->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeLod(benchmark::State& state) {
+    const auto bench =
+        pd::circuits::makeLod(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        pd::anf::VarTable vt;
+        const auto outs = bench.anf(vt);
+        const auto d = pd::core::decompose(vt, outs, bench.outputNames);
+        benchmark::DoNotOptimize(d.blocks.size());
+    }
+}
+BENCHMARK(BM_DecomposeLod)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::cout << pd::eval::formatReport(pd::eval::rowLzdLod16()) << '\n';
+    std::cout << pd::eval::formatReport(pd::eval::rowLod32()) << '\n';
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,54 @@
+// EDA interoperability: run Progressive Decomposition on a benchmark,
+// export the structured result as Verilog and BLIF, read the BLIF back,
+// and prove the round trip equivalent with the CDCL miter — the workflow
+// a downstream ABC/Yosys user would follow.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/export_interop
+#include <iostream>
+#include <sstream>
+
+#include "circuits/lzd.hpp"
+#include "core/decomposer.hpp"
+#include "io/blif.hpp"
+#include "io/verilog.hpp"
+#include "netlist/stats.hpp"
+#include "sat/equiv.hpp"
+#include "synth/hier_synth.hpp"
+#include "synth/opt.hpp"
+
+int main() {
+    using namespace pd;
+
+    // 1. Decompose the 16-bit LOD and synthesize the hierarchy.
+    const auto bench = circuits::makeLod(16);
+    anf::VarTable vt;
+    const auto outs = bench.anf(vt);
+    const auto d = core::decompose(vt, outs, bench.outputNames);
+    const auto nl = synth::optimize(synth::synthDecomposition(d, vt));
+    std::cout << "decomposed LOD16: "
+              << netlist::summary(netlist::computeStats(nl)) << "\n\n";
+
+    // 2. Export both interchange formats.
+    io::VerilogOptions vopt;
+    vopt.moduleName = "lod16_pd";
+    const std::string verilog = io::toVerilog(nl, vopt);
+    io::BlifOptions bopt;
+    bopt.modelName = "lod16_pd";
+    const std::string blif = io::toBlif(nl, bopt);
+    std::cout << "Verilog: " << verilog.size() << " bytes, BLIF: "
+              << blif.size() << " bytes\n";
+    std::cout << "--- Verilog header ---\n"
+              << verilog.substr(0, verilog.find(';') + 1) << "\n\n";
+
+    // 3. Read the BLIF back and prove the round trip formally.
+    const auto back = io::blifFromString(blif);
+    const auto equiv = sat::checkEquivalentSat(nl, back);
+    std::cout << "BLIF round trip: "
+              << (equiv.status == sat::EquivCheckResult::Status::kEquivalent
+                      ? "formally equivalent (UNSAT miter)"
+                      : "NOT EQUIVALENT — bug!")
+              << " after " << equiv.conflicts << " conflicts\n";
+    return equiv.status == sat::EquivCheckResult::Status::kEquivalent ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Hidden-counter discovery in the majority function (paper Fig. 6 / §6).
+//
+// Progressive Decomposition on the 15-input majority function uncovers
+// parallel counters: each 4-input block materializes the binary count of
+// its inputs (the s1/s2/s4 of the paper), the identity s3 = s1·s2 removes
+// the redundant leader, and the final levels implement the "count and
+// compare with 8" architecture — with no a-priori knowledge of the
+// function.
+#include <iostream>
+
+#include "anf/printer.hpp"
+#include "circuits/majority.hpp"
+#include "core/decomposer.hpp"
+#include "eval/report.hpp"
+#include "eval/table1.hpp"
+
+int main() {
+    using namespace pd;
+
+    for (const int n : {7, 15}) {
+        const auto bench = circuits::makeMajority(n);
+        anf::VarTable vars;
+        const auto outputs = bench.anf(vars);
+        std::cout << "=== majority-" << n << " ("
+                  << outputs[0].termCount() << " monomials) ===\n";
+        const auto d = core::decompose(vars, outputs, bench.outputNames);
+        for (const auto& tr : d.trace) {
+            std::cout << "iter " << tr.level << " group " << tr.group << "\n";
+            for (const auto& s : tr.basis) std::cout << "   leader   " << s << "\n";
+            for (const auto& s : tr.reductions)
+                std::cout << "   reduced  " << s << "  <- hidden counter bit\n";
+            for (const auto& s : tr.identities)
+                std::cout << "   identity " << s << "\n";
+        }
+        const auto expanded = d.expandedOutputs(vars);
+        std::cout << "algebraic equivalence: "
+                  << (expanded[0] == outputs[0] ? "OK" : "FAILED") << "\n\n";
+    }
+
+    eval::Flow flow;
+    eval::BenchReport rep;
+    rep.title = "15-bit majority: SOP baseline vs Progressive Decomposition";
+    const auto bench = circuits::makeMajority(15);
+    rep.rows.push_back(flow.runSopFactored("Unoptimised (SOP)", bench, 2353.5, 0.79));
+    rep.rows.push_back(flow.runPd("Progressive Decomposition", bench, 765.5, 0.58));
+    std::cout << eval::formatReport(rep);
+    return 0;
+}

@@ -1,0 +1,255 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+#include "netlist/builder.hpp"
+
+namespace pd::aig {
+
+Aig::Aig() {
+    nodes_.push_back({});  // node 0: constant FALSE
+}
+
+Edge Aig::addInput(std::string name) {
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.isInput = true;
+    nodes_.push_back(n);
+    inputNodes_.push_back(id);
+    inputNames_.push_back(std::move(name));
+    return Edge::make(id, false);
+}
+
+Edge Aig::mkAnd(Edge a, Edge b) {
+    // Constant folding and trivial cases.
+    if (a == constFalse() || b == constFalse()) return constFalse();
+    if (a == constTrue()) return b;
+    if (b == constTrue()) return a;
+    if (a == b) return a;
+    if (a == !b) return constFalse();
+    // Normalize operand order for hashing.
+    if (a.code() > b.code()) std::swap(a, b);
+    const Key key{a.code(), b.code()};
+    if (const auto it = hash_.find(key); it != hash_.end())
+        return Edge::make(it->second, false);
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.in0 = a;
+    n.in1 = b;
+    nodes_.push_back(n);
+    hash_.emplace(key, id);
+    return Edge::make(id, false);
+}
+
+std::size_t Aig::numAnds() const {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < nodes_.size(); ++i)
+        if (!nodes_[i].isInput) ++n;
+    return n;
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+    std::vector<std::uint32_t> lvl(nodes_.size(), 0);
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        const auto& n = nodes_[i];
+        if (n.isInput) continue;
+        lvl[i] = 1 + std::max(lvl[n.in0.node()], lvl[n.in1.node()]);
+    }
+    return lvl;
+}
+
+std::uint32_t Aig::depth() const {
+    const auto lvl = levels();
+    std::uint32_t d = 0;
+    for (const auto& out : outputs_) d = std::max(d, lvl[out.edge.node()]);
+    return d;
+}
+
+void Aig::garbageCollect() {
+    std::vector<char> live(nodes_.size(), 0);
+    live[0] = 1;
+    for (const auto id : inputNodes_) live[id] = 1;
+    // Nodes are in topological order; sweep backwards from outputs.
+    for (const auto& out : outputs_) live[out.edge.node()] = 1;
+    for (std::size_t i = nodes_.size(); i-- > 1;) {
+        if (!live[i] || nodes_[i].isInput) continue;
+        live[nodes_[i].in0.node()] = 1;
+        live[nodes_[i].in1.node()] = 1;
+    }
+    // Compact.
+    std::vector<std::uint32_t> remap(nodes_.size(), 0);
+    std::vector<Node> kept;
+    kept.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!live[i]) continue;
+        remap[i] = static_cast<std::uint32_t>(kept.size());
+        Node n = nodes_[i];
+        if (!n.isInput && i > 0) {
+            n.in0 = Edge::make(remap[n.in0.node()], n.in0.complemented());
+            n.in1 = Edge::make(remap[n.in1.node()], n.in1.complemented());
+        }
+        kept.push_back(n);
+    }
+    nodes_ = std::move(kept);
+    for (auto& id : inputNodes_) id = remap[id];
+    for (auto& out : outputs_)
+        out.edge = Edge::make(remap[out.edge.node()],
+                              out.edge.complemented());
+    hash_.clear();
+    for (std::size_t i = 1; i < nodes_.size(); ++i)
+        if (!nodes_[i].isInput)
+            hash_.emplace(Key{nodes_[i].in0.code(), nodes_[i].in1.code()},
+                          static_cast<std::uint32_t>(i));
+}
+
+Aig fromNetlist(const netlist::Netlist& nl) {
+    using netlist::GateType;
+    Aig aig;
+    std::vector<Edge> edge(nl.numNets());
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& g = nl.gate(id);
+        const auto in = [&](int i) { return edge[g.in[i]]; };
+        switch (g.type) {
+            case GateType::kInput:
+                edge[id] = aig.addInput(
+                    nl.inputName(static_cast<std::size_t>(
+                        std::find(nl.inputs().begin(), nl.inputs().end(),
+                                  id) -
+                        nl.inputs().begin())));
+                break;
+            case GateType::kConst0:
+                edge[id] = aig.constFalse();
+                break;
+            case GateType::kConst1:
+                edge[id] = aig.constTrue();
+                break;
+            case GateType::kBuf:
+                edge[id] = in(0);
+                break;
+            case GateType::kNot:
+                edge[id] = !in(0);
+                break;
+            case GateType::kAnd:
+                edge[id] = aig.mkAnd(in(0), in(1));
+                break;
+            case GateType::kNand:
+                edge[id] = !aig.mkAnd(in(0), in(1));
+                break;
+            case GateType::kOr:
+                edge[id] = aig.mkOr(in(0), in(1));
+                break;
+            case GateType::kNor:
+                edge[id] = !aig.mkOr(in(0), in(1));
+                break;
+            case GateType::kXor:
+                edge[id] = aig.mkXor(in(0), in(1));
+                break;
+            case GateType::kXnor:
+                edge[id] = !aig.mkXor(in(0), in(1));
+                break;
+            case GateType::kMux:
+                edge[id] = aig.mkMux(in(0), in(1), in(2));
+                break;
+        }
+    }
+    for (const auto& port : nl.outputs())
+        aig.markOutput(port.name, edge[port.net]);
+    return aig;
+}
+
+netlist::Netlist toNetlist(const Aig& aig) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> net(aig.numNodes(), netlist::kNoNet);
+    net[0] = b.constant(false);
+    for (std::size_t i = 0; i < aig.inputs().size(); ++i)
+        net[aig.inputs()[i]] = b.input(aig.inputName(i));
+    const auto resolve = [&](Edge e) {
+        const netlist::NetId n = net[e.node()];
+        PD_ASSERT(n != netlist::kNoNet);
+        return e.complemented() ? b.mkNot(n) : n;
+    };
+    for (std::uint32_t i = 1; i < aig.numNodes(); ++i) {
+        if (aig.isInput(i)) continue;
+        net[i] = b.mkAnd(resolve(aig.fanin0(i)), resolve(aig.fanin1(i)));
+    }
+    for (const auto& out : aig.outputs())
+        nl.markOutput(out.name, resolve(out.edge));
+    return nl;
+}
+
+namespace {
+
+/// Collects the leaves of the maximal AND tree rooted at `e` (stopping at
+/// complemented edges, inputs, and constants).
+void collectConjuncts(const Aig& aig, Edge e, std::vector<Edge>& leaves) {
+    if (!e.complemented() && !aig.isInput(e.node()) && e.node() != 0) {
+        collectConjuncts(aig, aig.fanin0(e.node()), leaves);
+        collectConjuncts(aig, aig.fanin1(e.node()), leaves);
+        return;
+    }
+    leaves.push_back(e);
+}
+
+}  // namespace
+
+Aig balance(const Aig& aig) {
+    Aig out;
+    std::vector<Edge> map(aig.numNodes());
+    map[0] = out.constFalse();
+    for (std::size_t i = 0; i < aig.inputs().size(); ++i)
+        map[aig.inputs()[i]] = out.addInput(aig.inputName(i));
+
+    const auto translate = [&](Edge e) {
+        const Edge m = map[e.node()];
+        return e.complemented() ? !m : m;
+    };
+
+    // Incremental level tracking for the output graph (mkAnd only ever
+    // appends or returns an existing node, so fanin levels are known).
+    std::vector<std::uint32_t> lvl(out.numNodes(), 0);
+    const auto mkAndLeveled = [&](Edge a, Edge b) {
+        const Edge c = out.mkAnd(a, b);
+        if (c.node() >= lvl.size()) {
+            PD_ASSERT(c.node() == lvl.size());
+            lvl.push_back(1 + std::max(lvl[a.node()], lvl[b.node()]));
+        }
+        return c;
+    };
+
+    for (std::uint32_t i = 1; i < aig.numNodes(); ++i) {
+        if (aig.isInput(i)) continue;
+        // Gather this node's conjunct leaves in the OLD graph, translate
+        // them, then rebuild balanced: always pair the two shallowest
+        // operands (Huffman pairing minimizes the tree depth).
+        std::vector<Edge> leaves;
+        collectConjuncts(aig, aig.fanin0(i), leaves);
+        collectConjuncts(aig, aig.fanin1(i), leaves);
+        std::vector<Edge> ops;
+        ops.reserve(leaves.size());
+        for (const Edge l : leaves) ops.push_back(translate(l));
+
+        const auto deeper = [&](Edge a, Edge b) {
+            return lvl[a.node()] > lvl[b.node()];
+        };
+        std::make_heap(ops.begin(), ops.end(), deeper);  // min-heap by level
+        while (ops.size() > 1) {
+            std::pop_heap(ops.begin(), ops.end(), deeper);
+            const Edge a = ops.back();
+            ops.pop_back();
+            std::pop_heap(ops.begin(), ops.end(), deeper);
+            const Edge b = ops.back();
+            ops.pop_back();
+            ops.push_back(mkAndLeveled(a, b));
+            std::push_heap(ops.begin(), ops.end(), deeper);
+        }
+        map[i] = ops.empty() ? out.constTrue() : ops[0];
+    }
+
+    for (const auto& port : aig.outputs())
+        out.markOutput(port.name, translate(port.edge));
+    out.garbageCollect();
+    return out;
+}
+
+}  // namespace pd::aig

@@ -1,0 +1,140 @@
+// And-Inverter Graph (AIG).
+//
+// The interchange IR of the open logic-synthesis ecosystem (ABC, Yosys,
+// mockturtle): two-input AND nodes with complemented edges and structural
+// hashing. The decomposition results exported here can be compared,
+// rewritten, and verified with the same machinery those tools use.
+// Provided operations: construction with constant folding + hashing,
+// conversion from/to the gate-level netlist, depth-reducing rebalancing
+// of AND trees, and dead-node garbage collection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/error.hpp"
+
+namespace pd::aig {
+
+/// A node reference with a complement bit (2*node + complemented).
+class Edge {
+public:
+    Edge() = default;
+
+    [[nodiscard]] std::uint32_t node() const { return code_ >> 1; }
+    [[nodiscard]] bool complemented() const { return (code_ & 1u) != 0; }
+    [[nodiscard]] Edge operator!() const { return fromCode(code_ ^ 1u); }
+    [[nodiscard]] std::uint32_t code() const { return code_; }
+
+    friend bool operator==(Edge a, Edge b) { return a.code_ == b.code_; }
+
+    static Edge make(std::uint32_t node, bool complemented) {
+        return fromCode(2 * node + (complemented ? 1u : 0u));
+    }
+    static Edge fromCode(std::uint32_t c) {
+        Edge e;
+        e.code_ = c;
+        return e;
+    }
+
+private:
+    std::uint32_t code_ = 0;
+};
+
+/// AIG with node 0 = constant FALSE; inputs and ANDs follow.
+class Aig {
+public:
+    Aig();
+
+    [[nodiscard]] Edge constFalse() const { return Edge::make(0, false); }
+    [[nodiscard]] Edge constTrue() const { return Edge::make(0, true); }
+
+    Edge addInput(std::string name);
+
+    /// AND with constant folding, operand normalization (a == b, a == !b)
+    /// and structural hashing.
+    Edge mkAnd(Edge a, Edge b);
+    Edge mkOr(Edge a, Edge b) { return !mkAnd(!a, !b); }
+    Edge mkXor(Edge a, Edge b) {
+        return !mkAnd(!mkAnd(a, !b), !mkAnd(!a, b));
+    }
+    Edge mkMux(Edge s, Edge d0, Edge d1) {
+        return !mkAnd(!mkAnd(s, d1), !mkAnd(!s, d0));
+    }
+
+    void markOutput(std::string name, Edge e) {
+        outputs_.push_back({std::move(name), e});
+    }
+
+    struct Output {
+        std::string name;
+        Edge edge;
+    };
+
+    [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t numAnds() const;
+    [[nodiscard]] bool isInput(std::uint32_t node) const {
+        return nodes_[node].isInput;
+    }
+    [[nodiscard]] Edge fanin0(std::uint32_t node) const {
+        return nodes_[node].in0;
+    }
+    [[nodiscard]] Edge fanin1(std::uint32_t node) const {
+        return nodes_[node].in1;
+    }
+    [[nodiscard]] const std::vector<std::uint32_t>& inputs() const {
+        return inputNodes_;
+    }
+    [[nodiscard]] const std::string& inputName(std::size_t i) const {
+        return inputNames_[i];
+    }
+    [[nodiscard]] const std::vector<Output>& outputs() const {
+        return outputs_;
+    }
+
+    /// Levels (AND depth) of every node.
+    [[nodiscard]] std::vector<std::uint32_t> levels() const;
+    [[nodiscard]] std::uint32_t depth() const;
+
+    /// Removes AND nodes not reachable from any output. Input nodes are
+    /// always kept (the interface is part of the function).
+    void garbageCollect();
+
+private:
+    struct Node {
+        Edge in0;
+        Edge in1;
+        bool isInput = false;
+    };
+    struct Key {
+        std::uint32_t a, b;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            return (static_cast<std::size_t>(k.a) << 32) ^ k.b;
+        }
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> inputNodes_;
+    std::vector<std::string> inputNames_;
+    std::vector<Output> outputs_;
+    std::unordered_map<Key, std::uint32_t, KeyHash> hash_;
+};
+
+/// Netlist → AIG (all gate types lowered onto AND/complement).
+[[nodiscard]] Aig fromNetlist(const netlist::Netlist& nl);
+
+/// AIG → netlist (AND + NOT gates through the structural-hashing builder).
+[[nodiscard]] netlist::Netlist toNetlist(const Aig& aig);
+
+/// Depth-oriented rebalancing: collapses AND trees into n-ary conjunction
+/// lists and rebuilds them balanced by operand level. Returns a new AIG
+/// with identical function on identically named ports.
+[[nodiscard]] Aig balance(const Aig& aig);
+
+}  // namespace pd::aig

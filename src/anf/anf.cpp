@@ -1,0 +1,111 @@
+#include "anf/anf.hpp"
+
+#include <algorithm>
+
+namespace pd::anf {
+
+Anf Anf::fromTerms(std::vector<Monomial> terms) {
+    std::sort(terms.begin(), terms.end());
+    // Cancel equal monomials mod 2 in a single sweep.
+    Anf out;
+    out.terms_.reserve(terms.size());
+    std::size_t i = 0;
+    while (i < terms.size()) {
+        std::size_t j = i + 1;
+        while (j < terms.size() && terms[j] == terms[i]) ++j;
+        if ((j - i) & 1u) out.terms_.push_back(terms[i]);
+        i = j;
+    }
+    return out;
+}
+
+bool Anf::isLiteral() const {
+    if (terms_.size() == 1) return terms_[0].degree() == 1;
+    if (terms_.size() == 2)
+        return terms_[0].isOne() && terms_[1].degree() == 1;
+    return false;
+}
+
+Var Anf::literalVar() const {
+    PD_ASSERT(isLiteral());
+    return terms_.back().vars()[0];
+}
+
+bool Anf::literalNegated() const {
+    PD_ASSERT(isLiteral());
+    return terms_.size() == 2;
+}
+
+std::size_t Anf::literalCount() const {
+    std::size_t n = 0;
+    for (const auto& t : terms_) n += t.degree();
+    return n;
+}
+
+std::size_t Anf::degree() const {
+    std::size_t d = 0;
+    for (const auto& t : terms_) d = std::max(d, t.degree());
+    return d;
+}
+
+VarSet Anf::support() const {
+    VarSet s;
+    for (const auto& t : terms_) s = s.unionWith(t);
+    return s;
+}
+
+bool Anf::intersects(const VarSet& mask) const {
+    for (const auto& t : terms_)
+        if (t.intersects(mask)) return true;
+    return false;
+}
+
+Anf& Anf::operator^=(const Anf& rhs) {
+    // Merge of two sorted unique sequences with mod-2 cancellation.
+    std::vector<Monomial> out;
+    out.reserve(terms_.size() + rhs.terms_.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < terms_.size() && j < rhs.terms_.size()) {
+        const auto cmp = terms_[i] <=> rhs.terms_[j];
+        if (cmp < 0)
+            out.push_back(terms_[i++]);
+        else if (cmp > 0)
+            out.push_back(rhs.terms_[j++]);
+        else {
+            ++i;
+            ++j;  // equal terms cancel
+        }
+    }
+    out.insert(out.end(), terms_.begin() + static_cast<std::ptrdiff_t>(i),
+               terms_.end());
+    out.insert(out.end(),
+               rhs.terms_.begin() + static_cast<std::ptrdiff_t>(j),
+               rhs.terms_.end());
+    terms_ = std::move(out);
+    return *this;
+}
+
+Anf operator*(const Anf& a, const Anf& b) {
+    if (a.isZero() || b.isZero()) return Anf::zero();
+    std::vector<Monomial> prods;
+    prods.reserve(a.terms_.size() * b.terms_.size());
+    for (const auto& ta : a.terms_)
+        for (const auto& tb : b.terms_) prods.push_back(ta * tb);
+    return Anf::fromTerms(std::move(prods));
+}
+
+bool Anf::evaluate(const Assignment& trueVars) const {
+    bool acc = false;
+    for (const auto& t : terms_)
+        if (t.subsetOf(trueVars)) acc = !acc;
+    return acc;
+}
+
+std::size_t Anf::hash() const {
+    std::size_t h = terms_.size() * 0x9e3779b97f4a7c15ull;
+    for (const auto& t : terms_) h ^= t.hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+}
+
+}  // namespace pd::anf

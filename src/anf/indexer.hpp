@@ -1,0 +1,54 @@
+// Bridge between ANF expressions and the GF(2) linear-algebra layer.
+//
+// A MonomialIndexer assigns dense column indices to monomials on first
+// sight, so a set of expressions becomes a set of BitVecs over a shared
+// coordinate system. Linear dependence of expressions (paper §5.3), the
+// adjoin-products identity scan (§5.5) and null-space sum membership (§4)
+// all reduce to SpanSolver queries on these vectors.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "gf2/bitvec.hpp"
+
+namespace pd::anf {
+
+/// Assigns stable dense indices to monomials and converts expressions to
+/// characteristic bit vectors.
+class MonomialIndexer {
+public:
+    /// Index of `m`, allocating a new column when unseen.
+    std::size_t indexOf(const Monomial& m) {
+        const auto [it, inserted] = index_.try_emplace(m, index_.size());
+        if (inserted) order_.push_back(m);
+        return it->second;
+    }
+
+    /// Converts `e` to a bit vector over the current (possibly grown)
+    /// coordinate system.
+    [[nodiscard]] gf2::BitVec toBits(const Anf& e) {
+        // Two passes: allocate columns first so the vector is wide enough.
+        for (const auto& t : e.terms()) indexOf(t);
+        gf2::BitVec v(index_.size());
+        for (const auto& t : e.terms()) v.set(index_.at(t));
+        return v;
+    }
+
+    /// Reconstructs the expression selected by the set bits of `v`.
+    [[nodiscard]] Anf toAnf(const gf2::BitVec& v) const {
+        std::vector<Monomial> terms;
+        for (std::size_t i = 0; i < v.size() && i < order_.size(); ++i)
+            if (v.get(i)) terms.push_back(order_[i]);
+        return Anf::fromTerms(std::move(terms));
+    }
+
+    [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+private:
+    std::unordered_map<Monomial, std::size_t, MonomialHash> index_;
+    std::vector<Monomial> order_;
+};
+
+}  // namespace pd::anf

@@ -1,0 +1,40 @@
+#include "anf/monomial.hpp"
+
+#include <bit>
+
+namespace pd::anf {
+
+std::size_t Monomial::degree() const {
+    std::size_t d = 0;
+    for (const auto w : w_) d += static_cast<std::size_t>(std::popcount(w));
+    return d;
+}
+
+std::vector<Var> Monomial::vars() const {
+    std::vector<Var> out;
+    out.reserve(degree());
+    forEachVar([&](Var v) { out.push_back(v); });
+    return out;
+}
+
+std::strong_ordering Monomial::operator<=>(const Monomial& rhs) const {
+    const auto da = degree();
+    const auto db = rhs.degree();
+    if (da != db) return da <=> db;
+    for (std::size_t i = kWords; i-- > 0;)
+        if (w_[i] != rhs.w_[i]) return w_[i] <=> rhs.w_[i];
+    return std::strong_ordering::equal;
+}
+
+std::size_t Monomial::hash() const {
+    // FNV-style mix over the words; quality is plenty for hash maps keyed
+    // by monomials during products and pair-list grouping.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto w : w_) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+}  // namespace pd::anf

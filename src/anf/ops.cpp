@@ -1,0 +1,71 @@
+#include "anf/ops.hpp"
+
+namespace pd::anf {
+
+Anf substitute(const Anf& e, const std::unordered_map<Var, Anf>& map) {
+    // Build a mask of replaced variables so untouched monomials can be
+    // copied wholesale.
+    VarSet replaced;
+    for (const auto& [v, _] : map) replaced.insert(v);
+
+    std::vector<Monomial> passthrough;
+    Anf acc;
+    for (const auto& t : e.terms()) {
+        if (!t.intersects(replaced)) {
+            passthrough.push_back(t);
+            continue;
+        }
+        // Expand the monomial as a product of kept variables and
+        // substituted expressions.
+        Anf prod = Anf::term(t.without(replaced));
+        t.restrictedTo(replaced).forEachVar([&](Var v) {
+            prod *= map.at(v);
+        });
+        acc ^= prod;
+    }
+    acc ^= Anf::fromTerms(std::move(passthrough));
+    return acc;
+}
+
+Anf cofactor(const Anf& e, Var v, bool value) {
+    std::vector<Monomial> terms;
+    terms.reserve(e.termCount());
+    for (const auto& t : e.terms()) {
+        if (!t.contains(v)) {
+            terms.push_back(t);
+        } else if (value) {
+            Monomial m = t;
+            m.erase(v);
+            terms.push_back(m);
+        }
+        // v = 0 kills monomials containing v.
+    }
+    return Anf::fromTerms(std::move(terms));
+}
+
+Anf xorAll(std::span<const Anf> list) {
+    Anf acc;
+    for (const auto& e : list) acc ^= e;
+    return acc;
+}
+
+GroupSplit splitByGroup(const Anf& e, const VarSet& mask) {
+    GroupSplit out;
+    std::vector<Monomial> touch;
+    std::vector<Monomial> rest;
+    for (const auto& t : e.terms()) {
+        if (t.intersects(mask))
+            touch.push_back(t);
+        else
+            rest.push_back(t);
+    }
+    out.touching = Anf::fromTerms(std::move(touch));
+    out.untouched = Anf::fromTerms(std::move(rest));
+    return out;
+}
+
+Anf derivative(const Anf& e, Var v) {
+    return cofactor(e, v, true) ^ cofactor(e, v, false);
+}
+
+}  // namespace pd::anf

@@ -1,0 +1,140 @@
+#include "circuits/prefix.hpp"
+
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "util/error.hpp"
+
+namespace pd::circuits {
+namespace {
+
+using netlist::Builder;
+using netlist::Netlist;
+using netlist::NetId;
+
+struct GP {
+    NetId g = netlist::kNoNet;
+    NetId p = netlist::kNoNet;
+};
+
+/// (G,P) ∘ (G',P') = (G ∨ P·G' , P·P') — the associative carry operator;
+/// the left operand is the more significant range.
+GP combine(Builder& b, const GP& hi, const GP& lo) {
+    return {b.mkOr(hi.g, b.mkAnd(hi.p, lo.g)), b.mkAnd(hi.p, lo.p)};
+}
+
+struct Frame {
+    Netlist nl;
+    std::vector<NetId> a, bb;
+    std::vector<GP> gp;  ///< per-bit generate/propagate
+};
+
+Frame makeFrame(Builder& b, Netlist& nl, int n) {
+    Frame f;
+    for (int i = 0; i < n; ++i)
+        f.a.push_back(b.input("a" + std::to_string(i)));
+    for (int i = 0; i < n; ++i)
+        f.bb.push_back(b.input("b" + std::to_string(i)));
+    f.gp.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        f.gp[ii] = {b.mkAnd(f.a[ii], f.bb[ii]), b.mkXor(f.a[ii], f.bb[ii])};
+    }
+    (void)nl;
+    return f;
+}
+
+/// Emits the sums given the prefix results: carry[i] = G of range [0..i].
+void emitSums(Builder& b, Netlist& nl, const Frame& f,
+              const std::vector<GP>& prefix) {
+    const int n = static_cast<int>(f.a.size());
+    for (int i = 0; i < n; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        const NetId p = b.mkXor(f.a[ii], f.bb[ii]);
+        const NetId s =
+            i == 0 ? p : b.mkXor(p, prefix[ii - 1].g);
+        nl.markOutput("s" + std::to_string(i), s);
+    }
+    nl.markOutput("s" + std::to_string(n),
+                  prefix[static_cast<std::size_t>(n - 1)].g);
+}
+
+}  // namespace
+
+Netlist koggeStoneAdder(int n) {
+    if (n < 1) fail("koggeStoneAdder", "width must be positive");
+    Netlist nl;
+    Builder b(nl);
+    Frame f = makeFrame(b, nl, n);
+    // prefix[i] accumulates the range [0..i]; each level doubles the span.
+    std::vector<GP> prefix = f.gp;
+    for (int d = 1; d < n; d <<= 1) {
+        std::vector<GP> next = prefix;
+        for (int i = d; i < n; ++i)
+            next[static_cast<std::size_t>(i)] =
+                combine(b, prefix[static_cast<std::size_t>(i)],
+                        prefix[static_cast<std::size_t>(i - d)]);
+        prefix = std::move(next);
+    }
+    emitSums(b, nl, f, prefix);
+    return nl;
+}
+
+Netlist brentKungAdder(int n) {
+    if (n < 1) fail("brentKungAdder", "width must be positive");
+    Netlist nl;
+    Builder b(nl);
+    Frame f = makeFrame(b, nl, n);
+    std::vector<GP> node = f.gp;  // node[i] holds a range ending at i
+    // Up-sweep: after level d, node[i] for i ≡ 2d-1 (mod 2d) spans 2d bits.
+    for (int d = 1; d < n; d <<= 1)
+        for (int i = 2 * d - 1; i < n; i += 2 * d)
+            node[static_cast<std::size_t>(i)] =
+                combine(b, node[static_cast<std::size_t>(i)],
+                        node[static_cast<std::size_t>(i - d)]);
+    // Down-sweep: fill in the non-power-of-two prefixes.
+    int dTop = 1;
+    while (2 * dTop < n) dTop <<= 1;
+    for (int d = dTop; d >= 1; d >>= 1) {
+        if (2 * d >= n) continue;
+        for (int i = 3 * d - 1; i < n; i += 2 * d)
+            node[static_cast<std::size_t>(i)] =
+                combine(b, node[static_cast<std::size_t>(i)],
+                        node[static_cast<std::size_t>(i - d)]);
+    }
+    emitSums(b, nl, f, node);
+    return nl;
+}
+
+Netlist hanCarlsonAdder(int n) {
+    if (n < 1) fail("hanCarlsonAdder", "width must be positive");
+    Netlist nl;
+    Builder b(nl);
+    Frame f = makeFrame(b, nl, n);
+    std::vector<GP> prefix = f.gp;
+    // One pre-level: merge each odd position with its even neighbour.
+    for (int i = 1; i < n; i += 2)
+        prefix[static_cast<std::size_t>(i)] =
+            combine(b, prefix[static_cast<std::size_t>(i)],
+                    prefix[static_cast<std::size_t>(i - 1)]);
+    // Kogge-Stone over the odd positions only. Each level must read the
+    // previous level's values, not the ones written in the same pass.
+    for (int d = 2; d < n; d <<= 1) {
+        std::vector<GP> next = prefix;
+        for (int i = d + 1; i < n; i += 2)
+            next[static_cast<std::size_t>(i)] =
+                combine(b, prefix[static_cast<std::size_t>(i)],
+                        prefix[static_cast<std::size_t>(i - d)]);
+        prefix = std::move(next);
+    }
+    // Post-level: even positions take the odd neighbour below.
+    for (int i = 2; i < n; i += 2)
+        prefix[static_cast<std::size_t>(i)] =
+            combine(b, prefix[static_cast<std::size_t>(i)],
+                    prefix[static_cast<std::size_t>(i - 1)]);
+    emitSums(b, nl, f, prefix);
+    return nl;
+}
+
+}  // namespace pd::circuits

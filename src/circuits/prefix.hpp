@@ -1,0 +1,24 @@
+// Parallel-prefix adder family.
+//
+// The paper's DesignWare comparison point is the carry-lookahead family
+// (manual.hpp's claAdder is a Sklansky tree); this module adds the other
+// classic prefix networks so the adder experiments can sweep the
+// depth/wiring trade-off space:
+//   * Kogge-Stone  — minimal depth, maximal wiring (fan-out 1 per level);
+//   * Brent-Kung   — ~2·log n depth, minimal cell count and fan-out;
+//   * Han-Carlson  — one Kogge-Stone level on the odd positions only, a
+//     halfway point between the two.
+// All follow the repository port convention (ports a,b of n bits; outputs
+// s0..sn with sn the carry-out) and are drop-in variants for the
+// Benchmark returned by circuits::makeAdder(n).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace pd::circuits {
+
+[[nodiscard]] netlist::Netlist koggeStoneAdder(int n);
+[[nodiscard]] netlist::Netlist brentKungAdder(int n);
+[[nodiscard]] netlist::Netlist hanCarlsonAdder(int n);
+
+}  // namespace pd::circuits

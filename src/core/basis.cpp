@@ -1,0 +1,152 @@
+#include "core/basis.hpp"
+
+#include <unordered_map>
+
+#include "anf/ops.hpp"
+#include "ring/membership.hpp"
+
+namespace pd::core {
+namespace {
+
+/// Groups pairs by equal second and XORs their firsts (and symmetrically).
+/// Returns true when the list shrank.
+bool mergeBySecond(PairList& pairs) {
+    std::unordered_map<anf::Anf, std::vector<std::size_t>, anf::AnfHash> by;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        by[pairs[i].second].push_back(i);
+    if (by.size() == pairs.size()) return false;
+
+    PairList merged;
+    merged.reserve(by.size());
+    std::vector<char> used(pairs.size(), 0);
+    // Preserve first-occurrence order for determinism.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (used[i]) continue;
+        const auto& bucket = by[pairs[i].second];
+        BPair acc = pairs[i];
+        used[i] = 1;
+        for (const std::size_t j : bucket) {
+            if (used[j]) continue;
+            used[j] = 1;
+            acc.first ^= pairs[j].first;
+            acc.ns = ring::NullSpaceRing::productClosure(acc.ns, pairs[j].ns);
+        }
+        merged.push_back(std::move(acc));
+    }
+    pairs = std::move(merged);
+    dropNullPairs(pairs);
+    return true;
+}
+
+bool mergeByFirst(PairList& pairs) {
+    std::unordered_map<anf::Anf, std::vector<std::size_t>, anf::AnfHash> by;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        by[pairs[i].first].push_back(i);
+    if (by.size() == pairs.size()) return false;
+
+    PairList merged;
+    merged.reserve(by.size());
+    std::vector<char> used(pairs.size(), 0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (used[i]) continue;
+        const auto& bucket = by[pairs[i].first];
+        BPair acc = pairs[i];
+        used[i] = 1;
+        for (const std::size_t j : bucket) {
+            if (used[j]) continue;
+            used[j] = 1;
+            acc.second ^= pairs[j].second;
+            // first unchanged: null-space knowledge carries over as-is.
+        }
+        merged.push_back(std::move(acc));
+    }
+    pairs = std::move(merged);
+    dropNullPairs(pairs);
+    return true;
+}
+
+}  // namespace
+
+void mergeAlgebraic(PairList& pairs) {
+    // Alternate the two merge directions to a fixpoint. Each round strictly
+    // shrinks the list, so this terminates quickly.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        if (mergeByFirst(pairs)) changed = true;
+        if (mergeBySecond(pairs)) changed = true;
+    }
+}
+
+bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt) {
+    if (pairs.size() > opt.maxPairsForNullspace) return false;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+            if (pairs[i].ns.trivial() && pairs[j].ns.trivial()) continue;
+            const anf::Anf diff = pairs[i].second ^ pairs[j].second;
+            const auto m = ring::memberOfSum(diff, pairs[i].ns, pairs[j].ns,
+                                             opt.maxSpan);
+            if (!m.member) continue;
+            // X_i·Y_i ⊕ X_j·Y_j == (X_i⊕X_j)·(Y_i⊕n_i): n_i annihilates
+            // X_i, n_j = diff⊕n_i annihilates X_j, so the product expands
+            // back exactly. Sanity-checked by tests, cheap to assert here
+            // only for small operands.
+            BPair merged;
+            merged.first = pairs[i].first ^ pairs[j].first;
+            merged.second = pairs[i].second ^ m.part1;
+            merged.ns =
+                ring::NullSpaceRing::productClosure(pairs[i].ns, pairs[j].ns);
+            pairs[i] = std::move(merged);
+            pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(j));
+            dropNullPairs(pairs);
+            return true;
+        }
+    }
+    return false;
+}
+
+BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
+                      const ring::IdentityDb& ids,
+                      const FindBasisOptions& opt) {
+    BasisResult out;
+    const auto split = anf::splitByGroup(folded, group);
+    out.untouched = split.untouched;
+
+    // Raw pairs, immediately bucketed by group-part (merge-by-first on
+    // monomials) — the paper's merge order, and near-linear in the term
+    // count because a k-variable group admits at most 2^k − 1 distinct
+    // group-parts. Each bucket's first is the single monomial the identity
+    // database can seed a null-space ring for.
+    std::unordered_map<anf::Monomial, std::vector<anf::Monomial>,
+                       anf::MonomialHash>
+        byGroupPart;
+    std::vector<anf::Monomial> order;
+    for (const auto& t : split.touching.terms()) {
+        const anf::Monomial g = t.restrictedTo(group);
+        const anf::Monomial r = t.without(group);
+        auto [it, inserted] = byGroupPart.try_emplace(g);
+        if (inserted) order.push_back(g);
+        it->second.push_back(r);
+    }
+
+    PairList pairs;
+    pairs.reserve(byGroupPart.size());
+    for (const auto& g : order) {
+        BPair p;
+        p.first = anf::Anf::term(g);
+        p.second = anf::Anf::fromTerms(std::move(byGroupPart[g]));
+        if (p.second.isZero()) continue;  // rests cancelled mod 2
+        p.ns = ids.nullspaceOfMonomial(g, opt.complementNullspace);
+        pairs.push_back(std::move(p));
+    }
+
+    mergeAlgebraic(pairs);
+    if (opt.useNullspaceMerging) {
+        while (mergeNullspace(pairs, opt)) mergeAlgebraic(pairs);
+    }
+    sortPairs(pairs);
+    out.pairs = std::move(pairs);
+    return out;
+}
+
+}  // namespace pd::core

@@ -1,0 +1,50 @@
+// findBasis (paper §5.2): extract the leader expressions of a group.
+//
+// Every monomial of the folded expression that touches the group splits
+// into (group-part, rest-part). The resulting raw pair list is then merged
+// to a fixpoint:
+//   * algebraically — (α,γ),(β,γ) → (α⊕β,γ) and (α,β),(α,γ) → (α,β⊕γ) —
+//     exactly the paper's first example; and
+//   * via null-spaces — (X₁,Y₁),(X₂,Y₂) → (X₁⊕X₂, Y₁⊕n₁) whenever
+//     Y₁⊕Y₂ ∈ N(X₁)⊕N(X₂) with witness split n₁⊕n₂ — the paper's second
+//     example, enabled by identities discovered in earlier iterations.
+// The firsts of the merged list are the basis candidates.
+#pragma once
+
+#include "anf/anf.hpp"
+#include "core/pairlist.hpp"
+#include "ring/identity_db.hpp"
+
+namespace pd::core {
+
+struct FindBasisOptions {
+    /// Enable null-space (Boolean-division-strength) merging.
+    bool useNullspaceMerging = true;
+    /// Add the free complement generators (1⊕v) to monomial null-spaces.
+    bool complementNullspace = false;
+    /// Cap on spanning-set size per membership query.
+    std::size_t maxSpan = 64;
+    /// Cap on pairs considered for the quadratic null-space pass.
+    std::size_t maxPairsForNullspace = 64;
+};
+
+struct BasisResult {
+    PairList pairs;       ///< merged (basis element, cofactor) pairs
+    anf::Anf untouched;   ///< monomials disjoint from the group
+};
+
+/// Extracts the basis of `group` from `folded`. Identities in `ids` seed
+/// the null-space rings of the initial monomial pairs.
+[[nodiscard]] BasisResult findBasis(const anf::Anf& folded,
+                                    const anf::VarSet& group,
+                                    const ring::IdentityDb& ids,
+                                    const FindBasisOptions& opt = {});
+
+/// Runs only the algebraic merge rounds on an existing list (exposed for
+/// reuse after §5.3/§5.4 transformations and for unit tests).
+void mergeAlgebraic(PairList& pairs);
+
+/// Runs one full null-space merge pass; returns true when a merge fired.
+bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt);
+
+}  // namespace pd::core

@@ -1,0 +1,179 @@
+#include "core/decomposer.hpp"
+
+#include <algorithm>
+
+#include "anf/ops.hpp"
+#include "anf/printer.hpp"
+#include "core/basis.hpp"
+#include "core/group.hpp"
+#include "core/identities.hpp"
+#include "core/minimize.hpp"
+#include "core/rewrite.hpp"
+#include "core/sizered.hpp"
+#include "ring/identity_db.hpp"
+#include "util/error.hpp"
+
+namespace pd::core {
+namespace {
+
+bool allLiterals(const std::vector<anf::Anf>& exprs) {
+    return std::all_of(exprs.begin(), exprs.end(), [](const anf::Anf& e) {
+        return e.isConstant() || e.isLiteral();
+    });
+}
+
+}  // namespace
+
+Decomposition decompose(anf::VarTable& vars,
+                        const std::vector<anf::Anf>& outputs,
+                        std::vector<std::string> outputNames,
+                        const DecomposeOptions& opt) {
+    if (outputs.empty()) fail("decompose", "no output expressions");
+    if (outputNames.size() != outputs.size())
+        fail("decompose", "output/name count mismatch");
+
+    Decomposition result;
+    result.outputNames = std::move(outputNames);
+
+    // ---- Fold the output list into one expression via tag variables.
+    std::vector<anf::Var> tags;
+    anf::VarSet tagMask;
+    anf::Anf folded;
+    if (outputs.size() == 1) {
+        folded = outputs[0];
+    } else {
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+            const anf::Var k =
+                vars.addTag("K" + std::to_string(i) + "_" +
+                            result.outputNames[i]);
+            tags.push_back(k);
+            tagMask.insert(k);
+            folded ^= anf::Anf::var(k) * outputs[i];
+        }
+    }
+
+    const auto currentList = [&]() -> std::vector<anf::Anf> {
+        if (tags.empty()) return {folded};
+        return unfold(folded, tags);
+    };
+
+    ring::IdentityDb idb;
+    std::size_t freshCounter = 0;
+
+    FindBasisOptions fbOpt;
+    fbOpt.useNullspaceMerging = opt.useNullspaceMerging;
+    fbOpt.complementNullspace = opt.complementNullspace;
+
+    GroupOptions gOpt;
+    gOpt.k = opt.k;
+    gOpt.maxCombinations = opt.maxExhaustiveCombinations;
+
+    for (std::size_t iter = 0; iter < opt.maxIterations; ++iter) {
+        if (allLiterals(currentList())) {
+            result.converged = true;
+            break;
+        }
+        // Variable-capacity guard: a rewrite can add up to one variable per
+        // pair; stop with a residual rather than overflow the monomial.
+        if (vars.size() + 2 * opt.k + 2 >= anf::Monomial::kMaxVars) break;
+
+        const anf::VarSet group = findGroup(folded, vars, tagMask, idb, gOpt);
+        if (group.isOne()) break;  // no visible variables left
+
+        IterationTrace tr;
+        tr.level = static_cast<int>(iter);
+        tr.foldedTermsBefore = folded.termCount();
+        if (opt.recordTrace) tr.group = anf::setToString(group, vars);
+
+        auto bres = findBasis(folded, group, idb, fbOpt);
+        tr.rawPairCount = bres.pairs.size();
+        if (bres.pairs.empty()) break;  // group vars vanished: stall
+
+        if (opt.useLinearMinimize)
+            tr.linearRemoved = minimizeBasisLinear(bres.pairs);
+        if (opt.useSizeReduction)
+            tr.sizeReductions = improveBasisSizeReduction(bres.pairs);
+        sortPairs(bres.pairs);
+        tr.mergedPairCount = bres.pairs.size();
+
+        // ---- Fresh variables for the basis elements.
+        std::vector<anf::Var> newVars;
+        std::vector<anf::Anf> basisExprs;
+        newVars.reserve(bres.pairs.size());
+        for (const auto& p : bres.pairs) {
+            const anf::Var v = vars.addDerived(
+                "s" + std::to_string(++freshCounter), static_cast<int>(iter));
+            newVars.push_back(v);
+            basisExprs.push_back(p.first);
+            if (opt.recordTrace)
+                tr.basis.push_back(vars.name(v) + " = " +
+                                   anf::toString(p.first, vars));
+        }
+
+        // ---- Identities among the basis (over the new variables).
+        IdentityScan scan;
+        if (opt.useIdentities)
+            scan = findIdentities(basisExprs, newVars, opt.identityMaxDegree);
+
+        // ---- Rewrite.
+        anf::Anf next = rewriteFolded(bres.pairs, newVars, bres.untouched);
+        if (!scan.reductions.empty()) {
+            next = anf::substitute(next, scan.reductions);
+            if (opt.recordTrace)
+                for (const auto& [v, e] : scan.reductions)
+                    tr.reductions.push_back(vars.name(v) + " = " +
+                                            anf::toString(e, vars));
+        }
+
+        // ---- Record the block (reduced elements carry no hardware).
+        // Chained reductions (s5 = s4·x with s4 itself reduced) can leave a
+        // reduced variable alive in the rewritten expression because the
+        // substitution is simultaneous, not iterated. Such variables must
+        // be materialized after all — they still have their basis
+        // expression over the group, so give them hardware like any other
+        // block output instead of inlining the chain (which would inflate
+        // the expression and degrade the hierarchy).
+        const anf::Monomial liveSupport = next.support();
+        Block block;
+        block.level = static_cast<int>(iter);
+        block.group = group;
+        for (std::size_t i = 0; i < newVars.size(); ++i) {
+            const bool reduced = scan.reductions.contains(newVars[i]) &&
+                                 !liveSupport.contains(newVars[i]);
+            if (reduced)
+                block.reduced.emplace_back(newVars[i],
+                                           scan.reductions.at(newVars[i]));
+            else
+                block.outputs.push_back({newVars[i], basisExprs[i]});
+        }
+        result.blocks.push_back(std::move(block));
+
+        // ---- Identity-database upkeep: consumed variables invalidate old
+        // identities; fresh annihilators (rewritten through the reductions
+        // so they reference live variables) are added.
+        idb.dropTouching(group);
+        for (const auto& ann : scan.annihilators) {
+            const anf::Anf live = scan.reductions.empty()
+                                      ? ann
+                                      : anf::substitute(ann, scan.reductions);
+            idb.add(live);
+            if (opt.recordTrace && !live.isZero())
+                tr.identities.push_back(anf::toString(live, vars) + " = 0");
+        }
+
+        folded = std::move(next);
+        tr.foldedTermsAfter = folded.termCount();
+        if (opt.recordTrace) result.trace.push_back(std::move(tr));
+        result.iterations = iter + 1;
+        // Progress is structural: the group's variables no longer occur in
+        // `folded`, so every iteration strictly shrinks the set of old
+        // variables; the iteration cap only guards pathological growth of
+        // fresh variables.
+    }
+
+    if (!result.converged) result.converged = allLiterals(currentList());
+    result.residualOutputs = currentList();
+    return result;
+}
+
+}  // namespace pd::core

@@ -1,0 +1,56 @@
+// The Progressive Decomposition driver (paper Fig. 5).
+//
+//   progressiveDecomposition(List L):
+//     identities = ∅
+//     while (true):
+//       G      = findGroup(L, k)
+//       (B, C) = findBasis(L, G, identities)
+//       (B, C) = minimizeBasisUsingLinearDependence(B, C)
+//       (B, C) = improveBasisUsingSizeReduction(B, C)
+//       identities ∪= findIdentities(B)
+//       B      = reduceBasisUsingIdentities(B, identities)
+//       L      = rewriteExpr(L, B)
+//       identities = rewriteExpr(identities, B)
+//       if all elements of L are literals: break
+//
+// The driver owns the multi-output folding (tag variables K_i), the fresh
+// variable allocation, the identity database lifetime, and the safety
+// bounds (iteration cap, variable-capacity cap, stall detection).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "core/hierarchy.hpp"
+
+namespace pd::core {
+
+struct DecomposeOptions {
+    /// Group size (the paper always uses 4).
+    std::size_t k = 4;
+    /// Product arity bound for the identity scan (paper: "expression trees
+    /// with depth smaller than some constant").
+    int identityMaxDegree = 2;
+    bool useLinearMinimize = true;
+    bool useSizeReduction = true;
+    bool useIdentities = true;
+    bool useNullspaceMerging = true;
+    /// Add free complement generators (1⊕v) to monomial null-spaces —
+    /// stronger than the paper; off by default, exercised by ablations.
+    bool complementNullspace = false;
+    std::size_t maxIterations = 256;
+    std::size_t maxExhaustiveCombinations = 4000;
+    bool recordTrace = true;
+};
+
+/// Runs Progressive Decomposition over a list of output expressions.
+///
+/// `vars` must be the table the expressions were built against; the
+/// decomposer allocates tag and derived variables in it.
+[[nodiscard]] Decomposition decompose(anf::VarTable& vars,
+                                      const std::vector<anf::Anf>& outputs,
+                                      std::vector<std::string> outputNames,
+                                      const DecomposeOptions& opt = {});
+
+}  // namespace pd::core

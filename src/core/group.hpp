@@ -1,0 +1,36 @@
+// Group selection (paper §5.1).
+//
+// While primary-input bits are still visible in the expressions, the
+// heuristic picks the ⌊k/r⌋ least significant *available* bits of each of
+// the r input integers (which may yield a group smaller than k). Once the
+// primary inputs are exhausted, candidate k-subsets of the remaining
+// (derived) variables are tried exhaustively — the expressions are small
+// by then — scoring each candidate by the literal count of the rewritten
+// expression and keeping the best.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "ring/identity_db.hpp"
+
+namespace pd::core {
+
+struct GroupOptions {
+    std::size_t k = 4;
+    /// Cap on the number of candidate subsets probed in the exhaustive
+    /// phase; beyond it, a sliding-window heuristic over variable ids is
+    /// used (derived variables created together tend to belong together).
+    std::size_t maxCombinations = 4000;
+};
+
+/// Selects the next group from the variables visible in `folded`,
+/// excluding `tags`. Returns an empty set when no variables remain.
+[[nodiscard]] anf::VarSet findGroup(const anf::Anf& folded,
+                                    const anf::VarTable& vars,
+                                    const anf::VarSet& tags,
+                                    const ring::IdentityDb& ids,
+                                    const GroupOptions& opt);
+
+}  // namespace pd::core

@@ -1,0 +1,76 @@
+// Decomposition result: the hierarchy of building blocks (paper §3).
+//
+// Each iteration of the algorithm contributes one Block: the consumed
+// group of variables and the basis elements materialized as fresh
+// variables (reduced elements — those expressible over the other new
+// variables — carry no hardware and are recorded separately). The final
+// residual expressions per circuit output are small by construction
+// ("all elements in L are literals" on convergence).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anf/anf.hpp"
+
+namespace pd::core {
+
+struct BlockOutput {
+    anf::Var var;   ///< the fresh variable standing for the basis element
+    anf::Anf expr;  ///< basis element over the block's group variables
+};
+
+struct Block {
+    int level = 0;          ///< iteration that created the block
+    anf::VarSet group;      ///< variables consumed by the block
+    std::vector<BlockOutput> outputs;
+    /// Basis elements removed by identity reductions: var → expression
+    /// over other fresh variables (no hardware; kept for traceability).
+    std::vector<std::pair<anf::Var, anf::Anf>> reduced;
+};
+
+/// Per-iteration record used to reproduce the paper's Fig. 6 trace.
+struct IterationTrace {
+    int level = 0;
+    std::string group;
+    std::size_t rawPairCount = 0;
+    std::size_t mergedPairCount = 0;
+    std::size_t linearRemoved = 0;
+    std::size_t sizeReductions = 0;
+    std::vector<std::string> basis;
+    std::vector<std::string> identities;
+    std::vector<std::string> reductions;
+    std::size_t foldedTermsBefore = 0;
+    std::size_t foldedTermsAfter = 0;
+};
+
+/// The full output of a Progressive Decomposition run.
+struct Decomposition {
+    std::vector<Block> blocks;
+    /// Final expression of each circuit output over derived variables and
+    /// any remaining inputs (a literal or constant when `converged`).
+    std::vector<anf::Anf> residualOutputs;
+    std::vector<std::string> outputNames;
+    std::vector<IterationTrace> trace;
+    bool converged = false;
+    std::size_t iterations = 0;
+
+    /// var → defining expression for every derived variable (block outputs
+    /// and reduced elements alike).
+    [[nodiscard]] std::unordered_map<anf::Var, anf::Anf> definitions() const;
+
+    /// Expands `e` back to primary inputs by repeated substitution.
+    [[nodiscard]] anf::Anf expandToInputs(
+        const anf::Anf& e, const anf::VarTable& vars) const;
+
+    /// Expanded residual outputs — must equal the original specification
+    /// (the core correctness property; exercised heavily in tests).
+    [[nodiscard]] std::vector<anf::Anf> expandedOutputs(
+        const anf::VarTable& vars) const;
+
+    /// Total number of leader expressions materialized.
+    [[nodiscard]] std::size_t totalBlockOutputs() const;
+};
+
+}  // namespace pd::core

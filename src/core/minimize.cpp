@@ -1,0 +1,60 @@
+#include "core/minimize.hpp"
+
+#include "anf/indexer.hpp"
+#include "core/basis.hpp"
+#include "gf2/solver.hpp"
+
+namespace pd::core {
+namespace {
+
+/// One elimination round over the chosen side. Returns true if a
+/// dependency was found and eliminated.
+bool eliminateOne(PairList& pairs, bool onFirsts) {
+    anf::MonomialIndexer indexer;
+    gf2::SpanSolver solver;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const anf::Anf& side = onFirsts ? pairs[i].first : pairs[i].second;
+        const auto res = solver.add(indexer.toBits(side));
+        if (res.independent) continue;
+
+        // side_i == XOR of sides listed in the certificate; fold the
+        // opposite element of pair i into each participant, then drop i.
+        for (std::size_t j = 0; j < i; ++j) {
+            if (j < res.combination.size() && res.combination.get(j)) {
+                if (onFirsts) {
+                    pairs[j].second ^= pairs[i].second;
+                } else {
+                    pairs[j].first ^= pairs[i].first;
+                    pairs[j].ns = ring::NullSpaceRing::productClosure(
+                        pairs[j].ns, pairs[i].ns);
+                }
+            }
+        }
+        pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(i));
+        dropNullPairs(pairs);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::size_t minimizeBasisLinear(PairList& pairs) {
+    std::size_t removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        while (eliminateOne(pairs, /*onFirsts=*/true)) {
+            ++removed;
+            changed = true;
+        }
+        while (eliminateOne(pairs, /*onFirsts=*/false)) {
+            ++removed;
+            changed = true;
+        }
+        if (changed) mergeAlgebraic(pairs);
+    }
+    return removed;
+}
+
+}  // namespace pd::core

@@ -1,0 +1,19 @@
+// Basis minimization via linear dependence (paper §5.3).
+//
+// If the firsts of the pair list are linearly dependent over GF(2), say
+// X₁ = X₂ ⊕ … ⊕ Xₙ, then the pair (X₁,Y₁) can be eliminated by folding Y₁
+// into each participating pair: (Xⱼ, Yⱼ⊕Y₁). Symmetrically for dependent
+// seconds, folding X₁ into the participating firsts. Either direction
+// removes one basis element per dependency — e.g. the paper's LZD basis
+// {V₀, P₀₀, P₀₁, V₀⊕P₀₀, V₀⊕P₀₁} shrinks to {V₀, P₀₀, P₀₁}.
+#pragma once
+
+#include "core/pairlist.hpp"
+
+namespace pd::core {
+
+/// Eliminates all linear dependencies among firsts, then among seconds,
+/// iterating to a fixpoint. Returns the number of pairs removed.
+std::size_t minimizeBasisLinear(PairList& pairs);
+
+}  // namespace pd::core

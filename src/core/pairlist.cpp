@@ -1,0 +1,34 @@
+#include "core/pairlist.hpp"
+
+#include <algorithm>
+
+namespace pd::core {
+
+anf::Anf pairListValue(const PairList& pairs) {
+    anf::Anf acc;
+    for (const auto& p : pairs) acc ^= p.first * p.second;
+    return acc;
+}
+
+std::size_t pairListLiterals(const PairList& pairs) {
+    std::size_t n = 0;
+    for (const auto& p : pairs)
+        n += p.first.literalCount() + p.second.literalCount();
+    return n;
+}
+
+void dropNullPairs(PairList& pairs) {
+    std::erase_if(pairs, [](const BPair& p) {
+        return p.first.isZero() || p.second.isZero();
+    });
+}
+
+void sortPairs(PairList& pairs) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const BPair& a, const BPair& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+              });
+}
+
+}  // namespace pd::core

@@ -1,0 +1,40 @@
+// Pair lists: the working representation of findBasis (paper §5.2).
+//
+// A pair (X, Y) stands for the product X·Y where X (the prospective basis
+// element) is an expression over the current group's variables and Y (the
+// cofactor) is an expression over everything else — including the tag
+// variables K_i that fold a multi-output list into one expression. Each
+// pair carries the known subring of N(X) used for null-space merging.
+#pragma once
+
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "ring/nullspace.hpp"
+
+namespace pd::core {
+
+/// One (basis candidate, cofactor) pair.
+struct BPair {
+    anf::Anf first;         ///< over group variables
+    anf::Anf second;        ///< over non-group variables (may contain tags)
+    ring::NullSpaceRing ns; ///< known subring of N(first)
+};
+
+using PairList = std::vector<BPair>;
+
+/// XOR of first·second over all pairs — the expression a pair list
+/// represents (used by tests and by the rewrite step).
+[[nodiscard]] anf::Anf pairListValue(const PairList& pairs);
+
+/// Total literal count of the list (paper's size metric, §5.4).
+[[nodiscard]] std::size_t pairListLiterals(const PairList& pairs);
+
+/// Drops pairs whose first or second is zero (they contribute nothing).
+void dropNullPairs(PairList& pairs);
+
+/// Deterministic normalization: orders pairs by (first, second) so that
+/// algorithm output is independent of hash-map iteration order.
+void sortPairs(PairList& pairs);
+
+}  // namespace pd::core

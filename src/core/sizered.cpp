@@ -1,0 +1,65 @@
+#include "core/sizered.hpp"
+
+#include "core/basis.hpp"
+
+namespace pd::core {
+namespace {
+
+std::size_t pairLiterals(const BPair& p) {
+    return p.first.literalCount() + p.second.literalCount();
+}
+
+/// Applies the best ordered transform once; returns true on improvement.
+bool improveOnce(PairList& pairs) {
+    std::size_t bestGain = 0;
+    std::size_t bi = 0;
+    std::size_t bj = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (std::size_t j = 0; j < pairs.size(); ++j) {
+            if (i == j) continue;
+            // Candidate: (X_i⊕X_j, Y_i), (X_j, Y_i⊕Y_j) — pair j keeps its
+            // first, so the ordered direction matters.
+            const std::size_t before =
+                pairLiterals(pairs[i]) + pairLiterals(pairs[j]);
+            const anf::Anf nf = pairs[i].first ^ pairs[j].first;
+            const anf::Anf ns = pairs[i].second ^ pairs[j].second;
+            if (nf.isZero() || ns.isZero()) continue;
+            const std::size_t after = nf.literalCount() +
+                                      pairs[i].second.literalCount() +
+                                      pairs[j].first.literalCount() +
+                                      ns.literalCount();
+            if (after < before && before - after > bestGain) {
+                bestGain = before - after;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if (bestGain == 0) return false;
+
+    BPair& pi = pairs[bi];
+    BPair& pj = pairs[bj];
+    const anf::Anf newFirst = pi.first ^ pj.first;
+    const anf::Anf newSecond = pi.second ^ pj.second;
+    pi.ns = ring::NullSpaceRing::productClosure(pi.ns, pj.ns);
+    pi.first = newFirst;
+    // pj.first unchanged; pj.ns still valid.
+    pj.second = newSecond;
+    dropNullPairs(pairs);
+    return true;
+}
+
+}  // namespace
+
+std::size_t improveBasisSizeReduction(PairList& pairs) {
+    std::size_t applied = 0;
+    mergeAlgebraic(pairs);  // identical firsts/seconds collapse for free
+    while (improveOnce(pairs)) {
+        ++applied;
+        mergeAlgebraic(pairs);
+        if (applied > 4 * pairs.size() + 64) break;  // safety valve
+    }
+    return applied;
+}
+
+}  // namespace pd::core

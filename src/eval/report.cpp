@@ -1,0 +1,55 @@
+#include "eval/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pd::eval {
+
+std::string formatReport(const BenchReport& rep) {
+    std::ostringstream os;
+    os << "== " << rep.title << " ==\n";
+    os << std::left << std::setw(40) << "variant" << std::right
+       << std::setw(12) << "paper um^2" << std::setw(10) << "paper ns"
+       << std::setw(12) << "area um^2" << std::setw(10) << "delay ns"
+       << std::setw(8) << "gates" << std::setw(10) << "verified" << '\n';
+    os << std::string(102, '-') << '\n';
+    for (const auto& row : rep.rows) {
+        os << std::left << std::setw(40) << row.variant << std::right
+           << std::fixed << std::setprecision(1) << std::setw(12);
+        if (row.paperArea > 0)
+            os << row.paperArea;
+        else
+            os << "-";
+        os << std::setprecision(2) << std::setw(10);
+        if (row.paperDelay > 0)
+            os << row.paperDelay;
+        else
+            os << "-";
+        os << std::setprecision(1) << std::setw(12) << row.qor.area
+           << std::setprecision(3) << std::setw(10) << row.qor.delay
+           << std::setw(8) << row.qor.gates << std::setw(10)
+           << (row.verified
+                   ? (row.exhaustive ? "exhaust"
+                                     : (row.satProven ? "rand+sat" : "random"))
+                   : "NO")
+           << '\n';
+    }
+    // Shape summary: measured ratio of first row (baseline) to each PD row.
+    for (const auto& row : rep.rows) {
+        if (row.pdIterations == 0) continue;
+        const auto& base = rep.rows.front();
+        os << "  [PD shape] vs '" << base.variant
+           << "': delay x" << std::setprecision(2)
+           << (row.qor.delay > 0 ? base.qor.delay / row.qor.delay : 0.0)
+           << ", area x"
+           << (row.qor.area > 0 ? base.qor.area / row.qor.area : 0.0);
+        if (base.paperDelay > 0 && row.paperDelay > 0)
+            os << "  (paper: delay x" << base.paperDelay / row.paperDelay
+               << ", area x" << base.paperArea / row.paperArea << ")";
+        os << "; blocks=" << row.pdBlocks << ", iters=" << row.pdIterations
+           << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace pd::eval

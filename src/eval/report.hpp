@@ -1,0 +1,14 @@
+// Report formatting for Table-1 reproductions.
+#pragma once
+
+#include <string>
+
+#include "eval/table1.hpp"
+
+namespace pd::eval {
+
+/// Renders a row group as a fixed-width text table:
+/// variant | paper area/delay | measured area/delay | ratio | verified.
+[[nodiscard]] std::string formatReport(const BenchReport& rep);
+
+}  // namespace pd::eval

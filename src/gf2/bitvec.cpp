@@ -1,0 +1,53 @@
+#include "gf2/bitvec.hpp"
+
+#include <bit>
+
+namespace pd::gf2 {
+
+void BitVec::resize(std::size_t bits) {
+    if (bits < bits_) fail("BitVec::resize", "shrinking is not supported");
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+}
+
+BitVec& BitVec::operator^=(const BitVec& rhs) {
+    PD_ASSERT(bits_ == rhs.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= rhs.words_[w];
+    return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& rhs) {
+    PD_ASSERT(bits_ == rhs.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= rhs.words_[w];
+    return *this;
+}
+
+bool BitVec::isZero() const {
+    for (const auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+std::size_t BitVec::popcount() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::size_t BitVec::lowestSetBit() const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] != 0)
+            return i * 64 +
+                   static_cast<std::size_t>(std::countr_zero(words_[i]));
+    return bits_;
+}
+
+std::size_t BitVec::highestSetBit() const {
+    for (std::size_t i = words_.size(); i-- > 0;)
+        if (words_[i] != 0)
+            return i * 64 + 63 -
+                   static_cast<std::size_t>(std::countl_zero(words_[i]));
+    return bits_;
+}
+
+}  // namespace pd::gf2

@@ -1,0 +1,84 @@
+// Dynamic bit vector over GF(2).
+//
+// BitVec is the row type of the GF(2) linear-algebra layer: XOR is vector
+// addition, AND is pointwise product. Used by the incremental solver to
+// represent Boolean expressions as characteristic vectors over a monomial
+// index (see gf2/solver.hpp) and by netlist simulation bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pd::gf2 {
+
+/// Fixed-length vector over GF(2). Length is set at construction; all
+/// binary operations require equal lengths.
+class BitVec {
+public:
+    BitVec() = default;
+
+    /// Creates an all-zero vector of `bits` bits.
+    explicit BitVec(std::size_t bits)
+        : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+    [[nodiscard]] std::size_t size() const { return bits_; }
+
+    /// Grows the vector to `bits` bits, zero-filling new positions.
+    /// Shrinking is not supported.
+    void resize(std::size_t bits);
+
+    [[nodiscard]] bool get(std::size_t i) const {
+        PD_ASSERT(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1u;
+    }
+
+    void set(std::size_t i, bool v = true) {
+        PD_ASSERT(i < bits_);
+        const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    void flip(std::size_t i) {
+        PD_ASSERT(i < bits_);
+        words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+    }
+
+    /// In-place XOR (vector addition over GF(2)).
+    BitVec& operator^=(const BitVec& rhs);
+    /// In-place AND (pointwise product).
+    BitVec& operator&=(const BitVec& rhs);
+
+    [[nodiscard]] friend BitVec operator^(BitVec a, const BitVec& b) {
+        a ^= b;
+        return a;
+    }
+    [[nodiscard]] friend BitVec operator&(BitVec a, const BitVec& b) {
+        a &= b;
+        return a;
+    }
+
+    [[nodiscard]] bool operator==(const BitVec& rhs) const = default;
+
+    [[nodiscard]] bool isZero() const;
+
+    /// Number of set bits.
+    [[nodiscard]] std::size_t popcount() const;
+
+    /// Index of the lowest set bit, or size() when the vector is zero.
+    [[nodiscard]] std::size_t lowestSetBit() const;
+
+    /// Index of the highest set bit, or size() when the vector is zero.
+    [[nodiscard]] std::size_t highestSetBit() const;
+
+private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pd::gf2

@@ -1,0 +1,73 @@
+#include "gf2/solver.hpp"
+
+#include <algorithm>
+
+namespace pd::gf2 {
+
+// Rows are kept sorted by ascending pivot. Because every stored value has
+// its pivot as the lowest set bit, reducing a vector against rows in
+// ascending pivot order can only introduce bits above the current row's
+// pivot, so a single forward sweep fully decides membership.
+
+void SpanSolver::extendTo(std::size_t dim) {
+    if (dim <= dim_) return;
+    dim_ = dim;
+    for (auto& row : rows_) row.value.resize(dim_);
+}
+
+SpanSolver::AddResult SpanSolver::add(BitVec v) {
+    extendTo(v.size());
+    v.resize(dim_);
+
+    BitVec comb(numInserted_ + 1);
+    comb.set(numInserted_);
+
+    for (const auto& row : rows_) {
+        if (v.get(row.pivot)) {
+            v ^= row.value;
+            comb.resize(std::max(comb.size(), row.comb.size()));
+            BitVec rc = row.comb;
+            rc.resize(comb.size());
+            comb ^= rc;
+        }
+    }
+
+    ++numInserted_;
+    if (v.isZero()) {
+        // Dependent: comb currently includes the new vector's own bit;
+        // strip it so the certificate references only earlier vectors.
+        comb.flip(numInserted_ - 1);
+        return AddResult{false, comb};
+    }
+    Row row;
+    row.pivot = v.lowestSetBit();
+    row.value = std::move(v);
+    row.comb = std::move(comb);
+    const auto pos = std::lower_bound(
+        rows_.begin(), rows_.end(), row.pivot,
+        [](const Row& r, std::size_t p) { return r.pivot < p; });
+    rows_.insert(pos, std::move(row));
+    return AddResult{true, BitVec{}};
+}
+
+std::optional<BitVec> SpanSolver::represent(BitVec v) const {
+    if (v.size() > dim_) {
+        // Bits beyond the solver's dimension can never be cancelled.
+        for (std::size_t i = dim_; i < v.size(); ++i)
+            if (v.get(i)) return std::nullopt;
+    }
+    v.resize(dim_);
+    BitVec comb(numInserted_);
+    for (const auto& row : rows_) {
+        if (v.get(row.pivot)) {
+            v ^= row.value;
+            BitVec rc = row.comb;
+            rc.resize(comb.size());
+            comb ^= rc;
+        }
+    }
+    if (!v.isZero()) return std::nullopt;
+    return comb;
+}
+
+}  // namespace pd::gf2

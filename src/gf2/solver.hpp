@@ -1,0 +1,73 @@
+// Incremental GF(2) span solver with combination certificates.
+//
+// The solver maintains a row-reduced basis of the vectors inserted so far.
+// Every basis row carries a "combination" vector recording which original
+// inserted vectors XOR to it, so dependence queries return a certificate:
+// exactly which original vectors sum to the queried vector. This is the
+// engine behind
+//   * basis minimization by linear dependence (paper §5.3),
+//   * identity discovery (paper §5.5: s3 ⊕ s1·s2 = 0 is a linear relation
+//     once products are adjoined as extra vectors), and
+//   * null-space membership with witness splitting (paper §4/§5.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace pd::gf2 {
+
+/// Incremental Gaussian elimination over GF(2).
+///
+/// Vectors may have growing dimension: each inserted/queried vector is
+/// implicitly zero-extended to the largest dimension seen so far.
+class SpanSolver {
+public:
+    SpanSolver() = default;
+
+    /// Result of an insertion attempt.
+    struct AddResult {
+        /// True when the vector enlarged the span.
+        bool independent = false;
+        /// When !independent: combination over *original* insertion indices
+        /// (bit i set means the i-th inserted vector participates) whose
+        /// XOR equals the rejected vector. Empty otherwise.
+        BitVec combination;
+    };
+
+    /// Inserts `v`. Dependent vectors are not stored in the basis but still
+    /// consume an insertion index so certificates stay aligned with the
+    /// caller's vector list.
+    AddResult add(BitVec v);
+
+    /// Returns the combination of original inserted vectors equal to `v`,
+    /// or nullopt when `v` is outside the span. Does not modify the solver.
+    [[nodiscard]] std::optional<BitVec> represent(BitVec v) const;
+
+    /// True when `v` lies in the current span.
+    [[nodiscard]] bool contains(const BitVec& v) const {
+        return represent(v).has_value();
+    }
+
+    [[nodiscard]] std::size_t rank() const { return rows_.size(); }
+
+    /// Number of vectors inserted so far (independent or not).
+    [[nodiscard]] std::size_t inserted() const { return numInserted_; }
+
+private:
+    struct Row {
+        BitVec value;  ///< reduced vector
+        BitVec comb;   ///< combination over original insertion indices
+        std::size_t pivot = 0;
+    };
+
+    void extendTo(std::size_t dim);
+
+    std::vector<Row> rows_;
+    std::size_t dim_ = 0;
+    std::size_t numInserted_ = 0;
+};
+
+}  // namespace pd::gf2

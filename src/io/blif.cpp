@@ -1,0 +1,320 @@
+#include "io/blif.hpp"
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/builder.hpp"
+#include "util/error.hpp"
+
+namespace pd::io {
+namespace {
+
+/// Net naming shared with the Verilog writer idea: ports keep names,
+/// internal nets get n<id>.
+std::vector<std::string> makeNames(const netlist::Netlist& nl) {
+    std::vector<std::string> names(nl.numNets());
+    std::unordered_set<std::string> used;
+    const auto claim = [&](netlist::NetId id, std::string want) {
+        while (used.contains(want)) want += "_";
+        used.insert(want);
+        names[id] = std::move(want);
+    };
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+        claim(nl.inputs()[i], nl.inputName(i));
+    for (const auto& port : nl.outputs())
+        if (names[port.net].empty()) claim(port.net, port.name);
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id)
+        if (names[id].empty()) claim(id, "n" + std::to_string(id));
+    return names;
+}
+
+}  // namespace
+
+void writeBlif(std::ostream& os, const netlist::Netlist& nl,
+               const BlifOptions& opt) {
+    using netlist::GateType;
+    const auto names = makeNames(nl);
+
+    os << ".model " << opt.modelName << "\n.inputs";
+    for (const netlist::NetId in : nl.inputs()) os << " " << names[in];
+    os << "\n.outputs";
+    for (const auto& port : nl.outputs()) os << " " << port.name;
+    os << "\n";
+
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& g = nl.gate(id);
+        const auto a = [&] { return names[g.in[0]]; };
+        const auto b = [&] { return names[g.in[1]]; };
+        const auto c = [&] { return names[g.in[2]]; };
+        const auto& y = names[id];
+        switch (g.type) {
+            case GateType::kInput:
+                break;
+            case GateType::kConst0:
+                os << ".names " << y << "\n";  // empty cover = constant 0
+                break;
+            case GateType::kConst1:
+                os << ".names " << y << "\n1\n";
+                break;
+            case GateType::kBuf:
+                os << ".names " << a() << " " << y << "\n1 1\n";
+                break;
+            case GateType::kNot:
+                os << ".names " << a() << " " << y << "\n0 1\n";
+                break;
+            case GateType::kAnd:
+                os << ".names " << a() << " " << b() << " " << y << "\n11 1\n";
+                break;
+            case GateType::kNand:
+                os << ".names " << a() << " " << b() << " " << y
+                   << "\n0- 1\n-0 1\n";
+                break;
+            case GateType::kOr:
+                os << ".names " << a() << " " << b() << " " << y
+                   << "\n1- 1\n-1 1\n";
+                break;
+            case GateType::kNor:
+                os << ".names " << a() << " " << b() << " " << y << "\n00 1\n";
+                break;
+            case GateType::kXor:
+                os << ".names " << a() << " " << b() << " " << y
+                   << "\n10 1\n01 1\n";
+                break;
+            case GateType::kXnor:
+                os << ".names " << a() << " " << b() << " " << y
+                   << "\n11 1\n00 1\n";
+                break;
+            case GateType::kMux:
+                // in0 = select, in1 = data@0, in2 = data@1.
+                os << ".names " << a() << " " << b() << " " << c() << " " << y
+                   << "\n01- 1\n1-1 1\n";
+                break;
+        }
+    }
+
+    // Alias outputs that share a net with an identically named signal.
+    for (const auto& port : nl.outputs())
+        if (port.name != names[port.net])
+            os << ".names " << names[port.net] << " " << port.name
+               << "\n1 1\n";
+
+    os << ".end\n";
+}
+
+std::string toBlif(const netlist::Netlist& nl, const BlifOptions& opt) {
+    std::ostringstream os;
+    writeBlif(os, nl, opt);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cover {
+    std::vector<std::string> inputs;
+    std::string output;
+    std::vector<std::string> rows;  ///< "<mask> <value>" input planes
+    bool onSet = true;              ///< rows drive output to 1 (vs 0)
+    int line = 0;                   ///< for diagnostics
+};
+
+struct BlifDoc {
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    std::vector<Cover> covers;
+};
+
+[[noreturn]] void parseError(int line, const std::string& msg) {
+    fail("readBlif", "line " + std::to_string(line) + ": " + msg);
+}
+
+/// Reads logical lines (joining '\' continuations, stripping '#' comments).
+std::vector<std::pair<int, std::string>> logicalLines(std::istream& is) {
+    std::vector<std::pair<int, std::string>> out;
+    std::string raw;
+    int lineNo = 0;
+    std::string pending;
+    int pendingStart = 0;
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        if (const auto hash = raw.find('#'); hash != std::string::npos)
+            raw.erase(hash);
+        bool continued = false;
+        if (!raw.empty() && raw.back() == '\\') {
+            raw.pop_back();
+            continued = true;
+        }
+        if (pending.empty()) pendingStart = lineNo;
+        pending += raw;
+        if (continued) {
+            pending += ' ';
+            continue;
+        }
+        // Trim.
+        const auto begin = pending.find_first_not_of(" \t\r");
+        if (begin != std::string::npos) {
+            const auto end = pending.find_last_not_of(" \t\r");
+            out.emplace_back(pendingStart,
+                             pending.substr(begin, end - begin + 1));
+        }
+        pending.clear();
+    }
+    if (!pending.empty()) {
+        const auto begin = pending.find_first_not_of(" \t\r");
+        if (begin != std::string::npos) out.emplace_back(pendingStart, pending);
+    }
+    return out;
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string t;
+    while (is >> t) out.push_back(t);
+    return out;
+}
+
+BlifDoc parseDoc(std::istream& is) {
+    BlifDoc doc;
+    Cover* current = nullptr;
+    bool sawModel = false;
+    bool ended = false;
+    for (const auto& [line, text] : logicalLines(is)) {
+        if (ended) break;
+        auto tok = tokens(text);
+        if (tok.empty()) continue;
+        if (tok[0][0] == '.') {
+            current = nullptr;
+            if (tok[0] == ".model") {
+                if (sawModel) parseError(line, "multiple .model directives");
+                sawModel = true;
+            } else if (tok[0] == ".inputs") {
+                doc.inputs.insert(doc.inputs.end(), tok.begin() + 1,
+                                  tok.end());
+            } else if (tok[0] == ".outputs") {
+                doc.outputs.insert(doc.outputs.end(), tok.begin() + 1,
+                                   tok.end());
+            } else if (tok[0] == ".names") {
+                if (tok.size() < 2)
+                    parseError(line, ".names needs at least an output");
+                Cover c;
+                c.output = tok.back();
+                c.inputs.assign(tok.begin() + 1, tok.end() - 1);
+                c.line = line;
+                doc.covers.push_back(std::move(c));
+                current = &doc.covers.back();
+            } else if (tok[0] == ".end") {
+                ended = true;
+            } else if (tok[0] == ".latch") {
+                parseError(line, "sequential BLIF (.latch) is not supported");
+            } else {
+                parseError(line, "unknown directive '" + tok[0] + "'");
+            }
+            continue;
+        }
+        // Cover row.
+        if (current == nullptr)
+            parseError(line, "cover row outside a .names block");
+        std::string mask, value;
+        if (current->inputs.empty()) {
+            if (tok.size() != 1) parseError(line, "bad constant cover row");
+            mask = "";
+            value = tok[0];
+        } else {
+            if (tok.size() != 2) parseError(line, "bad cover row");
+            mask = tok[0];
+            value = tok[1];
+        }
+        if (mask.size() != current->inputs.size())
+            parseError(line, "cover row width mismatch");
+        for (const char ch : mask)
+            if (ch != '0' && ch != '1' && ch != '-')
+                parseError(line, "bad cover character");
+        if (value != "0" && value != "1")
+            parseError(line, "cover output must be 0 or 1");
+        const bool on = value == "1";
+        if (!current->rows.empty() && on != current->onSet)
+            parseError(line, "mixed on-set/off-set rows in one cover");
+        current->onSet = on;
+        current->rows.push_back(mask);
+    }
+    if (!sawModel) fail("readBlif", "missing .model directive");
+    return doc;
+}
+
+}  // namespace
+
+netlist::Netlist readBlif(std::istream& is) {
+    const BlifDoc doc = parseDoc(is);
+
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::unordered_map<std::string, netlist::NetId> nets;
+    std::unordered_map<std::string, const Cover*> coverOf;
+    for (const auto& c : doc.covers) {
+        if (coverOf.contains(c.output))
+            parseError(c.line, "signal '" + c.output + "' defined twice");
+        coverOf.emplace(c.output, &c);
+    }
+    for (const auto& in : doc.inputs) {
+        if (nets.contains(in))
+            fail("readBlif", "duplicate input '" + in + "'");
+        if (coverOf.contains(in))
+            fail("readBlif", "input '" + in + "' also has a cover");
+        nets.emplace(in, b.input(in));
+    }
+
+    // Iterative DFS building signals in dependency order.
+    enum class Mark : std::uint8_t { kNone, kOpen, kDone };
+    std::unordered_map<std::string, Mark> mark;
+    const std::function<netlist::NetId(const std::string&)> buildSignal =
+        [&](const std::string& name) -> netlist::NetId {
+        if (const auto it = nets.find(name); it != nets.end())
+            return it->second;
+        const auto cit = coverOf.find(name);
+        if (cit == coverOf.end())
+            fail("readBlif", "signal '" + name + "' is never driven");
+        const Cover& c = *cit->second;
+        if (mark[name] == Mark::kOpen)
+            parseError(c.line, "combinational cycle through '" + name + "'");
+        mark[name] = Mark::kOpen;
+
+        std::vector<netlist::NetId> ins;
+        ins.reserve(c.inputs.size());
+        for (const auto& in : c.inputs) ins.push_back(buildSignal(in));
+
+        std::vector<netlist::NetId> rowNets;
+        rowNets.reserve(c.rows.size());
+        for (const auto& row : c.rows) {
+            std::vector<netlist::NetId> lits;
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                if (row[i] == '-') continue;
+                lits.push_back(row[i] == '1' ? ins[i] : b.mkNot(ins[i]));
+            }
+            rowNets.push_back(b.mkAndTree(lits));  // empty row = const 1
+        }
+        netlist::NetId net = b.mkOrTree(rowNets);  // empty cover = const 0
+        if (!c.onSet) net = b.mkNot(net);
+        mark[name] = Mark::kDone;
+        nets.emplace(name, net);
+        return net;
+    };
+
+    if (doc.outputs.empty()) fail("readBlif", "no .outputs declared");
+    for (const auto& out : doc.outputs) nl.markOutput(out, buildSignal(out));
+    return nl;
+}
+
+netlist::Netlist blifFromString(const std::string& text) {
+    std::istringstream is(text);
+    return readBlif(is);
+}
+
+}  // namespace pd::io

@@ -1,0 +1,36 @@
+// BLIF (Berkeley Logic Interchange Format) writer and reader.
+//
+// BLIF is the lingua franca of academic logic synthesis (SIS, ABC,
+// Yosys). The writer emits one `.names` cover per gate; the reader
+// accepts the combinational subset — `.model/.inputs/.outputs/.names
+// /.end` with single-output covers — and rebuilds a netlist through the
+// structural-hashing Builder. Round-tripping a netlist preserves its
+// function (tested by simulation and SAT equivalence).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::io {
+
+struct BlifOptions {
+    std::string modelName = "pd_circuit";
+};
+
+/// Writes `nl` in BLIF to `os`.
+void writeBlif(std::ostream& os, const netlist::Netlist& nl,
+               const BlifOptions& opt = {});
+
+[[nodiscard]] std::string toBlif(const netlist::Netlist& nl,
+                                 const BlifOptions& opt = {});
+
+/// Parses the combinational BLIF subset from `is`.
+/// Throws pd::Error with a line number on malformed input, unknown
+/// directives, cyclic definitions, or references to undriven signals.
+[[nodiscard]] netlist::Netlist readBlif(std::istream& is);
+
+[[nodiscard]] netlist::Netlist blifFromString(const std::string& text);
+
+}  // namespace pd::io

@@ -1,0 +1,31 @@
+// Structural Verilog netlist writer.
+//
+// Emits a synthesizable gate-level module (primitive gates + assign
+// statements) from a pd::netlist::Netlist, so decomposition results can be
+// inspected in, or handed to, standard EDA tools (Yosys, commercial
+// synthesis). Net names are sanitized to Verilog identifiers; the original
+// port names are preserved where legal and escaped otherwise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::io {
+
+struct VerilogOptions {
+    std::string moduleName = "pd_circuit";
+    /// Emit `and/or/...` gate primitives instead of assign expressions.
+    bool usePrimitives = false;
+};
+
+/// Writes `nl` as a structural Verilog module to `os`.
+void writeVerilog(std::ostream& os, const netlist::Netlist& nl,
+                  const VerilogOptions& opt = {});
+
+/// Convenience: returns the module text as a string.
+[[nodiscard]] std::string toVerilog(const netlist::Netlist& nl,
+                                    const VerilogOptions& opt = {});
+
+}  // namespace pd::io

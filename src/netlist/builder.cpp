@@ -1,0 +1,137 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+
+namespace pd::netlist {
+
+NetId Builder::constant(bool v) {
+    if (v) {
+        if (const1_ == kNoNet) const1_ = nl_.addGate(GateType::kConst1);
+        return const1_;
+    }
+    if (const0_ == kNoNet) const0_ = nl_.addGate(GateType::kConst0);
+    return const0_;
+}
+
+bool Builder::isConst(NetId n, bool v) const {
+    return v ? (n == const1_ && n != kNoNet) : (n == const0_ && n != kNoNet);
+}
+
+NetId Builder::knownInverse(NetId n) const {
+    const auto it = inverseOf_.find(n);
+    return it == inverseOf_.end() ? kNoNet : it->second;
+}
+
+NetId Builder::hashed(GateType type, NetId a, NetId b, NetId c) {
+    const Key key{type, a, b, c};
+    const auto it = cse_.find(key);
+    if (it != cse_.end()) return it->second;
+    const NetId id = nl_.addGate(type, a, b, c);
+    cse_.emplace(key, id);
+    return id;
+}
+
+NetId Builder::mkNot(NetId a) {
+    if (isConst(a, false)) return constant(true);
+    if (isConst(a, true)) return constant(false);
+    if (const NetId inv = knownInverse(a); inv != kNoNet) return inv;
+    const NetId id = hashed(GateType::kNot, a);
+    inverseOf_.emplace(a, id);
+    inverseOf_.emplace(id, a);
+    return id;
+}
+
+NetId Builder::mkAnd(NetId a, NetId b) {
+    if (a > b) std::swap(a, b);
+    if (isConst(a, false) || isConst(b, false)) return constant(false);
+    if (isConst(a, true)) return b;
+    if (isConst(b, true)) return a;
+    if (a == b) return a;
+    if (knownInverse(a) == b) return constant(false);
+    return hashed(GateType::kAnd, a, b);
+}
+
+NetId Builder::mkOr(NetId a, NetId b) {
+    if (a > b) std::swap(a, b);
+    if (isConst(a, true) || isConst(b, true)) return constant(true);
+    if (isConst(a, false)) return b;
+    if (isConst(b, false)) return a;
+    if (a == b) return a;
+    if (knownInverse(a) == b) return constant(true);
+    return hashed(GateType::kOr, a, b);
+}
+
+NetId Builder::mkXor(NetId a, NetId b) {
+    if (a > b) std::swap(a, b);
+    if (isConst(a, false)) return b;
+    if (isConst(b, false)) return a;
+    if (isConst(a, true)) return mkNot(b);
+    if (isConst(b, true)) return mkNot(a);
+    if (a == b) return constant(false);
+    if (knownInverse(a) == b) return constant(true);
+    return hashed(GateType::kXor, a, b);
+}
+
+NetId Builder::mkMux(NetId s, NetId d0, NetId d1) {
+    if (isConst(s, false)) return d0;
+    if (isConst(s, true)) return d1;
+    if (d0 == d1) return d0;
+    if (isConst(d0, false) && isConst(d1, true)) return s;
+    if (isConst(d0, true) && isConst(d1, false)) return mkNot(s);
+    if (isConst(d1, true)) return mkOr(s, d0);    // s | d0
+    if (isConst(d1, false)) return mkAnd(mkNot(s), d0);
+    if (isConst(d0, false)) return mkAnd(s, d1);
+    if (isConst(d0, true)) return mkOr(mkNot(s), d1);
+    return hashed(GateType::kMux, s, d0, d1);
+}
+
+NetId Builder::balancedTree(GateType type, std::span<const NetId> ops,
+                            bool identity) {
+    if (ops.empty()) return constant(identity);
+    std::vector<NetId> level(ops.begin(), ops.end());
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            switch (type) {
+                case GateType::kAnd:
+                    next.push_back(mkAnd(level[i], level[i + 1]));
+                    break;
+                case GateType::kOr:
+                    next.push_back(mkOr(level[i], level[i + 1]));
+                    break;
+                default:
+                    next.push_back(mkXor(level[i], level[i + 1]));
+            }
+        }
+        if (level.size() & 1u) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+NetId Builder::mkAndTree(std::span<const NetId> ops) {
+    return balancedTree(GateType::kAnd, ops, true);
+}
+
+NetId Builder::mkOrTree(std::span<const NetId> ops) {
+    return balancedTree(GateType::kOr, ops, false);
+}
+
+NetId Builder::mkXorTree(std::span<const NetId> ops) {
+    return balancedTree(GateType::kXor, ops, false);
+}
+
+Builder::SumCarry Builder::fullAdder(NetId a, NetId b, NetId cin) {
+    const NetId axb = mkXor(a, b);
+    SumCarry r;
+    r.sum = mkXor(axb, cin);
+    r.carry = mkOr(mkAnd(a, b), mkAnd(axb, cin));
+    return r;
+}
+
+Builder::SumCarry Builder::halfAdder(NetId a, NetId b) {
+    return {mkXor(a, b), mkAnd(a, b)};
+}
+
+}  // namespace pd::netlist

@@ -1,0 +1,85 @@
+// Structural-hashing netlist builder.
+//
+// All synthesis frontends construct logic through a Builder: it folds
+// constants, normalizes commutative operand order, removes double
+// inverters, and hash-conses gates so structurally identical logic is
+// created once. Baselines and Progressive-Decomposition outputs use the
+// same builder, so sharing ability is identical across flows (the fairness
+// requirement behind the paper's Table 1 comparison).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::netlist {
+
+class Builder {
+public:
+    explicit Builder(Netlist& nl) : nl_(nl) {}
+
+    [[nodiscard]] Netlist& netlist() { return nl_; }
+
+    NetId input(std::string name) { return nl_.addInput(std::move(name)); }
+    NetId constant(bool v);
+
+    NetId mkNot(NetId a);
+    NetId mkAnd(NetId a, NetId b);
+    NetId mkOr(NetId a, NetId b);
+    NetId mkXor(NetId a, NetId b);
+    NetId mkXnor(NetId a, NetId b) { return mkNot(mkXor(a, b)); }
+    NetId mkNand(NetId a, NetId b) { return mkNot(mkAnd(a, b)); }
+    NetId mkNor(NetId a, NetId b) { return mkNot(mkOr(a, b)); }
+    /// mux: s ? d1 : d0.
+    NetId mkMux(NetId s, NetId d0, NetId d1);
+
+    /// Balanced trees over an operand list (empty list yields the
+    /// operation's identity constant).
+    NetId mkAndTree(std::span<const NetId> ops);
+    NetId mkOrTree(std::span<const NetId> ops);
+    NetId mkXorTree(std::span<const NetId> ops);
+
+    /// Full adder; returns {sum, carry}.
+    struct SumCarry {
+        NetId sum;
+        NetId carry;
+    };
+    SumCarry fullAdder(NetId a, NetId b, NetId cin);
+    SumCarry halfAdder(NetId a, NetId b);
+
+private:
+    struct Key {
+        GateType type;
+        NetId a;
+        NetId b;
+        NetId c;
+        bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            std::size_t h = static_cast<std::size_t>(k.type);
+            h = h * 0x9e3779b97f4a7c15ull + k.a;
+            h = h * 0x9e3779b97f4a7c15ull + k.b;
+            h = h * 0x9e3779b97f4a7c15ull + k.c;
+            return h;
+        }
+    };
+
+    NetId hashed(GateType type, NetId a, NetId b = kNoNet, NetId c = kNoNet);
+    [[nodiscard]] bool isConst(NetId n, bool v) const;
+    /// Net driving the inverse of `n` if one is already known.
+    [[nodiscard]] NetId knownInverse(NetId n) const;
+
+    NetId balancedTree(GateType type, std::span<const NetId> ops,
+                       bool identity);
+
+    Netlist& nl_;
+    std::unordered_map<Key, NetId, KeyHash> cse_;
+    NetId const0_ = kNoNet;
+    NetId const1_ = kNoNet;
+    std::unordered_map<NetId, NetId> inverseOf_;
+};
+
+}  // namespace pd::netlist

@@ -1,0 +1,78 @@
+#include "netlist/netlist.hpp"
+
+namespace pd::netlist {
+
+const char* gateTypeName(GateType t) {
+    switch (t) {
+        case GateType::kConst0: return "CONST0";
+        case GateType::kConst1: return "CONST1";
+        case GateType::kInput: return "INPUT";
+        case GateType::kBuf: return "BUF";
+        case GateType::kNot: return "INV";
+        case GateType::kAnd: return "AND2";
+        case GateType::kOr: return "OR2";
+        case GateType::kXor: return "XOR2";
+        case GateType::kXnor: return "XNOR2";
+        case GateType::kNand: return "NAND2";
+        case GateType::kNor: return "NOR2";
+        case GateType::kMux: return "MUX2";
+    }
+    return "?";
+}
+
+NetId Netlist::addInput(std::string name) {
+    Gate g;
+    g.type = GateType::kInput;
+    const NetId id = static_cast<NetId>(gates_.size());
+    gates_.push_back(g);
+    inputs_.push_back(id);
+    inputNames_.push_back(std::move(name));
+    return id;
+}
+
+NetId Netlist::addGate(GateType type, NetId a, NetId b, NetId c) {
+    Gate g;
+    g.type = type;
+    g.in = {a, b, c};
+    const int n = fanin(type);
+    const NetId id = static_cast<NetId>(gates_.size());
+    for (int i = 0; i < n; ++i) {
+        PD_ASSERT(g.in[static_cast<std::size_t>(i)] < id);
+    }
+    for (int i = n; i < 3; ++i)
+        PD_ASSERT(g.in[static_cast<std::size_t>(i)] == kNoNet);
+    gates_.push_back(g);
+    return id;
+}
+
+void Netlist::markOutput(std::string name, NetId net) {
+    PD_ASSERT(net < gates_.size());
+    outputs_.push_back({std::move(name), net});
+}
+
+std::size_t Netlist::numLogicGates() const {
+    std::size_t n = 0;
+    for (const auto& g : gates_) {
+        switch (g.type) {
+            case GateType::kConst0:
+            case GateType::kConst1:
+            case GateType::kInput:
+            case GateType::kBuf:
+                break;
+            default:
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::vector<std::uint32_t> Netlist::fanouts() const {
+    std::vector<std::uint32_t> fo(gates_.size(), 0);
+    for (const auto& g : gates_) {
+        const int n = fanin(g.type);
+        for (int i = 0; i < n; ++i) ++fo[g.in[static_cast<std::size_t>(i)]];
+    }
+    return fo;
+}
+
+}  // namespace pd::netlist

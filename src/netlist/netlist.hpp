@@ -1,0 +1,109 @@
+// Gate-level netlist.
+//
+// A Netlist is an append-only DAG: every gate drives exactly one net whose
+// id equals the gate's index, and gate operands must already exist, so the
+// storage order is a topological order by construction. Primary inputs and
+// constants are degenerate gates. This is the common IR the synthesis
+// frontends produce and the optimizer/mapper/STA/simulator consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pd::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = 0xffffffffu;
+
+enum class GateType : std::uint8_t {
+    kConst0,
+    kConst1,
+    kInput,
+    kBuf,
+    kNot,
+    kAnd,
+    kOr,
+    kXor,
+    kXnor,
+    kNand,
+    kNor,
+    kMux,  ///< in0 = select, in1 = data when select=0, in2 = data when 1
+};
+
+/// Number of operands a gate type takes.
+[[nodiscard]] constexpr int fanin(GateType t) {
+    switch (t) {
+        case GateType::kConst0:
+        case GateType::kConst1:
+        case GateType::kInput:
+            return 0;
+        case GateType::kBuf:
+        case GateType::kNot:
+            return 1;
+        case GateType::kMux:
+            return 3;
+        default:
+            return 2;
+    }
+}
+
+[[nodiscard]] const char* gateTypeName(GateType t);
+
+struct Gate {
+    GateType type = GateType::kConst0;
+    std::array<NetId, 3> in{kNoNet, kNoNet, kNoNet};
+};
+
+/// One circuit output: a named pointer to a net.
+struct OutputPort {
+    std::string name;
+    NetId net = kNoNet;
+};
+
+/// Append-only gate DAG with named inputs and outputs.
+class Netlist {
+public:
+    /// Creates a primary input; `name` must be unique among inputs.
+    NetId addInput(std::string name);
+
+    /// Creates a gate; operand count must match the type and operands must
+    /// be existing nets.
+    NetId addGate(GateType type, NetId a = kNoNet, NetId b = kNoNet,
+                  NetId c = kNoNet);
+
+    /// Declares `net` as a circuit output named `name`.
+    void markOutput(std::string name, NetId net);
+
+    [[nodiscard]] std::size_t numNets() const { return gates_.size(); }
+    [[nodiscard]] const Gate& gate(NetId id) const {
+        PD_ASSERT(id < gates_.size());
+        return gates_[id];
+    }
+
+    [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::string& inputName(std::size_t i) const {
+        return inputNames_[i];
+    }
+    [[nodiscard]] const std::vector<OutputPort>& outputs() const {
+        return outputs_;
+    }
+
+    /// Number of logic gates (excludes inputs, constants and buffers).
+    [[nodiscard]] std::size_t numLogicGates() const;
+
+    /// Fanout count per net (consumers among gates; output ports are not
+    /// counted as fanout).
+    [[nodiscard]] std::vector<std::uint32_t> fanouts() const;
+
+private:
+    std::vector<Gate> gates_;
+    std::vector<NetId> inputs_;
+    std::vector<std::string> inputNames_;
+    std::vector<OutputPort> outputs_;
+};
+
+}  // namespace pd::netlist

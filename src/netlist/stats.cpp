@@ -1,0 +1,59 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pd::netlist {
+
+NetlistStats computeStats(const Netlist& nl) {
+    NetlistStats s;
+    s.numInputs = nl.inputs().size();
+    s.numOutputs = nl.outputs().size();
+    s.numGates = nl.numLogicGates();
+
+    std::vector<std::size_t> depth(nl.numNets(), 0);
+    for (NetId id = 0; id < nl.numNets(); ++id) {
+        const Gate& g = nl.gate(id);
+        const int n = fanin(g.type);
+        std::size_t d = 0;
+        for (int i = 0; i < n; ++i)
+            d = std::max(d, depth[g.in[static_cast<std::size_t>(i)]]);
+        const bool isLogic = g.type != GateType::kInput &&
+                             g.type != GateType::kConst0 &&
+                             g.type != GateType::kConst1 &&
+                             g.type != GateType::kBuf;
+        depth[id] = d + (isLogic ? 1 : 0);
+        if (isLogic) {
+            s.interconnect += static_cast<std::size_t>(n);
+            ++s.gateHistogram[gateTypeName(g.type)];
+        }
+    }
+    for (const auto& out : nl.outputs())
+        s.levels = std::max(s.levels, depth[out.net]);
+
+    const auto fo = nl.fanouts();
+    std::size_t driven = 0;
+    std::size_t total = 0;
+    for (NetId id = 0; id < nl.numNets(); ++id) {
+        if (fo[id] == 0) continue;
+        ++driven;
+        total += fo[id];
+        s.maxFanout = std::max(s.maxFanout, fo[id]);
+    }
+    s.avgFanout = driven ? static_cast<double>(total) /
+                               static_cast<double>(driven)
+                         : 0.0;
+    for (const NetId in : nl.inputs())
+        s.maxInputFanout = std::max(s.maxInputFanout, fo[in]);
+    return s;
+}
+
+std::string summary(const NetlistStats& s) {
+    std::ostringstream os;
+    os << s.numGates << " gates, " << s.levels << " levels, interconnect "
+       << s.interconnect << ", max fanout " << s.maxFanout
+       << " (inputs: " << s.maxInputFanout << "), avg fanout " << s.avgFanout;
+    return os.str();
+}
+
+}  // namespace pd::netlist

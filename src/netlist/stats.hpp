@@ -1,0 +1,35 @@
+// Structural netlist statistics.
+//
+// Besides gate counts and unit-delay logic depth, this computes the
+// *interconnect* metrics behind the paper's Fig. 1 vs Fig. 2 argument: a
+// flat LZD has enormous pin-to-net connectivity and very high fan-out on
+// the primary inputs, while the hierarchical version is low fan-in/fan-out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::netlist {
+
+struct NetlistStats {
+    std::size_t numInputs = 0;
+    std::size_t numOutputs = 0;
+    std::size_t numGates = 0;          ///< logic gates (no inputs/consts/bufs)
+    std::size_t levels = 0;            ///< unit-delay depth
+    std::size_t interconnect = 0;      ///< total gate input pins (wiring load)
+    std::uint32_t maxFanout = 0;
+    double avgFanout = 0.0;            ///< over driven nets with fanout > 0
+    std::uint32_t maxInputFanout = 0;  ///< worst primary-input fanout
+    std::map<std::string, std::size_t> gateHistogram;
+};
+
+[[nodiscard]] NetlistStats computeStats(const Netlist& nl);
+
+/// Renders the stats as a compact single-line summary.
+[[nodiscard]] std::string summary(const NetlistStats& s);
+
+}  // namespace pd::netlist

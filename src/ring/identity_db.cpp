@@ -1,0 +1,53 @@
+#include "ring/identity_db.hpp"
+
+#include <algorithm>
+
+namespace pd::ring {
+
+void IdentityDb::add(const anf::Anf& e) {
+    if (e.isZero()) return;
+    if (std::find(ids_.begin(), ids_.end(), e) != ids_.end()) return;
+    ids_.push_back(e);
+}
+
+NullSpaceRing IdentityDb::nullspaceOf(anf::Var v) const {
+    NullSpaceRing r;
+    for (const auto& id : ids_) {
+        bool allContainV = !id.isZero();
+        for (const auto& t : id.terms())
+            if (!t.contains(v)) {
+                allContainV = false;
+                break;
+            }
+        if (!allContainV) continue;
+        // id = v * E with E = id / v (erase v from every monomial); the
+        // quotient is exact because every monomial contains v.
+        std::vector<anf::Monomial> terms;
+        terms.reserve(id.termCount());
+        for (const auto& t : id.terms()) {
+            anf::Monomial m = t;
+            m.erase(v);
+            terms.push_back(m);
+        }
+        r.addGenerator(anf::Anf::fromTerms(std::move(terms)));
+    }
+    return r;
+}
+
+NullSpaceRing IdentityDb::nullspaceOfMonomial(const anf::Monomial& m,
+                                              bool withComplements) const {
+    NullSpaceRing r;
+    m.forEachVar([&](anf::Var v) {
+        r = NullSpaceRing::merged(r, nullspaceOf(v));
+        if (withComplements) r.addGenerator(~anf::Anf::var(v));
+    });
+    return r;
+}
+
+void IdentityDb::dropTouching(const anf::VarSet& consumed) {
+    std::erase_if(ids_, [&](const anf::Anf& id) {
+        return id.support().intersects(consumed);
+    });
+}
+
+}  // namespace pd::ring

@@ -1,0 +1,50 @@
+#include "ring/membership.hpp"
+
+#include "anf/indexer.hpp"
+#include "gf2/solver.hpp"
+
+namespace pd::ring {
+
+SumMembership memberOfSum(const anf::Anf& target, const NullSpaceRing& r1,
+                          const NullSpaceRing& r2, std::size_t maxSpan) {
+    SumMembership out;
+    if (target.isZero()) {
+        out.member = true;
+        return out;
+    }
+
+    const auto span1 = r1.spanningSet(maxSpan);
+    const auto span2 = r2.spanningSet(maxSpan);
+    if (span1.empty() && span2.empty()) return out;
+
+    anf::MonomialIndexer indexer;
+    gf2::SpanSolver solver;
+    std::vector<const anf::Anf*> inserted;
+    inserted.reserve(span1.size() + span2.size());
+    for (const auto& e : span1) {
+        solver.add(indexer.toBits(e));
+        inserted.push_back(&e);
+    }
+    const std::size_t split = inserted.size();
+    for (const auto& e : span2) {
+        solver.add(indexer.toBits(e));
+        inserted.push_back(&e);
+    }
+
+    const auto comb = solver.represent(indexer.toBits(target));
+    if (!comb) return out;
+
+    out.member = true;
+    for (std::size_t i = 0; i < inserted.size(); ++i) {
+        if (i < comb->size() && comb->get(i)) {
+            if (i < split)
+                out.part1 ^= *inserted[i];
+            else
+                out.part2 ^= *inserted[i];
+        }
+    }
+    PD_ASSERT((out.part1 ^ out.part2) == target);
+    return out;
+}
+
+}  // namespace pd::ring

@@ -1,0 +1,33 @@
+// Membership in a sum of null-space rings, with witness (paper §4).
+//
+// The factorisation X = P·Q ⊕ R·S = (P⊕R)·T is valid exactly when
+// (Q⊕S) ∈ N(P)⊕N(R); the merged cofactor is T = Q ⊕ n_P where
+// Q⊕S = n_P ⊕ n_R with n_P ∈ N(P), n_R ∈ N(R). The paper notes this is an
+// instance of the Ideal Membership Problem; because our rings are tracked
+// by finite spanning sets, it reduces to a GF(2) solve that also yields
+// the split (n_P, n_R) needed to build T.
+#pragma once
+
+#include <cstddef>
+
+#include "anf/anf.hpp"
+#include "ring/nullspace.hpp"
+
+namespace pd::ring {
+
+/// Outcome of a (target ∈ R₁ ⊕ R₂) query.
+struct SumMembership {
+    bool member = false;
+    anf::Anf part1;  ///< element of span(R₁'s spanning set)
+    anf::Anf part2;  ///< element of span(R₂'s spanning set)
+};
+
+/// Decides `target ∈ R₁ ⊕ R₂` over the rings' spanning sets and, on
+/// success, returns parts with part1 ⊕ part2 == target.
+/// `maxSpan` caps each spanning set (conservative under-approximation).
+[[nodiscard]] SumMembership memberOfSum(const anf::Anf& target,
+                                        const NullSpaceRing& r1,
+                                        const NullSpaceRing& r2,
+                                        std::size_t maxSpan = 64);
+
+}  // namespace pd::ring

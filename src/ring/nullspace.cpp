@@ -1,0 +1,62 @@
+#include "ring/nullspace.hpp"
+
+#include <algorithm>
+
+namespace pd::ring {
+
+void NullSpaceRing::addGenerator(const anf::Anf& g) {
+    if (g.isZero()) return;
+    if (std::find(gens_.begin(), gens_.end(), g) != gens_.end()) return;
+    gens_.push_back(g);
+}
+
+std::vector<anf::Anf> NullSpaceRing::spanningSet(std::size_t maxElems) const {
+    std::vector<anf::Anf> out;
+    if (gens_.empty()) return out;
+
+    // Breadth-first subset products: start from single generators, then
+    // multiply previously produced elements by further generators. Every
+    // product of a non-empty subset appears (until the cap); duplicates and
+    // zeros are dropped.
+    std::vector<anf::Anf> frontier = gens_;
+    out = gens_;
+    std::size_t gen0 = 0;  // first generator index not yet folded in
+    for (std::size_t level = 1; level < gens_.size(); ++level) {
+        (void)gen0;
+        std::vector<anf::Anf> next;
+        for (const auto& f : frontier) {
+            for (const auto& g : gens_) {
+                if (out.size() + next.size() >= maxElems) break;
+                const anf::Anf p = f * g;
+                if (p.isZero() || p == f) continue;
+                if (std::find(out.begin(), out.end(), p) != out.end())
+                    continue;
+                if (std::find(next.begin(), next.end(), p) != next.end())
+                    continue;
+                next.push_back(p);
+            }
+        }
+        if (next.empty() || out.size() >= maxElems) break;
+        out.insert(out.end(), next.begin(), next.end());
+        frontier = std::move(next);
+    }
+    if (out.size() > maxElems) out.resize(maxElems);
+    return out;
+}
+
+NullSpaceRing NullSpaceRing::productClosure(const NullSpaceRing& a,
+                                            const NullSpaceRing& b) {
+    NullSpaceRing r;
+    for (const auto& ga : a.gens_)
+        for (const auto& gb : b.gens_) r.addGenerator(ga * gb);
+    return r;
+}
+
+NullSpaceRing NullSpaceRing::merged(const NullSpaceRing& a,
+                                    const NullSpaceRing& b) {
+    NullSpaceRing r = a;
+    for (const auto& g : b.gens_) r.addGenerator(g);
+    return r;
+}
+
+}  // namespace pd::ring

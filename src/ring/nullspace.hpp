@@ -1,0 +1,61 @@
+// Null-space rings (paper §4).
+//
+// For an expression P, N(P) = { X : P·X = 0 } is a ring (closed under XOR
+// and AND). The algorithm never needs all of N(P) — it tracks a *known
+// subring* represented by generators, grown conservatively:
+//   * identity v·E = 0 contributes generator E to N(v);
+//   * N(P⊕R) ⊇ rC(N(P)·N(R)): the ring closure of pairwise products,
+//     used when two pair-list entries merge (paper §5.2).
+// Ring closure is finite in a Boolean ring (x² = x): it is the GF(2) span
+// of all products of non-empty generator subsets. spanningSet() produces
+// exactly those products (capped), which is what membership solves over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "anf/anf.hpp"
+
+namespace pd::ring {
+
+/// Generator-represented subring of some null-space N(P).
+///
+/// Invariant: every generator g satisfies P·g = 0 for the P this ring was
+/// attached to; the represented ring is rC(span(generators)).
+class NullSpaceRing {
+public:
+    NullSpaceRing() = default;
+
+    /// Adds a generator; zero and duplicate generators are ignored.
+    void addGenerator(const anf::Anf& g);
+
+    [[nodiscard]] bool trivial() const { return gens_.empty(); }
+
+    [[nodiscard]] const std::vector<anf::Anf>& generators() const {
+        return gens_;
+    }
+
+    /// Spanning set of the ring closure: products over all non-empty
+    /// generator subsets (zero products dropped), capped at `maxElems`
+    /// elements — a conservative under-approximation when capped, which is
+    /// always sound (fewer merges, never a wrong merge).
+    [[nodiscard]] std::vector<anf::Anf> spanningSet(
+        std::size_t maxElems = 64) const;
+
+    /// Ring attached to X₁⊕X₂ given rings for X₁ and X₂:
+    /// rC(N(X₁)·N(X₂)) per the containment N(P)·N(Q) ⊆ N(P⊕Q).
+    /// Generators are the pairwise products of the two generator sets.
+    [[nodiscard]] static NullSpaceRing productClosure(const NullSpaceRing& a,
+                                                      const NullSpaceRing& b);
+
+    /// Union of generators — valid when both rings annihilate the *same*
+    /// expression (e.g. combining per-variable knowledge for a monomial:
+    /// v·E = 0 implies (v·w)·E = 0).
+    [[nodiscard]] static NullSpaceRing merged(const NullSpaceRing& a,
+                                              const NullSpaceRing& b);
+
+private:
+    std::vector<anf::Anf> gens_;
+};
+
+}  // namespace pd::ring

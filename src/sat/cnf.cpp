@@ -1,0 +1,116 @@
+#include "sat/cnf.hpp"
+
+namespace pd::sat {
+
+namespace {
+
+void encodeAnd(Solver& s, Var out, Lit a, Lit b) {
+    // out ↔ a ∧ b
+    const Lit o(out, false);
+    s.addClause(~o, a);
+    s.addClause(~o, b);
+    s.addClause(o, ~a, ~b);
+}
+
+void encodeOr(Solver& s, Var out, Lit a, Lit b) {
+    // out ↔ a ∨ b
+    const Lit o(out, false);
+    s.addClause(o, ~a);
+    s.addClause(o, ~b);
+    s.addClause(~o, a, b);
+}
+
+void encodeEq(Solver& s, Var out, Lit a) {
+    const Lit o(out, false);
+    s.addClause(~o, a);
+    s.addClause(o, ~a);
+}
+
+void encodeXorLits(Solver& s, Var out, Lit a, Lit b) {
+    // out ↔ a ⊕ b
+    const Lit o(out, false);
+    s.addClause(~o, a, b);
+    s.addClause(~o, ~a, ~b);
+    s.addClause(o, ~a, b);
+    s.addClause(o, a, ~b);
+}
+
+void encodeMux(Solver& s, Var out, Lit sel, Lit d0, Lit d1) {
+    // out ↔ (sel ? d1 : d0)
+    const Lit o(out, false);
+    s.addClause(~o, sel, d0);
+    s.addClause(o, sel, ~d0);
+    s.addClause(~o, ~sel, d1);
+    s.addClause(o, ~sel, ~d1);
+}
+
+}  // namespace
+
+void encodeXor(Solver& solver, Var out, Var a, Var b) {
+    encodeXorLits(solver, out, Lit(a, false), Lit(b, false));
+}
+
+void encodeOrReduce(Solver& solver, Var out, const std::vector<Lit>& ins) {
+    const Lit o(out, false);
+    std::vector<Lit> big;
+    big.reserve(ins.size() + 1);
+    big.push_back(~o);
+    for (const Lit l : ins) {
+        solver.addClause(o, ~l);
+        big.push_back(l);
+    }
+    solver.addClause(std::move(big));
+}
+
+std::vector<Var> encodeNetlist(Solver& solver, const netlist::Netlist& nl) {
+    using netlist::GateType;
+    std::vector<Var> var(nl.numNets());
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id)
+        var[id] = solver.newVar();
+
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& g = nl.gate(id);
+        const Var o = var[id];
+        const auto in = [&](int i) { return Lit(var[g.in[i]], false); };
+        switch (g.type) {
+            case GateType::kInput:
+                break;  // free variable
+            case GateType::kConst0:
+                solver.addClause(Lit(o, true));
+                break;
+            case GateType::kConst1:
+                solver.addClause(Lit(o, false));
+                break;
+            case GateType::kBuf:
+                encodeEq(solver, o, in(0));
+                break;
+            case GateType::kNot:
+                encodeEq(solver, o, ~in(0));
+                break;
+            case GateType::kAnd:
+                encodeAnd(solver, o, in(0), in(1));
+                break;
+            case GateType::kNand:
+                encodeOr(solver, o, ~in(0), ~in(1));
+                break;
+            case GateType::kOr:
+                encodeOr(solver, o, in(0), in(1));
+                break;
+            case GateType::kNor:
+                encodeAnd(solver, o, ~in(0), ~in(1));
+                break;
+            case GateType::kXor:
+                encodeXorLits(solver, o, in(0), in(1));
+                break;
+            case GateType::kXnor:
+                encodeXorLits(solver, o, in(0), ~in(1));
+                break;
+            case GateType::kMux:
+                encodeMux(solver, o, in(0), in(1), in(2));
+                break;
+        }
+    }
+    return var;
+}
+
+}  // namespace pd::sat

@@ -1,0 +1,27 @@
+// Tseitin encoding of gate-level netlists into CNF.
+//
+// Each net gets one solver variable; every gate contributes the clauses
+// that make its output variable logically equal to the gate function of
+// its operand variables. The encoder also builds miters (XOR of paired
+// outputs ORed together) for combinational equivalence checking.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace pd::sat {
+
+/// Encodes a netlist into `solver`, returning the solver variable of each
+/// net (indexed by NetId). Input nets become free variables; constants are
+/// constrained with unit clauses.
+std::vector<Var> encodeNetlist(Solver& solver, const netlist::Netlist& nl);
+
+/// Adds clauses forcing `out` = a XOR b.
+void encodeXor(Solver& solver, Var out, Var a, Var b);
+
+/// Adds clauses forcing `out` = OR of `ins` (ins may be literals).
+void encodeOrReduce(Solver& solver, Var out, const std::vector<Lit>& ins);
+
+}  // namespace pd::sat

@@ -1,0 +1,41 @@
+// DIMACS CNF interchange.
+//
+// Lets the miters this repository builds be handed to any external SAT
+// solver (and external CNFs be replayed against ours): writeDimacs dumps
+// a netlist's Tseitin encoding (optionally with a miter constraint),
+// readDimacs parses a CNF into clauses for the CDCL solver.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace pd::sat {
+
+/// A parsed DIMACS problem.
+struct DimacsProblem {
+    std::size_t numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf V C" header, clauses as
+/// 0-terminated literal lists). Throws pd::Error on malformed input.
+[[nodiscard]] DimacsProblem readDimacs(std::istream& is);
+[[nodiscard]] DimacsProblem dimacsFromString(const std::string& text);
+
+/// Loads a parsed problem into a fresh solver (allocates numVars vars).
+void loadProblem(Solver& solver, const DimacsProblem& problem);
+
+/// Writes the Tseitin encoding of `nl` as DIMACS. Output nets are listed
+/// in trailing comment lines ("c output <name> <var>"), 1-based.
+void writeDimacs(std::ostream& os, const netlist::Netlist& nl);
+
+/// Writes the equivalence miter of two netlists (inputs tied by name,
+/// XOR of outputs ORed and asserted); UNSAT ⇔ equivalent.
+void writeMiterDimacs(std::ostream& os, const netlist::Netlist& a,
+                      const netlist::Netlist& b);
+
+}  // namespace pd::sat

@@ -1,0 +1,83 @@
+#include "sat/equiv.hpp"
+
+#include <unordered_map>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+
+namespace pd::sat {
+
+EquivCheckResult checkEquivalentSat(const netlist::Netlist& a,
+                                    const netlist::Netlist& b,
+                                    std::uint64_t conflictBudget) {
+    Solver solver;
+    const auto varsA = encodeNetlist(solver, a);
+    const auto varsB = encodeNetlist(solver, b);
+
+    // Tie inputs together by name.
+    std::unordered_map<std::string, netlist::NetId> inputsB;
+    for (std::size_t i = 0; i < b.inputs().size(); ++i)
+        inputsB.emplace(b.inputName(i), b.inputs()[i]);
+    if (inputsB.size() != a.inputs().size())
+        fail("checkEquivalentSat", "input count mismatch");
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        const auto it = inputsB.find(a.inputName(i));
+        if (it == inputsB.end())
+            fail("checkEquivalentSat",
+                 "input '" + a.inputName(i) + "' missing in second netlist");
+        const Lit la(varsA[a.inputs()[i]], false);
+        const Lit lb(varsB[it->second], false);
+        solver.addClause(~la, lb);
+        solver.addClause(la, ~lb);
+    }
+
+    // Miter: OR over per-output XORs must be satisfiable for a difference.
+    std::unordered_map<std::string, netlist::NetId> outputsB;
+    for (const auto& port : b.outputs()) outputsB.emplace(port.name, port.net);
+    if (outputsB.size() != a.outputs().size())
+        fail("checkEquivalentSat", "output count mismatch");
+
+    std::vector<Lit> diffs;
+    std::vector<std::pair<std::string, Var>> diffNames;
+    diffs.reserve(a.outputs().size());
+    for (const auto& port : a.outputs()) {
+        const auto it = outputsB.find(port.name);
+        if (it == outputsB.end())
+            fail("checkEquivalentSat",
+                 "output '" + port.name + "' missing in second netlist");
+        const Var d = solver.newVar();
+        encodeXor(solver, d, varsA[port.net], varsB[it->second]);
+        diffs.emplace_back(d, false);
+        diffNames.emplace_back(port.name, d);
+    }
+    std::vector<Lit> clause = diffs;
+    solver.addClause(std::move(clause));
+
+    EquivCheckResult res;
+    const Result r = solver.solve(conflictBudget);
+    res.conflicts = solver.stats().conflicts;
+    switch (r) {
+        case Result::kUnsat:
+            res.status = EquivCheckResult::Status::kEquivalent;
+            break;
+        case Result::kUnknown:
+            res.status = EquivCheckResult::Status::kUnknown;
+            break;
+        case Result::kSat: {
+            res.status = EquivCheckResult::Status::kDifferent;
+            res.counterexample.reserve(a.inputs().size());
+            for (const netlist::NetId in : a.inputs())
+                res.counterexample.push_back(solver.modelValue(varsA[in]));
+            for (const auto& [name, d] : diffNames)
+                if (solver.modelValue(d)) {
+                    res.differingOutput = name;
+                    break;
+                }
+            break;
+        }
+    }
+    return res;
+}
+
+}  // namespace pd::sat

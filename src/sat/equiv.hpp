@@ -1,0 +1,37 @@
+// SAT-based combinational equivalence checking.
+//
+// Builds a miter over two netlists with identically named input and
+// output ports and asks the CDCL solver (sat/solver.hpp) whether any
+// input assignment can distinguish them. UNSAT is a proof of equivalence
+// over the full input space — this is how circuits too wide for
+// exhaustive simulation (e.g. the 32-bit LOD of Table 1) are verified.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::sat {
+
+struct EquivCheckResult {
+    enum class Status : std::uint8_t { kEquivalent, kDifferent, kUnknown };
+    Status status = Status::kUnknown;
+    /// On kDifferent: one distinguishing input assignment, in the input
+    /// order of the first netlist.
+    std::vector<bool> counterexample;
+    /// The output name where the two circuits disagree on counterexample.
+    std::string differingOutput;
+    std::uint64_t conflicts = 0;
+};
+
+/// Proves or refutes equivalence of two netlists. Inputs are matched by
+/// name (both netlists must have the same input-name set); outputs are
+/// matched by name likewise. Throws pd::Error if ports cannot be matched.
+/// `conflictBudget` bounds the search; 0 means unlimited.
+[[nodiscard]] EquivCheckResult checkEquivalentSat(
+    const netlist::Netlist& a, const netlist::Netlist& b,
+    std::uint64_t conflictBudget = 0);
+
+}  // namespace pd::sat

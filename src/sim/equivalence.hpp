@@ -1,0 +1,53 @@
+// Equivalence checking of a netlist against executable reference
+// semantics.
+//
+// Every synthesized circuit in this repository — baseline, manual
+// architecture, or Progressive-Decomposition output — is validated against
+// the benchmark's reference function before its area/delay numbers are
+// reported. Circuits with at most `exhaustiveLimitBits` input bits are
+// checked exhaustively; larger ones get corner patterns (all-zero,
+// all-one, walking ones) plus randomized batches.
+//
+// Conventions: netlist inputs appear port-by-port, LSB first, named
+// "<port><bit>"; the reference consumes one integer per port and returns
+// the output bits packed in output-name order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pd::sim {
+
+struct PortLayout {
+    std::string name;
+    int width = 0;
+};
+
+/// Integer port values (port order) → packed output bits (bit i is the
+/// output named outputNames[i]).
+using Reference = std::function<std::uint64_t(std::span<const std::uint64_t>)>;
+
+struct EquivOptions {
+    std::size_t exhaustiveLimitBits = 22;
+    std::size_t randomBatches = 512;  ///< 64 patterns per batch
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct EquivResult {
+    bool equivalent = false;
+    std::uint64_t vectorsTested = 0;
+    bool exhaustive = false;
+    std::string message;  ///< counterexample description on failure
+};
+
+[[nodiscard]] EquivResult checkAgainstReference(
+    const netlist::Netlist& nl, std::span<const PortLayout> ports,
+    const std::vector<std::string>& outputNames, const Reference& ref,
+    const EquivOptions& opt = {});
+
+}  // namespace pd::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace pd::sim {
+
+std::vector<std::uint64_t> Simulator::run(
+    std::span<const std::uint64_t> inputWords) const {
+    using netlist::GateType;
+    PD_ASSERT(inputWords.size() == nl_.inputs().size());
+
+    std::vector<std::uint64_t> value(nl_.numNets(), 0);
+    std::size_t nextInput = 0;
+    for (netlist::NetId id = 0; id < nl_.numNets(); ++id) {
+        const auto& g = nl_.gate(id);
+        const auto a = [&] { return value[g.in[0]]; };
+        const auto b = [&] { return value[g.in[1]]; };
+        const auto c = [&] { return value[g.in[2]]; };
+        switch (g.type) {
+            case GateType::kConst0: value[id] = 0; break;
+            case GateType::kConst1: value[id] = ~0ull; break;
+            case GateType::kInput: value[id] = inputWords[nextInput++]; break;
+            case GateType::kBuf: value[id] = a(); break;
+            case GateType::kNot: value[id] = ~a(); break;
+            case GateType::kAnd: value[id] = a() & b(); break;
+            case GateType::kOr: value[id] = a() | b(); break;
+            case GateType::kXor: value[id] = a() ^ b(); break;
+            case GateType::kXnor: value[id] = ~(a() ^ b()); break;
+            case GateType::kNand: value[id] = ~(a() & b()); break;
+            case GateType::kNor: value[id] = ~(a() | b()); break;
+            case GateType::kMux:
+                value[id] = (~a() & b()) | (a() & c());
+                break;
+        }
+    }
+
+    std::vector<std::uint64_t> out;
+    out.reserve(nl_.outputs().size());
+    for (const auto& port : nl_.outputs()) out.push_back(value[port.net]);
+    return out;
+}
+
+}  // namespace pd::sim

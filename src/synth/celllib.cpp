@@ -1,0 +1,33 @@
+#include "synth/celllib.hpp"
+
+namespace pd::synth {
+
+CellLibrary CellLibrary::umc130() {
+    CellLibrary lib;
+    using GT = netlist::GateType;
+    const auto set = [&](GT t, const char* name, double area, double delay) {
+        lib.cells_[static_cast<std::size_t>(t)] = Cell{name, area, delay};
+    };
+    // Zero-cost pseudo cells.
+    set(GT::kConst0, "TIE0", 0.0, 0.0);
+    set(GT::kConst1, "TIE1", 0.0, 0.0);
+    set(GT::kInput, "PIN", 0.0, 0.0);
+    // Representative 0.13µm drive-1 cells.
+    set(GT::kBuf, "BUFX1", 4.3, 0.042);
+    set(GT::kNot, "INVX1", 3.2, 0.024);
+    set(GT::kAnd, "AND2X1", 5.4, 0.055);
+    set(GT::kOr, "OR2X1", 5.4, 0.058);
+    set(GT::kXor, "XOR2X1", 9.7, 0.082);
+    set(GT::kXnor, "XNOR2X1", 9.7, 0.082);
+    set(GT::kNand, "NAND2X1", 4.3, 0.038);
+    set(GT::kNor, "NOR2X1", 4.3, 0.044);
+    set(GT::kMux, "MUX2X1", 10.8, 0.078);
+    lib.loadPenalty_ = 0.005;
+    return lib;
+}
+
+const Cell& CellLibrary::cellFor(netlist::GateType t) const {
+    return cells_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace pd::synth

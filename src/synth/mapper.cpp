@@ -1,0 +1,100 @@
+#include "synth/mapper.hpp"
+
+#include <unordered_map>
+
+namespace pd::synth {
+
+netlist::Netlist techMap(const netlist::Netlist& in, const CellLibrary&) {
+    using netlist::GateType;
+    using netlist::NetId;
+
+    const auto fo = in.fanouts();
+    netlist::Netlist out;
+    std::unordered_map<NetId, NetId> map;
+
+    for (std::size_t i = 0; i < in.inputs().size(); ++i)
+        map[in.inputs()[i]] = out.addInput(in.inputName(i));
+
+    // Single forward pass (ids are topologically ordered). NOT gates whose
+    // single-fan-out operand is AND/OR/XOR are fused into the inverting
+    // cell; the operand gate is skipped if it has no other consumer.
+    std::vector<char> fused(in.numNets(), 0);
+    const auto mapped = [&](NetId id) { return map.at(id); };
+
+    for (NetId id = 0; id < in.numNets(); ++id) {
+        const auto& g = in.gate(id);
+        switch (g.type) {
+            case GateType::kInput:
+                break;  // done above
+            case GateType::kConst0:
+            case GateType::kConst1:
+                map[id] = out.addGate(g.type);
+                break;
+            case GateType::kBuf:
+                map[id] = mapped(g.in[0]);
+                break;
+            case GateType::kNot: {
+                const auto& d = in.gate(g.in[0]);
+                const bool fuseable =
+                    fo[g.in[0]] == 1 && (d.type == GateType::kAnd ||
+                                         d.type == GateType::kOr ||
+                                         d.type == GateType::kXor);
+                if (fuseable) {
+                    const GateType t = d.type == GateType::kAnd
+                                           ? GateType::kNand
+                                       : d.type == GateType::kOr
+                                           ? GateType::kNor
+                                           : GateType::kXnor;
+                    map[id] =
+                        out.addGate(t, mapped(d.in[0]), mapped(d.in[1]));
+                    fused[g.in[0]] = 1;
+                } else {
+                    map[id] = out.addGate(GateType::kNot, mapped(g.in[0]));
+                }
+                break;
+            }
+            default: {
+                const int n = netlist::fanin(g.type);
+                map[id] = out.addGate(
+                    g.type, mapped(g.in[0]),
+                    n > 1 ? mapped(g.in[1]) : netlist::kNoNet,
+                    n > 2 ? mapped(g.in[2]) : netlist::kNoNet);
+                break;
+            }
+        }
+    }
+
+    // Drop gates that were fused away: rebuild without dangling drivers.
+    netlist::Netlist clean;
+    std::unordered_map<NetId, NetId> remap;
+    // Mark reachable from outputs.
+    std::vector<char> live(out.numNets(), 0);
+    std::vector<NetId> stack;
+    for (const auto& port : in.outputs()) stack.push_back(map.at(port.net));
+    while (!stack.empty()) {
+        const NetId n = stack.back();
+        stack.pop_back();
+        if (live[n]) continue;
+        live[n] = 1;
+        const auto& g = out.gate(n);
+        const int k = netlist::fanin(g.type);
+        for (int i = 0; i < k; ++i)
+            stack.push_back(g.in[static_cast<std::size_t>(i)]);
+    }
+    for (std::size_t i = 0; i < out.inputs().size(); ++i)
+        remap[out.inputs()[i]] = clean.addInput(out.inputName(i));
+    for (NetId id = 0; id < out.numNets(); ++id) {
+        if (!live[id] || out.gate(id).type == GateType::kInput) continue;
+        const auto& g = out.gate(id);
+        const int k = netlist::fanin(g.type);
+        remap[id] = clean.addGate(
+            g.type, k > 0 ? remap.at(g.in[0]) : netlist::kNoNet,
+            k > 1 ? remap.at(g.in[1]) : netlist::kNoNet,
+            k > 2 ? remap.at(g.in[2]) : netlist::kNoNet);
+    }
+    for (const auto& port : in.outputs())
+        clean.markOutput(port.name, remap.at(map.at(port.net)));
+    return clean;
+}
+
+}  // namespace pd::synth

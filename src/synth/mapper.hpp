@@ -1,0 +1,19 @@
+// Technology mapping.
+//
+// The optimizer's IR is already cell-shaped (2-input gates + INV + MUX);
+// mapping legalizes it onto the library and applies the classic inverter
+// absorption peepholes: a single-fan-out AND/OR/XOR feeding an inverter
+// becomes NAND/NOR/XNOR (cheaper and faster in any CMOS library, where
+// the inverting forms are the native gates).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "synth/celllib.hpp"
+
+namespace pd::synth {
+
+/// Maps `in` onto `lib` cells; returns the mapped netlist.
+[[nodiscard]] netlist::Netlist techMap(const netlist::Netlist& in,
+                                       const CellLibrary& lib);
+
+}  // namespace pd::synth

@@ -1,0 +1,157 @@
+#include "synth/opt.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "netlist/builder.hpp"
+
+namespace pd::synth {
+namespace {
+
+using netlist::Builder;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+class Rebuilder {
+public:
+    Rebuilder(const Netlist& in, Netlist& out, bool balance)
+        : in_(in), out_(out), builder_(out), balance_(balance),
+          fanout_(in.fanouts()) {}
+
+    void run() {
+        // Re-create inputs in order so input indices are stable.
+        for (std::size_t i = 0; i < in_.inputs().size(); ++i)
+            map_[in_.inputs()[i]] = builder_.input(in_.inputName(i));
+        for (const auto& port : in_.outputs())
+            out_.markOutput(port.name, rebuild(port.net));
+    }
+
+private:
+    /// Collects the operand frontier of a maximal single-fan-out chain of
+    /// gates of type `t` rooted at `id` (root excluded from the fan-out
+    /// requirement).
+    void collectTree(NetId id, GateType t, bool isRoot,
+                     std::vector<NetId>& ops) {
+        const auto& g = in_.gate(id);
+        if (g.type == t && (isRoot || fanout_[id] == 1)) {
+            collectTree(g.in[0], t, false, ops);
+            collectTree(g.in[1], t, false, ops);
+            return;
+        }
+        ops.push_back(id);
+    }
+
+    NetId emitBalanced(GateType t, std::vector<NetId>& ops) {
+        // Arrival-aware (Huffman) tree: combine the two shallowest operands
+        // first. Depth is tracked on the *new* netlist.
+        using Item = std::pair<std::size_t, NetId>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+        for (const NetId op : ops) {
+            const NetId n = rebuild(op);
+            pq.emplace(depth_[n], n);
+        }
+        while (pq.size() > 1) {
+            const auto [da, a] = pq.top();
+            pq.pop();
+            const auto [db, b] = pq.top();
+            pq.pop();
+            NetId r;
+            switch (t) {
+                case GateType::kAnd: r = builder_.mkAnd(a, b); break;
+                case GateType::kOr: r = builder_.mkOr(a, b); break;
+                default: r = builder_.mkXor(a, b); break;
+            }
+            depth_.try_emplace(r, std::max(da, db) + 1);
+            pq.emplace(depth_[r], r);
+        }
+        return pq.top().second;
+    }
+
+    NetId rebuild(NetId id) {
+        if (const auto it = map_.find(id); it != map_.end()) return it->second;
+        const auto& g = in_.gate(id);
+        NetId r = netlist::kNoNet;
+        switch (g.type) {
+            case GateType::kConst0: r = builder_.constant(false); break;
+            case GateType::kConst1: r = builder_.constant(true); break;
+            case GateType::kInput:
+                fail("opt", "unmapped input reached");  // mapped in run()
+            case GateType::kBuf: r = rebuild(g.in[0]); break;
+            case GateType::kNot: r = builder_.mkNot(rebuild(g.in[0])); break;
+            case GateType::kNand:
+                r = builder_.mkNand(rebuild(g.in[0]), rebuild(g.in[1]));
+                break;
+            case GateType::kNor:
+                r = builder_.mkNor(rebuild(g.in[0]), rebuild(g.in[1]));
+                break;
+            case GateType::kXnor:
+                r = builder_.mkXnor(rebuild(g.in[0]), rebuild(g.in[1]));
+                break;
+            case GateType::kMux:
+                r = builder_.mkMux(rebuild(g.in[0]), rebuild(g.in[1]),
+                                   rebuild(g.in[2]));
+                break;
+            case GateType::kAnd:
+            case GateType::kOr:
+            case GateType::kXor: {
+                if (balance_) {
+                    std::vector<NetId> ops;
+                    collectTree(id, g.type, true, ops);
+                    r = emitBalanced(g.type, ops);
+                } else {
+                    const NetId a = rebuild(g.in[0]);
+                    const NetId b = rebuild(g.in[1]);
+                    r = g.type == GateType::kAnd  ? builder_.mkAnd(a, b)
+                        : g.type == GateType::kOr ? builder_.mkOr(a, b)
+                                                  : builder_.mkXor(a, b);
+                }
+                break;
+            }
+        }
+        depth_.try_emplace(r, depthOf(r));
+        map_[id] = r;
+        return r;
+    }
+
+    std::size_t depthOf(NetId n) {
+        if (const auto it = depth_.find(n); it != depth_.end())
+            return it->second;
+        const auto& g = out_.gate(n);
+        const int k = netlist::fanin(g.type);
+        std::size_t d = 0;
+        for (int i = 0; i < k; ++i)
+            d = std::max(d, depthOf(g.in[static_cast<std::size_t>(i)]) + 1);
+        depth_[n] = d;
+        return d;
+    }
+
+    const Netlist& in_;
+    Netlist& out_;
+    Builder builder_;
+    bool balance_;
+    std::vector<std::uint32_t> fanout_;
+    std::unordered_map<NetId, NetId> map_;
+    std::unordered_map<NetId, std::size_t> depth_;
+};
+
+}  // namespace
+
+netlist::Netlist optimize(const netlist::Netlist& in, const OptOptions& opt) {
+    Netlist cur;
+    {
+        Rebuilder r(in, cur, opt.balanceTrees);
+        r.run();
+    }
+    for (int round = 1; round < opt.rounds; ++round) {
+        Netlist next;
+        Rebuilder r(cur, next, opt.balanceTrees);
+        r.run();
+        if (next.numNets() >= cur.numNets()) break;
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+}  // namespace pd::synth

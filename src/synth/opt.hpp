@@ -1,0 +1,32 @@
+// Technology-independent netlist optimization.
+//
+// The pipeline every flow (baseline and Progressive Decomposition alike)
+// goes through before mapping:
+//   1. rebuild  — re-emit the output cones through a structural-hashing
+//      Builder: constant folding, double-inverter removal, common
+//      subexpression sharing, dead logic removal;
+//   2. balance  — collapse single-fan-out chains of the same associative
+//      operator (AND/OR/XOR) and re-emit them as arrival-time-aware
+//      (Huffman) trees, the standard delay-oriented restructuring a
+//      commercial synthesizer performs locally.
+// The passes are local: they do not change the circuit's architecture —
+// exactly the behaviour the paper ascribes to logic synthesis ("once the
+// input description belongs to the right architecture, logic synthesis
+// does an excellent job in optimising the circuit locally").
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "synth/celllib.hpp"
+
+namespace pd::synth {
+
+struct OptOptions {
+    bool balanceTrees = true;
+    int rounds = 2;
+};
+
+/// Runs the optimization pipeline and returns the optimized netlist.
+[[nodiscard]] netlist::Netlist optimize(const netlist::Netlist& in,
+                                        const OptOptions& opt = {});
+
+}  // namespace pd::synth

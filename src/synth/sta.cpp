@@ -1,0 +1,71 @@
+#include "synth/sta.hpp"
+
+#include <algorithm>
+
+namespace pd::synth {
+
+TimingReport analyzeTiming(const netlist::Netlist& nl,
+                           const CellLibrary& lib) {
+    using netlist::GateType;
+    using netlist::NetId;
+
+    const auto fo = nl.fanouts();
+    std::vector<double> arrival(nl.numNets(), 0.0);
+    std::vector<NetId> argmax(nl.numNets(), netlist::kNoNet);
+
+    for (NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& g = nl.gate(id);
+        const int n = netlist::fanin(g.type);
+        double worst = 0.0;
+        NetId worstIn = netlist::kNoNet;
+        for (int i = 0; i < n; ++i) {
+            const NetId in = g.in[static_cast<std::size_t>(i)];
+            if (arrival[in] >= worst) {
+                worst = arrival[in];
+                worstIn = in;
+            }
+        }
+        const Cell& cell = lib.cellFor(g.type);
+        double delay = cell.delay;
+        if (fo[id] > 1)
+            delay += lib.loadPenalty() * static_cast<double>(fo[id] - 1);
+        arrival[id] = (n > 0 ? worst : 0.0) + delay;
+        argmax[id] = worstIn;
+    }
+
+    TimingReport rep;
+    NetId worstNet = netlist::kNoNet;
+    for (const auto& out : nl.outputs()) {
+        if (arrival[out.net] >= rep.criticalDelay) {
+            rep.criticalDelay = arrival[out.net];
+            rep.endpoint = out.name;
+            worstNet = out.net;
+        }
+    }
+    for (NetId n = worstNet; n != netlist::kNoNet; n = argmax[n])
+        rep.criticalPath.push_back(n);
+    std::reverse(rep.criticalPath.begin(), rep.criticalPath.end());
+    return rep;
+}
+
+AreaReport analyzeArea(const netlist::Netlist& nl, const CellLibrary& lib) {
+    AreaReport rep;
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& g = nl.gate(id);
+        const Cell& cell = lib.cellFor(g.type);
+        if (cell.area == 0.0) continue;
+        rep.totalArea += cell.area;
+        ++rep.cellCount;
+    }
+    return rep;
+}
+
+Qor qor(const netlist::Netlist& nl, const CellLibrary& lib) {
+    Qor q;
+    q.area = analyzeArea(nl, lib).totalArea;
+    q.delay = analyzeTiming(nl, lib).criticalDelay;
+    q.gates = nl.numLogicGates();
+    return q;
+}
+
+}  // namespace pd::synth

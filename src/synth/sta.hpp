@@ -1,0 +1,39 @@
+// Static timing analysis and area accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "synth/celllib.hpp"
+
+namespace pd::synth {
+
+struct TimingReport {
+    double criticalDelay = 0.0;            ///< ns
+    std::vector<netlist::NetId> criticalPath;  ///< input → output
+    std::string endpoint;                  ///< output port name
+};
+
+/// Longest-path arrival-time analysis with per-fan-out load penalty.
+[[nodiscard]] TimingReport analyzeTiming(const netlist::Netlist& nl,
+                                         const CellLibrary& lib);
+
+struct AreaReport {
+    double totalArea = 0.0;  ///< µm²
+    std::size_t cellCount = 0;
+};
+
+[[nodiscard]] AreaReport analyzeArea(const netlist::Netlist& nl,
+                                     const CellLibrary& lib);
+
+/// Combined quality-of-result record used in tables.
+struct Qor {
+    double area = 0.0;
+    double delay = 0.0;
+    std::size_t gates = 0;
+};
+
+[[nodiscard]] Qor qor(const netlist::Netlist& nl, const CellLibrary& lib);
+
+}  // namespace pd::synth

@@ -1,0 +1,147 @@
+#include "tt/truthtable.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace pd::tt {
+
+namespace {
+
+/// Lane masks for the in-word phases of the butterfly: mask[k] selects
+/// the rows whose bit k is 0.
+constexpr std::uint64_t kLaneMask[6] = {
+    0x5555555555555555ull, 0x3333333333333333ull, 0x0f0f0f0f0f0f0f0full,
+    0x00ff00ff00ff00ffull, 0x0000ffff0000ffffull, 0x00000000ffffffffull,
+};
+
+}  // namespace
+
+TruthTable::TruthTable(int numVars) : numVars_(numVars) {
+    if (numVars < 0 || numVars > 24)
+        fail("TruthTable", "variable count out of range");
+    words_.assign(numVars_ <= 6 ? 1 : (1ull << (numVars_ - 6)), 0);
+}
+
+TruthTable TruthTable::operator^(const TruthTable& rhs) const {
+    PD_ASSERT(numVars_ == rhs.numVars_);
+    TruthTable out(numVars_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] ^ rhs.words_[i];
+    return out;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& rhs) const {
+    PD_ASSERT(numVars_ == rhs.numVars_);
+    TruthTable out(numVars_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & rhs.words_[i];
+    return out;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& rhs) const {
+    PD_ASSERT(numVars_ == rhs.numVars_);
+    TruthTable out(numVars_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] | rhs.words_[i];
+    return out;
+}
+
+TruthTable TruthTable::operator~() const {
+    TruthTable out(numVars_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = ~words_[i];
+    if (numVars_ < 6)
+        out.words_[0] &= (1ull << (1u << numVars_)) - 1u;
+    return out;
+}
+
+bool TruthTable::isZero() const {
+    for (const auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+std::uint64_t TruthTable::countOnes() const {
+    std::uint64_t n = 0;
+    for (const auto w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+}
+
+TruthTable TruthTable::var(int numVars, int i) {
+    PD_ASSERT(i >= 0 && i < numVars);
+    TruthTable out(numVars);
+    if (i < 6) {
+        const std::uint64_t pattern = ~kLaneMask[i];
+        for (auto& w : out.words_) w = pattern;
+        if (numVars < 6) out.words_[0] &= (1ull << (1u << numVars)) - 1u;
+    } else {
+        const std::size_t stride = std::size_t{1} << (i - 6);
+        for (std::size_t w = 0; w < out.words_.size(); ++w)
+            if ((w / stride) & 1) out.words_[w] = ~0ull;
+    }
+    return out;
+}
+
+TruthTable TruthTable::constant(int numVars, bool v) {
+    TruthTable out(numVars);
+    if (v) out = ~out;
+    return out;
+}
+
+TruthTable mobius(const TruthTable& t) {
+    TruthTable out = t;
+    auto& w = out.words_;
+    const int n = t.numVars();
+    // In-word phases: rows with bit k set accumulate rows with bit k clear.
+    for (int k = 0; k < n && k < 6; ++k)
+        for (auto& word : w)
+            word ^= (word & kLaneMask[k]) << (1u << k);
+    // Cross-word phases.
+    for (int k = 6; k < n; ++k) {
+        const std::size_t stride = std::size_t{1} << (k - 6);
+        for (std::size_t base = 0; base < w.size(); base += 2 * stride)
+            for (std::size_t i = 0; i < stride; ++i)
+                w[base + stride + i] ^= w[base + i];
+    }
+    return out;
+}
+
+TruthTable fromAnf(const anf::Anf& e, const std::vector<anf::Var>& vars) {
+    const int n = static_cast<int>(vars.size());
+    // Coefficient vector: bit r set iff the monomial over {vars[i] : bit i
+    // of r} appears in e. The Möbius transform then yields values.
+    TruthTable coeff(n);
+    for (const auto& m : e.terms()) {
+        std::uint64_t row = 0;
+        bool ok = true;
+        m.forEachVar([&](anf::Var v) {
+            for (int i = 0; i < n; ++i)
+                if (vars[static_cast<std::size_t>(i)] == v) {
+                    row |= 1ull << i;
+                    return;
+                }
+            ok = false;
+        });
+        if (!ok) fail("tt::fromAnf", "expression uses an unmapped variable");
+        coeff.set(row, !coeff.get(row));
+    }
+    return mobius(coeff);
+}
+
+anf::Anf toAnf(const TruthTable& t, const std::vector<anf::Var>& vars) {
+    PD_ASSERT(static_cast<int>(vars.size()) == t.numVars());
+    const TruthTable coeff = mobius(t);
+    std::vector<anf::Monomial> terms;
+    for (std::uint64_t row = 0; row < coeff.numRows(); ++row) {
+        if (!coeff.get(row)) continue;
+        anf::Monomial m;
+        for (int i = 0; i < t.numVars(); ++i)
+            if ((row >> i) & 1)
+                m.insert(vars[static_cast<std::size_t>(i)]);
+        terms.push_back(m);
+    }
+    return anf::Anf::fromTerms(std::move(terms));
+}
+
+}  // namespace pd::tt

@@ -1,0 +1,79 @@
+// Dense truth tables and the Möbius transform.
+//
+// A TruthTable stores the value vector of a Boolean function over n
+// ordered variables (bit i of the row index = variable i), packed 64
+// rows per word. The Möbius transform converts between the value vector
+// and the ANF (Reed-Muller) coefficient vector in O(n·2ⁿ) — the fast
+// path between the netlist/simulation world and the Boolean-ring world
+// the decomposition operates in. Used by tests to cross-validate the two
+// representations and by the CLI to ingest functions given as tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anf/anf.hpp"
+
+namespace pd::tt {
+
+class TruthTable {
+public:
+    /// All-zero table over `numVars` variables (numVars <= 24).
+    explicit TruthTable(int numVars);
+
+    [[nodiscard]] int numVars() const { return numVars_; }
+    [[nodiscard]] std::uint64_t numRows() const {
+        return 1ull << numVars_;
+    }
+
+    [[nodiscard]] bool get(std::uint64_t row) const {
+        return (words_[row >> 6] >> (row & 63)) & 1u;
+    }
+    void set(std::uint64_t row, bool v) {
+        const std::uint64_t bit = 1ull << (row & 63);
+        if (v)
+            words_[row >> 6] |= bit;
+        else
+            words_[row >> 6] &= ~bit;
+    }
+
+    /// Bitwise combinators (operands must have equal numVars).
+    [[nodiscard]] TruthTable operator^(const TruthTable& rhs) const;
+    [[nodiscard]] TruthTable operator&(const TruthTable& rhs) const;
+    [[nodiscard]] TruthTable operator|(const TruthTable& rhs) const;
+    [[nodiscard]] TruthTable operator~() const;
+    [[nodiscard]] bool operator==(const TruthTable& rhs) const = default;
+
+    [[nodiscard]] bool isZero() const;
+    [[nodiscard]] std::uint64_t countOnes() const;
+
+    /// Table of the projection onto variable `i`.
+    static TruthTable var(int numVars, int i);
+    static TruthTable constant(int numVars, bool v);
+
+    [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+        return words_;
+    }
+
+private:
+    friend TruthTable mobius(const TruthTable& t);
+
+    int numVars_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/// Value vector → ANF coefficients (in-place butterfly; self-inverse over
+/// GF(2)). Row r of the result is 1 iff monomial r is in the ANF.
+[[nodiscard]] TruthTable mobius(const TruthTable& t);
+
+/// Evaluates `e` into a truth table. `vars[i]` is the ANF variable mapped
+/// to table variable i; every support variable of `e` must appear.
+[[nodiscard]] TruthTable fromAnf(const anf::Anf& e,
+                                 const std::vector<anf::Var>& vars);
+
+/// Exact ANF of the function tabulated in `t` (via Möbius), expressed
+/// over `vars` (vars.size() == t.numVars()).
+[[nodiscard]] anf::Anf toAnf(const TruthTable& t,
+                             const std::vector<anf::Var>& vars);
+
+}  // namespace pd::tt

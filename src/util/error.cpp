@@ -1,0 +1,22 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace pd {
+
+void fail(std::string_view where, std::string_view msg) {
+    std::ostringstream os;
+    os << where << ": " << msg;
+    throw Error(os.str());
+}
+
+namespace detail {
+
+void assertFailed(const char* cond, const char* file, int line) {
+    std::ostringstream os;
+    os << "PD_ASSERT failed: " << cond << " at " << file << ':' << line;
+    throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pd

@@ -1,0 +1,39 @@
+// Error handling primitives shared by every pd_* library.
+//
+// Follows the C++ Core Guidelines error-handling advice: invariant
+// violations and unusable inputs throw a dedicated exception type carrying
+// a formatted message; hot-path internal checks use PD_ASSERT which can be
+// compiled out in release builds that define PD_NO_ASSERT.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pd {
+
+/// Exception thrown by all pd libraries on contract violations and
+/// unrecoverable algorithmic failures.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws pd::Error with `msg` prefixed by `where`.
+[[noreturn]] void fail(std::string_view where, std::string_view msg);
+
+namespace detail {
+[[noreturn]] void assertFailed(const char* cond, const char* file, int line);
+}  // namespace detail
+
+}  // namespace pd
+
+#ifdef PD_NO_ASSERT
+#define PD_ASSERT(cond) ((void)0)
+#else
+/// Internal invariant check. Unlike <cassert> this is active in all build
+/// types by default so that test and bench binaries validate invariants.
+#define PD_ASSERT(cond)                                               \
+    ((cond) ? (void)0                                                 \
+            : ::pd::detail::assertFailed(#cond, __FILE__, __LINE__))
+#endif

@@ -1,0 +1,162 @@
+// Tests for the And-Inverter Graph: hashing/folding invariants, netlist
+// round trips (simulation + SAT verified), garbage collection, and
+// depth-reducing balance.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aig/aig.hpp"
+#include "circuits/manual.hpp"
+#include "circuits/prefix.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stats.hpp"
+#include "sat/equiv.hpp"
+#include "sim/simulator.hpp"
+
+namespace pd {
+namespace {
+
+using aig::Aig;
+using aig::balance;
+using aig::Edge;
+using aig::fromNetlist;
+using aig::toNetlist;
+
+TEST(Aig, ConstantFolding) {
+    Aig g;
+    const Edge a = g.addInput("a");
+    EXPECT_EQ(g.mkAnd(a, g.constFalse()), g.constFalse());
+    EXPECT_EQ(g.mkAnd(a, g.constTrue()), a);
+    EXPECT_EQ(g.mkAnd(a, a), a);
+    EXPECT_EQ(g.mkAnd(a, !a), g.constFalse());
+    EXPECT_EQ(g.numAnds(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+    Aig g;
+    const Edge a = g.addInput("a");
+    const Edge b = g.addInput("b");
+    const Edge x = g.mkAnd(a, b);
+    const Edge y = g.mkAnd(b, a);  // commuted
+    EXPECT_EQ(x, y);
+    EXPECT_EQ(g.numAnds(), 1u);
+    const Edge z = g.mkAnd(!a, b);
+    EXPECT_FALSE(z == x);
+    EXPECT_EQ(g.numAnds(), 2u);
+}
+
+TEST(Aig, DerivedOperators) {
+    Aig g;
+    const Edge a = g.addInput("a");
+    const Edge b = g.addInput("b");
+    g.markOutput("or", g.mkOr(a, b));
+    g.markOutput("xor", g.mkXor(a, b));
+    g.markOutput("mux", g.mkMux(a, b, !b));
+    const auto nl = toNetlist(g);
+    sim::Simulator s(nl);
+    for (int av = 0; av < 2; ++av)
+        for (int bv = 0; bv < 2; ++bv) {
+            std::vector<std::uint64_t> in{av ? ~0ull : 0, bv ? ~0ull : 0};
+            const auto o = s.run(in);
+            EXPECT_EQ(o[0] & 1, static_cast<std::uint64_t>(av | bv));
+            EXPECT_EQ(o[1] & 1, static_cast<std::uint64_t>(av ^ bv));
+            EXPECT_EQ(o[2] & 1, static_cast<std::uint64_t>(av ? !bv : bv));
+        }
+}
+
+netlist::Netlist sampleNetlist() {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    const auto a = b.input("a");
+    const auto c = b.input("b");
+    const auto d = b.input("c");
+    nl.markOutput("f", b.mkMux(a, b.mkXor(c, d), b.mkNor(c, d)));
+    nl.markOutput("g", b.mkXnor(a, b.mkNand(c, d)));
+    return nl;
+}
+
+TEST(Aig, NetlistRoundTripPreservesFunction) {
+    const auto nl = sampleNetlist();
+    const auto back = toNetlist(fromNetlist(nl));
+    const auto res = sat::checkEquivalentSat(nl, back);
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+TEST(Aig, RoundTripOnRealCircuits) {
+    for (const auto& nl :
+         {circuits::koggeStoneAdder(8), circuits::oklobdzijaLzd(16),
+          circuits::csaAdder3(6, true)}) {
+        const auto back = toNetlist(fromNetlist(nl));
+        const auto res = sat::checkEquivalentSat(nl, back);
+        EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+    }
+}
+
+TEST(Aig, GarbageCollectDropsDeadNodes) {
+    Aig g;
+    const Edge a = g.addInput("a");
+    const Edge b = g.addInput("b");
+    (void)g.mkAnd(a, b);            // dead
+    const Edge live = g.mkAnd(!a, b);
+    (void)g.mkAnd(live, a);         // dead
+    g.markOutput("f", live);
+    g.garbageCollect();
+    EXPECT_EQ(g.numAnds(), 1u);
+    // The function must survive compaction.
+    const auto nl = toNetlist(g);
+    sim::Simulator s(nl);
+    const std::vector<std::uint64_t> in{0, ~0ull};
+    EXPECT_EQ(s.run(in)[0], ~0ull);  // !a & b with a=0,b=1
+}
+
+TEST(Aig, BalanceReducesChainDepth) {
+    // A left-leaning 16-operand AND chain must balance to ~log2 depth.
+    Aig g;
+    Edge acc = g.constTrue();
+    for (int i = 0; i < 16; ++i) acc = g.mkAnd(acc, g.addInput("x" + std::to_string(i)));
+    g.markOutput("f", acc);
+    EXPECT_EQ(g.depth(), 15u);
+    const Aig bal = balance(g);
+    EXPECT_LE(bal.depth(), 4u);
+    const auto res = sat::checkEquivalentSat(toNetlist(g), toNetlist(bal));
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+TEST(Aig, BalancePreservesFunctionOnRealCircuits) {
+    for (const auto& nl :
+         {circuits::rcaAdder(8), circuits::flatLzd(8),
+          circuits::subtractComparator(6)}) {
+        const auto g = fromNetlist(nl);
+        const auto bal = balance(g);
+        const auto res = sat::checkEquivalentSat(toNetlist(g), toNetlist(bal));
+        EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+        EXPECT_LE(bal.depth(), g.depth());
+    }
+}
+
+TEST(Aig, BalanceNeverIncreasesDepthOnRandomGraphs) {
+    std::mt19937_64 rng(55);
+    for (int round = 0; round < 20; ++round) {
+        Aig g;
+        std::vector<Edge> pool;
+        for (int i = 0; i < 6; ++i)
+            pool.push_back(g.addInput("x" + std::to_string(i)));
+        for (int step = 0; step < 30; ++step) {
+            Edge a = pool[rng() % pool.size()];
+            Edge b = pool[rng() % pool.size()];
+            if (rng() & 1) a = !a;
+            if (rng() & 1) b = !b;
+            pool.push_back(g.mkAnd(a, b));
+        }
+        g.markOutput("f", pool.back());
+        const auto bal = balance(g);
+        EXPECT_LE(bal.depth(), g.depth()) << "round " << round;
+        const auto res =
+            sat::checkEquivalentSat(toNetlist(g), toNetlist(bal));
+        ASSERT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent)
+            << "round " << round;
+    }
+}
+
+}  // namespace
+}  // namespace pd

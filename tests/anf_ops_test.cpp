@@ -1,0 +1,132 @@
+// Tests for substitution, cofactors, group splitting, derivatives and the
+// truth-table (Möbius) constructor.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anf/ops.hpp"
+#include "anf/parser.hpp"
+
+namespace pd::anf {
+namespace {
+
+struct Ctx {
+    VarTable vt;
+    Anf operator()(std::string_view s) { return parse(s, vt); }
+};
+
+TEST(Substitute, ReplacesSimultaneously) {
+    Ctx c;
+    const Anf e = c("a*b ^ c");
+    const Var a = *c.vt.find("a");
+    const Var b2 = *c.vt.find("b");
+    std::unordered_map<Var, Anf> map;
+    map[a] = c("b ^ 1");  // a := b ^ 1  (not re-substituted)
+    map[b2] = c("c");     // b := c
+    // a*b ^ c -> (b^1)*c ^ c = b*c ^ c ^ c = b*c.
+    EXPECT_EQ(substitute(e, map), c("b*c"));
+}
+
+TEST(Substitute, UntouchedMonomialsPassThrough) {
+    Ctx c;
+    const Anf e = c("x*y ^ z ^ 1");
+    std::unordered_map<Var, Anf> map;
+    map[*c.vt.find("z")] = c("x");
+    EXPECT_EQ(substitute(e, map), c("x*y ^ x ^ 1"));
+}
+
+TEST(Cofactor, ShannonExpansionHolds) {
+    Ctx c;
+    const Anf e = c("a*b ^ b*d ^ a ^ 1");
+    const Var a = *c.vt.find("a");
+    const Anf f1 = cofactor(e, a, true);
+    const Anf f0 = cofactor(e, a, false);
+    EXPECT_EQ(f1, c("b ^ b*d"));      // a=1: b ^ bd ^ 1 ^ 1
+    EXPECT_EQ(f0, c("b*d ^ 1"));
+    // e == a*f1 ^ (1^a)*f0.
+    EXPECT_EQ((Anf::var(a) * f1) ^ (~Anf::var(a) * f0), e);
+}
+
+TEST(Derivative, DetectsDependence) {
+    Ctx c;
+    const Anf e = c("a*b ^ c");
+    EXPECT_EQ(derivative(e, *c.vt.find("a")), c("b"));
+    EXPECT_EQ(derivative(e, *c.vt.find("c")), Anf::one());
+    const Var unused = c.vt.addInput("u", -1, -1);
+    EXPECT_TRUE(derivative(e, unused).isZero());
+}
+
+TEST(SplitByGroup, PartitionsExactly) {
+    Ctx c;
+    const Anf e = c("a*x ^ b*y ^ x*y ^ 1");
+    VarSet group;
+    group.insert(*c.vt.find("a"));
+    group.insert(*c.vt.find("b"));
+    const auto split = splitByGroup(e, group);
+    EXPECT_EQ(split.touching, c("a*x ^ b*y"));
+    EXPECT_EQ(split.untouched, c("x*y ^ 1"));
+    EXPECT_EQ(split.touching ^ split.untouched, e);
+}
+
+TEST(XorAll, FoldsList) {
+    Ctx c;
+    const std::vector<Anf> list = {c("a"), c("b"), c("a ^ c")};
+    EXPECT_EQ(xorAll(list), c("b ^ c"));
+}
+
+TEST(FromTruthTable, MatchesKnownForms) {
+    VarTable vt;
+    std::vector<Var> v;
+    for (int i = 0; i < 3; ++i)
+        v.push_back(vt.addInput("x" + std::to_string(i), 0, i));
+    // Majority of three: x0x1 ^ x0x2 ^ x1x2.
+    const Anf maj = fromTruthTable(v, [](const Assignment& a) {
+        int n = 0;
+        for (Var q = 0; q < 3; ++q)
+            if (a.contains(q)) ++n;
+        return n >= 2;
+    });
+    const Anf expect = (Anf::var(v[0]) * Anf::var(v[1])) ^
+                       (Anf::var(v[0]) * Anf::var(v[2])) ^
+                       (Anf::var(v[1]) * Anf::var(v[2]));
+    EXPECT_EQ(maj, expect);
+    // OR of three = 1 ^ (1^x0)(1^x1)(1^x2).
+    const Anf orf = fromTruthTable(v, [](const Assignment& a) {
+        return a.contains(0) || a.contains(1) || a.contains(2);
+    });
+    const Anf expOr =
+        ~(~Anf::var(v[0]) * ~Anf::var(v[1]) * ~Anf::var(v[2]));
+    EXPECT_EQ(orf, expOr);
+}
+
+// Property: fromTruthTable inverts evaluate.
+class MobiusRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MobiusRoundTrip, EvaluateRecoversOracle) {
+    std::mt19937_64 rng(GetParam());
+    VarTable vt;
+    std::vector<Var> v;
+    for (int i = 0; i < 5; ++i)
+        v.push_back(vt.addInput("x" + std::to_string(i), 0, i));
+    std::vector<bool> table(32);
+    for (auto&& b : table) b = rng() & 1u;
+    const Anf e = fromTruthTable(v, [&](const Assignment& a) {
+        std::size_t idx = 0;
+        for (int i = 0; i < 5; ++i)
+            if (a.contains(v[static_cast<std::size_t>(i)]))
+                idx |= std::size_t{1} << i;
+        return static_cast<bool>(table[idx]);
+    });
+    for (std::size_t idx = 0; idx < 32; ++idx) {
+        Assignment a;
+        for (int i = 0; i < 5; ++i)
+            if ((idx >> i) & 1u) a.insert(v[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(e.evaluate(a), table[idx]) << "at " << idx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MobiusRoundTrip,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+}  // namespace
+}  // namespace pd::anf

@@ -1,0 +1,86 @@
+// Parser/printer tests, including round trips.
+#include <gtest/gtest.h>
+
+#include "anf/parser.hpp"
+#include "anf/printer.hpp"
+
+namespace pd::anf {
+namespace {
+
+TEST(Parser, Constants) {
+    VarTable vt;
+    EXPECT_TRUE(parse("0", vt).isZero());
+    EXPECT_TRUE(parse("1", vt).isOne());
+    EXPECT_TRUE(parse("1 ^ 1", vt).isZero());
+    EXPECT_TRUE(parse("1 + 1", vt).isZero());  // '+' is ring addition
+}
+
+TEST(Parser, RegistersVariables) {
+    VarTable vt;
+    const Anf e = parse("a ^ b*c", vt);
+    EXPECT_EQ(vt.size(), 3u);
+    EXPECT_TRUE(vt.find("a").has_value());
+    EXPECT_EQ(e.termCount(), 2u);
+}
+
+TEST(Parser, PrecedenceAndParens) {
+    VarTable vt;
+    // a ^ b*c parses as a ^ (b*c).
+    EXPECT_EQ(parse("a ^ b*c", vt), parse("a ^ (b*c)", vt));
+    EXPECT_NE(parse("(a ^ b)*c", vt), parse("a ^ b*c", vt));
+    // Expansion: (a^b)*c == a*c ^ b*c.
+    EXPECT_EQ(parse("(a ^ b)*c", vt), parse("a*c ^ b*c", vt));
+}
+
+TEST(Parser, NegationIsXorOne) {
+    VarTable vt;
+    EXPECT_EQ(parse("~a", vt), parse("1 ^ a", vt));
+    EXPECT_EQ(parse("~~a", vt), parse("a", vt));
+    EXPECT_EQ(parse("~(a*b)", vt), parse("1 ^ a*b", vt));
+    EXPECT_EQ(parse("!a & b", vt), parse("b ^ a*b", vt));
+}
+
+TEST(Parser, PaperSection4Example) {
+    VarTable vt;
+    // X = (a⊕b)(p⊕cd) ⊕ (c⊕d)(p⊕ab) factorises as (a⊕b⊕c⊕d)(p⊕ab⊕cd).
+    const Anf lhs = parse("(a^b)*(p^c*d) ^ (c^d)*(p^a*b)", vt);
+    const Anf rhs = parse("(a^b^c^d)*(p^a*b^c*d)", vt);
+    EXPECT_EQ(lhs, rhs);  // canonical forms agree — the paper's identity
+}
+
+TEST(Parser, Errors) {
+    VarTable vt;
+    EXPECT_THROW(parse("a ^", vt), Error);
+    EXPECT_THROW(parse("(a", vt), Error);
+    EXPECT_THROW(parse("a b", vt), Error);
+    EXPECT_THROW(parse("$", vt), Error);
+    EXPECT_THROW(parse("", vt), Error);
+}
+
+TEST(Printer, RoundTrip) {
+    VarTable vt;
+    const char* cases[] = {"0", "1", "a", "1 ^ a", "a*b ^ c",
+                           "a ^ b ^ c ^ a*b*c"};
+    for (const char* text : cases) {
+        const Anf e = parse(text, vt);
+        VarTable vt2 = vt;
+        EXPECT_EQ(parse(toString(e, vt), vt2), e) << text;
+    }
+}
+
+TEST(VarTableTest, KindsAndLookup) {
+    VarTable vt;
+    const Var a = vt.addInput("a0", 0, 0);
+    const Var k = vt.addTag("K0");
+    const Var s = vt.addDerived("s1", 2);
+    EXPECT_EQ(vt.info(a).kind, VarKind::kInput);
+    EXPECT_EQ(vt.info(k).kind, VarKind::kTag);
+    EXPECT_EQ(vt.info(s).kind, VarKind::kDerived);
+    EXPECT_EQ(vt.info(s).level, 2);
+    EXPECT_EQ(vt.numIntegers(), 1);
+    EXPECT_THROW(vt.addInput("a0", 0, 1), Error);
+    EXPECT_EQ(vt.varsOfKind(VarKind::kInput).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pd::anf

@@ -1,0 +1,188 @@
+// Unit and property tests for the ANF (Reed-Muller) engine: Boolean-ring
+// axioms, canonicity, and evaluation semantics (paper §4).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anf/anf.hpp"
+#include "anf/printer.hpp"
+
+namespace pd::anf {
+namespace {
+
+Monomial mono(std::initializer_list<Var> vars) {
+    Monomial m;
+    for (const Var v : vars) m.insert(v);
+    return m;
+}
+
+TEST(Monomial, BasicSetSemantics) {
+    Monomial m;
+    EXPECT_TRUE(m.isOne());
+    EXPECT_EQ(m.degree(), 0u);
+    m.insert(3);
+    m.insert(200);
+    EXPECT_EQ(m.degree(), 2u);
+    EXPECT_TRUE(m.contains(3));
+    EXPECT_TRUE(m.contains(200));
+    EXPECT_FALSE(m.contains(4));
+    m.erase(3);
+    EXPECT_FALSE(m.contains(3));
+}
+
+TEST(Monomial, ProductIsIdempotentUnion) {
+    const Monomial a = mono({1, 2});
+    const Monomial b = mono({2, 3});
+    const Monomial p = a * b;
+    EXPECT_EQ(p, mono({1, 2, 3}));
+    EXPECT_EQ(p * p, p);  // x^2 = x
+}
+
+TEST(Monomial, RestrictAndWithout) {
+    const Monomial m = mono({1, 2, 5, 7});
+    const Monomial mask = mono({2, 7, 9});
+    EXPECT_EQ(m.restrictedTo(mask), mono({2, 7}));
+    EXPECT_EQ(m.without(mask), mono({1, 5}));
+    EXPECT_TRUE(m.intersects(mask));
+    EXPECT_FALSE(m.without(mask).intersects(mask));
+    EXPECT_TRUE(mono({2, 7}).subsetOf(m));
+    EXPECT_FALSE(mono({2, 9}).subsetOf(m));
+}
+
+TEST(Monomial, OrderingIsGraded) {
+    EXPECT_LT(mono({5}), mono({1, 2}));      // degree 1 < degree 2
+    EXPECT_LT(Monomial{}, mono({0}));        // constant first
+    EXPECT_NE(mono({1, 4}), mono({2, 3}));
+}
+
+TEST(Anf, ConstantsAndLiterals) {
+    EXPECT_TRUE(Anf::zero().isZero());
+    EXPECT_TRUE(Anf::one().isOne());
+    EXPECT_TRUE(Anf::one().isConstant());
+    const Anf x = Anf::var(7);
+    EXPECT_TRUE(x.isLiteral());
+    EXPECT_FALSE(x.literalNegated());
+    EXPECT_EQ(x.literalVar(), 7u);
+    const Anf nx = ~x;
+    EXPECT_TRUE(nx.isLiteral());
+    EXPECT_TRUE(nx.literalNegated());
+    EXPECT_EQ(nx.literalVar(), 7u);
+    EXPECT_FALSE((x ^ Anf::var(8)).isLiteral());
+}
+
+TEST(Anf, XorCancels) {
+    const Anf x = Anf::var(1);
+    EXPECT_TRUE((x ^ x).isZero());
+    const Anf y = Anf::var(2);
+    EXPECT_EQ(x ^ y ^ x, y);
+}
+
+TEST(Anf, FromTermsCanonicalizes) {
+    const auto e = Anf::fromTerms(
+        {mono({1}), mono({2}), mono({1}), mono({3}), mono({2}), mono({2})});
+    // 1 and 2 collapse mod 2: x1 twice cancels, x2 three times survives.
+    EXPECT_EQ(e, Anf::var(2) ^ Anf::var(3));
+}
+
+TEST(Anf, MultiplicationDistributesAndIdempotent) {
+    const Anf a = Anf::var(1);
+    const Anf b = Anf::var(2);
+    const Anf c = Anf::var(3);
+    EXPECT_EQ(a * (b ^ c), (a * b) ^ (a * c));
+    EXPECT_EQ(a * a, a);
+    // (a ^ b)^2 = a ^ b in a Boolean ring (char 2, idempotent).
+    const Anf s = a ^ b;
+    EXPECT_EQ(s * s, s);
+    // (a^b)(a^b^1) = a ^ b ^ ab ^ ab ^ ... compute: (a^b)(1^a^b) = a^b ^ a ^ ab ^ ab ^ b = 0.
+    EXPECT_TRUE((s * ~s).isZero());
+}
+
+TEST(Anf, LiteralCountAndDegree) {
+    VarTable vt;
+    const Var a = vt.addInput("a", 0, 0);
+    const Var b = vt.addInput("b", 0, 1);
+    const Var c = vt.addInput("c", 0, 2);
+    const Anf e = (Anf::var(a) * Anf::var(b)) ^ Anf::var(c) ^ Anf::one();
+    EXPECT_EQ(e.termCount(), 3u);
+    EXPECT_EQ(e.literalCount(), 3u);  // ab contributes 2, c contributes 1
+    EXPECT_EQ(e.degree(), 2u);
+    EXPECT_TRUE(e.support().contains(a));
+    EXPECT_TRUE(e.support().contains(c));
+}
+
+TEST(Anf, EvaluateMatchesDefinition) {
+    const Anf e = (Anf::var(0) * Anf::var(1)) ^ Anf::var(2);
+    Assignment all0;
+    EXPECT_FALSE(e.evaluate(all0));
+    EXPECT_TRUE(e.evaluate(mono({2})));
+    EXPECT_TRUE(e.evaluate(mono({0, 1})));
+    EXPECT_FALSE(e.evaluate(mono({0, 1, 2})));
+}
+
+TEST(Anf, PrinterRoundsNicely) {
+    VarTable vt;
+    const Var a = vt.addInput("a", 0, 0);
+    const Var b = vt.addInput("b", 0, 1);
+    EXPECT_EQ(toString(Anf::zero(), vt), "0");
+    EXPECT_EQ(toString(Anf::one(), vt), "1");
+    EXPECT_EQ(toString(Anf::var(a) * Anf::var(b) ^ Anf::one(), vt),
+              "1 ^ a*b");
+}
+
+// ---- Ring axioms as randomized properties ---------------------------------
+
+Anf randomAnf(std::mt19937_64& rng, int nVars, int maxTerms) {
+    std::vector<Monomial> terms;
+    const int n = static_cast<int>(rng() % static_cast<unsigned>(maxTerms));
+    for (int t = 0; t < n; ++t) {
+        Monomial m;
+        for (int v = 0; v < nVars; ++v)
+            if (rng() & 1u) m.insert(static_cast<Var>(v));
+        terms.push_back(m);
+    }
+    return Anf::fromTerms(std::move(terms));
+}
+
+class AnfRingAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnfRingAxioms, HoldOnRandomElements) {
+    std::mt19937_64 rng(GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        const Anf a = randomAnf(rng, 6, 12);
+        const Anf b = randomAnf(rng, 6, 12);
+        const Anf c = randomAnf(rng, 6, 12);
+        // Commutativity / associativity of both operations.
+        EXPECT_EQ(a ^ b, b ^ a);
+        EXPECT_EQ((a ^ b) ^ c, a ^ (b ^ c));
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        // Distributivity.
+        EXPECT_EQ(a * (b ^ c), (a * b) ^ (a * c));
+        // Identities and characteristic 2.
+        EXPECT_EQ(a ^ Anf::zero(), a);
+        EXPECT_EQ(a * Anf::one(), a);
+        EXPECT_TRUE((a ^ a).isZero());
+        EXPECT_EQ(a * a, a);  // idempotence
+    }
+}
+
+TEST_P(AnfRingAxioms, EvaluationIsAHomomorphism) {
+    std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+    for (int iter = 0; iter < 50; ++iter) {
+        const Anf a = randomAnf(rng, 6, 10);
+        const Anf b = randomAnf(rng, 6, 10);
+        Monomial assign;
+        for (Var v = 0; v < 6; ++v)
+            if (rng() & 1u) assign.insert(v);
+        EXPECT_EQ((a ^ b).evaluate(assign),
+                  a.evaluate(assign) != b.evaluate(assign));
+        EXPECT_EQ((a * b).evaluate(assign),
+                  a.evaluate(assign) && b.evaluate(assign));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnfRingAxioms,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace pd::anf

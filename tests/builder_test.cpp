@@ -1,0 +1,108 @@
+// Structural-hashing builder tests: folding rules, CSE, and functional
+// correctness of the adder/tree helpers via simulation.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace pd::netlist {
+namespace {
+
+struct Fix : ::testing::Test {
+    Netlist nl;
+    Builder b{nl};
+};
+
+TEST_F(Fix, ConstantFolding) {
+    const NetId a = b.input("a");
+    EXPECT_EQ(b.mkAnd(a, b.constant(false)), b.constant(false));
+    EXPECT_EQ(b.mkAnd(a, b.constant(true)), a);
+    EXPECT_EQ(b.mkOr(a, b.constant(true)), b.constant(true));
+    EXPECT_EQ(b.mkOr(a, b.constant(false)), a);
+    EXPECT_EQ(b.mkXor(a, b.constant(false)), a);
+    EXPECT_EQ(b.mkXor(a, a), b.constant(false));
+    EXPECT_EQ(b.mkAnd(a, a), a);
+    EXPECT_EQ(b.mkNot(b.constant(false)), b.constant(true));
+}
+
+TEST_F(Fix, InverterRules) {
+    const NetId a = b.input("a");
+    const NetId na = b.mkNot(a);
+    EXPECT_EQ(b.mkNot(na), a);          // double negation
+    EXPECT_EQ(b.mkNot(a), na);          // cached inverse
+    EXPECT_EQ(b.mkAnd(a, na), b.constant(false));
+    EXPECT_EQ(b.mkOr(a, na), b.constant(true));
+    EXPECT_EQ(b.mkXor(a, na), b.constant(true));
+    EXPECT_EQ(b.mkXor(a, b.constant(true)), na);
+}
+
+TEST_F(Fix, CommutativeCse) {
+    const NetId a = b.input("a");
+    const NetId y = b.input("b");
+    EXPECT_EQ(b.mkAnd(a, y), b.mkAnd(y, a));
+    EXPECT_EQ(b.mkXor(a, y), b.mkXor(y, a));
+    EXPECT_EQ(nl.numLogicGates(), 2u);  // one AND, one XOR
+}
+
+TEST_F(Fix, MuxSimplifications) {
+    const NetId s = b.input("s");
+    const NetId d = b.input("d");
+    EXPECT_EQ(b.mkMux(b.constant(false), d, s), d);
+    EXPECT_EQ(b.mkMux(b.constant(true), d, s), s);
+    EXPECT_EQ(b.mkMux(s, d, d), d);
+    EXPECT_EQ(b.mkMux(s, b.constant(false), b.constant(true)), s);
+    // mux(s, 0, d) = s & d.
+    const NetId m = b.mkMux(s, b.constant(false), d);
+    EXPECT_EQ(nl.gate(m).type, GateType::kAnd);
+}
+
+TEST_F(Fix, TreesComputeCorrectly) {
+    std::vector<NetId> ins;
+    for (int i = 0; i < 5; ++i) ins.push_back(b.input("i" + std::to_string(i)));
+    nl.markOutput("and", b.mkAndTree(ins));
+    nl.markOutput("or", b.mkOrTree(ins));
+    nl.markOutput("xor", b.mkXorTree(ins));
+
+    sim::Simulator simr(nl);
+    // 32 exhaustive patterns over 5 inputs packed into one 64-bit word.
+    std::vector<std::uint64_t> words(5, 0);
+    for (std::size_t t = 0; t < 32; ++t)
+        for (std::size_t i = 0; i < 5; ++i)
+            if ((t >> i) & 1u) words[i] |= std::uint64_t{1} << t;
+    const auto out = simr.run(words);
+    for (std::size_t t = 0; t < 32; ++t) {
+        const int pop = __builtin_popcount(static_cast<unsigned>(t));
+        EXPECT_EQ((out[0] >> t) & 1u, t == 31 ? 1u : 0u);
+        EXPECT_EQ((out[1] >> t) & 1u, t != 0 ? 1u : 0u);
+        EXPECT_EQ((out[2] >> t) & 1u, static_cast<unsigned>(pop & 1));
+    }
+}
+
+TEST_F(Fix, EmptyTreesGiveIdentities) {
+    EXPECT_EQ(b.mkAndTree({}), b.constant(true));
+    EXPECT_EQ(b.mkOrTree({}), b.constant(false));
+    EXPECT_EQ(b.mkXorTree({}), b.constant(false));
+}
+
+TEST_F(Fix, FullAdderTruthTable) {
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    const NetId z = b.input("z");
+    const auto fa = b.fullAdder(x, y, z);
+    nl.markOutput("s", fa.sum);
+    nl.markOutput("c", fa.carry);
+    sim::Simulator simr(nl);
+    std::vector<std::uint64_t> words(3, 0);
+    for (std::size_t t = 0; t < 8; ++t)
+        for (std::size_t i = 0; i < 3; ++i)
+            if ((t >> i) & 1u) words[i] |= std::uint64_t{1} << t;
+    const auto out = simr.run(words);
+    for (std::size_t t = 0; t < 8; ++t) {
+        const int pop = __builtin_popcount(static_cast<unsigned>(t));
+        EXPECT_EQ((out[0] >> t) & 1u, static_cast<unsigned>(pop & 1));
+        EXPECT_EQ((out[1] >> t) & 1u, static_cast<unsigned>(pop >= 2));
+    }
+}
+
+}  // namespace
+}  // namespace pd::netlist

@@ -1,0 +1,157 @@
+// Unit tests for the GF(2) linear-algebra layer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/solver.hpp"
+
+namespace pd::gf2 {
+namespace {
+
+TEST(BitVec, SetGetFlip) {
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.isZero());
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.flip(64);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, XorAndOps) {
+    BitVec a(70);
+    BitVec b(70);
+    a.set(3);
+    a.set(65);
+    b.set(3);
+    b.set(10);
+    const BitVec x = a ^ b;
+    EXPECT_FALSE(x.get(3));
+    EXPECT_TRUE(x.get(10));
+    EXPECT_TRUE(x.get(65));
+    const BitVec n = a & b;
+    EXPECT_TRUE(n.get(3));
+    EXPECT_FALSE(n.get(10));
+    EXPECT_FALSE(n.get(65));
+}
+
+TEST(BitVec, LowHighSetBits) {
+    BitVec v(200);
+    EXPECT_EQ(v.lowestSetBit(), 200u);
+    EXPECT_EQ(v.highestSetBit(), 200u);
+    v.set(17);
+    v.set(130);
+    EXPECT_EQ(v.lowestSetBit(), 17u);
+    EXPECT_EQ(v.highestSetBit(), 130u);
+}
+
+TEST(BitVec, ResizeZeroFills) {
+    BitVec v(10);
+    v.set(9);
+    v.resize(100);
+    EXPECT_TRUE(v.get(9));
+    for (std::size_t i = 10; i < 100; ++i) EXPECT_FALSE(v.get(i));
+    EXPECT_THROW(
+        [&] {
+            BitVec w(10);
+            w.resize(5);
+        }(),
+        Error);
+}
+
+BitVec fromMask(std::uint32_t mask, std::size_t bits = 8) {
+    BitVec v(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        if ((mask >> i) & 1u) v.set(i);
+    return v;
+}
+
+TEST(SpanSolver, IndependentThenDependent) {
+    SpanSolver s;
+    EXPECT_TRUE(s.add(fromMask(0b001)).independent);
+    EXPECT_TRUE(s.add(fromMask(0b010)).independent);
+    const auto r = s.add(fromMask(0b011));
+    EXPECT_FALSE(r.independent);
+    // certificate: vectors 0 and 1.
+    EXPECT_TRUE(r.combination.get(0));
+    EXPECT_TRUE(r.combination.get(1));
+    EXPECT_EQ(s.rank(), 2u);
+    EXPECT_EQ(s.inserted(), 3u);
+}
+
+TEST(SpanSolver, RepresentGivesCombination) {
+    SpanSolver s;
+    s.add(fromMask(0b0101));
+    s.add(fromMask(0b0110));
+    s.add(fromMask(0b1000));
+    const auto comb = s.represent(fromMask(0b1011));
+    ASSERT_TRUE(comb.has_value());
+    // 0101 ^ 0110 ^ 1000 = 1011.
+    EXPECT_TRUE(comb->get(0));
+    EXPECT_TRUE(comb->get(1));
+    EXPECT_TRUE(comb->get(2));
+    EXPECT_FALSE(s.represent(fromMask(0b0001)).has_value());
+}
+
+TEST(SpanSolver, ZeroVectorIsDependentWithEmptyCertificate) {
+    SpanSolver s;
+    s.add(fromMask(0b1));
+    const auto r = s.add(fromMask(0));
+    EXPECT_FALSE(r.independent);
+    EXPECT_TRUE(r.combination.isZero());
+}
+
+TEST(SpanSolver, GrowingDimension) {
+    SpanSolver s;
+    s.add(fromMask(0b1, 4));
+    s.add(fromMask(0b10, 64));
+    BitVec wide(100);
+    wide.set(99);
+    EXPECT_TRUE(s.add(wide).independent);
+    BitVec q(100);
+    q.set(0);
+    q.set(99);
+    EXPECT_TRUE(s.contains(q));
+}
+
+// Property: random vectors — every dependence certificate must XOR back to
+// the rejected vector.
+class SpanSolverProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpanSolverProperty, CertificatesAreExact) {
+    std::mt19937_64 rng(GetParam());
+    constexpr std::size_t kDim = 24;
+    SpanSolver solver;
+    std::vector<BitVec> inserted;
+    for (int iter = 0; iter < 200; ++iter) {
+        BitVec v(kDim);
+        for (std::size_t i = 0; i < kDim; ++i)
+            if (rng() & 1u) v.set(i);
+        const auto r = solver.add(v);
+        if (!r.independent) {
+            BitVec acc(kDim);
+            for (std::size_t i = 0; i < inserted.size(); ++i)
+                if (i < r.combination.size() && r.combination.get(i))
+                    acc ^= inserted[i];
+            EXPECT_EQ(acc, v) << "certificate mismatch at iteration " << iter;
+        }
+        inserted.push_back(v);
+        EXPECT_LE(solver.rank(), kDim);
+    }
+    // After 200 random 24-dim vectors the span is full with near certainty.
+    EXPECT_EQ(solver.rank(), kDim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanSolverProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace pd::gf2

@@ -1,0 +1,181 @@
+// §5.1 group-selection tests.
+#include <gtest/gtest.h>
+
+#include "anf/parser.hpp"
+#include "core/group.hpp"
+
+namespace pd::core {
+namespace {
+
+using anf::Anf;
+using anf::Var;
+using anf::VarTable;
+
+TEST(FindGroup, LsbBitsOfSingleInteger) {
+    // One input integer, k=4 → the four least significant available bits.
+    VarTable vt;
+    std::vector<Var> a;
+    for (int i = 0; i < 8; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    Anf e;
+    for (const Var v : a) e ^= Anf::var(v);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(g.contains(a[static_cast<std::size_t>(i)]));
+    for (int i = 4; i < 8; ++i) EXPECT_FALSE(g.contains(a[static_cast<std::size_t>(i)]));
+}
+
+TEST(FindGroup, SkipsConsumedBits) {
+    // Bits a0,a1 no longer visible → group takes a2..a5.
+    VarTable vt;
+    std::vector<Var> a;
+    for (int i = 0; i < 8; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    Anf e;
+    for (int i = 2; i < 8; ++i) e ^= Anf::var(a[static_cast<std::size_t>(i)]);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    EXPECT_FALSE(g.contains(a[0]));
+    EXPECT_TRUE(g.contains(a[2]));
+    EXPECT_TRUE(g.contains(a[5]));
+    EXPECT_FALSE(g.contains(a[6]));
+}
+
+TEST(FindGroup, SplitsAcrossTwoIntegers) {
+    // Two integers, k=4 → two LSBs of each (the adder grouping).
+    VarTable vt;
+    std::vector<Var> a;
+    std::vector<Var> b;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    for (int i = 0; i < 4; ++i)
+        b.push_back(vt.addInput("b" + std::to_string(i), 1, i));
+    Anf e;
+    for (const Var v : a) e ^= Anf::var(v);
+    for (const Var v : b) e ^= Anf::var(v);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    EXPECT_TRUE(g.contains(a[0]));
+    EXPECT_TRUE(g.contains(a[1]));
+    EXPECT_TRUE(g.contains(b[0]));
+    EXPECT_TRUE(g.contains(b[1]));
+    EXPECT_FALSE(g.contains(a[2]));
+    EXPECT_FALSE(g.contains(b[2]));
+}
+
+TEST(FindGroup, ThreeIntegersGiveOneBitEach) {
+    VarTable vt;
+    Anf e;
+    std::vector<Var> firsts;
+    for (int p = 0; p < 3; ++p) {
+        for (int i = 0; i < 2; ++i) {
+            const Var v = vt.addInput(std::string(1, static_cast<char>('a' + p)) +
+                                          std::to_string(i),
+                                      p, i);
+            if (i == 0) firsts.push_back(v);
+            e ^= Anf::var(v);
+        }
+    }
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    EXPECT_EQ(g.degree(), 3u);  // ⌊4/3⌋ = 1 bit per integer
+    for (const Var v : firsts) EXPECT_TRUE(g.contains(v));
+}
+
+TEST(FindGroup, ExcludesTags) {
+    VarTable vt;
+    const Var a = vt.addInput("a0", 0, 0);
+    const Var k = vt.addTag("K0");
+    const Anf e = Anf::var(a) * Anf::var(k);
+    anf::VarSet tags;
+    tags.insert(k);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, tags, ids, {.k = 4});
+    EXPECT_TRUE(g.contains(a));
+    EXPECT_FALSE(g.contains(k));
+}
+
+TEST(FindGroup, ExhaustivePhasePicksStructuredGroup) {
+    // Only derived variables visible. e = s1*s2 ^ s3*s4: grouping {s1,s2}
+    // (or {s3,s4}) rewrites smaller than {s1,s3}; the probe must notice.
+    VarTable vt;
+    std::vector<Var> s;
+    for (int i = 1; i <= 4; ++i)
+        s.push_back(vt.addDerived("s" + std::to_string(i), 0));
+    const Anf e = (Anf::var(s[0]) * Anf::var(s[1])) ^
+                  (Anf::var(s[2]) * Anf::var(s[3]));
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 2});
+    const bool g12 = g.contains(s[0]) && g.contains(s[1]);
+    const bool g34 = g.contains(s[2]) && g.contains(s[3]);
+    EXPECT_TRUE(g12 || g34) << "picked an unstructured group";
+}
+
+TEST(FindGroup, WholeIntegerWindowWhenItSharesALeader) {
+    // o = (a0^a1^a2^a3)·p ^ (a0^a1^a2^a3)·q: grouping all of integer a
+    // collapses the shared parity into one leader; the candidate probe
+    // must prefer it over one-bit-per-integer.
+    VarTable vt;
+    std::vector<Var> a;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    const Var p = vt.addInput("p", 1, 0);
+    const Var q = vt.addInput("q", 2, 0);
+    Anf parity;
+    for (const Var v : a) parity ^= Anf::var(v);
+    const Anf e = parity * Anf::var(p) ^ parity * Anf::var(q);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    for (const Var v : a) EXPECT_TRUE(g.contains(v));
+    EXPECT_FALSE(g.contains(p));
+    EXPECT_FALSE(g.contains(q));
+}
+
+TEST(FindGroup, AlignedWindowCandidateExists) {
+    // Single integer whose bit 0 never appears (the 16-bit LZD shape):
+    // the aligned candidate {a1,a2,a3} must be generated and win when the
+    // function is nibble-structured.
+    VarTable vt;
+    std::vector<Var> a;
+    for (int i = 0; i < 8; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    // f uses a1..a3 as one cluster and a4..a7 as another; crossing the
+    // nibble boundary forces an extra leader.
+    const Anf low = Anf::var(a[1]) * Anf::var(a[2]) ^ Anf::var(a[3]);
+    const Anf high = Anf::var(a[4]) * Anf::var(a[5]) ^
+                     Anf::var(a[6]) * Anf::var(a[7]);
+    const Anf e = low * high ^ low;
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    // Whatever wins must not straddle the nibble boundary.
+    bool hasLow = false, hasHigh = false;
+    g.forEachVar([&](Var v) {
+        if (vt.info(v).bitPos <= 3) hasLow = true;
+        if (vt.info(v).bitPos >= 4) hasHigh = true;
+    });
+    EXPECT_FALSE(hasLow && hasHigh) << "group straddles the aligned window";
+}
+
+TEST(FindGroup, EmptySupportReturnsEmpty) {
+    VarTable vt;
+    ring::IdentityDb ids;
+    const auto g = findGroup(Anf::one(), vt, {}, ids, {.k = 4});
+    EXPECT_TRUE(g.isOne());
+    const auto g2 = findGroup(Anf::zero(), vt, {}, ids, {.k = 4});
+    EXPECT_TRUE(g2.isOne());
+}
+
+TEST(FindGroup, AllRemainingWhenFewerThanK) {
+    VarTable vt;
+    const Var s1 = vt.addDerived("s1", 0);
+    const Var s2 = vt.addDerived("s2", 0);
+    const Anf e = Anf::var(s1) ^ Anf::var(s2);
+    ring::IdentityDb ids;
+    const auto g = findGroup(e, vt, {}, ids, {.k = 4});
+    EXPECT_TRUE(g.contains(s1));
+    EXPECT_TRUE(g.contains(s2));
+    EXPECT_EQ(g.degree(), 2u);
+}
+
+}  // namespace
+}  // namespace pd::core

@@ -1,0 +1,183 @@
+// §5.5 identity discovery tests — the paper's majority-7 basis example.
+#include <gtest/gtest.h>
+
+#include "anf/ops.hpp"
+#include "anf/parser.hpp"
+#include "core/identities.hpp"
+
+namespace pd::core {
+namespace {
+
+using anf::Anf;
+using anf::parse;
+using anf::Var;
+using anf::VarTable;
+
+/// Builds the majority-7 first basis over a1..a4: the elementary symmetric
+/// polynomials e1, e2, e3, e4 (paper §5.5).
+struct MajBasis {
+    VarTable vt;
+    std::vector<Anf> basis;
+    std::vector<Var> newVars;
+
+    MajBasis() {
+        basis.push_back(parse("a1 ^ a2 ^ a3 ^ a4", vt));
+        basis.push_back(parse(
+            "a1*a2 ^ a1*a3 ^ a1*a4 ^ a2*a3 ^ a2*a4 ^ a3*a4", vt));
+        basis.push_back(
+            parse("a1*a2*a3 ^ a1*a2*a4 ^ a1*a3*a4 ^ a2*a3*a4", vt));
+        basis.push_back(parse("a1*a2*a3*a4", vt));
+        for (int i = 1; i <= 4; ++i)
+            newVars.push_back(vt.addDerived("s" + std::to_string(i), 0));
+    }
+};
+
+TEST(FindIdentities, MajorityBasisReductionAndAnnihilators) {
+    MajBasis m;
+    const auto scan = findIdentities(m.basis, m.newVars, 2);
+
+    // Functional: s3 = s1*s2 (paper: s3 ⊕ s1s2 = 0).
+    ASSERT_TRUE(scan.reductions.contains(m.newVars[2]));
+    EXPECT_EQ(scan.reductions.at(m.newVars[2]),
+              Anf::var(m.newVars[0]) * Anf::var(m.newVars[1]));
+
+    // Annihilating: s1*s4 = 0, s2*s4 = 0, s3*s4 = 0.
+    const auto hasAnnihilator = [&](const Anf& want) {
+        for (const auto& a : scan.annihilators)
+            if (a == want) return true;
+        return false;
+    };
+    EXPECT_TRUE(
+        hasAnnihilator(Anf::var(m.newVars[0]) * Anf::var(m.newVars[3])));
+    EXPECT_TRUE(
+        hasAnnihilator(Anf::var(m.newVars[1]) * Anf::var(m.newVars[3])));
+    EXPECT_TRUE(
+        hasAnnihilator(Anf::var(m.newVars[2]) * Anf::var(m.newVars[3])));
+}
+
+TEST(FindIdentities, EveryIdentityIsSound) {
+    // Substituting the basis expressions back into each reported identity
+    // must give the zero ANF.
+    MajBasis m;
+    const auto scan = findIdentities(m.basis, m.newVars, 2);
+    std::unordered_map<Var, Anf> defs;
+    for (std::size_t i = 0; i < m.newVars.size(); ++i)
+        defs[m.newVars[i]] = m.basis[i];
+    for (const auto& id : scan.annihilators)
+        EXPECT_TRUE(anf::substitute(id, defs).isZero())
+            << "unsound identity";
+    for (const auto& [v, rhs] : scan.reductions)
+        EXPECT_EQ(anf::substitute(rhs, defs), defs.at(v))
+            << "unsound reduction";
+}
+
+TEST(FindIdentities, ConstantProductIdentity) {
+    // X=(1^a), Y=(1^b), product (1^a)(1^b), and Z=a^b^ab: X*Z = ?
+    // Simpler: two complementary expressions multiply to zero.
+    VarTable vt;
+    std::vector<Anf> basis = {parse("a", vt), parse("1 ^ a", vt)};
+    std::vector<Var> nv = {vt.addDerived("t1", 0), vt.addDerived("t2", 0)};
+    const auto scan = findIdentities(basis, nv, 2);
+    bool sawProductZero = false;
+    for (const auto& id : scan.annihilators)
+        if (id == Anf::var(nv[0]) * Anf::var(nv[1])) sawProductZero = true;
+    EXPECT_TRUE(sawProductZero);
+    // Also functional: t2 = 1 ^ t1.
+    ASSERT_TRUE(scan.reductions.contains(nv[1]));
+    EXPECT_EQ(scan.reductions.at(nv[1]), ~Anf::var(nv[0]));
+}
+
+TEST(FindIdentities, LinearDependenceBecomesReduction) {
+    VarTable vt;
+    std::vector<Anf> basis = {parse("a", vt), parse("b", vt),
+                              parse("a ^ b", vt)};
+    std::vector<Var> nv = {vt.addDerived("t1", 0), vt.addDerived("t2", 0),
+                           vt.addDerived("t3", 0)};
+    const auto scan = findIdentities(basis, nv, 2);
+    ASSERT_TRUE(scan.reductions.contains(nv[2]));
+    EXPECT_EQ(scan.reductions.at(nv[2]),
+              Anf::var(nv[0]) ^ Anf::var(nv[1]));
+}
+
+TEST(FindIdentities, IndependentBasisYieldsNothing) {
+    VarTable vt;
+    std::vector<Anf> basis = {parse("a", vt), parse("b", vt),
+                              parse("c", vt)};
+    std::vector<Var> nv = {vt.addDerived("t1", 0), vt.addDerived("t2", 0),
+                           vt.addDerived("t3", 0)};
+    const auto scan = findIdentities(basis, nv, 2);
+    EXPECT_TRUE(scan.reductions.empty());
+    EXPECT_TRUE(scan.annihilators.empty());
+}
+
+TEST(FindIdentities, PrefersCheapestReduction) {
+    // Both s3 = s1·s2 and (say) s1 = f(s2,s3,...) may be expressible; the
+    // scan must reduce the element with the cheapest right-hand side —
+    // the paper removes s3, keeping the simple leaders as hardware.
+    MajBasis m;
+    const auto scan = findIdentities(m.basis, m.newVars, 2);
+    ASSERT_TRUE(scan.reductions.contains(m.newVars[2]))
+        << "expected the s3 = s1*s2 reduction";
+    const auto& rhs = scan.reductions.at(m.newVars[2]);
+    EXPECT_LE(rhs.literalCount(), 2u);
+}
+
+TEST(FindIdentities, ChainedReductionsStayAcyclic) {
+    // Basis designed so two reductions fire, one referencing the other:
+    // b0 = x, b1 = x·y, b2 = x·y (duplicate), b3 = x ^ x·y.
+    VarTable vt;
+    std::vector<Anf> basis;
+    basis.push_back(parse("x", vt));
+    basis.push_back(parse("x*y", vt));
+    basis.push_back(parse("x*y", vt));
+    basis.push_back(parse("x ^ x*y", vt));
+    std::vector<Var> nv;
+    for (int i = 0; i < 4; ++i)
+        nv.push_back(vt.addDerived("t" + std::to_string(i), 0));
+    const auto scan = findIdentities(basis, nv, 2);
+    ASSERT_GE(scan.reductions.size(), 2u);
+    // No reduction may (transitively) reference itself: walk each chain.
+    for (const auto& [v, rhs] : scan.reductions) {
+        anf::VarSet seen;
+        seen.insert(v);
+        Anf cur = rhs;
+        for (int depth = 0; depth < 8; ++depth) {
+            bool hit = false;
+            cur.support().forEachVar([&](Var w) {
+                if (seen.contains(w)) hit = true;
+            });
+            ASSERT_FALSE(hit) << "cycle through " << vt.name(v);
+            bool any = false;
+            cur.support().forEachVar([&](Var w) {
+                if (scan.reductions.contains(w)) any = true;
+            });
+            if (!any) break;
+            cur = anf::substitute(cur, scan.reductions);
+        }
+    }
+}
+
+TEST(FindIdentities, Degree3ProductsWhenRequested) {
+    // a*b*c = 0 is only found at maxDegree 3 when no pair product is zero.
+    VarTable vt;
+    std::vector<Anf> basis = {parse("a ^ a*c", vt), parse("b", vt),
+                              parse("c", vt)};
+    // (a ^ ac)·c = ac ^ ac = 0 — pairwise. Choose trickier basis:
+    basis = {parse("a ^ a*b ^ a*c", vt), parse("b ^ b*c", vt),
+             parse("c", vt)};
+    // pairwise products: e1*e3 = ac^abc^ac... compute in test below; we
+    // just assert soundness of whatever degree-3 scan returns.
+    std::vector<Var> nv = {vt.addDerived("t1", 0), vt.addDerived("t2", 0),
+                           vt.addDerived("t3", 0)};
+    const auto scan2 = findIdentities(basis, nv, 2);
+    const auto scan3 = findIdentities(basis, nv, 3);
+    EXPECT_GE(scan3.annihilators.size() + scan3.reductions.size(),
+              scan2.annihilators.size() + scan2.reductions.size());
+    std::unordered_map<Var, Anf> defs;
+    for (std::size_t i = 0; i < nv.size(); ++i) defs[nv[i]] = basis[i];
+    for (const auto& id : scan3.annihilators)
+        EXPECT_TRUE(anf::substitute(id, defs).isZero());
+}
+
+}  // namespace
+}  // namespace pd::core

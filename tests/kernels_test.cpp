@@ -1,0 +1,235 @@
+// Tests for algebraic kernel extraction: kernel enumeration on textbook
+// covers, weak division, and functional equivalence of the extracted
+// network against flat synthesis.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/lzd.hpp"
+#include "netlist/stats.hpp"
+#include "sim/simulator.hpp"
+#include "synth/kernels.hpp"
+#include "synth/quickfactor.hpp"
+
+namespace pd {
+namespace {
+
+using synth::algebraicDivide;
+using synth::Cube;
+using synth::enumerateKernels;
+using synth::SopSpec;
+
+Cube cube(std::initializer_list<int> pos, std::initializer_list<int> neg = {}) {
+    Cube c;
+    for (const int v : pos) c.pos.insert(static_cast<anf::Var>(v));
+    for (const int v : neg) c.neg.insert(static_cast<anf::Var>(v));
+    return c;
+}
+
+bool sameCube(const Cube& a, const Cube& b) {
+    return a.pos == b.pos && a.neg == b.neg;
+}
+
+bool containsKernel(const std::vector<synth::KernelResult>& ks,
+                    const std::vector<Cube>& want) {
+    for (const auto& k : ks) {
+        if (k.kernel.size() != want.size()) continue;
+        bool all = true;
+        for (const auto& w : want) {
+            bool found = false;
+            for (const auto& c : k.kernel) found |= sameCube(c, w);
+            all &= found;
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+TEST(Kernels, SingleFactorCover) {
+    // f = a·b + a·c = a(b + c): the only kernel is {b, c}, co-kernel a.
+    const std::vector<Cube> cover{cube({0, 1}), cube({0, 2})};
+    const auto ks = enumerateKernels(cover);
+    ASSERT_FALSE(ks.empty());
+    EXPECT_TRUE(containsKernel(ks, {cube({1}), cube({2})}));
+}
+
+TEST(Kernels, TextbookTwoLevelKernels) {
+    // f = a·d + a·e + b·d + b·e + c·d + c·e  (= (a+b+c)(d+e)).
+    std::vector<Cube> cover;
+    for (int x : {0, 1, 2})
+        for (int y : {3, 4}) cover.push_back(cube({x, y}));
+    const auto ks = enumerateKernels(cover);
+    EXPECT_TRUE(containsKernel(ks, {cube({0}), cube({1}), cube({2})}));
+    EXPECT_TRUE(containsKernel(ks, {cube({3}), cube({4})}));
+}
+
+TEST(Kernels, ComplementedLiteralsParticipate) {
+    // f = ~a·b + ~a·c: kernel {b, c} with co-kernel ~a.
+    const std::vector<Cube> cover{cube({1}, {0}), cube({2}, {0})};
+    const auto ks = enumerateKernels(cover);
+    EXPECT_TRUE(containsKernel(ks, {cube({1}), cube({2})}));
+}
+
+TEST(Kernels, CubeFreeCoverIsItsOwnKernel) {
+    // f = ab + cd is cube-free: the level-0 kernel is the cover itself.
+    const std::vector<Cube> cover{cube({0, 1}), cube({2, 3})};
+    const auto ks = enumerateKernels(cover);
+    EXPECT_TRUE(containsKernel(ks, cover));
+}
+
+TEST(Kernels, SingleCubeHasNoKernels) {
+    EXPECT_TRUE(enumerateKernels({cube({0, 1, 2})}).empty());
+}
+
+TEST(Division, SingleCubeDivisor) {
+    // (ab + ac + d) / a = (b + c), remainder d.
+    const std::vector<Cube> cover{cube({0, 1}), cube({0, 2}), cube({3})};
+    const auto res = algebraicDivide(cover, {cube({0})});
+    ASSERT_EQ(res.quotient.size(), 2u);
+    ASSERT_EQ(res.remainder.size(), 1u);
+    EXPECT_TRUE(sameCube(res.remainder[0], cube({3})));
+}
+
+TEST(Division, MultiCubeDivisor) {
+    // (ab + ac + db + dc + e) / (b + c) = (a + d), remainder e.
+    const std::vector<Cube> cover{cube({0, 1}), cube({0, 2}), cube({3, 1}),
+                                  cube({3, 2}), cube({4})};
+    const auto res = algebraicDivide(cover, {cube({1}), cube({2})});
+    ASSERT_EQ(res.quotient.size(), 2u);
+    ASSERT_EQ(res.remainder.size(), 1u);
+}
+
+TEST(Division, NonDividingReturnsEmpty) {
+    const std::vector<Cube> cover{cube({0, 1})};
+    const auto res = algebraicDivide(cover, {cube({2})});
+    EXPECT_TRUE(res.quotient.empty());
+}
+
+TEST(Division, QuotientTimesDivisorPlusRemainderIsExact) {
+    // Randomized: verify the algebraic identity by simulation.
+    std::mt19937_64 rng(31);
+    for (int round = 0; round < 30; ++round) {
+        std::vector<Cube> cover;
+        const int nc = 2 + static_cast<int>(rng() % 6);
+        for (int i = 0; i < nc; ++i) {
+            Cube c;
+            for (int v = 0; v < 6; ++v) {
+                const auto r = rng() % 4;
+                if (r == 0) c.pos.insert(static_cast<anf::Var>(v));
+                if (r == 1) c.neg.insert(static_cast<anf::Var>(v));
+            }
+            cover.push_back(c);
+        }
+        const std::vector<Cube> divisor{cover[0]};
+        const auto res = algebraicDivide(cover, divisor);
+        // Evaluate both sides on all 2^6 assignments.
+        const auto evalCover = [](const std::vector<Cube>& cs,
+                                  std::uint32_t assign) {
+            for (const auto& c : cs) {
+                bool ok = true;
+                c.pos.forEachVar([&](anf::Var v) {
+                    if (!((assign >> v) & 1)) ok = false;
+                });
+                c.neg.forEachVar([&](anf::Var v) {
+                    if ((assign >> v) & 1) ok = false;
+                });
+                if (ok) return true;
+            }
+            return false;
+        };
+        for (std::uint32_t a = 0; a < 64; ++a) {
+            const bool lhs = evalCover(cover, a);
+            const bool rhs = (evalCover(res.quotient, a) &&
+                              evalCover(divisor, a)) ||
+                             evalCover(res.remainder, a);
+            ASSERT_EQ(lhs, rhs) << "round " << round << " assign " << a;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extraction network synthesis
+// ---------------------------------------------------------------------------
+
+void expectSameFunction(const netlist::Netlist& a, const netlist::Netlist& b,
+                        std::size_t numInputs) {
+    sim::Simulator sa(a), sb(b);
+    std::mt19937_64 rng(77);
+    for (int batch = 0; batch < 32; ++batch) {
+        std::vector<std::uint64_t> words(numInputs);
+        for (auto& w : words) w = rng();
+        const auto oa = sa.run(words);
+        const auto ob = sb.run(words);
+        ASSERT_EQ(oa.size(), ob.size());
+        for (std::size_t i = 0; i < oa.size(); ++i) ASSERT_EQ(oa[i], ob[i]);
+    }
+}
+
+TEST(KernelSynth, SharedKernelAcrossOutputs) {
+    // o1 = a(b+c), o2 = d(b+c): (b+c) must be extracted once.
+    anf::VarTable vt;
+    for (const char* n : {"a", "b", "c", "d"}) vt.addInput(n, 0, 0);
+    SopSpec spec;
+    spec.outputs.push_back({"o1", {cube({0, 1}), cube({0, 2})}});
+    spec.outputs.push_back({"o2", {cube({3, 1}), cube({3, 2})}});
+    const auto nl = synth::synthSopKernels(spec, vt);
+    const auto flat = synth::synthSopFlat(spec, vt);
+    expectSameFunction(nl, flat, 4);
+    // The OR of b+c should exist once: kernel network has ≤ flat's gates.
+    EXPECT_LE(netlist::computeStats(nl).numGates,
+              netlist::computeStats(flat).numGates);
+}
+
+TEST(KernelSynth, Lzd8SopMatchesFlat) {
+    anf::VarTable vt;
+    const auto bench = circuits::makeLzd(8);
+    const auto spec = bench.sop(vt);
+    const auto kernelNl = synth::synthSopKernels(spec, vt);
+    const auto flatNl = synth::synthSopFlat(spec, vt);
+    expectSameFunction(kernelNl, flatNl, 8);
+}
+
+TEST(KernelSynth, RandomSopsStayFunctionallyExact) {
+    std::mt19937_64 rng(41);
+    for (int round = 0; round < 15; ++round) {
+        anf::VarTable vt;
+        const int nv = 5 + static_cast<int>(rng() % 4);
+        for (int i = 0; i < nv; ++i)
+            vt.addInput("x" + std::to_string(i), 0, i);
+        SopSpec spec;
+        const int no = 1 + static_cast<int>(rng() % 3);
+        for (int o = 0; o < no; ++o) {
+            synth::SopOutput out;
+            out.name = "o" + std::to_string(o);
+            const int nc = 1 + static_cast<int>(rng() % 8);
+            for (int c = 0; c < nc; ++c) {
+                Cube cu;
+                for (int v = 0; v < nv; ++v) {
+                    const auto r = rng() % 4;
+                    if (r == 0) cu.pos.insert(static_cast<anf::Var>(v));
+                    if (r == 1) cu.neg.insert(static_cast<anf::Var>(v));
+                }
+                out.cubes.push_back(cu);
+            }
+            spec.outputs.push_back(std::move(out));
+        }
+        const auto kernelNl = synth::synthSopKernels(spec, vt);
+        const auto flatNl = synth::synthSopFlat(spec, vt);
+        expectSameFunction(kernelNl, flatNl,
+                           static_cast<std::size_t>(nv));
+    }
+}
+
+TEST(KernelSynth, ExtractionBoundRespected) {
+    anf::VarTable vt;
+    const auto bench = circuits::makeLzd(8);
+    const auto spec = bench.sop(vt);
+    synth::KernelSynthOptions opt;
+    opt.maxExtractions = 1;
+    const auto nl = synth::synthSopKernels(spec, vt, opt);
+    const auto flat = synth::synthSopFlat(spec, vt);
+    expectSameFunction(nl, flat, 8);
+}
+
+}  // namespace
+}  // namespace pd

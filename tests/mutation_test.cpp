@@ -1,0 +1,154 @@
+// Failure injection: the verification stack (simulation-based reference
+// checking and SAT miters) must detect single-gate mutations. A checker
+// that never fires is worthless — these tests mutate real circuits gate
+// by gate and require detection, which also measures that our test
+// vectors are not systematically blind.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/adder.hpp"
+#include "circuits/lzd.hpp"
+#include "circuits/manual.hpp"
+#include "circuits/prefix.hpp"
+#include "sat/equiv.hpp"
+#include "sim/equivalence.hpp"
+
+namespace pd {
+namespace {
+
+/// Rebuilds `nl` with the gate driving `victim` replaced by a different
+/// gate type over the same operands. Returns nullopt when the victim is
+/// not a mutable logic gate.
+std::optional<netlist::Netlist> mutateGate(const netlist::Netlist& nl,
+                                           netlist::NetId victim) {
+    using netlist::GateType;
+    const auto& g = nl.gate(victim);
+    GateType replacement;
+    switch (g.type) {
+        case GateType::kAnd:
+            replacement = GateType::kOr;
+            break;
+        case GateType::kOr:
+            replacement = GateType::kAnd;
+            break;
+        case GateType::kXor:
+            replacement = GateType::kXnor;
+            break;
+        case GateType::kXnor:
+            replacement = GateType::kXor;
+            break;
+        case GateType::kNand:
+            replacement = GateType::kNor;
+            break;
+        case GateType::kNor:
+            replacement = GateType::kNand;
+            break;
+        case GateType::kNot:
+            replacement = GateType::kBuf;
+            break;
+        default:
+            return std::nullopt;
+    }
+    netlist::Netlist out;
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id) {
+        const auto& gate = nl.gate(id);
+        if (gate.type == GateType::kInput) {
+            // Inputs must be re-registered by name, in order.
+            std::size_t idx = 0;
+            while (nl.inputs()[idx] != id) ++idx;
+            out.addInput(nl.inputName(idx));
+            continue;
+        }
+        const GateType t = id == victim ? replacement : gate.type;
+        out.addGate(t, gate.in[0], gate.in[1], gate.in[2]);
+    }
+    for (const auto& port : nl.outputs()) out.markOutput(port.name, port.net);
+    return out;
+}
+
+/// Nets whose mutation can change an output (reachable from an output).
+std::vector<netlist::NetId> liveNets(const netlist::Netlist& nl) {
+    std::vector<char> live(nl.numNets(), 0);
+    for (const auto& port : nl.outputs()) live[port.net] = 1;
+    for (netlist::NetId id = nl.numNets(); id-- > 0;) {
+        if (!live[id]) continue;
+        const auto& g = nl.gate(id);
+        for (int i = 0; i < netlist::fanin(g.type); ++i) live[g.in[i]] = 1;
+    }
+    std::vector<netlist::NetId> out;
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id)
+        if (live[id]) out.push_back(id);
+    return out;
+}
+
+TEST(MutationInjection, SatMiterCatchesEveryLiveMutation) {
+    // Every functionally visible single-gate mutation must be refuted.
+    const auto nl = circuits::koggeStoneAdder(6);
+    int mutations = 0, detected = 0, silent = 0;
+    for (const netlist::NetId victim : liveNets(nl)) {
+        const auto mutant = mutateGate(nl, victim);
+        if (!mutant) continue;
+        ++mutations;
+        const auto res = sat::checkEquivalentSat(nl, *mutant);
+        if (res.status == sat::EquivCheckResult::Status::kDifferent)
+            ++detected;
+        else
+            ++silent;  // mutation was functionally invisible (redundancy)
+    }
+    ASSERT_GT(mutations, 20);
+    // The prefix adder has no redundant logic: every mutation must show.
+    EXPECT_EQ(silent, 0) << "undetected mutations out of " << mutations;
+    EXPECT_EQ(detected, mutations);
+}
+
+TEST(MutationInjection, ReferenceCheckerCatchesMutationsExhaustively) {
+    const auto bench = circuits::makeAdder(5);
+    const auto nl = circuits::rcaAdder(5);
+    // Sanity: the unmutated netlist passes.
+    ASSERT_TRUE(sim::checkAgainstReference(nl, bench.ports,
+                                           bench.outputNames,
+                                           bench.reference)
+                    .equivalent);
+    int mutations = 0, detected = 0;
+    for (const netlist::NetId victim : liveNets(nl)) {
+        const auto mutant = mutateGate(nl, victim);
+        if (!mutant) continue;
+        ++mutations;
+        const auto res = sim::checkAgainstReference(
+            *mutant, bench.ports, bench.outputNames, bench.reference);
+        if (!res.equivalent) {
+            ++detected;
+            EXPECT_FALSE(res.message.empty());  // counterexample reported
+        }
+    }
+    ASSERT_GT(mutations, 10);
+    EXPECT_EQ(detected, mutations);  // 10 input bits: exhaustive, no escape
+}
+
+TEST(MutationInjection, RandomizedCheckerCatchesMutationsOnWideCircuit) {
+    // 48 input bits force the randomized path; single-gate mutations of an
+    // adder flip outputs for a large input fraction, so randomized + corner
+    // vectors must catch them all.
+    const auto bench = circuits::makeAdder(24);
+    const auto nl = circuits::rcaAdder(24);
+    std::mt19937_64 rng(3);
+    const auto nets = liveNets(nl);
+    int mutations = 0, detected = 0;
+    for (int trial = 0; trial < 25 && mutations < 15; ++trial) {
+        const netlist::NetId victim = nets[rng() % nets.size()];
+        const auto mutant = mutateGate(nl, victim);
+        if (!mutant) continue;
+        ++mutations;
+        sim::EquivOptions opt;
+        opt.randomBatches = 64;
+        const auto res = sim::checkAgainstReference(
+            *mutant, bench.ports, bench.outputNames, bench.reference, opt);
+        if (!res.equivalent) ++detected;
+    }
+    ASSERT_GT(mutations, 5);
+    EXPECT_EQ(detected, mutations);
+}
+
+}  // namespace
+}  // namespace pd

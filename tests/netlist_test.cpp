@@ -1,0 +1,86 @@
+// Netlist IR and statistics tests.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+
+namespace pd::netlist {
+namespace {
+
+TEST(Netlist, InputsOutputsAndGates) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId g = nl.addGate(GateType::kAnd, a, b);
+    nl.markOutput("y", g);
+    EXPECT_EQ(nl.inputs().size(), 2u);
+    EXPECT_EQ(nl.inputName(0), "a");
+    EXPECT_EQ(nl.outputs().size(), 1u);
+    EXPECT_EQ(nl.outputs()[0].net, g);
+    EXPECT_EQ(nl.numLogicGates(), 1u);
+    EXPECT_EQ(nl.gate(g).type, GateType::kAnd);
+}
+
+TEST(Netlist, TopologicalInvariantEnforced) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    // Operand referencing a not-yet-existing net must be rejected.
+    EXPECT_THROW(nl.addGate(GateType::kNot, a + 5), Error);
+    // Wrong operand count.
+    EXPECT_THROW(nl.addGate(GateType::kNot, a, a), Error);
+}
+
+TEST(Netlist, FanoutCounts) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId x = nl.addGate(GateType::kXor, a, b);
+    const NetId y = nl.addGate(GateType::kAnd, a, x);
+    nl.markOutput("y", y);
+    const auto fo = nl.fanouts();
+    EXPECT_EQ(fo[a], 2u);
+    EXPECT_EQ(fo[b], 1u);
+    EXPECT_EQ(fo[x], 1u);
+    EXPECT_EQ(fo[y], 0u);  // output ports don't count
+}
+
+TEST(Stats, LevelsAndInterconnect) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId c = nl.addInput("c");
+    const NetId x = nl.addGate(GateType::kAnd, a, b);
+    const NetId y = nl.addGate(GateType::kOr, x, c);
+    const NetId z = nl.addGate(GateType::kNot, y);
+    nl.markOutput("z", z);
+    const auto s = computeStats(nl);
+    EXPECT_EQ(s.numGates, 3u);
+    EXPECT_EQ(s.levels, 3u);
+    EXPECT_EQ(s.interconnect, 5u);  // 2 + 2 + 1 pins
+    EXPECT_EQ(s.maxFanout, 1u);
+    EXPECT_EQ(s.numInputs, 3u);
+    EXPECT_EQ(s.gateHistogram.at("AND2"), 1u);
+    EXPECT_FALSE(summary(s).empty());
+}
+
+TEST(Stats, InputFanoutTracked) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    NetId acc = b;
+    for (int i = 0; i < 5; ++i) acc = nl.addGate(GateType::kAnd, a, acc);
+    nl.markOutput("y", acc);
+    const auto s = computeStats(nl);
+    EXPECT_EQ(s.maxInputFanout, 5u);
+}
+
+TEST(GateTypeMeta, FaninAndNames) {
+    EXPECT_EQ(fanin(GateType::kInput), 0);
+    EXPECT_EQ(fanin(GateType::kNot), 1);
+    EXPECT_EQ(fanin(GateType::kAnd), 2);
+    EXPECT_EQ(fanin(GateType::kMux), 3);
+    EXPECT_STREQ(gateTypeName(GateType::kXor), "XOR2");
+}
+
+}  // namespace
+}  // namespace pd::netlist

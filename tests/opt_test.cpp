@@ -1,0 +1,128 @@
+// Optimizer pass tests: function preservation, dead-logic removal, chain
+// balancing.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/builder.hpp"
+#include "netlist/stats.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+#include "synth/opt.hpp"
+
+namespace pd::synth {
+namespace {
+
+using netlist::Builder;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+TEST(Optimize, RemovesDeadLogic) {
+    Netlist nl;
+    Builder b(nl);
+    const NetId a = b.input("a0");
+    const NetId x = b.input("b0");
+    const NetId used = b.mkAnd(a, x);
+    (void)b.mkOr(a, x);  // dead
+    (void)b.mkXor(a, x);  // dead
+    nl.markOutput("y", used);
+    const auto opt = optimize(nl);
+    EXPECT_EQ(opt.numLogicGates(), 1u);
+}
+
+TEST(Optimize, BalancesLongChains) {
+    // A 16-input AND chain (depth 15) becomes a depth-4 tree.
+    Netlist nl;
+    Builder b(nl);
+    NetId acc = b.input("a0");
+    for (int i = 1; i < 16; ++i) acc = b.mkAnd(acc, b.input("a" + std::to_string(i)));
+    nl.markOutput("y", acc);
+    EXPECT_EQ(netlist::computeStats(nl).levels, 15u);
+    const auto opt = optimize(nl);
+    EXPECT_EQ(netlist::computeStats(opt).levels, 4u);
+    const std::vector<sim::PortLayout> ports{{"a", 16}};
+    const auto res = sim::checkAgainstReference(
+        opt, ports, {"y"}, [](std::span<const std::uint64_t> v) {
+            return v[0] == 0xffffu ? 1u : 0u;
+        });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(Optimize, BalancePreservesSharedSubtrees) {
+    // Shared internal node with fanout 2 must not be duplicated blindly.
+    Netlist nl;
+    Builder b(nl);
+    const NetId a = b.input("a0");
+    const NetId x = b.input("b0");
+    const NetId c = b.input("c0");
+    const NetId shared = b.mkAnd(a, x);
+    nl.markOutput("y1", b.mkAnd(shared, c));
+    nl.markOutput("y2", shared);
+    const auto opt = optimize(nl);
+    EXPECT_LE(opt.numLogicGates(), 2u);
+}
+
+TEST(Optimize, ConstantsPropagate) {
+    Netlist nl;
+    const auto a = nl.addInput("a0");
+    const auto c1 = nl.addGate(GateType::kConst1);
+    const auto x = nl.addGate(GateType::kAnd, a, c1);  // = a
+    const auto y = nl.addGate(GateType::kXor, x, c1);  // = ~a
+    const auto z = nl.addGate(GateType::kNot, y);      // = a
+    nl.markOutput("y", z);
+    const auto opt = optimize(nl);
+    EXPECT_EQ(opt.numLogicGates(), 0u);
+    const std::vector<sim::PortLayout> ports{{"a", 1}};
+    const auto res = sim::checkAgainstReference(
+        opt, ports, {"y"},
+        [](std::span<const std::uint64_t> v) { return v[0]; });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(Optimize, RandomNetlistsPreserveFunction) {
+    // Property: optimize() never changes the function of random netlists.
+    std::mt19937_64 rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        Netlist nl;
+        Builder b(nl);
+        std::vector<NetId> pool;
+        for (int i = 0; i < 6; ++i) pool.push_back(b.input("a" + std::to_string(i)));
+        for (int g = 0; g < 40; ++g) {
+            const NetId x = pool[rng() % pool.size()];
+            const NetId y = pool[rng() % pool.size()];
+            switch (rng() % 5) {
+                case 0: pool.push_back(b.mkAnd(x, y)); break;
+                case 1: pool.push_back(b.mkOr(x, y)); break;
+                case 2: pool.push_back(b.mkXor(x, y)); break;
+                case 3: pool.push_back(b.mkNot(x)); break;
+                default:
+                    pool.push_back(b.mkMux(x, y, pool[rng() % pool.size()]));
+            }
+        }
+        nl.markOutput("y", pool.back());
+        const auto opt = optimize(nl);
+
+        // Compare outputs on exhaustive 64 patterns via both netlists.
+        sim::Simulator s1(nl);
+        sim::Simulator s2(opt);
+        std::vector<std::uint64_t> words(6);
+        for (std::size_t t = 0; t < 64; ++t)
+            for (std::size_t i = 0; i < 6; ++i)
+                if ((t >> i) & 1u) words[i] |= std::uint64_t{1} << t;
+        EXPECT_EQ(s1.run(words)[0], s2.run(words)[0]) << "trial " << trial;
+    }
+}
+
+TEST(Optimize, NoBalanceOptionRespected) {
+    Netlist nl;
+    Builder b(nl);
+    NetId acc = b.input("a0");
+    for (int i = 1; i < 8; ++i) acc = b.mkAnd(acc, b.input("a" + std::to_string(i)));
+    nl.markOutput("y", acc);
+    const auto opt = optimize(nl, {.balanceTrees = false, .rounds = 1});
+    EXPECT_EQ(netlist::computeStats(opt).levels, 7u);
+}
+
+}  // namespace
+}  // namespace pd::synth

@@ -1,0 +1,149 @@
+// Tests for the parallel-prefix adders and the multiplier circuits:
+// functional equivalence against reference semantics at several widths,
+// structural depth expectations, and ANF spec agreement.
+#include <gtest/gtest.h>
+
+#include "circuits/adder.hpp"
+#include "circuits/multiplier.hpp"
+#include "circuits/prefix.hpp"
+#include "netlist/stats.hpp"
+#include "sat/equiv.hpp"
+#include "sim/equivalence.hpp"
+
+namespace pd {
+namespace {
+
+void expectImplements(const netlist::Netlist& nl,
+                      const circuits::Benchmark& bench) {
+    const auto res = sim::checkAgainstReference(nl, bench.ports,
+                                                bench.outputNames,
+                                                bench.reference);
+    EXPECT_TRUE(res.equivalent) << bench.name << ": " << res.message;
+}
+
+// ---------------------------------------------------------------------------
+// Prefix adders
+// ---------------------------------------------------------------------------
+
+class PrefixAdderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixAdderWidths, KoggeStoneImplementsAddition) {
+    const int n = GetParam();
+    expectImplements(circuits::koggeStoneAdder(n), circuits::makeAdder(n));
+}
+
+TEST_P(PrefixAdderWidths, BrentKungImplementsAddition) {
+    const int n = GetParam();
+    expectImplements(circuits::brentKungAdder(n), circuits::makeAdder(n));
+}
+
+TEST_P(PrefixAdderWidths, HanCarlsonImplementsAddition) {
+    const int n = GetParam();
+    expectImplements(circuits::hanCarlsonAdder(n), circuits::makeAdder(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrefixAdderWidths,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 11, 16));
+
+TEST(PrefixAdders, LogDepthBeatsRippleAt16) {
+    // Unit-delay logic depth: every prefix network must be well below the
+    // ~32-level ripple chain.
+    const auto ks = netlist::computeStats(circuits::koggeStoneAdder(16));
+    const auto bk = netlist::computeStats(circuits::brentKungAdder(16));
+    const auto hc = netlist::computeStats(circuits::hanCarlsonAdder(16));
+    EXPECT_LE(ks.levels, 14u);
+    EXPECT_LE(bk.levels, 18u);
+    EXPECT_LE(hc.levels, 16u);
+}
+
+TEST(PrefixAdders, BrentKungUsesFewerGatesThanKoggeStone) {
+    const auto ks = netlist::computeStats(circuits::koggeStoneAdder(32));
+    const auto bk = netlist::computeStats(circuits::brentKungAdder(32));
+    EXPECT_LT(bk.numGates, ks.numGates);
+}
+
+TEST(PrefixAdders, SatEquivalentToEachOtherAt24) {
+    // 48 input bits — beyond exhaustive simulation; prove formally.
+    const auto ks = circuits::koggeStoneAdder(24);
+    const auto bk = circuits::brentKungAdder(24);
+    const auto res = sat::checkEquivalentSat(ks, bk);
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+// ---------------------------------------------------------------------------
+// Multipliers
+// ---------------------------------------------------------------------------
+
+class MultiplierWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidths, ArrayImplementsMultiplication) {
+    const int n = GetParam();
+    expectImplements(circuits::arrayMultiplier(n), circuits::makeMultiplier(n));
+}
+
+TEST_P(MultiplierWidths, WallaceRippleImplementsMultiplication) {
+    const int n = GetParam();
+    expectImplements(circuits::wallaceMultiplier(n, false),
+                     circuits::makeMultiplier(n));
+}
+
+TEST_P(MultiplierWidths, WallaceFastImplementsMultiplication) {
+    const int n = GetParam();
+    expectImplements(circuits::wallaceMultiplier(n, true),
+                     circuits::makeMultiplier(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidths,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Multiplier, AnfSpecMatchesReference4) {
+    const auto bench = circuits::makeMultiplier(4);
+    ASSERT_TRUE(static_cast<bool>(bench.anf));
+    anf::VarTable vt;
+    const auto outs = bench.anf(vt);
+    ASSERT_EQ(outs.size(), 8u);
+    // Evaluate the ANF on every assignment against the reference.
+    for (std::uint32_t av = 0; av < 16; ++av)
+        for (std::uint32_t bv = 0; bv < 16; ++bv) {
+            anf::VarSet trueVars;
+            for (int i = 0; i < 4; ++i) {
+                if ((av >> i) & 1) trueVars.insert(static_cast<anf::Var>(i));
+                if ((bv >> i) & 1)
+                    trueVars.insert(static_cast<anf::Var>(4 + i));
+            }
+            const std::uint64_t expect =
+                static_cast<std::uint64_t>(av) * bv;
+            for (int k = 0; k < 8; ++k) {
+                bool bit = false;
+                for (const auto& m : outs[static_cast<std::size_t>(k)].terms())
+                    if (m.subsetOf(trueVars)) bit = !bit;
+                ASSERT_EQ(bit, ((expect >> k) & 1) != 0)
+                    << av << "*" << bv << " bit " << k;
+            }
+        }
+}
+
+TEST(Multiplier, AnfAbsentAboveCap) {
+    const auto bench = circuits::makeMultiplier(8, /*maxAnfWidth=*/6);
+    EXPECT_FALSE(static_cast<bool>(bench.anf));
+}
+
+TEST(Multiplier, WallaceShallowerThanArrayAt8) {
+    const auto arr = netlist::computeStats(circuits::arrayMultiplier(8));
+    const auto wal =
+        netlist::computeStats(circuits::wallaceMultiplier(8, true));
+    EXPECT_LT(wal.levels, arr.levels);
+}
+
+TEST(Multiplier, ArrayAndWallaceSatEquivalent) {
+    // Multiplier miters are the classic hard case for resolution-based
+    // SAT (the cost roughly sextuples per extra bit), so the formal check
+    // runs at 6 bits — past that, the randomized+exhaustive simulation
+    // path carries the verification.
+    const auto res = sat::checkEquivalentSat(
+        circuits::arrayMultiplier(6), circuits::wallaceMultiplier(6, true));
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+}  // namespace
+}  // namespace pd

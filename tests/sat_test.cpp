@@ -1,0 +1,401 @@
+// Tests for the CDCL SAT solver, the Tseitin netlist encoder, and the
+// miter-based equivalence checker.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/builder.hpp"
+#include <sstream>
+
+#include "sat/cnf.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/equiv.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+
+namespace pd {
+namespace {
+
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+    Solver s;
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, SingleUnitClause) {
+    Solver s;
+    const Var x = s.newVar();
+    EXPECT_TRUE(s.addClause(Lit(x, false)));
+    ASSERT_EQ(s.solve(), Result::kSat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+    Solver s;
+    const Var x = s.newVar();
+    s.addClause(Lit(x, false));
+    EXPECT_FALSE(s.addClause(Lit(x, true)));
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, TautologyClauseIsDropped) {
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    EXPECT_TRUE(s.addClause({Lit(x, false), Lit(x, true), Lit(y, false)}));
+    s.addClause(Lit(y, true));
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, DuplicateLiteralsAreMerged) {
+    Solver s;
+    const Var x = s.newVar();
+    EXPECT_TRUE(s.addClause({Lit(x, false), Lit(x, false)}));
+    ASSERT_EQ(s.solve(), Result::kSat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+    // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ ... forces the whole chain true.
+    Solver s;
+    std::vector<Var> v;
+    for (int i = 0; i < 20; ++i) v.push_back(s.newVar());
+    s.addClause(Lit(v[0], false));
+    for (int i = 0; i + 1 < 20; ++i)
+        s.addClause(Lit(v[i], true), Lit(v[i + 1], false));
+    ASSERT_EQ(s.solve(), Result::kSat);
+    for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.modelValue(v[i])) << i;
+}
+
+TEST(SatSolver, PigeonHole3Into2IsUnsat) {
+    // PHP(3,2): 3 pigeons, 2 holes. p[i][j] = pigeon i in hole j.
+    Solver s;
+    Var p[3][2];
+    for (auto& row : p)
+        for (auto& x : row) x = s.newVar();
+    for (auto& row : p)  // every pigeon sits somewhere
+        s.addClause(Lit(row[0], false), Lit(row[1], false));
+    for (int j = 0; j < 2; ++j)  // no two pigeons share a hole
+        for (int i = 0; i < 3; ++i)
+            for (int i2 = i + 1; i2 < 3; ++i2)
+                s.addClause(Lit(p[i][j], true), Lit(p[i2][j], true));
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, PigeonHole5Into4IsUnsat) {
+    Solver s;
+    std::vector<std::vector<Var>> p(5, std::vector<Var>(4));
+    for (auto& row : p)
+        for (auto& x : row) x = s.newVar();
+    for (auto& row : p) {
+        std::vector<Lit> c;
+        for (const Var x : row) c.emplace_back(x, false);
+        s.addClause(std::move(c));
+    }
+    for (int j = 0; j < 4; ++j)
+        for (int i = 0; i < 5; ++i)
+            for (int i2 = i + 1; i2 < 5; ++i2)
+                s.addClause(Lit(p[i][j], true), Lit(p[i2][j], true));
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+    // PHP(8,7) is hard enough to exceed a 10-conflict budget.
+    Solver s;
+    std::vector<std::vector<Var>> p(8, std::vector<Var>(7));
+    for (auto& row : p)
+        for (auto& x : row) x = s.newVar();
+    for (auto& row : p) {
+        std::vector<Lit> c;
+        for (const Var x : row) c.emplace_back(x, false);
+        s.addClause(std::move(c));
+    }
+    for (int j = 0; j < 7; ++j)
+        for (int i = 0; i < 8; ++i)
+            for (int i2 = i + 1; i2 < 8; ++i2)
+                s.addClause(Lit(p[i][j], true), Lit(p[i2][j], true));
+    EXPECT_EQ(s.solve(10), Result::kUnknown);
+}
+
+TEST(SatSolver, ModelSatisfiesAllClauses) {
+    // Random 3-SAT at a satisfiable density; verify the model directly.
+    std::mt19937_64 rng(7);
+    for (int round = 0; round < 20; ++round) {
+        Solver s;
+        const int n = 30;
+        std::vector<Var> v;
+        for (int i = 0; i < n; ++i) v.push_back(s.newVar());
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < 3 * n; ++c) {
+            std::vector<Lit> cl;
+            for (int l = 0; l < 3; ++l)
+                cl.emplace_back(v[rng() % n], (rng() & 1) != 0);
+            clauses.push_back(cl);
+            s.addClause(std::move(cl));
+        }
+        const Result r = s.solve();
+        if (r != Result::kSat) continue;  // dense instances may be unsat
+        for (const auto& cl : clauses) {
+            bool sat = false;
+            for (const Lit l : cl)
+                sat |= s.modelValue(l.var()) != l.negated();
+            EXPECT_TRUE(sat);
+        }
+    }
+}
+
+TEST(SatSolver, XorChainParityUnsat) {
+    // Encode x1 ⊕ x2 ⊕ ... ⊕ xn = 1 and each xi = 0 — unsatisfiable.
+    Solver s;
+    const int n = 16;
+    std::vector<Var> x;
+    for (int i = 0; i < n; ++i) x.push_back(s.newVar());
+    Var acc = x[0];
+    for (int i = 1; i < n; ++i) {
+        const Var nxt = s.newVar();
+        sat::encodeXor(s, nxt, acc, x[i]);
+        acc = nxt;
+    }
+    s.addClause(Lit(acc, false));
+    for (int i = 0; i < n; ++i) s.addClause(Lit(x[i], true));
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist encoding
+// ---------------------------------------------------------------------------
+
+/// Brute-force: netlist and CNF encoding agree on every input assignment.
+void checkEncodingExhaustive(const netlist::Netlist& nl) {
+    const std::size_t n = nl.inputs().size();
+    ASSERT_LE(n, 12u);
+    sim::Simulator simulator(nl);
+    for (std::uint64_t pattern = 0; pattern < (1ull << n); ++pattern) {
+        Solver s;
+        const auto vars = sat::encodeNetlist(s, nl);
+        std::vector<std::uint64_t> words(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool bit = (pattern >> i) & 1;
+            words[i] = bit ? ~0ull : 0;
+            s.addClause(Lit(vars[nl.inputs()[i]], !bit));
+        }
+        ASSERT_EQ(s.solve(), Result::kSat);
+        const auto outs = simulator.run(words);
+        for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+            const bool expected = outs[o] & 1;
+            EXPECT_EQ(s.modelValue(vars[nl.outputs()[o].net]), expected)
+                << "pattern " << pattern << " output " << o;
+        }
+    }
+}
+
+TEST(SatCnf, EncodesEveryGateType) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    const auto a = b.input("a");
+    const auto c = b.input("b");
+    const auto d = b.input("c");
+    nl.markOutput("and", b.mkAnd(a, c));
+    nl.markOutput("or", b.mkOr(a, c));
+    nl.markOutput("xor", b.mkXor(a, c));
+    nl.markOutput("not", b.mkNot(a));
+    nl.markOutput("mux", b.mkMux(a, c, d));
+    nl.markOutput("xnor", b.mkXnor(a, c));
+    nl.markOutput("nand", b.mkNand(a, c));
+    nl.markOutput("nor", b.mkNor(a, c));
+    nl.markOutput("c0", b.constant(false));
+    nl.markOutput("c1", b.constant(true));
+    checkEncodingExhaustive(nl);
+}
+
+TEST(SatCnf, EncodesFullAdder) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    const auto fa =
+        b.fullAdder(b.input("a"), b.input("b"), b.input("cin"));
+    nl.markOutput("s", fa.sum);
+    nl.markOutput("co", fa.carry);
+    checkEncodingExhaustive(nl);
+}
+
+// ---------------------------------------------------------------------------
+// Miter equivalence
+// ---------------------------------------------------------------------------
+
+netlist::Netlist rippleAdder(int width, bool flipLastCarry) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> as, bs;
+    for (int i = 0; i < width; ++i) as.push_back(b.input("a" + std::to_string(i)));
+    for (int i = 0; i < width; ++i) bs.push_back(b.input("b" + std::to_string(i)));
+    netlist::NetId carry = b.constant(false);
+    for (int i = 0; i < width; ++i) {
+        const auto fa = b.fullAdder(as[i], bs[i], carry);
+        nl.markOutput("s" + std::to_string(i), fa.sum);
+        carry = fa.carry;
+    }
+    if (flipLastCarry) carry = b.mkNot(carry);
+    nl.markOutput("cout", carry);
+    return nl;
+}
+
+/// Carry-select flavoured adder: compute both carry alternatives per
+/// nibble and mux — structurally very different from ripple.
+netlist::Netlist selectAdder(int width) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> as, bs;
+    for (int i = 0; i < width; ++i) as.push_back(b.input("a" + std::to_string(i)));
+    for (int i = 0; i < width; ++i) bs.push_back(b.input("b" + std::to_string(i)));
+    netlist::NetId carry = b.constant(false);
+    for (int base = 0; base < width; base += 4) {
+        const int hi = std::min(base + 4, width);
+        // Two speculative ripple chains.
+        std::vector<netlist::NetId> sum0, sum1;
+        netlist::NetId c0 = b.constant(false), c1 = b.constant(true);
+        for (int i = base; i < hi; ++i) {
+            const auto f0 = b.fullAdder(as[i], bs[i], c0);
+            const auto f1 = b.fullAdder(as[i], bs[i], c1);
+            sum0.push_back(f0.sum);
+            sum1.push_back(f1.sum);
+            c0 = f0.carry;
+            c1 = f1.carry;
+        }
+        for (int i = base; i < hi; ++i)
+            nl.markOutput("s" + std::to_string(i),
+                          b.mkMux(carry, sum0[i - base], sum1[i - base]));
+        carry = b.mkMux(carry, c0, c1);
+    }
+    nl.markOutput("cout", carry);
+    return nl;
+}
+
+TEST(SatEquiv, IdenticalNetlistsAreEquivalent) {
+    const auto nl = rippleAdder(8, false);
+    const auto res = sat::checkEquivalentSat(nl, nl);
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+TEST(SatEquiv, RippleVsSelectAdder16) {
+    const auto a = rippleAdder(16, false);
+    const auto b = selectAdder(16);
+    const auto res = sat::checkEquivalentSat(a, b);
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+TEST(SatEquiv, RippleVsSelectAdder32) {
+    // 64 input bits: far beyond exhaustive simulation, easy for SAT.
+    const auto a = rippleAdder(32, false);
+    const auto b = selectAdder(32);
+    const auto res = sat::checkEquivalentSat(a, b);
+    EXPECT_EQ(res.status, sat::EquivCheckResult::Status::kEquivalent);
+}
+
+TEST(SatEquiv, DetectsSingleGateBug) {
+    const auto good = rippleAdder(12, false);
+    const auto bad = rippleAdder(12, true);
+    const auto res = sat::checkEquivalentSat(good, bad);
+    ASSERT_EQ(res.status, sat::EquivCheckResult::Status::kDifferent);
+    EXPECT_EQ(res.differingOutput, "cout");
+    ASSERT_EQ(res.counterexample.size(), 24u);
+
+    // Replay the counterexample on both netlists and confirm they differ.
+    sim::Simulator sg(good), sb(bad);
+    std::vector<std::uint64_t> words;
+    for (const bool bit : res.counterexample) words.push_back(bit ? ~0ull : 0);
+    const auto og = sg.run(words);
+    const auto ob = sb.run(words);
+    bool differs = false;
+    for (std::size_t i = 0; i < og.size(); ++i)
+        differs |= (og[i] & 1) != (ob[i] & 1);
+    EXPECT_TRUE(differs);
+}
+
+TEST(SatEquiv, PortMismatchThrows) {
+    netlist::Netlist a;
+    netlist::Builder ba(a);
+    a.markOutput("o", ba.input("x"));
+    netlist::Netlist b;
+    netlist::Builder bb(b);
+    b.markOutput("o", bb.input("y"));
+    EXPECT_THROW((void)sat::checkEquivalentSat(a, b), pd::Error);
+}
+
+TEST(SatEquiv, ConstantVsFreeInputDiffer) {
+    netlist::Netlist a;
+    netlist::Builder ba(a);
+    (void)ba.input("x");
+    a.markOutput("o", ba.constant(false));
+    netlist::Netlist b;
+    netlist::Builder bb(b);
+    b.markOutput("o", bb.input("x"));
+    const auto res = sat::checkEquivalentSat(a, b);
+    ASSERT_EQ(res.status, sat::EquivCheckResult::Status::kDifferent);
+    EXPECT_EQ(res.counterexample[0], true);
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS interchange
+// ---------------------------------------------------------------------------
+
+TEST(Dimacs, ParsesSimpleProblem) {
+    const auto p = sat::dimacsFromString(
+        "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(p.numVars, 3u);
+    ASSERT_EQ(p.clauses.size(), 2u);
+    EXPECT_EQ(p.clauses[0][0], Lit(0, false));
+    EXPECT_EQ(p.clauses[0][1], Lit(1, true));
+}
+
+TEST(Dimacs, LoadAndSolveRoundTrip) {
+    // (x1 ∨ x2) ∧ (¬x1) forces x2.
+    const auto p = sat::dimacsFromString("p cnf 2 2\n1 2 0\n-1 0\n");
+    Solver s;
+    sat::loadProblem(s, p);
+    ASSERT_EQ(s.solve(), Result::kSat);
+    EXPECT_FALSE(s.modelValue(0));
+    EXPECT_TRUE(s.modelValue(1));
+}
+
+TEST(Dimacs, RejectsMalformedInputs) {
+    EXPECT_THROW((void)sat::dimacsFromString("1 2 0\n"), pd::Error);
+    EXPECT_THROW((void)sat::dimacsFromString("p cnf 1 1\n2 0\n"), pd::Error);
+    EXPECT_THROW((void)sat::dimacsFromString("p cnf 1 2\n1 0\n"), pd::Error);
+    EXPECT_THROW((void)sat::dimacsFromString("p cnf 1 1\n1\n"), pd::Error);
+    EXPECT_THROW((void)sat::dimacsFromString("p dnf 1 1\n1 0\n"), pd::Error);
+}
+
+TEST(Dimacs, NetlistExportReimportsSatisfiable) {
+    // A netlist CNF without constraints is satisfiable (inputs free).
+    const auto nl = rippleAdder(6, false);
+    std::ostringstream os;
+    sat::writeDimacs(os, nl);
+    const auto p = sat::dimacsFromString(os.str());
+    Solver s;
+    sat::loadProblem(s, p);
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Dimacs, MiterOfEquivalentNetlistsIsUnsat) {
+    std::ostringstream os;
+    sat::writeMiterDimacs(os, rippleAdder(8, false), selectAdder(8));
+    Solver s;
+    sat::loadProblem(s, sat::dimacsFromString(os.str()));
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Dimacs, MiterOfDifferentNetlistsIsSat) {
+    std::ostringstream os;
+    sat::writeMiterDimacs(os, rippleAdder(8, false), rippleAdder(8, true));
+    Solver s;
+    sat::loadProblem(s, sat::dimacsFromString(os.str()));
+    EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+}  // namespace
+}  // namespace pd

@@ -1,0 +1,115 @@
+// Simulator and equivalence-checker tests.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+
+namespace pd::sim {
+namespace {
+
+using netlist::Builder;
+using netlist::Netlist;
+using netlist::NetId;
+
+TEST(Simulator, AllGateTypes) {
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId s = nl.addInput("s");
+    nl.markOutput("and", nl.addGate(netlist::GateType::kAnd, a, b));
+    nl.markOutput("or", nl.addGate(netlist::GateType::kOr, a, b));
+    nl.markOutput("xor", nl.addGate(netlist::GateType::kXor, a, b));
+    nl.markOutput("xnor", nl.addGate(netlist::GateType::kXnor, a, b));
+    nl.markOutput("nand", nl.addGate(netlist::GateType::kNand, a, b));
+    nl.markOutput("nor", nl.addGate(netlist::GateType::kNor, a, b));
+    nl.markOutput("not", nl.addGate(netlist::GateType::kNot, a));
+    nl.markOutput("mux", nl.addGate(netlist::GateType::kMux, s, a, b));
+    nl.markOutput("c1", nl.addGate(netlist::GateType::kConst1));
+
+    Simulator sim(nl);
+    const std::uint64_t A = 0b1100;
+    const std::uint64_t B = 0b1010;
+    const std::uint64_t S = 0b1111;
+    const auto out = sim.run(std::vector<std::uint64_t>{A, B, S});
+    const std::uint64_t mask = 0xf;
+    EXPECT_EQ(out[0] & mask, A & B);
+    EXPECT_EQ(out[1] & mask, A | B);
+    EXPECT_EQ(out[2] & mask, A ^ B);
+    EXPECT_EQ(out[3] & mask, ~(A ^ B) & mask);
+    EXPECT_EQ(out[4] & mask, ~(A & B) & mask);
+    EXPECT_EQ(out[5] & mask, ~(A | B) & mask);
+    EXPECT_EQ(out[6] & mask, ~A & mask);
+    EXPECT_EQ(out[7] & mask, B & mask);  // s=1 everywhere → picks in2 (b)
+    EXPECT_EQ(out[8] & mask, mask);
+}
+
+Netlist xorAdderBit() {
+    // Tiny adder: s = a ^ b, c = a & b (half adder), ports a,b 1 bit.
+    Netlist nl;
+    Builder b(nl);
+    const NetId x = b.input("a0");
+    const NetId y = b.input("b0");
+    nl.markOutput("s0", b.mkXor(x, y));
+    nl.markOutput("s1", b.mkAnd(x, y));
+    return nl;
+}
+
+TEST(Equivalence, ExhaustivePass) {
+    const Netlist nl = xorAdderBit();
+    const std::vector<PortLayout> ports{{"a", 1}, {"b", 1}};
+    const auto res = checkAgainstReference(
+        nl, ports, {"s0", "s1"},
+        [](std::span<const std::uint64_t> v) { return v[0] + v[1]; });
+    EXPECT_TRUE(res.equivalent);
+    EXPECT_TRUE(res.exhaustive);
+    EXPECT_EQ(res.vectorsTested, 4u);
+}
+
+TEST(Equivalence, DetectsBug) {
+    Netlist nl;
+    Builder b(nl);
+    const NetId x = b.input("a0");
+    const NetId y = b.input("b0");
+    nl.markOutput("s0", b.mkOr(x, y));  // wrong: should be XOR
+    nl.markOutput("s1", b.mkAnd(x, y));
+    const std::vector<PortLayout> ports{{"a", 1}, {"b", 1}};
+    const auto res = checkAgainstReference(
+        nl, ports, {"s0", "s1"},
+        [](std::span<const std::uint64_t> v) { return v[0] + v[1]; });
+    EXPECT_FALSE(res.equivalent);
+    EXPECT_NE(res.message.find("s0"), std::string::npos);
+}
+
+TEST(Equivalence, RandomizedPathForWideCircuits) {
+    // 24-bit wide identity circuit exercises the randomized path.
+    Netlist nl;
+    Builder b(nl);
+    std::vector<NetId> bits;
+    for (int i = 0; i < 24; ++i) bits.push_back(b.input("a" + std::to_string(i)));
+    for (int i = 0; i < 24; ++i)
+        nl.markOutput("z" + std::to_string(i), bits[static_cast<std::size_t>(i)]);
+    const std::vector<PortLayout> ports{{"a", 24}};
+    std::vector<std::string> names;
+    for (int i = 0; i < 24; ++i) names.push_back("z" + std::to_string(i));
+    const auto res = checkAgainstReference(
+        nl, ports, names,
+        [](std::span<const std::uint64_t> v) { return v[0]; },
+        {.exhaustiveLimitBits = 20, .randomBatches = 32});
+    EXPECT_TRUE(res.equivalent);
+    EXPECT_FALSE(res.exhaustive);
+    EXPECT_GT(res.vectorsTested, 1000u);
+}
+
+TEST(Equivalence, InputCountMismatchReported) {
+    const Netlist nl = xorAdderBit();
+    const std::vector<PortLayout> ports{{"a", 2}, {"b", 2}};
+    const auto res = checkAgainstReference(
+        nl, ports, {"s0", "s1"},
+        [](std::span<const std::uint64_t> v) { return v[0] + v[1]; });
+    EXPECT_FALSE(res.equivalent);
+    EXPECT_NE(res.message.find("mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pd::sim

@@ -1,0 +1,222 @@
+// Tests for truth-table local synthesis: Quine-McCluskey prime
+// generation, greedy covering, and functional correctness of the
+// synthesized cones against direct ANF evaluation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anf/ops.hpp"
+#include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
+#include "synth/smallfunc.hpp"
+
+namespace pd {
+namespace {
+
+using synth::coverGreedy;
+using synth::Implicant;
+using synth::primeImplicants;
+
+TEST(QuineMcCluskey, SingleMintermIsItsOwnPrime) {
+    const auto primes = primeImplicants({0b101}, 3);
+    ASSERT_EQ(primes.size(), 1u);
+    EXPECT_EQ(primes[0].mask, 0b111u);
+    EXPECT_EQ(primes[0].value, 0b101u);
+}
+
+TEST(QuineMcCluskey, AdjacentMintermsMerge) {
+    // f = m0 + m1 over 2 vars = ~x1 (x0 drops out).
+    const auto primes = primeImplicants({0b00, 0b01}, 2);
+    ASSERT_EQ(primes.size(), 1u);
+    EXPECT_EQ(primes[0].mask, 0b10u);
+    EXPECT_EQ(primes[0].value, 0b00u);
+}
+
+TEST(QuineMcCluskey, FullOnSetMergesToTautology) {
+    const auto primes = primeImplicants({0, 1, 2, 3}, 2);
+    ASSERT_EQ(primes.size(), 1u);
+    EXPECT_EQ(primes[0].mask, 0u);  // no care literals: constant 1
+}
+
+TEST(QuineMcCluskey, XorHasNoMergedPrimes) {
+    // XOR's minterms are pairwise non-adjacent: every prime is a minterm.
+    const auto primes = primeImplicants({0b01, 0b10}, 2);
+    EXPECT_EQ(primes.size(), 2u);
+    for (const auto& p : primes) EXPECT_EQ(p.mask, 0b11u);
+}
+
+TEST(QuineMcCluskey, ClassicTextbookExample) {
+    // f(w,x,y,z) = Σ(0,1,2,5,6,7,8,9,10,14), a standard QM exercise.
+    const std::vector<std::uint32_t> on{0, 1, 2, 5, 6, 7, 8, 9, 10, 14};
+    const auto primes = primeImplicants(on, 4);
+    const auto cover = coverGreedy(primes, on, 4);
+    // Verify the cover is exact: covers all of ON, nothing of OFF.
+    for (std::uint32_t m = 0; m < 16; ++m) {
+        const bool inOn = std::find(on.begin(), on.end(), m) != on.end();
+        bool covered = false;
+        for (const auto& c : cover)
+            covered |= (m & c.mask) == c.value;
+        EXPECT_EQ(covered, inOn) << "minterm " << m;
+    }
+    EXPECT_LE(cover.size(), 5u);  // minimal SOP needs 4-5 cubes
+}
+
+TEST(QuineMcCluskey, CoverIsExactOnRandomFunctions) {
+    std::mt19937_64 rng(11);
+    for (int round = 0; round < 50; ++round) {
+        const int n = 3 + static_cast<int>(rng() % 4);  // 3..6 vars
+        std::vector<std::uint32_t> on;
+        for (std::uint32_t m = 0; m < (1u << n); ++m)
+            if (rng() & 1) on.push_back(m);
+        if (on.empty()) continue;
+        const auto cover = coverGreedy(primeImplicants(on, n), on, n);
+        for (std::uint32_t m = 0; m < (1u << n); ++m) {
+            const bool inOn = std::find(on.begin(), on.end(), m) != on.end();
+            bool covered = false;
+            for (const auto& c : cover)
+                covered |= (m & c.mask) == c.value;
+            ASSERT_EQ(covered, inOn)
+                << "round " << round << " minterm " << m;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// synthSmallAnf functional checks
+// ---------------------------------------------------------------------------
+
+/// Builds a single-output netlist for `e` and compares it to direct ANF
+/// evaluation on every assignment of its support.
+void expectMatchesAnf(const anf::Anf& e, const std::vector<anf::Var>& vars) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> nets;
+    for (const anf::Var v : vars) {
+        while (nets.size() < v) nets.push_back(netlist::kNoNet);
+        nets.push_back(b.input("x" + std::to_string(v)));
+    }
+    nl.markOutput("f", synth::synthSmallAnf(b, e, nets));
+
+    sim::Simulator sim(nl);
+    const std::size_t n = nl.inputs().size();
+    ASSERT_LE(n, 16u);
+    // Exhaustive via 64-way packing: inputs indexed in creation order.
+    for (std::uint64_t base = 0; base < (1ull << n); base += 64) {
+        std::vector<std::uint64_t> words(n, 0);
+        for (int lane = 0; lane < 64; ++lane) {
+            const std::uint64_t assign = base + static_cast<std::uint64_t>(lane);
+            for (std::size_t i = 0; i < n; ++i)
+                if ((assign >> i) & 1)
+                    words[i] |= 1ull << lane;
+        }
+        const auto out = sim.run(words);
+        for (int lane = 0; lane < 64 && base + lane < (1ull << n); ++lane) {
+            const std::uint64_t assign = base + static_cast<std::uint64_t>(lane);
+            anf::VarSet trueVars;
+            for (std::size_t i = 0; i < n; ++i)
+                if ((assign >> i) & 1) trueVars.insert(vars[i]);
+            bool expected = false;
+            for (const auto& m : e.terms())
+                if (m.subsetOf(trueVars)) expected = !expected;
+            EXPECT_EQ((out[0] >> lane) & 1, expected ? 1u : 0u)
+                << "assignment " << assign;
+        }
+    }
+}
+
+std::vector<anf::Var> makeVars(int n) {
+    std::vector<anf::Var> v;
+    for (int i = 0; i < n; ++i) v.push_back(static_cast<anf::Var>(i));
+    return v;
+}
+
+TEST(SynthSmallAnf, Constants) {
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    const std::vector<netlist::NetId> none;
+    nl.markOutput("zero", synth::synthSmallAnf(b, anf::Anf::zero(), none));
+    nl.markOutput("one", synth::synthSmallAnf(b, anf::Anf::one(), none));
+    sim::Simulator sim(nl);
+    const std::vector<std::uint64_t> in;
+    EXPECT_EQ(sim.run(in)[0], 0ull);
+    EXPECT_EQ(sim.run(in)[1], ~0ull);
+}
+
+TEST(SynthSmallAnf, SingleLiteral) {
+    const auto vars = makeVars(1);
+    expectMatchesAnf(anf::Anf::var(vars[0]), vars);
+}
+
+TEST(SynthSmallAnf, ParityStaysXor) {
+    // Parity has no compact SOP — the cost model must keep the ANF form.
+    const auto vars = makeVars(5);
+    anf::Anf parity;
+    for (const auto v : vars) parity ^= anf::Anf::var(v);
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> nets;
+    for (const anf::Var v : vars)
+        nets.push_back(b.input("x" + std::to_string(v)));
+    nl.markOutput("f", synth::synthSmallAnf(b, parity, nets));
+    std::size_t xors = 0;
+    for (netlist::NetId id = 0; id < nl.numNets(); ++id)
+        if (nl.gate(id).type == netlist::GateType::kXor) ++xors;
+    EXPECT_EQ(xors, 4u) << "parity should synthesize as an XOR tree";
+    expectMatchesAnf(parity, vars);
+}
+
+TEST(SynthSmallAnf, NibblePriorityLeaderUsesSop) {
+    // The LZD nibble leader P0 = ¬a3·(a2 ∨ ¬a1): 10 ANF terms but a
+    // two-cube SOP. The minimizer must find a small form (≤ 6 gates).
+    const auto vars = makeVars(4);
+    const auto a1 = anf::Anf::var(vars[1]);
+    const auto a2 = anf::Anf::var(vars[2]);
+    const auto a3 = anf::Anf::var(vars[3]);
+    const auto p0 = (~a3) * ((a2 ^ anf::Anf::one() ^ a2 * (~a1)) ^ (~a1));
+    // p0 = ~a3 * (a2 | ~a1), built via x|y = x ^ y ^ xy.
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> nets;
+    for (const anf::Var v : vars)
+        nets.push_back(b.input("x" + std::to_string(v)));
+    nl.markOutput("f", synth::synthSmallAnf(b, p0, nets));
+    EXPECT_LE(nl.numLogicGates(), 6u);
+    expectMatchesAnf(p0, vars);
+}
+
+TEST(SynthSmallAnf, RandomFunctionsMatchExhaustively) {
+    std::mt19937_64 rng(23);
+    for (int round = 0; round < 40; ++round) {
+        const int n = 2 + static_cast<int>(rng() % 5);  // 2..6 vars
+        const auto vars = makeVars(n);
+        std::vector<anf::Monomial> terms;
+        const int t = 1 + static_cast<int>(rng() % 12);
+        for (int q = 0; q < t; ++q) {
+            anf::Monomial m;
+            for (int i = 0; i < n; ++i)
+                if (rng() % 3 == 0) m.insert(vars[static_cast<std::size_t>(i)]);
+            terms.push_back(m);
+        }
+        const auto e = anf::Anf::fromTerms(std::move(terms));
+        if (e.isConstant()) continue;
+        expectMatchesAnf(e, vars);
+    }
+}
+
+TEST(SynthSmallAnf, WideSupportFallsBackToAnf) {
+    // 10-var parity with maxTtVars = 8 must not enumerate 2^10 rows.
+    const auto vars = makeVars(10);
+    anf::Anf parity;
+    for (const auto v : vars) parity ^= anf::Anf::var(v);
+    netlist::Netlist nl;
+    netlist::Builder b(nl);
+    std::vector<netlist::NetId> nets;
+    for (const anf::Var v : vars)
+        nets.push_back(b.input("x" + std::to_string(v)));
+    const auto id = synth::synthSmallAnf(b, parity, nets, /*maxTtVars=*/8);
+    nl.markOutput("f", id);
+    EXPECT_EQ(nl.numLogicGates(), 9u);  // pure XOR tree
+}
+
+}  // namespace
+}  // namespace pd

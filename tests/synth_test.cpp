@@ -1,0 +1,223 @@
+// Synthesis frontend tests: SOP flat, quick-factor, ANF, hierarchy, cell
+// library, mapper, STA.
+#include <gtest/gtest.h>
+
+#include "anf/parser.hpp"
+#include "circuits/majority.hpp"
+#include "core/decomposer.hpp"
+#include "sim/equivalence.hpp"
+#include "synth/anf_synth.hpp"
+#include "synth/hier_synth.hpp"
+#include "synth/mapper.hpp"
+#include "synth/opt.hpp"
+#include "synth/quickfactor.hpp"
+#include "synth/sta.hpp"
+
+namespace pd::synth {
+namespace {
+
+using anf::Anf;
+using anf::parse;
+using anf::VarTable;
+
+SopSpec xorSop(VarTable& vt) {
+    // y = a XOR b as SOP: a·b̄ + ā·b.
+    const anf::Var a = vt.addInput("a0", 0, 0);
+    const anf::Var b = vt.addInput("b0", 1, 0);
+    SopSpec spec;
+    SopOutput out;
+    out.name = "y";
+    Cube c1;
+    c1.pos.insert(a);
+    c1.neg.insert(b);
+    Cube c2;
+    c2.pos.insert(b);
+    c2.neg.insert(a);
+    out.cubes = {c1, c2};
+    spec.outputs.push_back(out);
+    return spec;
+}
+
+void expectXorSemantics(const netlist::Netlist& nl) {
+    const std::vector<sim::PortLayout> ports{{"a", 1}, {"b", 1}};
+    const auto res = sim::checkAgainstReference(
+        nl, ports, {"y"},
+        [](std::span<const std::uint64_t> v) { return v[0] ^ v[1]; });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(SopFlat, TwoLevelXor) {
+    VarTable vt;
+    const auto spec = xorSop(vt);
+    const auto nl = synthSopFlat(spec, vt);
+    expectXorSemantics(nl);
+}
+
+TEST(QuickFactor, SameFunctionAsFlat) {
+    VarTable vt;
+    const auto spec = xorSop(vt);
+    const auto nl = synthSopFactored(spec, vt);
+    expectXorSemantics(nl);
+}
+
+TEST(QuickFactor, CommonLiteralFactoring) {
+    // y = a·b + a·c + a·d: quick factor emits a·(b+c+d) — 3 gates, not 6.
+    VarTable vt;
+    const anf::Var a = vt.addInput("a0", 0, 0);
+    const anf::Var b = vt.addInput("b0", 1, 0);
+    const anf::Var c = vt.addInput("c0", 2, 0);
+    const anf::Var d = vt.addInput("d0", 3, 0);
+    SopSpec spec;
+    SopOutput out;
+    out.name = "y";
+    for (const anf::Var v : {b, c, d}) {
+        Cube cube;
+        cube.pos.insert(a);
+        cube.pos.insert(v);
+        out.cubes.push_back(cube);
+    }
+    spec.outputs.push_back(out);
+    const auto factored = synthSopFactored(spec, vt);
+    const auto flat = synthSopFlat(spec, vt);
+    EXPECT_LT(factored.numLogicGates(), flat.numLogicGates());
+    const std::vector<sim::PortLayout> ports{
+        {"a", 1}, {"b", 1}, {"c", 1}, {"d", 1}};
+    const auto res = sim::checkAgainstReference(
+        factored, ports, {"y"}, [](std::span<const std::uint64_t> v) {
+            return v[0] & (v[1] | v[2] | v[3]);
+        });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(QuickFactor, MajoritySopMatchesReference) {
+    const auto bench = circuits::makeMajority(7);
+    VarTable vt;
+    const auto spec = bench.sop(vt);
+    const auto nl = synthSopFactored(spec, vt);
+    const auto res = sim::checkAgainstReference(nl, bench.ports,
+                                                bench.outputNames,
+                                                bench.reference);
+    EXPECT_TRUE(res.equivalent) << res.message;
+    EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(AnfSynth, ParsedExpression) {
+    VarTable vt;
+    const Anf e = parse("a0*b0 ^ a0 ^ 1", vt);
+    // Mark port metadata for the two registered vars.
+    const auto nl = synthAnfOutputs({e}, {"y"}, vt);
+    const std::vector<sim::PortLayout> ports{{"a0", 1}, {"b0", 1}};
+    const auto res = sim::checkAgainstReference(
+        nl, ports, {"y"}, [](std::span<const std::uint64_t> v) {
+            return ((v[0] & v[1]) ^ v[0] ^ 1) & 1;
+        });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(HierSynth, DecomposedMajorityEquivalent) {
+    const auto bench = circuits::makeMajority(7);
+    VarTable vt;
+    const auto outs = bench.anf(vt);
+    const auto d = core::decompose(vt, outs, bench.outputNames);
+    const auto nl = synthDecomposition(d, vt);
+    const auto res = sim::checkAgainstReference(nl, bench.ports,
+                                                bench.outputNames,
+                                                bench.reference);
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(CellLibrary, LookupAndMagnitudes) {
+    const auto lib = CellLibrary::umc130();
+    EXPECT_EQ(lib.cellFor(netlist::GateType::kNand).name, "NAND2X1");
+    EXPECT_LT(lib.cellFor(netlist::GateType::kNand).delay,
+              lib.cellFor(netlist::GateType::kXor).delay);
+    EXPECT_LT(lib.cellFor(netlist::GateType::kNot).area,
+              lib.cellFor(netlist::GateType::kMux).area);
+    EXPECT_EQ(lib.cellFor(netlist::GateType::kInput).area, 0.0);
+    EXPECT_GT(lib.loadPenalty(), 0.0);
+}
+
+TEST(Sta, ChainDelayAndArea) {
+    netlist::Netlist nl;
+    const auto a = nl.addInput("a");
+    const auto b = nl.addInput("b");
+    const auto x = nl.addGate(netlist::GateType::kAnd, a, b);
+    const auto y = nl.addGate(netlist::GateType::kXor, x, b);
+    nl.markOutput("y", y);
+    const auto lib = CellLibrary::umc130();
+    const auto t = analyzeTiming(nl, lib);
+    // b drives two sinks (the AND and the XOR), so the critical path
+    // through the AND carries one unit of fan-out load penalty.
+    const double expect = lib.cellFor(netlist::GateType::kAnd).delay +
+                          lib.cellFor(netlist::GateType::kXor).delay +
+                          lib.loadPenalty();
+    EXPECT_NEAR(t.criticalDelay, expect, 1e-9);
+    EXPECT_EQ(t.endpoint, "y");
+    ASSERT_GE(t.criticalPath.size(), 2u);
+    const auto area = analyzeArea(nl, lib);
+    EXPECT_NEAR(area.totalArea,
+                lib.cellFor(netlist::GateType::kAnd).area +
+                    lib.cellFor(netlist::GateType::kXor).area,
+                1e-9);
+}
+
+TEST(Sta, FanoutLoadPenalty) {
+    netlist::Netlist nl;
+    const auto a = nl.addInput("a");
+    const auto b = nl.addInput("b");
+    const auto x = nl.addGate(netlist::GateType::kAnd, a, b);
+    // x drives three consumers.
+    const auto y1 = nl.addGate(netlist::GateType::kNot, x);
+    const auto y2 = nl.addGate(netlist::GateType::kXor, x, a);
+    const auto y3 = nl.addGate(netlist::GateType::kOr, x, b);
+    nl.markOutput("y1", y1);
+    nl.markOutput("y2", y2);
+    nl.markOutput("y3", y3);
+    const auto lib = CellLibrary::umc130();
+    const auto t = analyzeTiming(nl, lib);
+    EXPECT_GT(t.criticalDelay,
+              lib.cellFor(netlist::GateType::kAnd).delay +
+                  lib.cellFor(netlist::GateType::kXor).delay);
+}
+
+TEST(Mapper, FusesInverterPairs) {
+    netlist::Netlist nl;
+    const auto a = nl.addInput("a");
+    const auto b = nl.addInput("b");
+    const auto x = nl.addGate(netlist::GateType::kAnd, a, b);
+    const auto y = nl.addGate(netlist::GateType::kNot, x);
+    nl.markOutput("y", y);
+    const auto lib = CellLibrary::umc130();
+    const auto mapped = techMap(nl, lib);
+    EXPECT_EQ(mapped.numLogicGates(), 1u);
+    bool sawNand = false;
+    for (netlist::NetId id = 0; id < mapped.numNets(); ++id)
+        if (mapped.gate(id).type == netlist::GateType::kNand) sawNand = true;
+    EXPECT_TRUE(sawNand);
+    const std::vector<sim::PortLayout> ports{{"a", 1}, {"b", 1}};
+    const auto res = sim::checkAgainstReference(
+        mapped, ports, {"y"}, [](std::span<const std::uint64_t> v) {
+            return ~(v[0] & v[1]) & 1;
+        });
+    EXPECT_TRUE(res.equivalent) << res.message;
+}
+
+TEST(Mapper, KeepsSharedGateWhenFanoutHigh) {
+    netlist::Netlist nl;
+    const auto a = nl.addInput("a");
+    const auto b = nl.addInput("b");
+    const auto x = nl.addGate(netlist::GateType::kAnd, a, b);
+    const auto y = nl.addGate(netlist::GateType::kNot, x);
+    nl.markOutput("y", y);
+    nl.markOutput("x", x);  // second consumer: no fusion allowed
+    const auto lib = CellLibrary::umc130();
+    const auto mapped = techMap(nl, lib);
+    // AND must survive since it feeds an output directly.
+    bool sawAnd = false;
+    for (netlist::NetId id = 0; id < mapped.numNets(); ++id)
+        if (mapped.gate(id).type == netlist::GateType::kAnd) sawAnd = true;
+    EXPECT_TRUE(sawAnd);
+}
+
+}  // namespace
+}  // namespace pd::synth

@@ -1,0 +1,176 @@
+// Tests for dense truth tables and the Möbius transform: algebraic
+// identities, round trips against the ANF engine, and the transform's
+// self-inverse property across the word boundary (n > 6).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anf/ops.hpp"
+#include "tt/truthtable.hpp"
+
+namespace pd {
+namespace {
+
+using tt::fromAnf;
+using tt::mobius;
+using tt::toAnf;
+using tt::TruthTable;
+
+std::vector<anf::Var> makeVars(int n) {
+    std::vector<anf::Var> v;
+    for (int i = 0; i < n; ++i) v.push_back(static_cast<anf::Var>(i));
+    return v;
+}
+
+anf::Anf randomAnf(std::mt19937_64& rng, int n, int maxTerms) {
+    std::vector<anf::Monomial> terms;
+    const int t = 1 + static_cast<int>(rng() % static_cast<unsigned>(maxTerms));
+    for (int q = 0; q < t; ++q) {
+        anf::Monomial m;
+        for (int i = 0; i < n; ++i)
+            if (rng() % 3 == 0) m.insert(static_cast<anf::Var>(i));
+        terms.push_back(m);
+    }
+    return anf::Anf::fromTerms(std::move(terms));
+}
+
+TEST(TruthTable, ConstantAndVarBasics) {
+    const auto zero = TruthTable::constant(3, false);
+    const auto one = TruthTable::constant(3, true);
+    EXPECT_TRUE(zero.isZero());
+    EXPECT_EQ(one.countOnes(), 8u);
+    const auto x0 = TruthTable::var(3, 0);
+    const auto x2 = TruthTable::var(3, 2);
+    EXPECT_EQ(x0.countOnes(), 4u);
+    EXPECT_EQ(x2.countOnes(), 4u);
+    for (std::uint64_t r = 0; r < 8; ++r) {
+        EXPECT_EQ(x0.get(r), (r & 1) != 0);
+        EXPECT_EQ(x2.get(r), (r & 4) != 0);
+    }
+}
+
+TEST(TruthTable, OperatorsMatchBitwiseSemantics) {
+    const auto a = TruthTable::var(2, 0);
+    const auto b = TruthTable::var(2, 1);
+    const auto andT = a & b;
+    const auto orT = a | b;
+    const auto xorT = a ^ b;
+    const auto notA = ~a;
+    for (std::uint64_t r = 0; r < 4; ++r) {
+        const bool av = a.get(r), bv = b.get(r);
+        EXPECT_EQ(andT.get(r), av && bv);
+        EXPECT_EQ(orT.get(r), av || bv);
+        EXPECT_EQ(xorT.get(r), av != bv);
+        EXPECT_EQ(notA.get(r), !av);
+    }
+}
+
+TEST(TruthTable, ComplementStaysCanonicalBelowWordSize) {
+    // ~ on n < 6 variables must not leak garbage into unused rows, or
+    // operator== breaks.
+    const auto t = ~TruthTable::constant(3, false);
+    EXPECT_EQ(t, TruthTable::constant(3, true));
+}
+
+TEST(Mobius, SelfInverseSmall) {
+    std::mt19937_64 rng(5);
+    for (int round = 0; round < 30; ++round) {
+        const int n = 1 + static_cast<int>(rng() % 6);
+        TruthTable t(n);
+        for (std::uint64_t r = 0; r < t.numRows(); ++r)
+            t.set(r, (rng() & 1) != 0);
+        EXPECT_EQ(mobius(mobius(t)), t) << "n=" << n;
+    }
+}
+
+TEST(Mobius, SelfInverseAcrossWordBoundary) {
+    std::mt19937_64 rng(6);
+    for (const int n : {7, 8, 10}) {
+        TruthTable t(n);
+        for (std::uint64_t r = 0; r < t.numRows(); ++r)
+            t.set(r, (rng() & 1) != 0);
+        EXPECT_EQ(mobius(mobius(t)), t) << "n=" << n;
+    }
+}
+
+TEST(Mobius, KnownSmallCases) {
+    // f = x0 AND x1: value vector 1000 (row 3 only) → ANF x0·x1 has a
+    // single coefficient at row 3.
+    TruthTable andT(2);
+    andT.set(3, true);
+    const auto coeff = mobius(andT);
+    EXPECT_TRUE(coeff.get(3));
+    EXPECT_EQ(coeff.countOnes(), 1u);
+
+    // f = x0 OR x1 = x0 ⊕ x1 ⊕ x0x1: coefficients at rows 1, 2, 3.
+    TruthTable orT(2);
+    orT.set(1, true);
+    orT.set(2, true);
+    orT.set(3, true);
+    const auto c2 = mobius(orT);
+    EXPECT_TRUE(c2.get(1));
+    EXPECT_TRUE(c2.get(2));
+    EXPECT_TRUE(c2.get(3));
+    EXPECT_FALSE(c2.get(0));
+}
+
+TEST(AnfRoundTrip, FromAnfMatchesDirectEvaluation) {
+    std::mt19937_64 rng(7);
+    for (int round = 0; round < 40; ++round) {
+        const int n = 1 + static_cast<int>(rng() % 8);
+        const auto vars = makeVars(n);
+        const auto e = randomAnf(rng, n, 16);
+        const auto t = fromAnf(e, vars);
+        for (std::uint64_t r = 0; r < t.numRows(); ++r) {
+            anf::VarSet trueVars;
+            for (int i = 0; i < n; ++i)
+                if ((r >> i) & 1)
+                    trueVars.insert(vars[static_cast<std::size_t>(i)]);
+            bool expected = false;
+            for (const auto& m : e.terms())
+                if (m.subsetOf(trueVars)) expected = !expected;
+            ASSERT_EQ(t.get(r), expected) << "round " << round << " row " << r;
+        }
+    }
+}
+
+TEST(AnfRoundTrip, ToAnfInvertsFromAnf) {
+    std::mt19937_64 rng(8);
+    for (int round = 0; round < 40; ++round) {
+        const int n = 1 + static_cast<int>(rng() % 8);
+        const auto vars = makeVars(n);
+        const auto e = randomAnf(rng, n, 20);
+        EXPECT_EQ(toAnf(fromAnf(e, vars), vars), e) << "round " << round;
+    }
+}
+
+TEST(AnfRoundTrip, RingHomomorphism) {
+    // fromAnf must map ⊕ to ^ and · to & — the Boolean-ring isomorphism
+    // the whole paper stands on.
+    std::mt19937_64 rng(9);
+    const int n = 6;
+    const auto vars = makeVars(n);
+    for (int round = 0; round < 20; ++round) {
+        const auto a = randomAnf(rng, n, 10);
+        const auto b = randomAnf(rng, n, 10);
+        EXPECT_EQ(fromAnf(a ^ b, vars), fromAnf(a, vars) ^ fromAnf(b, vars));
+        EXPECT_EQ(fromAnf(a * b, vars), fromAnf(a, vars) & fromAnf(b, vars));
+    }
+}
+
+TEST(AnfRoundTrip, UnmappedVariableThrows) {
+    const auto vars = makeVars(2);
+    const auto e = anf::Anf::var(static_cast<anf::Var>(5));
+    EXPECT_THROW((void)fromAnf(e, vars), pd::Error);
+}
+
+TEST(TruthTable, VarAboveWordBoundary) {
+    const auto x7 = TruthTable::var(8, 7);
+    EXPECT_EQ(x7.countOnes(), 128u);
+    EXPECT_FALSE(x7.get(0));
+    EXPECT_TRUE(x7.get(128));
+    EXPECT_TRUE(x7.get(255));
+}
+
+}  // namespace
+}  // namespace pd

@@ -1,0 +1,249 @@
+// pd_cli — command-line front-end for Progressive Decomposition.
+//
+// Modes:
+//   pd_cli expr   [options] "<name>=<expr>" ...   decompose expressions
+//   pd_cli bench  [options] <benchmark>           decompose a named benchmark
+//   pd_cli list                                   list named benchmarks
+//
+// Options:
+//   -k <n>           group size (default 4)
+//   --no-identities  / --no-nullspace / --no-sizered / --no-linmin
+//   --trace          print the per-iteration trace (paper Fig. 6 style)
+//   --verilog <file> write the synthesized hierarchy as structural Verilog
+//   --blif <file>    write it as BLIF
+//   --stats          print netlist statistics and mapped QoR
+//
+// Expressions use the parser grammar: XOR is '^' or '+', AND is '*' or
+// '&', '~' complements, identifiers are registered as inputs on first
+// use. Example:
+//   pd_cli expr --trace "maj=a*b ^ a*c ^ b*c"
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anf/parser.hpp"
+#include "anf/printer.hpp"
+#include "circuits/adder.hpp"
+#include "circuits/comparator.hpp"
+#include "circuits/counter.hpp"
+#include "circuits/lzd.hpp"
+#include "circuits/majority.hpp"
+#include "circuits/multiplier.hpp"
+#include "core/decomposer.hpp"
+#include "io/blif.hpp"
+#include "io/verilog.hpp"
+#include "netlist/stats.hpp"
+#include "sim/equivalence.hpp"
+#include "synth/celllib.hpp"
+#include "synth/hier_synth.hpp"
+#include "synth/mapper.hpp"
+#include "synth/opt.hpp"
+#include "synth/sta.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using pd::circuits::Benchmark;
+
+int usage() {
+    std::cerr <<
+        "usage:\n"
+        "  pd_cli expr  [options] \"<name>=<expr>\" ...\n"
+        "  pd_cli bench [options] <benchmark>\n"
+        "  pd_cli list\n"
+        "options: -k <n>  --trace  --stats  --verilog <file>  --blif <file>\n"
+        "         --no-identities --no-nullspace --no-sizered --no-linmin\n";
+    return 2;
+}
+
+std::map<std::string, Benchmark> namedBenchmarks() {
+    using namespace pd::circuits;
+    std::map<std::string, Benchmark> m;
+    m.emplace("lzd16", makeLzd(16));
+    m.emplace("lod16", makeLod(16));
+    m.emplace("lod32", makeLod(32));
+    m.emplace("majority7", makeMajority(7));
+    m.emplace("majority15", makeMajority(15));
+    m.emplace("counter8", makeCounter(8));
+    m.emplace("counter16", makeCounter(16));
+    m.emplace("adder8", makeAdder(8));
+    m.emplace("adder16", makeAdder(16));
+    m.emplace("adder3_9", makeAdder3(9));
+    m.emplace("comparator8", makeComparator(8));
+    m.emplace("comparator12", makeComparator(12, 13));
+    m.emplace("mul4", makeMultiplier(4));
+    m.emplace("mul6", makeMultiplier(6));
+    return m;
+}
+
+void printTrace(const pd::core::Decomposition& d) {
+    for (const auto& tr : d.trace) {
+        std::cout << "iteration " << tr.level << ": group = {" << tr.group
+                  << "}, pairs " << tr.rawPairCount << " -> "
+                  << tr.mergedPairCount << " (linear -" << tr.linearRemoved
+                  << ", size-red " << tr.sizeReductions << "), terms "
+                  << tr.foldedTermsBefore << " -> " << tr.foldedTermsAfter
+                  << "\n";
+        for (const auto& s : tr.basis) std::cout << "  basis     " << s << "\n";
+        for (const auto& s : tr.reductions)
+            std::cout << "  reduction " << s << "\n";
+        for (const auto& s : tr.identities)
+            std::cout << "  identity  " << s << "\n";
+    }
+}
+
+struct Options {
+    pd::core::DecomposeOptions decompose;
+    bool trace = false;
+    bool stats = false;
+    std::string verilogPath;
+    std::string blifPath;
+};
+
+int runDecomposition(pd::anf::VarTable& vt,
+                     const std::vector<pd::anf::Anf>& outputs,
+                     const std::vector<std::string>& names,
+                     const Options& opt) {
+    const auto d = pd::core::decompose(vt, outputs, names, opt.decompose);
+
+    std::cout << "decomposition: " << d.blocks.size() << " blocks over "
+              << d.iterations << " iterations"
+              << (d.converged ? "" : " (stopped before full convergence)")
+              << "\n";
+    if (opt.trace) printTrace(d);
+
+    std::size_t leaders = 0;
+    for (const auto& blk : d.blocks) leaders += blk.outputs.size();
+    std::cout << "leader expressions materialized: " << leaders << "\n";
+
+    const auto nl = pd::synth::synthDecomposition(d, vt);
+    const auto optimized = pd::synth::optimize(nl);
+
+    if (!opt.verilogPath.empty()) {
+        std::ofstream os(opt.verilogPath);
+        if (!os) {
+            std::cerr << "cannot write " << opt.verilogPath << "\n";
+            return 1;
+        }
+        pd::io::writeVerilog(os, optimized);
+        std::cout << "wrote " << opt.verilogPath << "\n";
+    }
+    if (!opt.blifPath.empty()) {
+        std::ofstream os(opt.blifPath);
+        if (!os) {
+            std::cerr << "cannot write " << opt.blifPath << "\n";
+            return 1;
+        }
+        pd::io::writeBlif(os, optimized);
+        std::cout << "wrote " << opt.blifPath << "\n";
+    }
+    if (opt.stats) {
+        std::cout << pd::netlist::summary(pd::netlist::computeStats(optimized))
+                  << "\n";
+        const auto lib = pd::synth::CellLibrary::umc130();
+        const auto mapped = pd::synth::techMap(optimized, lib);
+        const auto q = pd::synth::qor(mapped, lib);
+        std::cout << "mapped QoR: area " << q.area << " um^2, delay "
+                  << q.delay << " ns, " << q.gates << " cells\n";
+    }
+    return 0;
+}
+
+int parseCommon(int argc, char** argv, int first, Options& opt,
+                std::vector<std::string>& positional) {
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-k") {
+            if (++i >= argc) return usage();
+            opt.decompose.k = static_cast<std::size_t>(std::stoul(argv[i]));
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--verilog") {
+            if (++i >= argc) return usage();
+            opt.verilogPath = argv[i];
+        } else if (arg == "--blif") {
+            if (++i >= argc) return usage();
+            opt.blifPath = argv[i];
+        } else if (arg == "--no-identities") {
+            opt.decompose.useIdentities = false;
+        } else if (arg == "--no-nullspace") {
+            opt.decompose.useNullspaceMerging = false;
+        } else if (arg == "--no-sizered") {
+            opt.decompose.useSizeReduction = false;
+        } else if (arg == "--no-linmin") {
+            opt.decompose.useLinearMinimize = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string mode = argv[1];
+    try {
+        if (mode == "list") {
+            for (const auto& [name, bench] : namedBenchmarks())
+                std::cout << name
+                          << (bench.anf ? "" : "  (no tractable RM form)")
+                          << "\n";
+            return 0;
+        }
+
+        Options opt;
+        std::vector<std::string> positional;
+        if (const int rc = parseCommon(argc, argv, 2, opt, positional))
+            return rc;
+
+        if (mode == "expr") {
+            if (positional.empty()) return usage();
+            pd::anf::VarTable vt;
+            std::vector<pd::anf::Anf> outputs;
+            std::vector<std::string> names;
+            for (const auto& spec : positional) {
+                const auto eq = spec.find('=');
+                if (eq == std::string::npos) {
+                    std::cerr << "expected <name>=<expr>, got '" << spec
+                              << "'\n";
+                    return 2;
+                }
+                names.push_back(spec.substr(0, eq));
+                outputs.push_back(pd::anf::parse(spec.substr(eq + 1), vt));
+            }
+            return runDecomposition(vt, outputs, names, opt);
+        }
+
+        if (mode == "bench") {
+            if (positional.size() != 1) return usage();
+            const auto all = namedBenchmarks();
+            const auto it = all.find(positional[0]);
+            if (it == all.end()) {
+                std::cerr << "unknown benchmark '" << positional[0]
+                          << "' (try: pd_cli list)\n";
+                return 2;
+            }
+            if (!it->second.anf) {
+                std::cerr << "benchmark has no tractable Reed-Muller form\n";
+                return 1;
+            }
+            pd::anf::VarTable vt;
+            const auto outputs = it->second.anf(vt);
+            return runDecomposition(vt, outputs, it->second.outputNames, opt);
+        }
+
+        return usage();
+    } catch (const pd::Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

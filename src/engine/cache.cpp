@@ -1,0 +1,117 @@
+#include "engine/cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace pd::engine {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+    if (shards == 0) shards = 1;
+    shards = std::min(shards, std::max<std::size_t>(capacity, 1));
+    // Per-shard bound equals the global capacity: hash skew must never
+    // evict while fewer than `capacity` distinct keys are live (a warm
+    // batch rerun relies on that). Worst-case residency is
+    // capacity × shards; with a uniform hash the expected residency
+    // tracks capacity.
+    perShardCapacity_ = std::max<std::size_t>(1, capacity);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::LookupResult ResultCache::lookupOrReserve(const std::string& key) {
+    if (capacity_ == 0) return std::monostate{};
+    const std::size_t idx =
+        std::hash<std::string>{}(key) % shards_.size();
+    Shard& s = *shards_[idx];
+
+    std::shared_future<Value> wait;
+    {
+        std::lock_guard lock(s.mutex);
+        const auto it = s.map.find(key);
+        if (it == s.map.end()) {
+            ++s.stats.misses;
+            std::promise<Value> promise;
+            Entry e;
+            e.future = promise.get_future().share();
+            e.lastUse = ++s.tick;
+            s.map.emplace(key, std::move(e));
+            return Reservation(this, idx, key, std::move(promise));
+        }
+        ++s.stats.hits;
+        it->second.lastUse = ++s.tick;
+        if (it->second.ready) return it->second.future.get();
+        wait = it->second.future;  // in-flight: wait outside the lock
+    }
+    Value v = wait.get();
+    if (v) return v;
+    // The computing job failed; its entry is gone. Compute locally without
+    // publishing (failures are not cached, and re-reserving here could
+    // livelock with other failed waiters).
+    return std::monostate{};
+}
+
+void ResultCache::publish(std::size_t shard, const std::string& key,
+                          bool success) {
+    Shard& s = *shards_[shard];
+    std::lock_guard lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return;
+    if (!success) {
+        s.map.erase(it);
+        return;
+    }
+    it->second.ready = true;
+    it->second.lastUse = ++s.tick;
+    ++s.stats.inserts;
+    evictIfNeeded(s);
+}
+
+void ResultCache::evictIfNeeded(Shard& s) {
+    std::size_t ready = 0;
+    for (const auto& [k, e] : s.map) ready += e.ready ? 1 : 0;
+    while (ready > perShardCapacity_) {
+        auto victim = s.map.end();
+        for (auto it = s.map.begin(); it != s.map.end(); ++it) {
+            if (!it->second.ready) continue;
+            if (victim == s.map.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == s.map.end()) break;
+        s.map.erase(victim);
+        ++s.stats.evictions;
+        --ready;
+    }
+}
+
+ResultCache::Reservation::~Reservation() {
+    if (!cache_) return;
+    if (!fulfilled_) {
+        promise_.set_value(nullptr);  // wake waiters: compute yourselves
+        cache_->publish(shard_, key_, /*success=*/false);
+    }
+}
+
+void ResultCache::Reservation::fulfill(Value v) {
+    promise_.set_value(std::move(v));
+    fulfilled_ = true;
+    cache_->publish(shard_, key_, /*success=*/true);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+    Stats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        total.hits += shard->stats.hits;
+        total.misses += shard->stats.misses;
+        total.inserts += shard->stats.inserts;
+        total.evictions += shard->stats.evictions;
+        for (const auto& [k, e] : shard->map)
+            total.entries += e.ready ? 1 : 0;
+    }
+    return total;
+}
+
+}  // namespace pd::engine

@@ -1,0 +1,126 @@
+// Sharded, mutex-protected result cache for the batch engine.
+//
+// Keys are canonical signatures of the job's output ANF set plus an
+// options fingerprint (see engine::canonicalSignature): two jobs that
+// decompose the same Boolean functions under the same options map to the
+// same key, however their variables were named. The full signature string
+// is the key — no hash truncation — so a false hit is impossible.
+//
+// Concurrency protocol (per shard, one mutex each):
+//   * find(key) ready      → hit: bump LRU stamp, return the value.
+//   * find(key) in-flight  → hit: wait on the computing job's future
+//                            outside the shard lock, then return its value.
+//   * miss                 → the caller receives a Reservation and must
+//                            compute; duplicates submitted meanwhile block
+//                            on the reservation's future instead of
+//                            recomputing. fulfill() publishes the value;
+//                            destroying an unfulfilled Reservation (the
+//                            computation threw) erases the entry and wakes
+//                            waiters with nullptr, telling them to compute
+//                            for themselves — failures are never cached.
+//
+// Eviction is least-recently-used per shard over *ready* entries only;
+// in-flight entries are pinned. Each shard is bounded by the full
+// configured capacity (not capacity/shards) so hash skew can never evict
+// while fewer than `capacity` distinct keys are live — warm batch reruns
+// depend on that guarantee. Worst-case residency is capacity × shards.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace pd::engine {
+
+class ResultCache {
+public:
+    using Value = std::shared_ptr<const JobResult>;
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+
+    /// RAII token for a reserved (in-flight) computation slot.
+    class Reservation {
+    public:
+        Reservation(Reservation&& other) noexcept
+            : cache_(other.cache_),
+              shard_(other.shard_),
+              key_(std::move(other.key_)),
+              promise_(std::move(other.promise_)),
+              fulfilled_(other.fulfilled_) {
+            other.cache_ = nullptr;  // moved-from dtor must be a no-op
+        }
+        Reservation& operator=(Reservation&&) = delete;
+        Reservation(const Reservation&) = delete;
+        ~Reservation();
+
+        /// Publishes the computed result and releases waiters.
+        void fulfill(Value v);
+
+    private:
+        friend class ResultCache;
+        Reservation(ResultCache* cache, std::size_t shard, std::string key,
+                    std::promise<Value> promise)
+            : cache_(cache),
+              shard_(shard),
+              key_(std::move(key)),
+              promise_(std::move(promise)) {}
+
+        ResultCache* cache_;
+        std::size_t shard_;
+        std::string key_;
+        std::promise<Value> promise_;
+        bool fulfilled_ = false;
+    };
+
+    /// `capacity` = guaranteed-resident distinct keys before LRU eviction
+    /// may kick in; each shard is bounded by this value, so worst-case
+    /// residency is capacity × shards (see the file comment). 0 disables
+    /// caching: every lookup is a non-caching miss.
+    explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+    /// Either a ready value (hit — may have blocked on an in-flight
+    /// computation) or a Reservation the caller must fulfill, or
+    /// std::monostate when caching is disabled or an in-flight computation
+    /// failed (compute, don't publish).
+    using LookupResult = std::variant<Value, Reservation, std::monostate>;
+    [[nodiscard]] LookupResult lookupOrReserve(const std::string& key);
+
+    [[nodiscard]] Stats stats() const;
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    struct Entry {
+        std::shared_future<Value> future;
+        bool ready = false;
+        std::uint64_t lastUse = 0;
+    };
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, Entry> map;
+        std::uint64_t tick = 0;
+        Stats stats;
+    };
+
+    void publish(std::size_t shard, const std::string& key, bool success);
+    void evictIfNeeded(Shard& s);  // caller holds s.mutex
+
+    std::size_t capacity_;
+    std::size_t perShardCapacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pd::engine

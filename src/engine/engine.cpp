@@ -1,0 +1,346 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <ctime>
+#include <unordered_map>
+#include <utility>
+
+#include "anf/parser.hpp"
+#include "circuits/registry.hpp"
+#include "netlist/stats.hpp"
+#include "synth/hier_synth.hpp"
+#include "synth/mapper.hpp"
+#include "synth/opt.hpp"
+#include "util/error.hpp"
+
+namespace pd::engine {
+namespace {
+
+/// CPU time of the calling thread in milliseconds (0 where unsupported).
+double threadCpuMs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) * 1e3 +
+               static_cast<double>(ts.tv_nsec) * 1e-6;
+#endif
+    return 0.0;
+}
+
+double wallMsSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// The job's working set: expressions plus the table they live in.
+struct ResolvedJob {
+    anf::VarTable vars;
+    std::vector<anf::Anf> outputs;
+    std::vector<std::string> outputNames;
+    /// Present for benchmark-backed jobs; enables simulation verify.
+    std::shared_ptr<const circuits::Benchmark> bench;
+};
+
+ResolvedJob resolve(const JobSpec& spec) {
+    ResolvedJob r;
+    if (spec.bench) {
+        r.bench = spec.bench;
+    } else if (!spec.benchmark.empty()) {
+        auto b = circuits::makeNamedBenchmark(spec.benchmark);
+        if (!b)
+            fail("engine", "unknown benchmark '" + spec.benchmark +
+                               "' (try: pd_cli list)");
+        r.bench = std::make_shared<const circuits::Benchmark>(std::move(*b));
+    }
+    if (r.bench) {
+        if (!r.bench->anf)
+            fail("engine", "benchmark '" + r.bench->name +
+                               "' has no tractable Reed-Muller form");
+        r.outputs = r.bench->anf(r.vars);
+        r.outputNames = r.bench->outputNames;
+        return r;
+    }
+    if (spec.expressions.empty())
+        fail("engine", "job '" + spec.name +
+                           "' names no benchmark and no expressions");
+    for (const auto& e : spec.expressions) {
+        const auto eq = e.find('=');
+        if (eq == std::string::npos)
+            fail("engine", "expected <name>=<expr>, got '" + e + "'");
+        r.outputNames.push_back(e.substr(0, eq));
+        r.outputs.push_back(anf::parse(e.substr(eq + 1), r.vars));
+    }
+    return r;
+}
+
+}  // namespace
+
+std::string optionsFingerprint(const core::DecomposeOptions& opt,
+                               bool verify) {
+    std::string sig;
+    const auto flag = [&](char c, bool v) {
+        sig += '|';
+        sig += c;
+        sig += v ? '1' : '0';
+    };
+    sig += "|k" + std::to_string(opt.k);
+    sig += "|d" + std::to_string(opt.identityMaxDegree);
+    flag('l', opt.useLinearMinimize);
+    flag('s', opt.useSizeReduction);
+    flag('i', opt.useIdentities);
+    flag('n', opt.useNullspaceMerging);
+    flag('c', opt.complementNullspace);
+    sig += "|m" + std::to_string(opt.maxIterations);
+    sig += "|x" + std::to_string(opt.maxExhaustiveCombinations);
+    flag('v', verify);
+    return sig;
+}
+
+std::string canonicalSignature(std::span<const anf::Anf> outputs,
+                               const core::DecomposeOptions& opt,
+                               bool verify) {
+    std::string sig = "pdsig1" + optionsFingerprint(opt, verify);
+
+    // First-occurrence relabeling over the canonical term stream: two
+    // registrations of the same functions get the same labels however the
+    // variables were named, as long as registration order is preserved.
+    std::unordered_map<anf::Var, std::uint32_t> relabel;
+    for (const auto& out : outputs)
+        for (const auto& m : out.terms())
+            m.forEachVar([&](anf::Var v) {
+                relabel.emplace(v, static_cast<std::uint32_t>(relabel.size()));
+            });
+
+    for (const auto& out : outputs) {
+        std::vector<std::vector<std::uint32_t>> monos;
+        monos.reserve(out.termCount());
+        for (const auto& m : out.terms()) {
+            std::vector<std::uint32_t> ids;
+            m.forEachVar([&](anf::Var v) { ids.push_back(relabel.at(v)); });
+            std::sort(ids.begin(), ids.end());
+            monos.push_back(std::move(ids));
+        }
+        std::sort(monos.begin(), monos.end(),
+                  [](const auto& a, const auto& b) {
+                      if (a.size() != b.size()) return a.size() < b.size();
+                      return a < b;
+                  });
+        sig += "|O";
+        for (const auto& ids : monos) {
+            sig += 'M';
+            for (const auto id : ids) {
+                sig += std::to_string(id);
+                sig += '.';
+            }
+        }
+    }
+    return sig;
+}
+
+std::string signatureDigest(const std::string& signature) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+    for (const unsigned char c : signature) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+        h >>= 4;
+    }
+    return hex;
+}
+
+Engine::Engine(EngineOptions opt)
+    : opt_(opt),
+      lib_(synth::CellLibrary::umc130()),
+      cache_(opt.cacheCapacity),
+      pool_(opt.jobs == 0 ? 1 : opt.jobs) {}
+
+std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
+    std::vector<std::future<JobResult>> futures;
+    futures.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        futures.push_back(
+            pool_.submit([this, &specs, i] { return execute(specs[i], i); }));
+    std::vector<JobResult> results;
+    results.reserve(specs.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+}
+
+JobResult Engine::runJob(const JobSpec& spec) {
+    return runBatch({spec}).front();
+}
+
+JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
+    const auto wallStart = std::chrono::steady_clock::now();
+    const double cpuStart = threadCpuMs();
+
+    JobResult result;
+    result.name = !spec.name.empty() ? spec.name
+                  : spec.bench       ? spec.bench->name
+                  : !spec.benchmark.empty()
+                      ? spec.benchmark
+                      : "job" + std::to_string(index);
+    try {
+        core::DecomposeOptions dopt = spec.options;
+        if (opt_.conflictBudget != 0)
+            dopt.maxIterations =
+                std::min(dopt.maxIterations, opt_.conflictBudget);
+
+        // Registry-named jobs can learn their signature from the memo and
+        // defer building the (possibly huge) ANF until a cache miss.
+        std::optional<ResolvedJob> job;
+        std::string sig;
+        std::string memoKey;
+        if (!spec.benchmark.empty()) {
+            memoKey = spec.benchmark + optionsFingerprint(dopt, spec.verify);
+            std::lock_guard lock(sigMutex_);
+            if (const auto it = sigByName_.find(memoKey);
+                it != sigByName_.end())
+                sig = it->second;
+        }
+        if (sig.empty()) {
+            job.emplace(resolve(spec));
+            sig = canonicalSignature(job->outputs, dopt, spec.verify);
+            if (!memoKey.empty()) {
+                std::lock_guard lock(sigMutex_);
+                sigByName_.emplace(memoKey, sig);
+            }
+        }
+        result.cacheKey = signatureDigest(sig);
+
+        auto lookup = cache_.lookupOrReserve(sig);
+        if (auto* hit = std::get_if<ResultCache::Value>(&lookup)) {
+            const JobResult& cached = **hit;
+            // A netlist-carrying hit must present the requester's own
+            // interface: the signature identifies isomorphs up to
+            // renaming, but a renamed job's netlist has the donor's port
+            // names. Serve it only when the names line up; otherwise fall
+            // through and compute locally (without re-publishing).
+            bool serveable = true;
+            if (spec.keepMapped) {
+                if (!job) job.emplace(resolve(spec));
+                serveable =
+                    cached.mapped.outputs().size() ==
+                    job->outputNames.size();
+                for (std::size_t i = 0; serveable && i < job->outputNames.size();
+                     ++i)
+                    serveable = cached.mapped.outputs()[i].name ==
+                                job->outputNames[i];
+                const auto inputVars =
+                    job->vars.varsOfKind(anf::VarKind::kInput);
+                serveable = serveable &&
+                            cached.mapped.inputs().size() == inputVars.size();
+                for (std::size_t i = 0; serveable && i < inputVars.size(); ++i)
+                    serveable = cached.mapped.inputName(i) ==
+                                job->vars.name(inputVars[i]);
+            }
+            if (serveable) {
+                // Copy everything except the netlist, which is only
+                // materialized for keepMapped consumers — the default hit
+                // path must stay allocation-light.
+                const std::string name = std::move(result.name);
+                const std::string key = std::move(result.cacheKey);
+                result = JobResult{};
+                result.ok = cached.ok;
+                result.error = cached.error;
+                result.blocks = cached.blocks;
+                result.iterations = cached.iterations;
+                result.leaders = cached.leaders;
+                result.converged = cached.converged;
+                result.qor = cached.qor;
+                result.levels = cached.levels;
+                result.interconnect = cached.interconnect;
+                result.verification = cached.verification;
+                result.vectorsTested = cached.vectorsTested;
+                result.exhaustive = cached.exhaustive;
+                if (spec.keepMapped) result.mapped = cached.mapped;
+                result.name = name;
+                result.cacheKey = key;
+                result.cacheHit = true;
+                result.wallMs = wallMsSince(wallStart);
+                result.cpuMs = threadCpuMs() - cpuStart;
+                return result;
+            }
+        }
+
+        // Miss (reserved) or non-caching miss: run the full flow.
+        if (!job) job.emplace(resolve(spec));
+        const auto d =
+            core::decompose(job->vars, job->outputs, job->outputNames, dopt);
+        result.blocks = d.blocks.size();
+        result.iterations = d.iterations;
+        result.leaders = d.totalBlockOutputs();
+        result.converged = d.converged;
+
+        const auto raw = synth::synthDecomposition(d, job->vars);
+        const auto optimized = synth::optimize(raw);
+        auto mapped = synth::techMap(optimized, lib_);
+        result.qor = synth::qor(mapped, lib_);
+        const auto stats = netlist::computeStats(mapped);
+        result.levels = stats.levels;
+        result.interconnect = stats.interconnect;
+
+        if (!spec.verify) {
+            result.verification = VerifyStatus::kSkipped;
+        } else if (job->bench) {
+            const auto eq = sim::checkAgainstReference(
+                mapped, job->bench->ports, job->bench->outputNames,
+                job->bench->reference, opt_.equiv);
+            result.vectorsTested = eq.vectorsTested;
+            result.exhaustive = eq.exhaustive;
+            if (!eq.equivalent) {
+                result.verification = VerifyStatus::kFailed;
+                fail("engine", result.name +
+                                   ": mapped netlist failed verification: " +
+                                   eq.message);
+            }
+            result.verification = VerifyStatus::kSimulated;
+        } else {
+            if (d.expandedOutputs(job->vars) != job->outputs) {
+                result.verification = VerifyStatus::kFailed;
+                fail("engine",
+                     result.name +
+                         ": expanded decomposition differs from input ANF");
+            }
+            result.verification = VerifyStatus::kAlgebraic;
+        }
+
+        result.ok = true;
+        result.mapped = std::move(mapped);
+        result.wallMs = wallMsSince(wallStart);
+        result.cpuMs = threadCpuMs() - cpuStart;
+
+        if (auto* reservation =
+                std::get_if<ResultCache::Reservation>(&lookup)) {
+            // Cache the full result (netlist included) so a later
+            // keepMapped request can be served from cache too.
+            reservation->fulfill(
+                std::make_shared<const JobResult>(result));
+        }
+        if (!spec.keepMapped) result.mapped = netlist::Netlist{};
+        return result;
+    } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+    } catch (...) {
+        result.ok = false;
+        result.error = "unknown exception";
+    }
+    result.wallMs = wallMsSince(wallStart);
+    result.cpuMs = threadCpuMs() - cpuStart;
+    return result;
+}
+
+std::vector<JobResult> runBatch(const std::vector<JobSpec>& specs,
+                                const EngineOptions& opt) {
+    Engine engine(opt);
+    return engine.runBatch(specs);
+}
+
+}  // namespace pd::engine

@@ -1,0 +1,103 @@
+// Concurrent batch decomposition engine.
+//
+// Turns the one-shot pipeline (parse → decompose → synth → optimize →
+// map → STA → verify) into a batch service: a fixed worker pool runs one
+// job per spec, each with its own VarTable (the library has no global
+// mutable state, so per-job tables are the whole isolation story), and a
+// canonical-ANF result cache serves repeated or variable-renamed jobs
+// without re-decomposing. Results come back in spec order, independent of
+// scheduling; a throwing job yields a JobResult with ok=false and
+// poisons nothing else.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "engine/cache.hpp"
+#include "engine/job.hpp"
+#include "engine/pool.hpp"
+#include "sim/equivalence.hpp"
+#include "synth/celllib.hpp"
+
+namespace pd::engine {
+
+struct EngineOptions {
+    /// Worker threads (0 → 1).
+    std::size_t jobs = 1;
+    /// Result-cache capacity: at least this many distinct jobs stay
+    /// resident before LRU eviction (0 disables caching; see cache.hpp
+    /// for the exact per-shard bound).
+    std::size_t cacheCapacity = 64;
+    /// Per-job effort budget in decomposition iterations, in the CDCL
+    /// "conflict budget" tradition: when non-zero it caps
+    /// DecomposeOptions::maxIterations for every job, bounding worst-case
+    /// latency of a batch at the price of possibly unconverged results.
+    std::size_t conflictBudget = 0;
+    /// Verification effort for simulation-checked jobs.
+    sim::EquivOptions equiv;
+};
+
+class Engine {
+public:
+    explicit Engine(EngineOptions opt = {});
+
+    /// Runs every spec through the flow; results are returned in spec
+    /// order regardless of scheduling. Never throws for per-job failures:
+    /// a failing job reports ok=false/error and the rest run to
+    /// completion.
+    [[nodiscard]] std::vector<JobResult> runBatch(
+        const std::vector<JobSpec>& specs);
+
+    /// Single-job convenience (still goes through the pool and cache).
+    [[nodiscard]] JobResult runJob(const JobSpec& spec);
+
+    [[nodiscard]] const EngineOptions& options() const { return opt_; }
+    [[nodiscard]] ResultCache::Stats cacheStats() const {
+        return cache_.stats();
+    }
+    [[nodiscard]] const synth::CellLibrary& library() const { return lib_; }
+
+private:
+    [[nodiscard]] JobResult execute(const JobSpec& spec,
+                                    std::size_t index) const;
+
+    EngineOptions opt_;
+    synth::CellLibrary lib_;
+    mutable ResultCache cache_;
+    /// Registry-named specs memoize (name, options) → canonical
+    /// signature, so a repeat hit skips rebuilding the (possibly huge)
+    /// flat Reed-Muller form just to compute its own cache key. Safe
+    /// because a registry name denotes one fixed function.
+    mutable std::mutex sigMutex_;
+    mutable std::unordered_map<std::string, std::string> sigByName_;
+    ThreadPool pool_;
+};
+
+/// One-shot convenience over a temporary Engine.
+[[nodiscard]] std::vector<JobResult> runBatch(const std::vector<JobSpec>& specs,
+                                              const EngineOptions& opt = {});
+
+/// Canonical cache signature of a job's output ANF set under the given
+/// options: variables are relabeled in first-occurrence order over the
+/// canonically sorted term stream, monomials re-encoded and re-sorted
+/// under the new labels, and the options that can change the flow's
+/// outcome are appended as a fingerprint. Equal signatures ⇒ the flow
+/// computes identical results, whatever the variables were named.
+/// Exposed for tests and diagnostics; runBatch computes it internally.
+[[nodiscard]] std::string canonicalSignature(
+    std::span<const anf::Anf> outputs, const core::DecomposeOptions& opt,
+    bool verify);
+
+/// The options half of the signature alone (also the memo key for the
+/// name → signature shortcut).
+[[nodiscard]] std::string optionsFingerprint(const core::DecomposeOptions& opt,
+                                             bool verify);
+
+/// 64-bit FNV-1a hex digest used as the short cache key in reports.
+[[nodiscard]] std::string signatureDigest(const std::string& signature);
+
+}  // namespace pd::engine

@@ -1,0 +1,92 @@
+// Batch-engine job descriptions and results.
+//
+// A JobSpec names one decomposition flow — a registered benchmark, a
+// caller-supplied Benchmark object, or a set of "<name>=<expr>" strings —
+// plus the DecomposeOptions and flow flags to run it under. A JobResult
+// carries everything the reporting layer needs: the decomposition
+// summary, the optimize → map → STA quality of result, verification
+// status, wall/CPU timings, and cache provenance. Results never reference
+// the spec's VarTable: every job builds (and owns) its own table, so jobs
+// are safe to run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/spec.hpp"
+#include "core/decomposer.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/sta.hpp"
+
+namespace pd::engine {
+
+struct JobSpec {
+    /// Display name; defaults to the benchmark name or "job<i>" when empty.
+    std::string name;
+    /// A name from circuits::benchmarkRegistry(). Takes precedence over
+    /// `expressions` when non-empty.
+    std::string benchmark;
+    /// A caller-built benchmark (evaluation harness rows with custom
+    /// widths). Takes precedence over `benchmark`.
+    std::shared_ptr<const circuits::Benchmark> bench;
+    /// Parser inputs, each "<output>=<expr>", decomposed as one
+    /// multi-output job. Used when no benchmark is given.
+    std::vector<std::string> expressions;
+    core::DecomposeOptions options;
+    /// Check the mapped netlist: simulation against the benchmark's
+    /// reference semantics, or algebraic re-expansion for expression jobs.
+    bool verify = true;
+    /// Retain the mapped netlist in the JobResult (needed for SAT
+    /// cross-checks and Verilog/BLIF export; off by default to keep batch
+    /// results light).
+    bool keepMapped = false;
+};
+
+enum class VerifyStatus : std::uint8_t {
+    kSkipped,    ///< spec.verify was false
+    kSimulated,  ///< simulation against reference semantics passed
+    kAlgebraic,  ///< expanded outputs matched the input ANF exactly
+    kFailed,
+};
+
+struct JobResult {
+    std::string name;
+    bool ok = false;
+    std::string error;  ///< exception text when !ok
+
+    // Decomposition summary.
+    std::size_t blocks = 0;
+    std::size_t iterations = 0;
+    std::size_t leaders = 0;  ///< materialized block outputs
+    bool converged = false;
+
+    // optimize → map → STA quality of result.
+    synth::Qor qor;
+    std::size_t levels = 0;        ///< unit-delay logic depth
+    std::size_t interconnect = 0;  ///< total gate input pins
+
+    // Verification.
+    VerifyStatus verification = VerifyStatus::kSkipped;
+    std::uint64_t vectorsTested = 0;
+    bool exhaustive = false;
+
+    // Timings (not part of cache equality — a cache hit reports its own).
+    double wallMs = 0.0;
+    double cpuMs = 0.0;
+
+    // Cache provenance.
+    bool cacheHit = false;
+    std::string cacheKey;  ///< 64-bit hex digest of the canonical signature
+
+    /// Mapped netlist (only when spec.keepMapped).
+    netlist::Netlist mapped;
+
+    [[nodiscard]] bool verified() const {
+        return verification == VerifyStatus::kSimulated ||
+               verification == VerifyStatus::kAlgebraic;
+    }
+};
+
+}  // namespace pd::engine

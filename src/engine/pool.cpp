@@ -1,0 +1,46 @@
+#include "engine/pool.hpp"
+
+#include "util/error.hpp"
+
+namespace pd::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_) fail("pool", "submit on a stopping ThreadPool");
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // packaged_task: exceptions land in the job's future
+    }
+}
+
+}  // namespace pd::engine

@@ -1,0 +1,198 @@
+#include "engine/report_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pd::engine {
+
+void JsonWriter::separate() {
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;  // value follows its key on the same line
+    }
+    if (!hasItems_.empty()) {
+        if (hasItems_.back()) os_ << ',';
+        hasItems_.back() = true;
+        os_ << '\n';
+        indent();
+    }
+}
+
+void JsonWriter::indent() {
+    for (std::size_t i = 0; i < hasItems_.size(); ++i) os_ << "  ";
+}
+
+JsonWriter& JsonWriter::beginObject() {
+    separate();
+    os_ << '{';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+    const bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << '}';
+    if (hasItems_.empty()) os_ << '\n';
+    return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+    separate();
+    os_ << '[';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+    const bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    separate();
+    writeString(k);
+    os_ << ": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    separate();
+    writeString(v);
+    return *this;
+}
+
+void JsonWriter::writeString(std::string_view v) {
+    os_ << '"';
+    for (const char c : v) {
+        switch (c) {
+            case '"': os_ << "\\\""; break;
+            case '\\': os_ << "\\\\"; break;
+            case '\n': os_ << "\\n"; break;
+            case '\r': os_ << "\\r"; break;
+            case '\t': os_ << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+        }
+    }
+    os_ << '"';
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+}
+
+std::string_view verifyStatusName(VerifyStatus s) {
+    switch (s) {
+        case VerifyStatus::kSkipped: return "skipped";
+        case VerifyStatus::kSimulated: return "simulated";
+        case VerifyStatus::kAlgebraic: return "algebraic";
+        case VerifyStatus::kFailed: return "failed";
+    }
+    return "unknown";
+}
+
+void writeBatchReport(std::ostream& os, const EngineOptions& opt,
+                      std::span<const JobResult> results,
+                      const ResultCache::Stats& cache) {
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "pd-batch-report-v1");
+
+    w.key("engine").beginObject();
+    w.field("jobs", opt.jobs);
+    w.field("cache_capacity", opt.cacheCapacity);
+    w.field("conflict_budget", opt.conflictBudget);
+    w.endObject();
+
+    w.key("cache").beginObject();
+    w.field("hits", cache.hits);
+    w.field("misses", cache.misses);
+    w.field("inserts", cache.inserts);
+    w.field("evictions", cache.evictions);
+    w.field("entries", cache.entries);
+    w.endObject();
+
+    w.key("jobs").beginArray();
+    for (const auto& r : results) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("ok", r.ok);
+        w.field("error", r.error);
+
+        w.key("decomposition").beginObject();
+        w.field("blocks", r.blocks);
+        w.field("iterations", r.iterations);
+        w.field("leaders", r.leaders);
+        w.field("converged", r.converged);
+        w.endObject();
+
+        w.key("qor").beginObject();
+        w.field("area_um2", r.qor.area);
+        w.field("delay_ns", r.qor.delay);
+        w.field("cells", r.qor.gates);
+        w.field("levels", r.levels);
+        w.field("interconnect", r.interconnect);
+        w.endObject();
+
+        w.key("verification").beginObject();
+        w.field("status", verifyStatusName(r.verification));
+        w.field("vectors", r.vectorsTested);
+        w.field("exhaustive", r.exhaustive);
+        w.endObject();
+
+        w.key("timing").beginObject();
+        w.field("wall_ms", r.wallMs);
+        w.field("cpu_ms", r.cpuMs);
+        w.endObject();
+
+        w.key("cache").beginObject();
+        w.field("hit", r.cacheHit);
+        w.field("key", r.cacheKey);
+        w.endObject();
+
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+}  // namespace pd::engine

@@ -1,0 +1,89 @@
+// Machine-readable batch reports.
+//
+// JsonWriter is a minimal streaming JSON emitter (objects, arrays,
+// escaped strings, numbers, booleans) shared by the batch report and the
+// benchmark trajectory files. writeBatchReport renders the schema below;
+// benches reuse JsonWriter for their own "pd-bench-*" schemas so every
+// artifact in the repo is parseable by the same tooling.
+//
+// Batch report schema ("pd-batch-report-v1"):
+//   {
+//     "schema": "pd-batch-report-v1",
+//     "engine": {"jobs": u, "cache_capacity": u, "conflict_budget": u},
+//     "cache":  {"hits": u, "misses": u, "inserts": u, "evictions": u,
+//                "entries": u},
+//     "jobs": [
+//       {
+//         "name": s, "ok": b, "error": s,          // error "" when ok
+//         "decomposition": {"blocks": u, "iterations": u, "leaders": u,
+//                           "converged": b},
+//         "qor": {"area_um2": f, "delay_ns": f, "cells": u,
+//                 "levels": u, "interconnect": u},
+//         "verification": {"status": "skipped"|"simulated"|"algebraic"|
+//                          "failed", "vectors": u, "exhaustive": b},
+//         "timing": {"wall_ms": f, "cpu_ms": f},   // only non-deterministic
+//                                                  // fields in the report
+//         "cache": {"hit": b, "key": s}            // key: 16-hex digest
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+
+namespace pd::engine {
+
+/// Streaming JSON emitter with 2-space indentation. Keys/values must be
+/// issued in a valid order (object → key → value); commas and newlines
+/// are handled automatically.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+    JsonWriter& key(std::string_view k);
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(bool v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(int v) {
+        return value(static_cast<std::uint64_t>(static_cast<unsigned>(v)));
+    }
+
+    /// key + value in one call.
+    template <typename T>
+    JsonWriter& field(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+private:
+    void separate();
+    void indent();
+    void writeString(std::string_view v);
+
+    std::ostream& os_;
+    std::vector<bool> hasItems_;  ///< per nesting level
+    bool pendingKey_ = false;
+};
+
+[[nodiscard]] std::string_view verifyStatusName(VerifyStatus s);
+
+/// Renders the "pd-batch-report-v1" document for one batch run.
+void writeBatchReport(std::ostream& os, const EngineOptions& opt,
+                      std::span<const JobResult> results,
+                      const ResultCache::Stats& cache);
+
+}  // namespace pd::engine

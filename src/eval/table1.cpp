@@ -8,7 +8,6 @@
 #include "circuits/manual.hpp"
 #include "sat/equiv.hpp"
 #include "sim/equivalence.hpp"
-#include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
 #include "synth/opt.hpp"
 #include "synth/quickfactor.hpp"
@@ -16,7 +15,7 @@
 
 namespace pd::eval {
 
-Flow::Flow() : lib_(synth::CellLibrary::umc130()) {}
+Flow::Flow() : lib_(synth::CellLibrary::umc130()), engine_(engine::EngineOptions{}) {}
 
 RowResult Flow::runNetlist(const std::string& variant,
                            const netlist::Netlist& nl,
@@ -72,15 +71,27 @@ RowResult Flow::runSopFactored(const std::string& variant,
 RowResult Flow::runPd(const std::string& variant,
                       const circuits::Benchmark& bench, double paperArea,
                       double paperDelay, const core::DecomposeOptions& opt) {
-    if (!bench.anf)
-        fail("eval", bench.name + " has no tractable Reed-Muller form");
-    anf::VarTable vt;
-    const auto outputs = bench.anf(vt);
-    const auto d = core::decompose(vt, outputs, bench.outputNames, opt);
-    const auto nl = synth::synthDecomposition(d, vt);
-    RowResult row = runNetlist(variant, nl, bench, paperArea, paperDelay);
-    row.pdBlocks = d.blocks.size();
-    row.pdIterations = d.iterations;
+    engine::JobSpec spec;
+    spec.name = variant;
+    spec.bench = std::make_shared<const circuits::Benchmark>(bench);
+    spec.options = opt;
+    spec.verify = true;
+    spec.keepMapped = true;
+    const engine::JobResult r = engine_.runJob(spec);
+    if (!r.ok)
+        fail("eval", bench.name + " variant '" + variant + "': " + r.error);
+
+    RowResult row;
+    row.variant = variant;
+    row.paperArea = paperArea;
+    row.paperDelay = paperDelay;
+    row.qor = r.qor;
+    row.verified = r.verified();
+    row.exhaustive = r.exhaustive;
+    row.vectorsTested = r.vectorsTested;
+    row.pdBlocks = r.blocks;
+    row.pdIterations = r.iterations;
+    row.mapped = r.mapped;
     return row;
 }
 

@@ -15,6 +15,7 @@
 
 #include "circuits/spec.hpp"
 #include "core/decomposer.hpp"
+#include "engine/engine.hpp"
 #include "synth/sta.hpp"
 
 namespace pd::eval {
@@ -50,7 +51,10 @@ struct BenchReport {
 /// Throws pd::Error if any pair differs.
 void satCrossCheck(BenchReport& report);
 
-/// Shared flow driver.
+/// Shared flow driver. Progressive-Decomposition rows run through the
+/// batch engine (one-job batches against a per-Flow result cache), so
+/// ablation sweeps that revisit a configuration are served from cache;
+/// baseline/manual rows synthesize their netlists directly.
 class Flow {
 public:
     Flow();
@@ -78,6 +82,7 @@ public:
 
 private:
     synth::CellLibrary lib_;
+    engine::Engine engine_;
 };
 
 // ---- Table-1 row groups (paper numbers embedded). --------------------------

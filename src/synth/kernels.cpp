@@ -25,8 +25,6 @@ void cubeErase(Cube& c, std::uint32_t lit) {
     ((lit & 1u) ? c.neg : c.pos).erase(v);
 }
 
-bool cubeEmpty(const Cube& c) { return c.pos.isOne() && c.neg.isOne(); }
-
 bool cubeDivides(const Cube& d, const Cube& c) {
     return d.pos.subsetOf(c.pos) && d.neg.subsetOf(c.neg);
 }

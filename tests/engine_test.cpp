@@ -1,0 +1,344 @@
+// Batch-engine tests: determinism across thread counts, canonical-ANF
+// cache behaviour (hits on resubmit and on renamed-variable isomorphs,
+// no false hits across option fingerprints), error isolation, the worker
+// pool's exception capture, LRU eviction, and the JSON reporter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "anf/parser.hpp"
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/pool.hpp"
+#include "engine/report_json.hpp"
+
+namespace pd::engine {
+namespace {
+
+std::vector<JobSpec> smallBatch() {
+    std::vector<JobSpec> specs;
+    for (const char* name : {"majority7", "counter8", "adder8"}) {
+        JobSpec s;
+        s.benchmark = name;
+        specs.push_back(std::move(s));
+    }
+    JobSpec expr;
+    expr.name = "maj-expr";
+    expr.expressions = {"maj=a*b ^ a*c ^ b*c"};
+    specs.push_back(std::move(expr));
+    JobSpec dup;  // duplicate of specs[0]: exercised the in-flight dedup
+    dup.benchmark = "majority7";
+    dup.name = "majority7-again";
+    specs.push_back(std::move(dup));
+    return specs;
+}
+
+/// Everything except timings and cache provenance must be identical
+/// between runs, whatever the thread count or hit/miss history.
+void expectSameSemantics(const JobResult& a, const JobResult& b) {
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.leaders, b.leaders);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.qor.area, b.qor.area);
+    EXPECT_EQ(a.qor.delay, b.qor.delay);
+    EXPECT_EQ(a.qor.gates, b.qor.gates);
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_EQ(a.interconnect, b.interconnect);
+    EXPECT_EQ(a.verification, b.verification);
+    EXPECT_EQ(a.vectorsTested, b.vectorsTested);
+    EXPECT_EQ(a.exhaustive, b.exhaustive);
+    EXPECT_EQ(a.cacheKey, b.cacheKey);
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts) {
+    const auto specs = smallBatch();
+    EngineOptions one;
+    one.jobs = 1;
+    EngineOptions eight;
+    eight.jobs = 8;
+    const auto r1 = runBatch(specs, one);
+    const auto r8 = runBatch(specs, eight);
+    ASSERT_EQ(r1.size(), specs.size());
+    ASSERT_EQ(r8.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(r1[i].name);
+        EXPECT_TRUE(r1[i].ok) << r1[i].error;
+        EXPECT_EQ(r1[i].name, r8[i].name);
+        expectSameSemantics(r1[i], r8[i]);
+    }
+}
+
+TEST(Engine, CacheHitOnResubmittedIdenticalSpec) {
+    EngineOptions opt;
+    opt.jobs = 2;
+    Engine engine(opt);
+    JobSpec spec;
+    spec.benchmark = "majority7";
+    const auto first = engine.runJob(spec);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_FALSE(first.cacheHit);
+
+    const auto second = engine.runJob(spec);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_TRUE(second.cacheHit);
+    expectSameSemantics(first, second);
+
+    const auto stats = engine.cacheStats();
+    EXPECT_GE(stats.hits, 1u);
+    EXPECT_GE(stats.inserts, 1u);
+}
+
+TEST(Engine, DuplicateSpecsWithinOneBatchShareOneComputation) {
+    EngineOptions opt;
+    opt.jobs = 4;
+    Engine engine(opt);
+    std::vector<JobSpec> specs(4);
+    for (auto& s : specs) s.benchmark = "majority7";
+    const auto results = engine.runBatch(specs);
+    for (const auto& r : results) ASSERT_TRUE(r.ok) << r.error;
+    // Exactly one miss computed; the other three were served (in-flight
+    // dedup or ready hit, depending on scheduling).
+    const auto stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        expectSameSemantics(results[0], results[i]);
+}
+
+TEST(Engine, OptionsFingerprintPreventsFalseHits) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    Engine engine(opt);
+    JobSpec k4;
+    k4.benchmark = "majority7";
+    k4.options.k = 4;
+    JobSpec k3 = k4;
+    k3.options.k = 3;
+
+    const auto first = engine.runJob(k4);
+    const auto second = engine.runJob(k3);
+    ASSERT_TRUE(first.ok) << first.error;
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_FALSE(second.cacheHit) << "k=3 must not hit the k=4 entry";
+    EXPECT_NE(first.cacheKey, second.cacheKey);
+
+    // And the same options do hit again.
+    const auto third = engine.runJob(k3);
+    EXPECT_TRUE(third.cacheHit);
+}
+
+TEST(Engine, IsomorphicRenamedExpressionsShareOneEntry) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    Engine engine(opt);
+    JobSpec f;
+    f.name = "f";
+    f.expressions = {"f=a*b ^ c*d ^ a*d"};
+    JobSpec g;  // same function, different variable names
+    g.name = "g";
+    g.expressions = {"g=p*q ^ r*s ^ p*s"};
+    const auto rf = engine.runJob(f);
+    const auto rg = engine.runJob(g);
+    ASSERT_TRUE(rf.ok) << rf.error;
+    ASSERT_TRUE(rg.ok) << rg.error;
+    EXPECT_TRUE(rg.cacheHit) << "renamed isomorph must be served from cache";
+    EXPECT_EQ(rf.cacheKey, rg.cacheKey);
+    EXPECT_EQ(rg.name, "g") << "display name must come from the spec";
+}
+
+TEST(Engine, ErrorIsolation) {
+    std::vector<JobSpec> specs(4);
+    specs[0].benchmark = "majority7";
+    specs[1].name = "bad-parse";
+    specs[1].expressions = {"y=((a*"};
+    specs[2].name = "bad-bench";
+    specs[2].benchmark = "no_such_benchmark";
+    specs[3].benchmark = "counter8";
+
+    const auto results = runBatch(specs, [] {
+        EngineOptions o;
+        o.jobs = 4;
+        return o;
+    }());
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_NE(results[2].error.find("no_such_benchmark"), std::string::npos);
+    EXPECT_TRUE(results[3].ok) << results[3].error;
+}
+
+TEST(Engine, ConflictBudgetCapsIterations) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    opt.conflictBudget = 1;
+    JobSpec spec;
+    spec.benchmark = "counter8";
+    spec.verify = false;  // an unconverged result cannot verify
+    const auto r = runBatch({spec}, opt).front();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.iterations, 1u);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(Engine, KeepMappedServedFromCacheToo) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    Engine engine(opt);
+    JobSpec light;
+    light.benchmark = "majority7";
+    const auto first = engine.runJob(light);
+    EXPECT_EQ(first.mapped.numNets(), 0u) << "light results carry no netlist";
+
+    JobSpec full = light;
+    full.keepMapped = true;
+    const auto second = engine.runJob(full);
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_GT(second.mapped.numNets(), 0u)
+        << "cache must retain the netlist for keepMapped consumers";
+}
+
+TEST(Engine, KeepMappedIsomorphGetsItsOwnPortNames) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    Engine engine(opt);
+    JobSpec f;
+    f.name = "f";
+    f.expressions = {"f=a*b ^ c"};
+    f.keepMapped = true;
+    JobSpec g;  // isomorphic, but its netlist must say "g", "p", "q", "r"
+    g.name = "g";
+    g.expressions = {"g=p*q ^ r"};
+    g.keepMapped = true;
+    const auto rf = engine.runJob(f);
+    const auto rg = engine.runJob(g);
+    ASSERT_TRUE(rf.ok) << rf.error;
+    ASSERT_TRUE(rg.ok) << rg.error;
+    ASSERT_EQ(rg.mapped.outputs().size(), 1u);
+    EXPECT_EQ(rg.mapped.outputs()[0].name, "g")
+        << "a donor netlist with foreign port names must not be served";
+    EXPECT_FALSE(rg.cacheHit);
+    ASSERT_EQ(rf.mapped.outputs().size(), 1u);
+    EXPECT_EQ(rf.mapped.outputs()[0].name, "f");
+}
+
+TEST(Signature, DistinguishesOptionsAndFunctions) {
+    anf::VarTable vt;
+    const std::vector<anf::Anf> f = {anf::parse("a*b ^ c", vt)};
+    const std::vector<anf::Anf> g = {anf::parse("a*b ^ a", vt)};
+    core::DecomposeOptions k4;
+    core::DecomposeOptions k3;
+    k3.k = 3;
+    EXPECT_NE(canonicalSignature(f, k4, true), canonicalSignature(f, k3, true));
+    EXPECT_NE(canonicalSignature(f, k4, true), canonicalSignature(g, k4, true));
+    EXPECT_NE(canonicalSignature(f, k4, true),
+              canonicalSignature(f, k4, false));
+    EXPECT_EQ(canonicalSignature(f, k4, true), canonicalSignature(f, k4, true));
+}
+
+TEST(Signature, InvariantUnderRenaming) {
+    anf::VarTable vt1;
+    const std::vector<anf::Anf> f1 = {anf::parse("a*b ^ b*c", vt1)};
+    anf::VarTable vt2;
+    const std::vector<anf::Anf> f2 = {anf::parse("x*y ^ y*z", vt2)};
+    const core::DecomposeOptions opt;
+    EXPECT_EQ(canonicalSignature(f1, opt, true),
+              canonicalSignature(f2, opt, true));
+}
+
+TEST(Pool, CapturesTaskExceptions) {
+    ThreadPool pool(4);
+    auto ok = pool.submit([] { return 41 + 1; });
+    auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives: workers keep serving after a throwing task.
+    auto after = pool.submit([] { return 7; });
+    EXPECT_EQ(after.get(), 7);
+}
+
+TEST(Pool, RunsManyTasksOnAllWorkers) {
+    ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&sum] { sum.fetch_add(1); }));
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(sum.load(), 200);
+}
+
+ResultCache::Value makeValue(const std::string& name) {
+    auto r = std::make_shared<JobResult>();
+    r->name = name;
+    r->ok = true;
+    return r;
+}
+
+TEST(Cache, LruEviction) {
+    ResultCache cache(/*capacity=*/2, /*shards=*/1);
+    for (const char* key : {"a", "b"}) {
+        auto lookup = cache.lookupOrReserve(key);
+        auto* reservation = std::get_if<ResultCache::Reservation>(&lookup);
+        ASSERT_NE(reservation, nullptr);
+        reservation->fulfill(makeValue(key));
+    }
+    // Touch "a" so "b" is the LRU entry, then insert "c".
+    EXPECT_TRUE(std::holds_alternative<ResultCache::Value>(
+        cache.lookupOrReserve("a")));
+    {
+        auto lookup = cache.lookupOrReserve("c");
+        auto* reservation = std::get_if<ResultCache::Reservation>(&lookup);
+        ASSERT_NE(reservation, nullptr);
+        reservation->fulfill(makeValue("c"));
+    }
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(std::holds_alternative<ResultCache::Value>(
+        cache.lookupOrReserve("a")));
+    EXPECT_TRUE(std::holds_alternative<ResultCache::Reservation>(
+        cache.lookupOrReserve("b")))
+        << "b must have been evicted";
+}
+
+TEST(Cache, AbandonedReservationIsNotCached) {
+    ResultCache cache(4, 1);
+    {
+        auto lookup = cache.lookupOrReserve("k");
+        ASSERT_TRUE(std::holds_alternative<ResultCache::Reservation>(lookup));
+        // Reservation destroyed unfulfilled — the computation "threw".
+    }
+    auto retry = cache.lookupOrReserve("k");
+    EXPECT_TRUE(std::holds_alternative<ResultCache::Reservation>(retry))
+        << "a failure must not poison the key";
+}
+
+TEST(Cache, ZeroCapacityDisables) {
+    ResultCache cache(0);
+    EXPECT_TRUE(
+        std::holds_alternative<std::monostate>(cache.lookupOrReserve("k")));
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ReportJson, EscapesAndNests) {
+    JobResult r;
+    r.name = "quote\" backslash\\ newline\n";
+    r.ok = false;
+    r.error = "tab\there";
+    std::ostringstream os;
+    writeBatchReport(os, EngineOptions{}, std::vector<JobResult>{r},
+                     ResultCache::Stats{});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\\\""), std::string::npos);
+    EXPECT_NE(out.find("\\\\"), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_NE(out.find("\\t"), std::string::npos);
+    EXPECT_NE(out.find("\"schema\": \"pd-batch-report-v1\""),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace pd::engine

@@ -3,39 +3,47 @@
 // Modes:
 //   pd_cli expr   [options] "<name>=<expr>" ...   decompose expressions
 //   pd_cli bench  [options] <benchmark>           decompose a named benchmark
+//   pd_cli batch  [options] [bench ...]           run a batch through the
+//                                                 concurrent engine
 //   pd_cli list                                   list named benchmarks
 //
-// Options:
+// Options (all modes):
 //   -k <n>           group size (default 4)
+//   --jobs <n>       engine worker threads (parallelizes batch; accepted
+//                    but single-job in expr/bench)
 //   --no-identities  / --no-nullspace / --no-sizered / --no-linmin
+// expr/bench only:
 //   --trace          print the per-iteration trace (paper Fig. 6 style)
 //   --verilog <file> write the synthesized hierarchy as structural Verilog
 //   --blif <file>    write it as BLIF
 //   --stats          print netlist statistics and mapped QoR
+// batch only:
+//   --all            every registered benchmark (heavy ones excluded)
+//   --heavy          include the heavy (multiplier-class) benchmarks
+//   --json <file>    write the machine-readable pd-batch-report-v1 report
+//   --cache <n>      result-cache capacity (default 64, 0 disables)
+//   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
+//   --no-verify      skip verification of the mapped netlists
 //
 // Expressions use the parser grammar: XOR is '^' or '+', AND is '*' or
 // '&', '~' complements, identifiers are registered as inputs on first
 // use. Example:
 //   pd_cli expr --trace "maj=a*b ^ a*c ^ b*c"
+#include <charconv>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "anf/parser.hpp"
 #include "anf/printer.hpp"
-#include "circuits/adder.hpp"
-#include "circuits/comparator.hpp"
-#include "circuits/counter.hpp"
-#include "circuits/lzd.hpp"
-#include "circuits/majority.hpp"
-#include "circuits/multiplier.hpp"
+#include "circuits/registry.hpp"
 #include "core/decomposer.hpp"
+#include "engine/engine.hpp"
+#include "engine/report_json.hpp"
 #include "io/blif.hpp"
 #include "io/verilog.hpp"
 #include "netlist/stats.hpp"
-#include "sim/equivalence.hpp"
 #include "synth/celllib.hpp"
 #include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
@@ -45,37 +53,34 @@
 
 namespace {
 
-using pd::circuits::Benchmark;
-
 int usage() {
     std::cerr <<
         "usage:\n"
         "  pd_cli expr  [options] \"<name>=<expr>\" ...\n"
         "  pd_cli bench [options] <benchmark>\n"
+        "  pd_cli batch [options] [benchmark ...|--all]\n"
         "  pd_cli list\n"
-        "options: -k <n>  --trace  --stats  --verilog <file>  --blif <file>\n"
-        "         --no-identities --no-nullspace --no-sizered --no-linmin\n";
+        "options: -k <n>  --jobs <n>  --trace  --stats\n"
+        "         --verilog <file>  --blif <file>\n"
+        "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
+        "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
+        "         --no-verify\n";
     return 2;
 }
 
-std::map<std::string, Benchmark> namedBenchmarks() {
-    using namespace pd::circuits;
-    std::map<std::string, Benchmark> m;
-    m.emplace("lzd16", makeLzd(16));
-    m.emplace("lod16", makeLod(16));
-    m.emplace("lod32", makeLod(32));
-    m.emplace("majority7", makeMajority(7));
-    m.emplace("majority15", makeMajority(15));
-    m.emplace("counter8", makeCounter(8));
-    m.emplace("counter16", makeCounter(16));
-    m.emplace("adder8", makeAdder(8));
-    m.emplace("adder16", makeAdder(16));
-    m.emplace("adder3_9", makeAdder3(9));
-    m.emplace("comparator8", makeComparator(8));
-    m.emplace("comparator12", makeComparator(12, 13));
-    m.emplace("mul4", makeMultiplier(4));
-    m.emplace("mul6", makeMultiplier(6));
-    return m;
+/// Range-checked unsigned option parsing: rejects junk, negatives and
+/// overflow with a clear message instead of an uncaught exception.
+bool parseCount(const char* flag, const char* text, std::size_t& out) {
+    std::string_view sv(text);
+    const auto end = sv.data() + sv.size();
+    const auto [ptr, ec] = std::from_chars(sv.data(), end, out);
+    if (ec == std::errc() && ptr == end) return true;
+    std::cerr << "option " << flag << " expects a non-negative integer, got '"
+              << text << "'"
+              << (ec == std::errc::result_out_of_range ? " (out of range)"
+                                                       : "")
+              << "\n";
+    return false;
 }
 
 void printTrace(const pd::core::Decomposition& d) {
@@ -96,10 +101,18 @@ void printTrace(const pd::core::Decomposition& d) {
 
 struct Options {
     pd::core::DecomposeOptions decompose;
+    std::size_t jobs = 1;
     bool trace = false;
     bool stats = false;
     std::string verilogPath;
     std::string blifPath;
+    // batch mode
+    bool all = false;
+    bool heavy = false;
+    bool verify = true;
+    std::string jsonPath;
+    std::size_t cacheCapacity = 64;
+    std::size_t budget = 0;
 };
 
 int runDecomposition(pd::anf::VarTable& vt,
@@ -151,23 +164,66 @@ int runDecomposition(pd::anf::VarTable& vt,
     return 0;
 }
 
-int parseCommon(int argc, char** argv, int first, Options& opt,
-                std::vector<std::string>& positional) {
+int parseCommon(int argc, char** argv, int first, bool batchMode,
+                Options& opt, std::vector<std::string>& positional) {
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto countArg = [&](std::size_t& out) {
+            if (++i >= argc) {
+                std::cerr << "option " << arg << " expects a value\n";
+                return false;
+            }
+            return parseCount(arg.c_str(), argv[i], out);
+        };
+        // Reject options that would otherwise be silently ignored.
+        const bool batchOnly = arg == "--all" || arg == "--heavy" ||
+                               arg == "--json" || arg == "--cache" ||
+                               arg == "--budget" || arg == "--no-verify";
+        const bool flowOnly = arg == "--trace" || arg == "--stats" ||
+                              arg == "--verilog" || arg == "--blif";
+        if (batchOnly && !batchMode) {
+            std::cerr << "option " << arg << " is only valid in batch mode\n";
+            return usage();
+        }
+        if (flowOnly && batchMode) {
+            std::cerr << "option " << arg
+                      << " is not available in batch mode\n";
+            return usage();
+        }
         if (arg == "-k") {
-            if (++i >= argc) return usage();
-            opt.decompose.k = static_cast<std::size_t>(std::stoul(argv[i]));
+            if (!countArg(opt.decompose.k)) return usage();
+            if (opt.decompose.k == 0) {
+                std::cerr << "-k must be at least 1\n";
+                return usage();
+            }
+        } else if (arg == "--jobs") {
+            if (!countArg(opt.jobs)) return usage();
+            if (!batchMode && opt.jobs > 1)
+                std::cerr << "note: --jobs only parallelizes batch mode; "
+                             "expr/bench run a single job\n";
+        } else if (arg == "--cache") {
+            if (!countArg(opt.cacheCapacity)) return usage();
+        } else if (arg == "--budget") {
+            if (!countArg(opt.budget)) return usage();
         } else if (arg == "--trace") {
             opt.trace = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--all") {
+            opt.all = true;
+        } else if (arg == "--heavy") {
+            opt.heavy = true;
+        } else if (arg == "--no-verify") {
+            opt.verify = false;
         } else if (arg == "--verilog") {
             if (++i >= argc) return usage();
             opt.verilogPath = argv[i];
         } else if (arg == "--blif") {
             if (++i >= argc) return usage();
             opt.blifPath = argv[i];
+        } else if (arg == "--json") {
+            if (++i >= argc) return usage();
+            opt.jsonPath = argv[i];
         } else if (arg == "--no-identities") {
             opt.decompose.useIdentities = false;
         } else if (arg == "--no-nullspace") {
@@ -186,6 +242,67 @@ int parseCommon(int argc, char** argv, int first, Options& opt,
     return 0;
 }
 
+int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
+    std::vector<std::string> selected = names;
+    if (opt.all) {
+        for (auto& n : pd::circuits::benchmarkNames(opt.heavy))
+            selected.push_back(n);
+    }
+    if (selected.empty()) {
+        std::cerr << "batch: no benchmarks selected (name some or pass "
+                     "--all)\n";
+        return usage();
+    }
+
+    std::vector<pd::engine::JobSpec> specs;
+    specs.reserve(selected.size());
+    for (const auto& name : selected) {
+        pd::engine::JobSpec spec;
+        spec.benchmark = name;
+        spec.options = opt.decompose;
+        spec.verify = opt.verify;
+        specs.push_back(std::move(spec));
+    }
+
+    pd::engine::EngineOptions eopt;
+    eopt.jobs = opt.jobs;
+    eopt.cacheCapacity = opt.cacheCapacity;
+    eopt.conflictBudget = opt.budget;
+    pd::engine::Engine engine(eopt);
+    const auto results = engine.runBatch(specs);
+
+    bool anyFailed = false;
+    for (const auto& r : results) {
+        if (!r.ok) {
+            anyFailed = true;
+            std::cout << r.name << ": FAILED: " << r.error << "\n";
+            continue;
+        }
+        std::cout << r.name << ": " << r.blocks << " blocks / "
+                  << r.iterations << " iters, area " << r.qor.area
+                  << " um^2, delay " << r.qor.delay << " ns, " << r.qor.gates
+                  << " cells, verify "
+                  << pd::engine::verifyStatusName(r.verification) << ", "
+                  << r.wallMs << " ms"
+                  << (r.cacheHit ? " (cache hit)" : "") << "\n";
+    }
+    const auto cs = engine.cacheStats();
+    std::cout << "cache: " << cs.hits << " hits, " << cs.misses
+              << " misses, " << cs.evictions << " evictions, " << cs.entries
+              << " resident\n";
+
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        if (!os) {
+            std::cerr << "cannot write " << opt.jsonPath << "\n";
+            return 1;
+        }
+        pd::engine::writeBatchReport(os, eopt, results, cs);
+        std::cout << "wrote " << opt.jsonPath << "\n";
+    }
+    return anyFailed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,17 +310,25 @@ int main(int argc, char** argv) {
     const std::string mode = argv[1];
     try {
         if (mode == "list") {
-            for (const auto& [name, bench] : namedBenchmarks())
-                std::cout << name
+            for (const auto& e : pd::circuits::benchmarkRegistry()) {
+                const auto bench = e.make();
+                std::cout << e.name
                           << (bench.anf ? "" : "  (no tractable RM form)")
+                          << (e.heavy ? "  (heavy: excluded from --all "
+                                        "unless --heavy)"
+                                      : "")
                           << "\n";
+            }
             return 0;
         }
 
         Options opt;
         std::vector<std::string> positional;
-        if (const int rc = parseCommon(argc, argv, 2, opt, positional))
+        if (const int rc = parseCommon(argc, argv, 2, mode == "batch", opt,
+                                       positional))
             return rc;
+
+        if (mode == "batch") return runBatchMode(opt, positional);
 
         if (mode == "expr") {
             if (positional.empty()) return usage();
@@ -225,20 +350,19 @@ int main(int argc, char** argv) {
 
         if (mode == "bench") {
             if (positional.size() != 1) return usage();
-            const auto all = namedBenchmarks();
-            const auto it = all.find(positional[0]);
-            if (it == all.end()) {
+            const auto bench = pd::circuits::makeNamedBenchmark(positional[0]);
+            if (!bench) {
                 std::cerr << "unknown benchmark '" << positional[0]
                           << "' (try: pd_cli list)\n";
                 return 2;
             }
-            if (!it->second.anf) {
+            if (!bench->anf) {
                 std::cerr << "benchmark has no tractable Reed-Muller form\n";
                 return 1;
             }
             pd::anf::VarTable vt;
-            const auto outputs = it->second.anf(vt);
-            return runDecomposition(vt, outputs, it->second.outputNames, opt);
+            const auto outputs = bench->anf(vt);
+            return runDecomposition(vt, outputs, bench->outputNames, opt);
         }
 
         return usage();

@@ -95,9 +95,47 @@ ResultCache::Reservation::~Reservation() {
 }
 
 void ResultCache::Reservation::fulfill(Value v) {
+    if (!cache_) return;  // moved-from: inert
     promise_.set_value(std::move(v));
     fulfilled_ = true;
     cache_->publish(shard_, key_, /*success=*/true);
+}
+
+std::vector<ResultCache::SnapshotEntry> ResultCache::snapshot() const {
+    std::vector<SnapshotEntry> out;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        for (const auto& [key, entry] : shard->map) {
+            if (!entry.ready) continue;  // in-flight: value doesn't exist
+            Value v = entry.future.get();
+            if (v) out.push_back({key, std::move(v)});
+        }
+    }
+    return out;
+}
+
+std::size_t ResultCache::restore(std::vector<SnapshotEntry> entries) {
+    if (capacity_ == 0) return 0;
+    std::size_t adopted = 0;
+    for (auto& e : entries) {
+        if (!e.value) continue;
+        const std::size_t idx =
+            std::hash<std::string>{}(e.key) % shards_.size();
+        Shard& s = *shards_[idx];
+        std::lock_guard lock(s.mutex);
+        if (s.map.contains(e.key)) continue;  // live entry wins
+        std::promise<Value> promise;
+        promise.set_value(std::move(e.value));
+        Entry entry;
+        entry.future = promise.get_future().share();
+        entry.ready = true;
+        entry.lastUse = ++s.tick;  // stamps reset: restored ≙ just used
+        s.map.emplace(std::move(e.key), std::move(entry));
+        ++s.stats.restored;
+        ++adopted;
+        evictIfNeeded(s);
+    }
+    return adopted;
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -108,6 +146,7 @@ ResultCache::Stats ResultCache::stats() const {
         total.misses += shard->stats.misses;
         total.inserts += shard->stats.inserts;
         total.evictions += shard->stats.evictions;
+        total.restored += shard->stats.restored;
         for (const auto& [k, e] : shard->map)
             total.entries += e.ready ? 1 : 0;
     }

@@ -48,7 +48,14 @@ public:
         std::uint64_t misses = 0;
         std::uint64_t inserts = 0;
         std::uint64_t evictions = 0;
+        std::uint64_t restored = 0;  ///< entries adopted via restore()
         std::size_t entries = 0;
+    };
+
+    /// One ready entry as drained by snapshot() / fed to restore().
+    struct SnapshotEntry {
+        std::string key;
+        std::shared_ptr<const JobResult> value;
     };
 
     /// RAII token for a reserved (in-flight) computation slot.
@@ -60,13 +67,19 @@ public:
               key_(std::move(other.key_)),
               promise_(std::move(other.promise_)),
               fulfilled_(other.fulfilled_) {
-            other.cache_ = nullptr;  // moved-from dtor must be a no-op
+            // The moved-from object must be fully inert: a stray
+            // fulfill() or dtor on it may touch neither the cache nor
+            // the (moved-from) promise.
+            other.cache_ = nullptr;
+            other.shard_ = 0;
+            other.fulfilled_ = true;
         }
         Reservation& operator=(Reservation&&) = delete;
         Reservation(const Reservation&) = delete;
         ~Reservation();
 
-        /// Publishes the computed result and releases waiters.
+        /// Publishes the computed result and releases waiters. No-op on
+        /// a moved-from reservation.
         void fulfill(Value v);
 
     private:
@@ -99,6 +112,18 @@ public:
     [[nodiscard]] LookupResult lookupOrReserve(const std::string& key);
 
     [[nodiscard]] Stats stats() const;
+
+    /// Drains the *ready* entries (full signature key + value) for
+    /// persistence. In-flight computations are never snapshotted: their
+    /// values don't exist yet, and waiting for them here would make a
+    /// mid-batch flush block on the slowest job.
+    [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+
+    /// Merge-on-load: adopts entries whose keys are not already present
+    /// (live entries — ready or in-flight — win over the store), each
+    /// with a fresh LRU stamp. Returns the number adopted. No-op when
+    /// caching is disabled.
+    std::size_t restore(std::vector<SnapshotEntry> entries);
 
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
 

@@ -9,6 +9,7 @@
 
 #include "anf/parser.hpp"
 #include "circuits/registry.hpp"
+#include "engine/persist/format.hpp"
 #include "netlist/stats.hpp"
 #include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
@@ -141,11 +142,7 @@ std::string canonicalSignature(std::span<const anf::Anf> outputs,
 }
 
 std::string signatureDigest(const std::string& signature) {
-    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
-    for (const unsigned char c : signature) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
+    std::uint64_t h = persist::fnv1a(signature);
     std::string hex(16, '0');
     for (int i = 15; i >= 0; --i) {
         hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
@@ -154,11 +151,76 @@ std::string signatureDigest(const std::string& signature) {
     return hex;
 }
 
+std::string persistFingerprint(const EngineOptions& opt) {
+    return "lib:umc130|xl" + std::to_string(opt.equiv.exhaustiveLimitBits) +
+           "|rb" + std::to_string(opt.equiv.randomBatches) + "|sd" +
+           std::to_string(opt.equiv.seed);
+}
+
 Engine::Engine(EngineOptions opt)
     : opt_(opt),
       lib_(synth::CellLibrary::umc130()),
       cache_(opt.cacheCapacity),
-      pool_(opt.jobs == 0 ? 1 : opt.jobs) {}
+      pool_(opt.jobs == 0 ? 1 : opt.jobs) {
+    persistInfo_.file = opt_.cacheFile;
+    persistInfo_.readonly = opt_.cacheReadonly;
+    if (opt_.cacheFile.empty()) return;
+    if (opt_.cacheCapacity == 0) {
+        persistInfo_.loadDetail =
+            "result caching disabled (capacity 0); store not loaded";
+        return;
+    }
+    auto loaded =
+        persist::CacheStore::load(opt_.cacheFile, persistFingerprint(opt_));
+    persistInfo_.loadStatus = loaded.status;
+    persistInfo_.loadDetail = loaded.detail;
+    if (!loaded.ok()) return;  // cold start, loudly recorded
+    std::vector<ResultCache::SnapshotEntry> entries;
+    entries.reserve(loaded.entries.size());
+    for (auto& e : loaded.entries)
+        entries.push_back({std::move(e.key), std::move(e.result)});
+    persistInfo_.loadedEntries = cache_.restore(std::move(entries));
+}
+
+Engine::~Engine() {
+    if (cache_.stats().inserts > flushedInserts_) flushCache();
+}
+
+bool Engine::flushCache(std::size_t* savedOut, std::string* errorOut) {
+    if (opt_.cacheFile.empty()) {
+        if (errorOut) *errorOut = "no cache file configured";
+        return false;
+    }
+    if (opt_.cacheReadonly) {
+        if (errorOut) *errorOut = "cache file is read-only";
+        return false;
+    }
+    if (opt_.cacheCapacity == 0) {
+        // Nothing was cached this run; writing would replace a possibly
+        // warm store with an empty one.
+        if (errorOut)
+            *errorOut = "result caching is disabled (capacity 0); "
+                        "refusing to overwrite the store with nothing";
+        return false;
+    }
+    // Stats first, snapshot second: entries published between the two
+    // calls are still saved now and merely re-flushed by the destructor.
+    const std::uint64_t insertsBefore = cache_.stats().inserts;
+    auto snap = cache_.snapshot();
+    std::vector<persist::StoreEntry> entries;
+    entries.reserve(snap.size());
+    for (auto& e : snap)
+        entries.push_back({std::move(e.key), std::move(e.value)});
+    std::string error;
+    if (!persist::CacheStore::save(opt_.cacheFile, persistFingerprint(opt_),
+                                   entries, &error)) {
+        if (errorOut) *errorOut = error;
+        return false;
+    }
+    flushedInserts_ = insertsBefore;
+    if (savedOut) *savedOut = entries.size();
+    return true;
+}
 
 std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
     std::vector<std::future<JobResult>> futures;
@@ -263,6 +325,9 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 result.name = name;
                 result.cacheKey = key;
                 result.cacheHit = true;
+                // Disk-loaded entries answer "disk" for every hit they
+                // serve; entries computed this process answer "memory".
+                result.cacheSource = cached.cacheSource;
                 result.wallMs = wallMsSince(wallStart);
                 result.cpuMs = threadCpuMs() - cpuStart;
                 return result;
@@ -319,9 +384,12 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         if (auto* reservation =
                 std::get_if<ResultCache::Reservation>(&lookup)) {
             // Cache the full result (netlist included) so a later
-            // keepMapped request can be served from cache too.
-            reservation->fulfill(
-                std::make_shared<const JobResult>(result));
+            // keepMapped request can be served from cache too. The
+            // published copy is what future hits report against, so it
+            // carries kMemory; the requester's own copy stays kComputed.
+            auto published = std::make_shared<JobResult>(result);
+            published->cacheSource = CacheSource::kMemory;
+            reservation->fulfill(std::move(published));
         }
         if (!spec.keepMapped) result.mapped = netlist::Netlist{};
         return result;

@@ -19,6 +19,7 @@
 #include "anf/anf.hpp"
 #include "engine/cache.hpp"
 #include "engine/job.hpp"
+#include "engine/persist/store.hpp"
 #include "engine/pool.hpp"
 #include "sim/equivalence.hpp"
 #include "synth/celllib.hpp"
@@ -39,11 +40,36 @@ struct EngineOptions {
     std::size_t conflictBudget = 0;
     /// Verification effort for simulation-checked jobs.
     sim::EquivOptions equiv;
+    /// Path of a persistent pd-cache-v1 store ("" disables persistence).
+    /// The engine warm-starts from it on construction and flushes ready
+    /// cache entries back on destruction (or flushCache()). A missing,
+    /// corrupt, wrong-version or wrong-fingerprint file is reported via
+    /// persistInfo() and treated as a cold start — never a crash.
+    std::string cacheFile;
+    /// Load from cacheFile but never write it back (CI consumers, shared
+    /// read-mostly artifacts).
+    bool cacheReadonly = false;
+};
+
+/// What happened to the persistent store this engine was given.
+struct PersistInfo {
+    std::string file;               ///< "" when persistence is off
+    bool readonly = false;
+    persist::LoadResult::Status loadStatus =
+        persist::LoadResult::Status::kNoFile;
+    std::string loadDetail;         ///< reason when the load was rejected
+    std::uint64_t loadedEntries = 0;  ///< entries adopted at warm start
 };
 
 class Engine {
 public:
     explicit Engine(EngineOptions opt = {});
+
+    /// Best-effort final flush of the persistent store (no-op when
+    /// persistence is off, readonly, or nothing changed since the last
+    /// flush). Errors are swallowed: destruction is not the place to
+    /// throw, and the previous store version survives an aborted save.
+    ~Engine();
 
     /// Runs every spec through the flow; results are returned in spec
     /// order regardless of scheduling. Never throws for per-job failures:
@@ -61,6 +87,19 @@ public:
     }
     [[nodiscard]] const synth::CellLibrary& library() const { return lib_; }
 
+    /// Snapshots the ready cache entries and atomically rewrites the
+    /// configured store. Safe to call while jobs are computing: in-flight
+    /// entries are simply not included. Returns false with `errorOut`
+    /// when persistence is off/readonly or the write failed; `savedOut`
+    /// receives the number of entries written on success.
+    bool flushCache(std::size_t* savedOut = nullptr,
+                    std::string* errorOut = nullptr);
+
+    /// Warm-start outcome for reporting/diagnostics.
+    [[nodiscard]] const PersistInfo& persistInfo() const {
+        return persistInfo_;
+    }
+
 private:
     [[nodiscard]] JobResult execute(const JobSpec& spec,
                                     std::size_t index) const;
@@ -68,6 +107,10 @@ private:
     EngineOptions opt_;
     synth::CellLibrary lib_;
     mutable ResultCache cache_;
+    PersistInfo persistInfo_;
+    /// Insert count at the last successful flush: the destructor only
+    /// rewrites the store when something new was cached since.
+    std::uint64_t flushedInserts_ = 0;
     /// Registry-named specs memoize (name, options) → canonical
     /// signature, so a repeat hit skips rebuilding the (possibly huge)
     /// flat Reed-Muller form just to compute its own cache key. Safe
@@ -96,6 +139,14 @@ private:
 /// name → signature shortcut).
 [[nodiscard]] std::string optionsFingerprint(const core::DecomposeOptions& opt,
                                              bool verify);
+
+/// The salt written into (and demanded from) a persistent store: the
+/// engine-level knobs that change results but are *not* part of the
+/// per-job canonical signature — the cell library and the verification
+/// effort. Per-job DecomposeOptions need no salting (they are already in
+/// every cache key); conflictBudget is folded into those options before
+/// keys are computed, so it is covered too.
+[[nodiscard]] std::string persistFingerprint(const EngineOptions& opt);
 
 /// 64-bit FNV-1a hex digest used as the short cache key in reports.
 [[nodiscard]] std::string signatureDigest(const std::string& signature);

@@ -44,6 +44,17 @@ struct JobSpec {
     bool keepMapped = false;
 };
 
+/// Where a job's numbers came from: freshly computed, an entry computed
+/// earlier in this process, or an entry loaded from a persistent store.
+/// A warm-started entry stays kDisk for every hit it serves — "disk"
+/// answers "did the artifact pay for this job", not "which tier of
+/// storage the bytes sat in when the request arrived".
+enum class CacheSource : std::uint8_t {
+    kComputed,
+    kMemory,
+    kDisk,
+};
+
 enum class VerifyStatus : std::uint8_t {
     kSkipped,    ///< spec.verify was false
     kSimulated,  ///< simulation against reference semantics passed
@@ -78,6 +89,7 @@ struct JobResult {
 
     // Cache provenance.
     bool cacheHit = false;
+    CacheSource cacheSource = CacheSource::kComputed;
     std::string cacheKey;  ///< 64-bit hex digest of the canonical signature
 
     /// Mapped netlist (only when spec.keepMapped).

@@ -1,0 +1,171 @@
+#include "engine/persist/store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "engine/persist/format.hpp"
+#include "engine/persist/serialize.hpp"
+#include "util/error.hpp"
+
+namespace pd::engine::persist {
+namespace {
+
+LoadResult reject(LoadResult::Status status, std::string detail) {
+    LoadResult r;
+    r.status = status;
+    r.detail = std::move(detail);
+    return r;
+}
+
+/// Untrusted bytes destined for human-readable detail strings (and from
+/// there the JSON report): anything outside printable ASCII becomes
+/// \xNN so the report stays valid UTF-8 whatever the file contained.
+std::string printable(std::string_view bytes) {
+    std::string out;
+    out.reserve(bytes.size());
+    for (const unsigned char c : bytes) {
+        if (c >= 0x20 && c < 0x7f) {
+            out.push_back(static_cast<char>(c));
+        } else {
+            constexpr char kHex[] = "0123456789abcdef";
+            out += "\\x";
+            out.push_back(kHex[c >> 4]);
+            out.push_back(kHex[c & 0xf]);
+        }
+    }
+    return out;
+}
+
+/// Header + entry walk; throws pd::Error on structural damage so the
+/// caller can collapse every decode problem into kCorrupt.
+LoadResult parse(std::string_view bytes, std::string_view fingerprint) {
+    ByteReader r(bytes);
+    if (bytes.size() < kMagic.size() || r.raw(kMagic.size()) != kMagic)
+        return reject(LoadResult::Status::kBadMagic,
+                      "not a pd cache store (bad magic)");
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion)
+        return reject(LoadResult::Status::kBadVersion,
+                      "store is format version " + std::to_string(version) +
+                          ", this build reads " +
+                          std::to_string(kFormatVersion));
+    const std::string_view salt = r.str();
+    if (salt != fingerprint)
+        return reject(LoadResult::Status::kBadFingerprint,
+                      "store was written under options fingerprint '" +
+                          printable(salt) + "', expected '" +
+                          printable(fingerprint) + "'");
+
+    LoadResult out;
+    out.status = LoadResult::Status::kLoaded;
+    const std::uint64_t count = r.u64();
+    out.entries.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, r.remaining() / 16)));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string_view key = r.str();
+        const std::string_view payload = r.str();
+        const std::uint64_t stored = r.u64();
+        const std::uint64_t computed = fnv1a(payload, fnv1a(key));
+        if (stored != computed)
+            fail("persist",
+                 "checksum mismatch on entry " + std::to_string(i));
+        StoreEntry e;
+        e.key = std::string(key);
+        e.result = deserializeJobResult(payload);
+        out.entries.push_back(std::move(e));
+    }
+    if (!r.done())
+        fail("persist", std::to_string(r.remaining()) +
+                            " trailing bytes after last entry");
+    return out;
+}
+
+}  // namespace
+
+std::string_view loadStatusName(LoadResult::Status s) {
+    switch (s) {
+        case LoadResult::Status::kLoaded: return "loaded";
+        case LoadResult::Status::kNoFile: return "no-file";
+        case LoadResult::Status::kBadMagic: return "bad-magic";
+        case LoadResult::Status::kBadVersion: return "bad-version";
+        case LoadResult::Status::kBadFingerprint: return "bad-fingerprint";
+        case LoadResult::Status::kCorrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+LoadResult CacheStore::load(const std::string& path,
+                            std::string_view fingerprint) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return reject(LoadResult::Status::kNoFile,
+                      "no store at '" + path + "'");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad())
+        return reject(LoadResult::Status::kCorrupt,
+                      "read error on '" + path + "'");
+    const std::string bytes = std::move(buf).str();
+    try {
+        return parse(bytes, fingerprint);
+    } catch (const std::exception& e) {
+        return reject(LoadResult::Status::kCorrupt,
+                      "'" + path + "': " + e.what());
+    }
+}
+
+bool CacheStore::save(const std::string& path, std::string_view fingerprint,
+                      std::span<const StoreEntry> entries,
+                      std::string* errorOut) {
+    std::string bytes;
+    {
+        ByteWriter w(bytes);
+        bytes.append(kMagic);
+        w.u32(kFormatVersion);
+        w.str(fingerprint);
+        w.u64(entries.size());
+        std::string payload;
+        for (const auto& e : entries) {
+            payload.clear();
+            serializeJobResult(*e.result, payload);
+            w.str(e.key);
+            w.str(payload);
+            w.u64(fnv1a(payload, fnv1a(e.key)));
+        }
+    }
+
+    // Unique per process *and* per call: concurrent flushes from two
+    // threads must not interleave writes into one tmp file.
+    static std::atomic<std::uint64_t> saveSeq{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(static_cast<long>(::getpid())) +
+                            "." + std::to_string(saveSeq.fetch_add(1));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            if (errorOut) *errorOut = "cannot open '" + tmp + "' for write";
+            return false;
+        }
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) {
+            if (errorOut) *errorOut = "write failed on '" + tmp + "'";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (errorOut)
+            *errorOut = "rename '" + tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace pd::engine::persist

@@ -1,0 +1,79 @@
+// Versioned on-disk result store ("pd-cache-v1").
+//
+// File layout (all integers little-endian, see format.hpp):
+//
+//   magic            8 bytes   "pdcache\0"
+//   version          u32       kFormatVersion (1)
+//   fingerprint      str       options-fingerprint salt of the writer
+//   entry count      u64
+//   entry[count]:
+//     key            str       canonical signature (full string, no hash)
+//     payload        str       serialized JobResult (serialize.hpp)
+//     checksum       u64       FNV-1a over key bytes then payload bytes
+//
+// load() never throws and never crashes on hostile input: a missing,
+// truncated, corrupt, wrong-magic, wrong-version or wrong-fingerprint
+// file comes back as a non-ok LoadResult whose status/detail say loudly
+// why, and the caller cold-starts. A checksum or decode failure on one
+// entry rejects the whole file — a store is an artifact, not a salvage
+// site, and partial trust is how silent wrong answers happen.
+//
+// save() is atomic: the bytes go to "<path>.tmp.<pid>" first and are
+// renamed over the target, so readers never observe a half-written
+// store and a crash mid-save leaves the previous version intact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace pd::engine::persist {
+
+inline constexpr std::string_view kFormatName = "pd-cache-v1";
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::string_view kMagic{"pdcache\0", 8};
+
+struct StoreEntry {
+    std::string key;  ///< full canonical signature
+    std::shared_ptr<const JobResult> result;
+};
+
+struct LoadResult {
+    enum class Status : std::uint8_t {
+        kLoaded,          ///< entries are valid and complete
+        kNoFile,          ///< nothing at the path (normal first run)
+        kBadMagic,        ///< not a pd cache store at all
+        kBadVersion,      ///< written by a different format version
+        kBadFingerprint,  ///< written under different options
+        kCorrupt,         ///< truncated, checksum mismatch, or undecodable
+    };
+    Status status = Status::kNoFile;
+    std::string detail;  ///< human-readable reason when not kLoaded
+    std::vector<StoreEntry> entries;
+
+    [[nodiscard]] bool ok() const { return status == Status::kLoaded; }
+};
+
+[[nodiscard]] std::string_view loadStatusName(LoadResult::Status s);
+
+class CacheStore {
+public:
+    /// Reads and fully validates the store at `path`. `fingerprint` is
+    /// the caller's options salt; a mismatch rejects the file.
+    [[nodiscard]] static LoadResult load(const std::string& path,
+                                         std::string_view fingerprint);
+
+    /// Serializes `entries` under `fingerprint` and atomically replaces
+    /// `path`. Returns false (with `errorOut` set) on I/O failure; never
+    /// throws.
+    static bool save(const std::string& path, std::string_view fingerprint,
+                     std::span<const StoreEntry> entries,
+                     std::string* errorOut = nullptr);
+};
+
+}  // namespace pd::engine::persist

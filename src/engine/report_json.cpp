@@ -130,9 +130,19 @@ std::string_view verifyStatusName(VerifyStatus s) {
     return "unknown";
 }
 
+std::string_view cacheSourceName(CacheSource s) {
+    switch (s) {
+        case CacheSource::kComputed: return "computed";
+        case CacheSource::kMemory: return "memory";
+        case CacheSource::kDisk: return "disk";
+    }
+    return "unknown";
+}
+
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
-                      const ResultCache::Stats& cache) {
+                      const ResultCache::Stats& cache,
+                      const PersistInfo* persist) {
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", "pd-batch-report-v1");
@@ -148,6 +158,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("misses", cache.misses);
     w.field("inserts", cache.inserts);
     w.field("evictions", cache.evictions);
+    w.field("restored", cache.restored);
     w.field("entries", cache.entries);
     w.endObject();
 
@@ -187,11 +198,23 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.key("cache").beginObject();
         w.field("hit", r.cacheHit);
         w.field("key", r.cacheKey);
+        w.field("source", cacheSourceName(r.cacheSource));
         w.endObject();
 
         w.endObject();
     }
     w.endArray();
+
+    if (persist && !persist->file.empty()) {
+        w.key("persist").beginObject();
+        w.field("file", persist->file);
+        w.field("readonly", persist->readonly);
+        w.field("load_status",
+                persist::loadStatusName(persist->loadStatus));
+        w.field("load_detail", persist->loadDetail);
+        w.field("loaded_entries", persist->loadedEntries);
+        w.endObject();
+    }
     w.endObject();
 }
 

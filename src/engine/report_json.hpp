@@ -23,10 +23,20 @@
 //                          "failed", "vectors": u, "exhaustive": b},
 //         "timing": {"wall_ms": f, "cpu_ms": f},   // only non-deterministic
 //                                                  // fields in the report
-//         "cache": {"hit": b, "key": s}            // key: 16-hex digest
+//         "cache": {"hit": b, "key": s,            // key: 16-hex digest
+//                   "source": "computed"|"memory"|"disk"}
 //       }, ...
-//     ]
+//     ],
+//     "persist": {                                 // only with a cache file
+//       "file": s, "readonly": b,
+//       "load_status": "loaded"|"no-file"|"bad-magic"|"bad-version"|
+//                      "bad-fingerprint"|"corrupt",
+//       "load_detail": s, "loaded_entries": u
+//     }
 //   }
+//
+// The top-level "cache" object also carries "restored": entries adopted
+// from a persistent store at warm start.
 #pragma once
 
 #include <ostream>
@@ -80,10 +90,13 @@ private:
 };
 
 [[nodiscard]] std::string_view verifyStatusName(VerifyStatus s);
+[[nodiscard]] std::string_view cacheSourceName(CacheSource s);
 
 /// Renders the "pd-batch-report-v1" document for one batch run.
+/// `persist` (optional) records the persistent-store outcome.
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
-                      const ResultCache::Stats& cache);
+                      const ResultCache::Stats& cache,
+                      const PersistInfo* persist = nullptr);
 
 }  // namespace pd::engine

@@ -1,5 +1,7 @@
 #include "eval/table1.hpp"
 
+#include <cstdlib>
+
 #include "circuits/adder.hpp"
 #include "circuits/comparator.hpp"
 #include "circuits/counter.hpp"
@@ -14,8 +16,23 @@
 #include "util/error.hpp"
 
 namespace pd::eval {
+namespace {
 
-Flow::Flow() : lib_(synth::CellLibrary::umc130()), engine_(engine::EngineOptions{}) {}
+engine::EngineOptions flowEngineOptions(std::string cacheFile) {
+    engine::EngineOptions opt;
+    if (cacheFile.empty()) {
+        if (const char* env = std::getenv("PD_CACHE_FILE"))
+            cacheFile = env;
+    }
+    opt.cacheFile = std::move(cacheFile);
+    return opt;
+}
+
+}  // namespace
+
+Flow::Flow(std::string cacheFile)
+    : lib_(synth::CellLibrary::umc130()),
+      engine_(flowEngineOptions(std::move(cacheFile))) {}
 
 RowResult Flow::runNetlist(const std::string& variant,
                            const netlist::Netlist& nl,

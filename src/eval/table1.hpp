@@ -55,9 +55,16 @@ void satCrossCheck(BenchReport& report);
 /// batch engine (one-job batches against a per-Flow result cache), so
 /// ablation sweeps that revisit a configuration are served from cache;
 /// baseline/manual rows synthesize their netlists directly.
+///
+/// Persistence: pass a pd-cache-v1 store path (or set PD_CACHE_FILE in
+/// the environment — every Flow in the process then shares one store)
+/// and the engine warm-starts from it and flushes back on destruction,
+/// so repeated Table-1 sweeps skip re-decomposition across processes.
 class Flow {
 public:
-    Flow();
+    /// `cacheFile`: persistent store path; empty → $PD_CACHE_FILE; unset
+    /// → no persistence.
+    explicit Flow(std::string cacheFile = {});
 
     /// optimize → map → STA → verify an already-built structural netlist.
     [[nodiscard]] RowResult runNetlist(const std::string& variant,

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 
 #include "anf/parser.hpp"
@@ -321,6 +322,98 @@ TEST(Cache, ZeroCapacityDisables) {
     EXPECT_TRUE(
         std::holds_alternative<std::monostate>(cache.lookupOrReserve("k")));
     EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+// Regression: the move constructor used to null only cache_, leaving the
+// moved-from object with a live-looking shard_/fulfilled_ over a
+// moved-from promise. Moving a reservation before fulfilling — and
+// letting the source die, or poking it — must be completely inert.
+TEST(Cache, ReservationMovedBeforeFulfillStaysValid) {
+    ResultCache cache(4, 1);
+    auto lookup = cache.lookupOrReserve("k");
+    auto* reservation = std::get_if<ResultCache::Reservation>(&lookup);
+    ASSERT_NE(reservation, nullptr);
+    {
+        ResultCache::Reservation moved(std::move(*reservation));
+        // The source must be a no-op for every operation it still
+        // exposes: fulfill() on it must not touch the promise or the
+        // cache, and its destructor (end of `lookup`'s variant life)
+        // must not erase the entry the new owner still holds.
+        reservation->fulfill(makeValue("stray"));
+        moved.fulfill(makeValue("k"));
+    }
+    auto hit = cache.lookupOrReserve("k");
+    auto* value = std::get_if<ResultCache::Value>(&hit);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ((*value)->name, "k");
+    EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(Cache, ReservationMovedThenSourceDestroyedDoesNotPoison) {
+    ResultCache cache(4, 1);
+    std::optional<ResultCache::Reservation> keeper;
+    {
+        auto lookup = cache.lookupOrReserve("k");
+        auto* reservation = std::get_if<ResultCache::Reservation>(&lookup);
+        ASSERT_NE(reservation, nullptr);
+        keeper.emplace(std::move(*reservation));
+        // `lookup` (holding the moved-from source) dies here.
+    }
+    keeper->fulfill(makeValue("k"));
+    keeper.reset();
+    EXPECT_TRUE(std::holds_alternative<ResultCache::Value>(
+        cache.lookupOrReserve("k")));
+}
+
+TEST(Cache, SnapshotDrainsReadyEntriesOnly) {
+    ResultCache cache(8, 2);
+    {
+        auto lookup = cache.lookupOrReserve("ready");
+        std::get_if<ResultCache::Reservation>(&lookup)->fulfill(
+            makeValue("ready"));
+    }
+    auto inflight = cache.lookupOrReserve("inflight");
+    ASSERT_TRUE(
+        std::holds_alternative<ResultCache::Reservation>(inflight));
+    const auto snap = cache.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].key, "ready");
+    EXPECT_EQ(snap[0].value->name, "ready");
+    std::get_if<ResultCache::Reservation>(&inflight)->fulfill(
+        makeValue("inflight"));
+}
+
+TEST(Cache, RestoreMergesWithoutClobberingLiveEntries) {
+    ResultCache cache(8, 2);
+    {
+        auto lookup = cache.lookupOrReserve("k1");
+        std::get_if<ResultCache::Reservation>(&lookup)->fulfill(
+            makeValue("live"));
+    }
+    std::vector<ResultCache::SnapshotEntry> entries;
+    entries.push_back({"k1", makeValue("stale-from-disk")});
+    entries.push_back({"k2", makeValue("new-from-disk")});
+    EXPECT_EQ(cache.restore(std::move(entries)), 1u);
+    EXPECT_EQ(cache.stats().restored, 1u);
+    auto h1 = cache.lookupOrReserve("k1");
+    EXPECT_EQ((*std::get_if<ResultCache::Value>(&h1))->name, "live")
+        << "a live entry must win over the store";
+    auto h2 = cache.lookupOrReserve("k2");
+    ASSERT_TRUE(std::holds_alternative<ResultCache::Value>(h2));
+    EXPECT_EQ((*std::get_if<ResultCache::Value>(&h2))->name,
+              "new-from-disk");
+}
+
+TEST(Engine, CacheSourceDistinguishesComputedFromMemory) {
+    Engine engine(EngineOptions{});
+    JobSpec spec;
+    spec.benchmark = "majority7";
+    const auto first = engine.runJob(spec);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.cacheSource, CacheSource::kComputed);
+    const auto second = engine.runJob(spec);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.cacheSource, CacheSource::kMemory);
 }
 
 TEST(ReportJson, EscapesAndNests) {

@@ -1,0 +1,477 @@
+// Persistent-cache tests: byte-level format round-trips, the store's
+// loud rejection of every corruption class (truncation, bit flips,
+// future versions, foreign fingerprints) as a clean cold start, engine
+// warm-start/flush end-to-end, and a concurrent save-while-computing
+// hammer. All failure paths must neither crash nor serve a wrong
+// answer — a bad file is equivalent to no file.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "engine/persist/format.hpp"
+#include "engine/persist/serialize.hpp"
+#include "engine/persist/store.hpp"
+#include "util/error.hpp"
+
+namespace pd::engine::persist {
+namespace {
+
+/// Unique-per-test temp path, removed on scope exit.
+class TempFile {
+public:
+    explicit TempFile(const std::string& tag)
+        : path_(std::string(::testing::TempDir()) + "pd_persist_" + tag +
+                "_" + std::to_string(::getpid()) + ".pdc") {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+[[nodiscard]] std::string readFile(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return std::move(buf).str();
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A representative result with a real netlist: x = a&b, y = x^c.
+[[nodiscard]] JobResult sampleResult() {
+    JobResult r;
+    r.ok = true;
+    r.blocks = 3;
+    r.iterations = 5;
+    r.leaders = 4;
+    r.converged = true;
+    r.qor.area = 123.5;
+    r.qor.delay = 0.875;
+    r.qor.gates = 2;
+    r.levels = 2;
+    r.interconnect = 4;
+    r.verification = VerifyStatus::kSimulated;
+    r.vectorsTested = 8;
+    r.exhaustive = true;
+    netlist::Netlist nl;
+    const auto a = nl.addInput("a");
+    const auto b = nl.addInput("b");
+    const auto c = nl.addInput("c");
+    const auto x = nl.addGate(netlist::GateType::kAnd, a, b);
+    const auto y = nl.addGate(netlist::GateType::kXor, x, c);
+    nl.markOutput("x", x);
+    nl.markOutput("y", y);
+    r.mapped = std::move(nl);
+    return r;
+}
+
+void expectSameResult(const JobResult& a, const JobResult& b) {
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.leaders, b.leaders);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.qor.area, b.qor.area);
+    EXPECT_EQ(a.qor.delay, b.qor.delay);
+    EXPECT_EQ(a.qor.gates, b.qor.gates);
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_EQ(a.interconnect, b.interconnect);
+    EXPECT_EQ(a.verification, b.verification);
+    EXPECT_EQ(a.vectorsTested, b.vectorsTested);
+    EXPECT_EQ(a.exhaustive, b.exhaustive);
+    ASSERT_EQ(a.mapped.numNets(), b.mapped.numNets());
+    for (netlist::NetId id = 0; id < a.mapped.numNets(); ++id) {
+        EXPECT_EQ(a.mapped.gate(id).type, b.mapped.gate(id).type);
+        EXPECT_EQ(a.mapped.gate(id).in, b.mapped.gate(id).in);
+    }
+    ASSERT_EQ(a.mapped.inputs().size(), b.mapped.inputs().size());
+    for (std::size_t i = 0; i < a.mapped.inputs().size(); ++i) {
+        EXPECT_EQ(a.mapped.inputs()[i], b.mapped.inputs()[i]);
+        EXPECT_EQ(a.mapped.inputName(i), b.mapped.inputName(i));
+    }
+    ASSERT_EQ(a.mapped.outputs().size(), b.mapped.outputs().size());
+    for (std::size_t i = 0; i < a.mapped.outputs().size(); ++i) {
+        EXPECT_EQ(a.mapped.outputs()[i].name, b.mapped.outputs()[i].name);
+        EXPECT_EQ(a.mapped.outputs()[i].net, b.mapped.outputs()[i].net);
+    }
+}
+
+TEST(PersistFormat, IntegerAndStringRoundTrip) {
+    std::string bytes;
+    ByteWriter w(bytes);
+    w.u8(0xab);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.f64(-1234.56789);
+    using namespace std::string_view_literals;
+    w.str("hello\0world"sv);  // embedded NUL must survive
+    ByteReader r(bytes);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f64(), -1234.56789);
+    EXPECT_EQ(r.str(), "hello\0world"sv);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(PersistFormat, LittleEndianOnTheWire) {
+    std::string bytes;
+    ByteWriter w(bytes);
+    w.u32(0x04030201u);
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 1);
+    EXPECT_EQ(bytes[1], 2);
+    EXPECT_EQ(bytes[2], 3);
+    EXPECT_EQ(bytes[3], 4);
+}
+
+TEST(PersistFormat, ReaderThrowsOnOverrun) {
+    std::string bytes;
+    ByteWriter w(bytes);
+    w.u32(7);
+    ByteReader r(bytes);
+    (void)r.u32();
+    EXPECT_THROW((void)r.u8(), pd::Error);
+    // A length prefix larger than the buffer must throw, not allocate.
+    std::string lie;
+    ByteWriter w2(lie);
+    w2.u32(0xffffffffu);
+    ByteReader r2(lie);
+    EXPECT_THROW((void)r2.str(), pd::Error);
+}
+
+TEST(PersistSerialize, JobResultRoundTrip) {
+    const JobResult r = sampleResult();
+    std::string payload;
+    serializeJobResult(r, payload);
+    const auto back = deserializeJobResult(payload);
+    ASSERT_TRUE(back);
+    expectSameResult(r, *back);
+    // Disk provenance is stamped at decode time.
+    EXPECT_EQ(back->cacheSource, CacheSource::kDisk);
+}
+
+TEST(PersistSerialize, RejectsCorruptNetlist) {
+    const JobResult r = sampleResult();
+    std::string payload;
+    serializeJobResult(r, payload);
+    // Any single-byte corruption must decode to an error or to a value —
+    // never crash. (Checksums catch these in the full store; this
+    // exercises the decoder's own defenses.)
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        std::string bad = payload;
+        bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+        try {
+            (void)deserializeJobResult(bad);
+        } catch (const pd::Error&) {
+            // expected for most positions
+        }
+    }
+}
+
+TEST(PersistStore, SaveLoadRoundTrip) {
+    TempFile file("roundtrip");
+    const JobResult r = sampleResult();
+    std::vector<StoreEntry> entries;
+    entries.push_back(
+        {"sig-A", std::make_shared<const JobResult>(r)});
+    entries.push_back(
+        {"sig-B", std::make_shared<const JobResult>(sampleResult())});
+    std::string error;
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp1", entries, &error))
+        << error;
+
+    const auto loaded = CacheStore::load(file.path(), "fp1");
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.entries[0].key, "sig-A");
+    EXPECT_EQ(loaded.entries[1].key, "sig-B");
+    expectSameResult(r, *loaded.entries[0].result);
+}
+
+TEST(PersistStore, MissingFileIsACleanColdStart) {
+    const auto loaded = CacheStore::load("/nonexistent/dir/none.pdc", "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kNoFile);
+    EXPECT_TRUE(loaded.entries.empty());
+}
+
+TEST(PersistStore, RejectsTruncatedFile) {
+    TempFile file("truncated");
+    std::vector<StoreEntry> entries{
+        {"sig", std::make_shared<const JobResult>(sampleResult())}};
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", entries));
+    const std::string bytes = readFile(file.path());
+    ASSERT_GT(bytes.size(), 16u);
+    // Every truncation point must reject cleanly, never crash.
+    for (const std::size_t keep :
+         {bytes.size() - 1, bytes.size() / 2, std::size_t{13},
+          std::size_t{7}, std::size_t{0}}) {
+        writeFile(file.path(), bytes.substr(0, keep));
+        const auto loaded = CacheStore::load(file.path(), "fp");
+        EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+        EXPECT_TRUE(loaded.entries.empty());
+    }
+}
+
+TEST(PersistStore, RejectsFlippedChecksumByte) {
+    TempFile file("checksum");
+    std::vector<StoreEntry> entries{
+        {"sig", std::make_shared<const JobResult>(sampleResult())}};
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", entries));
+    const std::string bytes = readFile(file.path());
+    // Flip one byte in every position after the header region; each must
+    // be caught by the checksum (or structural validation) as kCorrupt.
+    std::size_t rejected = 0;
+    for (std::size_t i = kMagic.size() + 4; i < bytes.size(); ++i) {
+        std::string bad = bytes;
+        bad[i] = static_cast<char>(bad[i] ^ 0x01);
+        writeFile(file.path(), bad);
+        const auto loaded = CacheStore::load(file.path(), "fp");
+        if (!loaded.ok()) ++rejected;
+    }
+    // All positions are covered by the fingerprint check, length
+    // prefixes, payload checksum or trailing-byte detection.
+    EXPECT_EQ(rejected, bytes.size() - kMagic.size() - 4);
+}
+
+TEST(PersistStore, RejectsFutureFormatVersion) {
+    TempFile file("version");
+    std::vector<StoreEntry> entries{
+        {"sig", std::make_shared<const JobResult>(sampleResult())}};
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", entries));
+    std::string bytes = readFile(file.path());
+    bytes[kMagic.size()] = 2;  // version u32 LE: bump to 2
+    writeFile(file.path(), bytes);
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kBadVersion);
+    EXPECT_NE(loaded.detail.find("version 2"), std::string::npos)
+        << loaded.detail;
+}
+
+TEST(PersistStore, RejectsBadMagic) {
+    TempFile file("magic");
+    writeFile(file.path(), "this is not a cache store at all");
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kBadMagic);
+}
+
+TEST(PersistStore, RejectsMismatchedFingerprint) {
+    TempFile file("fingerprint");
+    std::vector<StoreEntry> entries{
+        {"sig", std::make_shared<const JobResult>(sampleResult())}};
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp-writer", entries));
+    const auto loaded = CacheStore::load(file.path(), "fp-reader");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kBadFingerprint);
+    EXPECT_NE(loaded.detail.find("fp-writer"), std::string::npos);
+    EXPECT_NE(loaded.detail.find("fp-reader"), std::string::npos);
+}
+
+// ---- engine-level warm start / flush ---------------------------------------
+
+TEST(PersistEngine, WarmStartServesEverythingFromDisk) {
+    TempFile file("warmstart");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    std::vector<JobSpec> specs;
+    for (const char* name : {"majority7", "counter8"}) {
+        JobSpec s;
+        s.benchmark = name;
+        specs.push_back(std::move(s));
+    }
+
+    std::vector<JobResult> first;
+    {
+        Engine engine(opt);
+        EXPECT_EQ(engine.persistInfo().loadStatus,
+                  LoadResult::Status::kNoFile);
+        first = engine.runBatch(specs);
+        for (const auto& r : first) {
+            ASSERT_TRUE(r.ok) << r.error;
+            EXPECT_EQ(r.cacheSource, CacheSource::kComputed);
+        }
+        std::size_t saved = 0;
+        std::string error;
+        ASSERT_TRUE(engine.flushCache(&saved, &error)) << error;
+        EXPECT_EQ(saved, specs.size());
+    }
+
+    Engine warm(opt);
+    EXPECT_EQ(warm.persistInfo().loadStatus, LoadResult::Status::kLoaded);
+    EXPECT_EQ(warm.persistInfo().loadedEntries, specs.size());
+    const auto second = warm.runBatch(specs);
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < second.size(); ++i) {
+        ASSERT_TRUE(second[i].ok) << second[i].error;
+        EXPECT_TRUE(second[i].cacheHit);
+        EXPECT_EQ(second[i].cacheSource, CacheSource::kDisk);
+        EXPECT_EQ(second[i].cacheKey, first[i].cacheKey);
+        EXPECT_EQ(second[i].qor.area, first[i].qor.area);
+        EXPECT_EQ(second[i].qor.delay, first[i].qor.delay);
+        EXPECT_EQ(second[i].blocks, first[i].blocks);
+        EXPECT_EQ(second[i].verification, first[i].verification);
+    }
+}
+
+TEST(PersistEngine, DestructorFlushesNewResults) {
+    TempFile file("dtorflush");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    {
+        Engine engine(opt);
+        JobSpec s;
+        s.benchmark = "majority7";
+        const auto r = engine.runJob(s);
+        ASSERT_TRUE(r.ok) << r.error;
+        // no explicit flush: the destructor must persist the entry
+    }
+    const auto loaded =
+        CacheStore::load(file.path(), persistFingerprint(opt));
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    EXPECT_EQ(loaded.entries.size(), 1u);
+}
+
+TEST(PersistEngine, ReadonlyNeverWrites) {
+    TempFile file("readonly");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    opt.cacheReadonly = true;
+    {
+        Engine engine(opt);
+        JobSpec s;
+        s.benchmark = "majority7";
+        ASSERT_TRUE(engine.runJob(s).ok);
+        std::string error;
+        EXPECT_FALSE(engine.flushCache(nullptr, &error));
+    }
+    EXPECT_EQ(CacheStore::load(file.path(), persistFingerprint(opt)).status,
+              LoadResult::Status::kNoFile);
+}
+
+// Regression: with caching disabled (capacity 0) the snapshot is always
+// empty — a flush then must refuse rather than replace a warm store
+// with a zero-entry file.
+TEST(PersistEngine, DisabledCacheNeverClobbersTheStore) {
+    TempFile file("capacity0");
+    EngineOptions writer;
+    writer.cacheFile = file.path();
+    {
+        Engine engine(writer);
+        JobSpec s;
+        s.benchmark = "majority7";
+        ASSERT_TRUE(engine.runJob(s).ok);
+    }
+    EngineOptions disabled = writer;
+    disabled.cacheCapacity = 0;
+    {
+        Engine engine(disabled);
+        EXPECT_EQ(engine.persistInfo().loadedEntries, 0u);
+        JobSpec s;
+        s.benchmark = "majority7";
+        ASSERT_TRUE(engine.runJob(s).ok);
+        std::string error;
+        EXPECT_FALSE(engine.flushCache(nullptr, &error));
+        EXPECT_NE(error.find("disabled"), std::string::npos) << error;
+    }
+    const auto loaded =
+        CacheStore::load(file.path(), persistFingerprint(writer));
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    EXPECT_EQ(loaded.entries.size(), 1u)
+        << "the warm store must survive a capacity-0 run untouched";
+}
+
+TEST(PersistEngine, CorruptStoreColdStartsAndRecovers) {
+    TempFile file("recover");
+    writeFile(file.path(), "garbage garbage garbage");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    Engine engine(opt);
+    EXPECT_EQ(engine.persistInfo().loadStatus,
+              LoadResult::Status::kBadMagic);
+    JobSpec s;
+    s.benchmark = "majority7";
+    const auto r = engine.runJob(s);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.cacheSource, CacheSource::kComputed);
+    // And the flush replaces the garbage with a valid store.
+    ASSERT_TRUE(engine.flushCache());
+    EXPECT_TRUE(
+        CacheStore::load(file.path(), persistFingerprint(opt)).ok());
+}
+
+TEST(PersistEngine, WrongFingerprintColdStarts) {
+    TempFile file("fpmismatch");
+    EngineOptions writer;
+    writer.cacheFile = file.path();
+    {
+        Engine engine(writer);
+        JobSpec s;
+        s.benchmark = "majority7";
+        ASSERT_TRUE(engine.runJob(s).ok);
+    }
+    EngineOptions reader = writer;
+    reader.equiv.randomBatches = 9;  // different verification effort
+    Engine engine(reader);
+    EXPECT_EQ(engine.persistInfo().loadStatus,
+              LoadResult::Status::kBadFingerprint);
+    EXPECT_EQ(engine.persistInfo().loadedEntries, 0u);
+}
+
+TEST(PersistEngine, ConcurrentSaveWhileComputing) {
+    TempFile file("concurrent");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    opt.jobs = 4;
+    Engine engine(opt);
+
+    std::vector<JobSpec> specs;
+    for (const char* name :
+         {"majority7", "counter8", "adder8", "comparator8"}) {
+        JobSpec s;
+        s.benchmark = name;
+        specs.push_back(std::move(s));
+    }
+
+    // Hammer flushCache from two threads while the batch computes:
+    // snapshots must only ever contain ready entries, and every written
+    // file version must be fully valid.
+    std::atomic<bool> done{false};
+    const auto flusher = [&] {
+        while (!done.load()) {
+            engine.flushCache();
+            const auto loaded =
+                CacheStore::load(file.path(), persistFingerprint(opt));
+            if (loaded.status != LoadResult::Status::kNoFile) {
+                EXPECT_TRUE(loaded.ok()) << loaded.detail;
+            }
+            std::this_thread::yield();
+        }
+    };
+    std::thread t1(flusher), t2(flusher);
+    const auto results = engine.runBatch(specs);
+    done.store(true);
+    t1.join();
+    t2.join();
+    for (const auto& r : results) ASSERT_TRUE(r.ok) << r.error;
+
+    ASSERT_TRUE(engine.flushCache());
+    const auto loaded =
+        CacheStore::load(file.path(), persistFingerprint(opt));
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    EXPECT_EQ(loaded.entries.size(), specs.size());
+}
+
+}  // namespace
+}  // namespace pd::engine::persist

@@ -6,6 +6,9 @@
 //   pd_cli batch  [options] [bench ...]           run a batch through the
 //                                                 concurrent engine
 //   pd_cli list                                   list named benchmarks
+//   pd_cli cache-info [--key] [file]              print the persistent-cache
+//                                                 format/fingerprint, or
+//                                                 inspect an existing store
 //
 // Options (all modes):
 //   -k <n>           group size (default 4)
@@ -22,6 +25,9 @@
 //   --heavy          include the heavy (multiplier-class) benchmarks
 //   --json <file>    write the machine-readable pd-batch-report-v1 report
 //   --cache <n>      result-cache capacity (default 64, 0 disables)
+//   --cache-file <f> persistent pd-cache-v1 store: warm-start from it and
+//                    flush results back after the batch
+//   --cache-readonly load the store but never write it back
 //   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
 //   --no-verify      skip verification of the mapped netlists
 //
@@ -40,6 +46,7 @@
 #include "circuits/registry.hpp"
 #include "core/decomposer.hpp"
 #include "engine/engine.hpp"
+#include "engine/persist/store.hpp"
 #include "engine/report_json.hpp"
 #include "io/blif.hpp"
 #include "io/verilog.hpp"
@@ -60,11 +67,12 @@ int usage() {
         "  pd_cli bench [options] <benchmark>\n"
         "  pd_cli batch [options] [benchmark ...|--all]\n"
         "  pd_cli list\n"
+        "  pd_cli cache-info [--key] [file]\n"
         "options: -k <n>  --jobs <n>  --trace  --stats\n"
         "         --verilog <file>  --blif <file>\n"
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
-        "         --no-verify\n";
+        "         --cache-file <file>  --cache-readonly  --no-verify\n";
     return 2;
 }
 
@@ -113,6 +121,8 @@ struct Options {
     std::string jsonPath;
     std::size_t cacheCapacity = 64;
     std::size_t budget = 0;
+    std::string cacheFile;
+    bool cacheReadonly = false;
 };
 
 int runDecomposition(pd::anf::VarTable& vt,
@@ -178,7 +188,9 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
         // Reject options that would otherwise be silently ignored.
         const bool batchOnly = arg == "--all" || arg == "--heavy" ||
                                arg == "--json" || arg == "--cache" ||
-                               arg == "--budget" || arg == "--no-verify";
+                               arg == "--budget" || arg == "--no-verify" ||
+                               arg == "--cache-file" ||
+                               arg == "--cache-readonly";
         const bool flowOnly = arg == "--trace" || arg == "--stats" ||
                               arg == "--verilog" || arg == "--blif";
         if (batchOnly && !batchMode) {
@@ -203,6 +215,14 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                              "expr/bench run a single job\n";
         } else if (arg == "--cache") {
             if (!countArg(opt.cacheCapacity)) return usage();
+        } else if (arg == "--cache-file") {
+            if (++i >= argc) {
+                std::cerr << "option --cache-file expects a path\n";
+                return usage();
+            }
+            opt.cacheFile = argv[i];
+        } else if (arg == "--cache-readonly") {
+            opt.cacheReadonly = true;
         } else if (arg == "--budget") {
             if (!countArg(opt.budget)) return usage();
         } else if (arg == "--trace") {
@@ -268,7 +288,22 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.jobs = opt.jobs;
     eopt.cacheCapacity = opt.cacheCapacity;
     eopt.conflictBudget = opt.budget;
+    eopt.cacheFile = opt.cacheFile;
+    eopt.cacheReadonly = opt.cacheReadonly;
     pd::engine::Engine engine(eopt);
+
+    const auto& pinfo = engine.persistInfo();
+    if (!pinfo.file.empty()) {
+        std::cout << "cache store " << pinfo.file << ": "
+                  << pd::engine::persist::loadStatusName(pinfo.loadStatus);
+        if (pinfo.loadStatus ==
+            pd::engine::persist::LoadResult::Status::kLoaded)
+            std::cout << " (" << pinfo.loadedEntries << " entries)";
+        else if (!pinfo.loadDetail.empty())
+            std::cout << " — " << pinfo.loadDetail << "; cold start";
+        std::cout << "\n";
+    }
+
     const auto results = engine.runBatch(specs);
 
     bool anyFailed = false;
@@ -283,13 +318,16 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
                   << " um^2, delay " << r.qor.delay << " ns, " << r.qor.gates
                   << " cells, verify "
                   << pd::engine::verifyStatusName(r.verification) << ", "
-                  << r.wallMs << " ms"
-                  << (r.cacheHit ? " (cache hit)" : "") << "\n";
+                  << r.wallMs << " ms";
+        if (r.cacheHit)
+            std::cout << " (" << pd::engine::cacheSourceName(r.cacheSource)
+                      << " hit)";
+        std::cout << "\n";
     }
     const auto cs = engine.cacheStats();
     std::cout << "cache: " << cs.hits << " hits, " << cs.misses
-              << " misses, " << cs.evictions << " evictions, " << cs.entries
-              << " resident\n";
+              << " misses, " << cs.evictions << " evictions, " << cs.restored
+              << " restored, " << cs.entries << " resident\n";
 
     if (!opt.jsonPath.empty()) {
         std::ofstream os(opt.jsonPath);
@@ -297,10 +335,76 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
             std::cerr << "cannot write " << opt.jsonPath << "\n";
             return 1;
         }
-        pd::engine::writeBatchReport(os, eopt, results, cs);
+        pd::engine::writeBatchReport(os, eopt, results, cs, &pinfo);
         std::cout << "wrote " << opt.jsonPath << "\n";
     }
+
+    if (!opt.cacheFile.empty() && !opt.cacheReadonly) {
+        std::size_t saved = 0;
+        std::string error;
+        if (engine.flushCache(&saved, &error)) {
+            std::cout << "flushed " << saved << " entries to "
+                      << opt.cacheFile << "\n";
+        } else {
+            // A missing warm artifact is a real failure for the caller
+            // (CI caches it, the next run depends on it) — fail loudly
+            // here, not one run later.
+            std::cerr << "cache flush failed: " << error << "\n";
+            anyFailed = true;
+        }
+    }
     return anyFailed ? 1 : 0;
+}
+
+int runCacheInfo(const std::vector<std::string>& args) {
+    bool keyOnly = false;
+    std::string file;
+    for (const auto& a : args) {
+        if (a == "--key") {
+            keyOnly = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "unknown option '" << a << "'\n";
+            return usage();
+        } else if (!file.empty()) {
+            std::cerr << "cache-info takes at most one store file\n";
+            return usage();
+        } else {
+            file = a;
+        }
+    }
+    if (keyOnly && !file.empty()) {
+        std::cerr << "--key prints the CI cache key for *this build*; it "
+                     "cannot be combined with a store file\n";
+        return usage();
+    }
+    const pd::engine::EngineOptions defaults;
+    const std::string fingerprint = pd::engine::persistFingerprint(defaults);
+    if (file.empty()) {
+        if (keyOnly) {
+            // Single token suitable for a CI cache key: format version +
+            // default-options fingerprint digest.
+            std::cout << pd::engine::persist::kFormatName << '-'
+                      << pd::engine::signatureDigest(fingerprint) << "\n";
+            return 0;
+        }
+        std::cout << "format: " << pd::engine::persist::kFormatName
+                  << " (version "
+                  << pd::engine::persist::kFormatVersion << ")\n"
+                  << "fingerprint: " << fingerprint << "\n"
+                  << "fingerprint-digest: "
+                  << pd::engine::signatureDigest(fingerprint) << "\n";
+        return 0;
+    }
+    const auto loaded = pd::engine::persist::CacheStore::load(file,
+                                                             fingerprint);
+    std::cout << file << ": "
+              << pd::engine::persist::loadStatusName(loaded.status);
+    if (loaded.ok())
+        std::cout << ", " << loaded.entries.size() << " entries";
+    else if (!loaded.detail.empty())
+        std::cout << " — " << loaded.detail;
+    std::cout << "\n";
+    return loaded.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -321,6 +425,10 @@ int main(int argc, char** argv) {
             }
             return 0;
         }
+
+        if (mode == "cache-info")
+            return runCacheInfo(
+                std::vector<std::string>(argv + 2, argv + argc));
 
         Options opt;
         std::vector<std::string> positional;

@@ -1,0 +1,207 @@
+// Hot-path kernel microbench: the three operations the decomposition
+// loop lives in — ANF products, null-space sum-membership solves, and
+// findBasis pair merging — each measured in the reference (sorted-vector
+// Anf) domain and the indexed (bitset-over-ids) domain, plus an
+// end-to-end decompose. Results go to BENCH_hotpath.json
+// ("pd-bench-hotpath-v1"):
+//
+//   {
+//     "schema": "pd-bench-hotpath-v1",
+//     "metrics": {              // tracked by the CI perf smoke gate
+//       "product_indexed_us": f, "member_indexed_us": f,
+//       "findbasis_us": f, "decompose_majority15_ms": f
+//     },
+//     "reference": {"product_ref_us": f, "member_ref_us": f},
+//     "speedups": {"product": f, "member": f}
+//   }
+//
+// scripts/check_hotpath.py fails CI when any entry of "metrics" regresses
+// more than PD_HOTPATH_TOL× (default 2×) against the committed baseline —
+// generous because shared runners are noisy, tight enough to catch a
+// kernel falling off a cliff.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "anf/indexed.hpp"
+#include "circuits/registry.hpp"
+#include "core/basis.hpp"
+#include "core/decomposer.hpp"
+#include "engine/report_json.hpp"
+#include "ring/identity_db.hpp"
+#include "ring/membership.hpp"
+
+namespace {
+
+using pd::anf::Anf;
+using pd::anf::IndexedAnf;
+using pd::anf::Monomial;
+using pd::anf::MonomialIndexer;
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed ? seed : 1) {}
+    std::uint64_t next() {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return s_;
+    }
+    std::size_t below(std::size_t n) { return next() % n; }
+
+private:
+    std::uint64_t s_;
+};
+
+Anf randomAnf(Rng& rng, pd::anf::Var maxVar, std::size_t terms,
+              std::size_t maxDeg) {
+    std::vector<Monomial> ts;
+    for (std::size_t i = 0; i < terms; ++i) {
+        Monomial m;
+        const std::size_t deg = 1 + rng.below(maxDeg);
+        for (std::size_t d = 0; d < deg; ++d)
+            m.insert(static_cast<pd::anf::Var>(rng.below(maxVar)));
+        ts.push_back(m);
+    }
+    return Anf::fromTerms(std::move(ts));
+}
+
+template <typename Fn>
+double timeUs(std::size_t reps, Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < reps; ++i) fn(i);
+    const auto us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return us / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+    // ---- ANF product: 48×48 terms over 14 variables. -------------------
+    Rng rng(101);
+    std::vector<Anf> lhs;
+    std::vector<Anf> rhs;
+    for (int i = 0; i < 16; ++i) {
+        lhs.push_back(randomAnf(rng, 14, 48, 4));
+        rhs.push_back(randomAnf(rng, 14, 48, 4));
+    }
+    std::size_t sink = 0;
+    const double productRefUs = timeUs(64, [&](std::size_t i) {
+        sink += (lhs[i % lhs.size()] * rhs[i % rhs.size()]).termCount();
+    });
+    MonomialIndexer productIx;
+    std::vector<IndexedAnf> ilhs;
+    std::vector<IndexedAnf> irhs;
+    for (int i = 0; i < 16; ++i) {
+        ilhs.push_back(IndexedAnf::fromAnf(productIx, lhs[static_cast<std::size_t>(i)]));
+        irhs.push_back(IndexedAnf::fromAnf(productIx, rhs[static_cast<std::size_t>(i)]));
+    }
+    const double productIndexedUs = timeUs(64, [&](std::size_t i) {
+        sink += indexedProduct(productIx, ilhs[i % ilhs.size()],
+                               irhs[i % irhs.size()])
+                    .termCount();
+    });
+
+    // ---- Membership solve: rings of 3 generators over 8 variables. -----
+    Rng mrng(202);
+    std::vector<pd::ring::NullSpaceRing> rings;
+    for (int i = 0; i < 8; ++i) {
+        pd::ring::NullSpaceRing r;
+        for (int g = 0; g < 3; ++g) r.addGenerator(randomAnf(mrng, 8, 3, 2));
+        rings.push_back(std::move(r));
+    }
+    std::vector<Anf> targets;
+    for (int i = 0; i < 16; ++i) {
+        // Half guaranteed members (XORs of span elements), half random.
+        if (i % 2 == 0) {
+            Anf t;
+            for (const auto& e : rings[static_cast<std::size_t>(i) % rings.size()].spanningSet(64))
+                if (mrng.below(2)) t ^= e;
+            targets.push_back(std::move(t));
+        } else {
+            targets.push_back(randomAnf(mrng, 8, 4, 2));
+        }
+    }
+    const double memberRefUs = timeUs(256, [&](std::size_t i) {
+        sink += pd::ring::memberOfSum(targets[i % targets.size()],
+                                      rings[i % rings.size()],
+                                      rings[(i + 3) % rings.size()], 64)
+                    .member;
+    });
+    pd::ring::MembershipContext mctx;
+    const double memberIndexedUs = timeUs(256, [&](std::size_t i) {
+        sink += pd::ring::memberOfSum(mctx, targets[i % targets.size()],
+                                      rings[i % rings.size()],
+                                      rings[(i + 3) % rings.size()], 64)
+                    .member;
+    });
+
+    // ---- Pair merge: findBasis over a majority15-sized expression with a
+    // seeded identity database so null-space merging fires. --------------
+    pd::anf::VarTable vt;
+    const auto bench = pd::circuits::makeNamedBenchmark("majority15");
+    const auto outputs = bench->anf(vt);
+    pd::ring::IdentityDb idb;
+    Rng irng(303);
+    for (int i = 0; i < 6; ++i)
+        idb.add(Anf::var(static_cast<pd::anf::Var>(irng.below(15))) *
+                randomAnf(irng, 15, 2, 2));
+    pd::anf::VarSet group;
+    for (pd::anf::Var v = 0; v < 4; ++v) group.insert(v);
+    const double findBasisUs = timeUs(32, [&](std::size_t) {
+        const auto res = pd::core::findBasis(outputs[0], group, idb, {});
+        sink += res.pairs.size();
+    });
+
+    // ---- End to end: majority15 decompose under default options. -------
+    const double decomposeMs = timeUs(3, [&](std::size_t) {
+                                   pd::anf::VarTable tbl;
+                                   const auto outs = bench->anf(tbl);
+                                   const auto d = pd::core::decompose(
+                                       tbl, outs, bench->outputNames, {});
+                                   sink += d.blocks.size();
+                               }) /
+                               1000.0;
+
+    std::cout << "anf product:      ref " << productRefUs << " us, indexed "
+              << productIndexedUs << " us ("
+              << productRefUs / productIndexedUs << "x)\n"
+              << "membership solve: ref " << memberRefUs << " us, indexed "
+              << memberIndexedUs << " us (" << memberRefUs / memberIndexedUs
+              << "x)\n"
+              << "findBasis merge:  " << findBasisUs << " us\n"
+              << "decompose majority15: " << decomposeMs << " ms\n"
+              << "(sink " << sink << ")\n";
+
+    std::ofstream os(jsonPath);
+    if (!os) {
+        std::cerr << "cannot write " << jsonPath << "\n";
+        return 1;
+    }
+    pd::engine::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "pd-bench-hotpath-v1");
+    w.key("metrics").beginObject();
+    w.field("product_indexed_us", productIndexedUs);
+    w.field("member_indexed_us", memberIndexedUs);
+    w.field("findbasis_us", findBasisUs);
+    w.field("decompose_majority15_ms", decomposeMs);
+    w.endObject();
+    w.key("reference").beginObject();
+    w.field("product_ref_us", productRefUs);
+    w.field("member_ref_us", memberRefUs);
+    w.endObject();
+    w.key("speedups").beginObject();
+    w.field("product", productRefUs / productIndexedUs);
+    w.field("member", memberRefUs / memberIndexedUs);
+    w.endObject();
+    w.endObject();
+    std::cout << "wrote " << jsonPath << "\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI perf smoke gate for the indexed-ANF hot-path kernel.
+
+Usage: check_hotpath.py BASELINE.json CURRENT.json [tolerance]
+
+Two complementary checks against the committed bench_hotpath baseline:
+
+  1. "metrics" (absolute microseconds): every entry must stay within
+     `tolerance`x of the baseline (default 2.0, or env PD_HOTPATH_TOL).
+     Catches a kernel falling off a cliff, but compares across machines,
+     so CI passes a larger tolerance to absorb runner-speed variance.
+  2. "speedups" (indexed-vs-reference ratios measured WITHIN the current
+     run): each must stay above baseline_speedup / tolerance. These are
+     machine-independent, so they catch the scary regressions — an
+     accidental reference-path fallback, a spanning-set cache that
+     stopped hitting — even on a runner whose absolute speed differs
+     wildly from the baseline machine's.
+"""
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = json.load(open(sys.argv[1]))
+    current = json.load(open(sys.argv[2]))
+    tol = float(
+        sys.argv[3] if len(sys.argv) > 3 else os.environ.get(
+            "PD_HOTPATH_TOL", "2.0"))
+
+    for doc, name in ((baseline, sys.argv[1]), (current, sys.argv[2])):
+        if doc.get("schema") != "pd-bench-hotpath-v1":
+            print(f"{name}: unexpected schema {doc.get('schema')!r}")
+            return 1
+
+    failed = False
+    for key, base in sorted(baseline["metrics"].items()):
+        cur = current["metrics"].get(key)
+        if cur is None:
+            print(f"FAIL metric {key}: missing from current run")
+            failed = True
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > tol else "ok"
+        print(f"{verdict:4s} metric  {key}: baseline {base:.3f}, current "
+              f"{cur:.3f} ({ratio:.2f}x, tolerance {tol:.2f}x)")
+        failed |= ratio > tol
+
+    for key, base in sorted(baseline.get("speedups", {}).items()):
+        cur = current.get("speedups", {}).get(key)
+        if cur is None:
+            print(f"FAIL speedup {key}: missing from current run")
+            failed = True
+            continue
+        floor = base / tol
+        verdict = "FAIL" if cur < floor else "ok"
+        print(f"{verdict:4s} speedup {key}: baseline {base:.2f}x, current "
+              f"{cur:.2f}x (floor {floor:.2f}x)")
+        failed |= cur < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,20 @@ public:
     /// repeating) list of monomials; repeated monomials cancel mod 2.
     static Anf fromTerms(std::vector<Monomial> terms);
 
+    /// Adopts a term list that is already sorted ascending and duplicate-
+    /// free (e.g. a filtered subsequence of another Anf's terms), skipping
+    /// the fromTerms sort — the hot-path constructor for group splits.
+    /// The precondition is checked (one linear pass) unless PD_NO_ASSERT.
+    static Anf fromCanonicalTerms(std::vector<Monomial> terms) {
+#ifndef PD_NO_ASSERT
+        for (std::size_t i = 1; i < terms.size(); ++i)
+            PD_ASSERT(terms[i - 1] < terms[i]);
+#endif
+        Anf a;
+        a.terms_ = std::move(terms);
+        return a;
+    }
+
     [[nodiscard]] bool isZero() const { return terms_.empty(); }
     [[nodiscard]] bool isOne() const {
         return terms_.size() == 1 && terms_[0].isOne();

@@ -1,12 +1,17 @@
 // Bridge between ANF expressions and the GF(2) linear-algebra layer.
 //
-// A MonomialIndexer assigns dense column indices to monomials on first
-// sight, so a set of expressions becomes a set of BitVecs over a shared
-// coordinate system. Linear dependence of expressions (paper §5.3), the
+// A MonomialIndexer interns Monomials to dense u32 ids on first sight, so
+// a set of expressions becomes a set of BitVecs over a shared coordinate
+// system. Linear dependence of expressions (paper §5.3), the
 // adjoin-products identity scan (§5.5) and null-space sum membership (§4)
-// all reduce to SpanSolver queries on these vectors.
+// all reduce to SpanSolver queries on these vectors. The indexer also
+// memoizes the ring product id×id → id, which is what makes IndexedAnf
+// products cheap: after the first encounter, multiplying two monomials is
+// one hash lookup instead of a 256-bit union plus a sorted-vector merge.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -15,15 +20,79 @@
 
 namespace pd::anf {
 
-/// Assigns stable dense indices to monomials and converts expressions to
-/// characteristic bit vectors.
+/// Assigns stable dense indices to monomials, converts expressions to
+/// characteristic bit vectors, and memoizes monomial products by id.
 class MonomialIndexer {
 public:
+    using Id = std::uint32_t;
+
+    /// Pre-sizes the intern table (hot callers know their term counts;
+    /// rehash churn otherwise dominates short-lived indexers).
+    void reserve(std::size_t n) {
+        index_.reserve(n);
+        order_.reserve(n);
+        degree_.reserve(n);
+    }
+
     /// Index of `m`, allocating a new column when unseen.
-    std::size_t indexOf(const Monomial& m) {
-        const auto [it, inserted] = index_.try_emplace(m, index_.size());
-        if (inserted) order_.push_back(m);
+    Id indexOf(const Monomial& m) {
+        const auto [it, inserted] =
+            index_.try_emplace(m, static_cast<Id>(index_.size()));
+        if (inserted) {
+            order_.push_back(m);
+            degree_.push_back(static_cast<std::uint32_t>(m.degree()));
+        }
         return it->second;
+    }
+
+    /// Cached degree of a column's monomial (the expensive half of the
+    /// canonical graded compare).
+    [[nodiscard]] std::uint32_t degreeOf(Id id) const {
+        PD_ASSERT(id < degree_.size());
+        return degree_[id];
+    }
+
+    /// Sorts ids into canonical monomial order. Equivalent to sorting the
+    /// monomials themselves, but compares cached degrees first and moves
+    /// 4-byte ids instead of 32-byte masks.
+    void sortIdsCanonical(std::vector<Id>& ids) const {
+        std::sort(ids.begin(), ids.end(), [&](Id a, Id b) {
+            if (degree_[a] != degree_[b]) return degree_[a] < degree_[b];
+            return order_[a].wordsLess(order_[b]);
+        });
+    }
+
+    /// Expression from term ids (any order, assumed distinct).
+    [[nodiscard]] Anf toAnfFromIds(std::vector<Id> ids) const {
+        sortIdsCanonical(ids);
+        std::vector<Monomial> terms;
+        terms.reserve(ids.size());
+        for (const auto id : ids) terms.push_back(order_[id]);
+        return Anf::fromCanonicalTerms(std::move(terms));
+    }
+
+    /// The monomial a column stands for.
+    [[nodiscard]] const Monomial& monomialAt(Id id) const {
+        PD_ASSERT(id < order_.size());
+        return order_[id];
+    }
+
+    /// Memoized ring product: id of monomialAt(a) · monomialAt(b). The
+    /// product monomial is interned on first sight, so the result is a
+    /// valid column of this indexer.
+    Id productOf(Id a, Id b) {
+        if (a == b) return a;  // idempotent: x² = x
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+            std::max(a, b);
+        const auto it = products_.find(key);
+        if (it != products_.end()) return it->second;
+        // Compute before interning: indexOf may grow order_ and invalidate
+        // references into it.
+        const Monomial p = monomialAt(a) * monomialAt(b);
+        const Id id = indexOf(p);
+        products_.emplace(key, id);
+        return id;
     }
 
     /// Converts `e` to a bit vector over the current (possibly grown)
@@ -39,16 +108,29 @@ public:
     /// Reconstructs the expression selected by the set bits of `v`.
     [[nodiscard]] Anf toAnf(const gf2::BitVec& v) const {
         std::vector<Monomial> terms;
-        for (std::size_t i = 0; i < v.size() && i < order_.size(); ++i)
-            if (v.get(i)) terms.push_back(order_[i]);
+        v.forEachSetBit([&](std::size_t i) {
+            if (i < order_.size()) terms.push_back(order_[i]);
+        });
         return Anf::fromTerms(std::move(terms));
     }
 
     [[nodiscard]] std::size_t size() const { return index_.size(); }
 
+    /// Process-unique instance id. Caches of indexed data (e.g. a
+    /// NullSpaceRing's spanning set) key on this instead of the object's
+    /// address, so a new indexer at a recycled address can never be
+    /// mistaken for the one that minted the cached ids.
+    [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
 private:
-    std::unordered_map<Monomial, std::size_t, MonomialHash> index_;
+    static std::uint64_t nextUid();
+
+    std::uint64_t uid_ = nextUid();
+    std::unordered_map<Monomial, Id, MonomialHash> index_;
     std::vector<Monomial> order_;
+    std::vector<std::uint32_t> degree_;  ///< degree of order_[i]
+    /// (lo id << 32 | hi id) → product id, for distinct id pairs.
+    std::unordered_map<std::uint64_t, Id> products_;
 };
 
 }  // namespace pd::anf

@@ -1,6 +1,7 @@
 #include "anf/monomial.hpp"
 
 #include <bit>
+#include <string>
 
 namespace pd::anf {
 
@@ -24,6 +25,14 @@ std::strong_ordering Monomial::operator<=>(const Monomial& rhs) const {
     for (std::size_t i = kWords; i-- > 0;)
         if (w_[i] != rhs.w_[i]) return w_[i] <=> rhs.w_[i];
     return std::strong_ordering::equal;
+}
+
+void Monomial::failCapacity(Var v) {
+    fail("Monomial",
+         "variable id " + std::to_string(v) + " exceeds the " +
+             std::to_string(kMaxVars) +
+             "-variable capacity of this build (job too large for one "
+             "decomposition run)");
 }
 
 std::size_t Monomial::hash() const {

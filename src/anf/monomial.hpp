@@ -44,7 +44,12 @@ public:
     }
 
     void insert(Var v) {
-        PD_ASSERT(v < kMaxVars);
+        // Recoverable capacity error, active in every build (unlike
+        // PD_ASSERT): a job that outgrows the 256-variable universe must
+        // fail as *that job* — the engine reports ok=false and the rest
+        // of the batch keeps running — not tear down the process or, with
+        // PD_NO_ASSERT, silently corrupt an unrelated word.
+        if (v >= kMaxVars) [[unlikely]] failCapacity(v);
         w_[v >> 6] |= std::uint64_t{1} << (v & 63);
     }
 
@@ -132,9 +137,21 @@ public:
     /// makes printed expressions read smallest-degree first.
     [[nodiscard]] std::strong_ordering operator<=>(const Monomial& rhs) const;
 
+    /// The tiebreak half of the canonical order alone (reverse-word
+    /// lexicographic) — valid when the degrees are known to be equal,
+    /// letting callers with cached degrees skip the popcounts.
+    [[nodiscard]] bool wordsLess(const Monomial& rhs) const {
+        for (std::size_t i = kWords; i-- > 0;)
+            if (w_[i] != rhs.w_[i]) return w_[i] < rhs.w_[i];
+        return false;
+    }
+
     [[nodiscard]] std::size_t hash() const;
 
 private:
+    /// Throws pd::Error describing the variable-capacity overflow.
+    [[noreturn]] static void failCapacity(Var v);
+
     std::array<std::uint64_t, kWords> w_{};
 };
 

@@ -1,30 +1,22 @@
 #include "anf/ops.hpp"
 
+#include "anf/indexed.hpp"
+
 namespace pd::anf {
 
 Anf substitute(const Anf& e, const std::unordered_map<Var, Anf>& map) {
-    // Build a mask of replaced variables so untouched monomials can be
-    // copied wholesale.
-    VarSet replaced;
-    for (const auto& [v, _] : map) replaced.insert(v);
-
-    std::vector<Monomial> passthrough;
-    Anf acc;
-    for (const auto& t : e.terms()) {
-        if (!t.intersects(replaced)) {
-            passthrough.push_back(t);
-            continue;
-        }
-        // Expand the monomial as a product of kept variables and
-        // substituted expressions.
-        Anf prod = Anf::term(t.without(replaced));
-        t.restrictedTo(replaced).forEachVar([&](Var v) {
-            prod *= map.at(v);
-        });
-        acc ^= prod;
-    }
-    acc ^= Anf::fromTerms(std::move(passthrough));
-    return acc;
+    // Run the expansion through the indexed kernel: monomial products are
+    // memoized id lookups and mod-2 accumulation is bit flips, instead of
+    // cross-product vectors re-sorted per partial product. The canonical
+    // Reed-Muller form is construction-independent, so the result is
+    // exactly what the direct expansion would produce.
+    if (map.empty()) return e;
+    MonomialIndexer ix;
+    std::unordered_map<Var, IndexedAnf> imap;
+    imap.reserve(map.size());
+    for (const auto& [v, ex] : map)
+        imap.emplace(v, IndexedAnf::fromAnf(ix, ex));
+    return indexedSubstitute(ix, IndexedAnf::fromAnf(ix, e), imap).toAnf(ix);
 }
 
 Anf cofactor(const Anf& e, Var v, bool value) {
@@ -59,8 +51,9 @@ GroupSplit splitByGroup(const Anf& e, const VarSet& mask) {
         else
             rest.push_back(t);
     }
-    out.touching = Anf::fromTerms(std::move(touch));
-    out.untouched = Anf::fromTerms(std::move(rest));
+    // Filtered subsequences of a canonical term list stay sorted/unique.
+    out.touching = Anf::fromCanonicalTerms(std::move(touch));
+    out.untouched = Anf::fromCanonicalTerms(std::move(rest));
     return out;
 }
 

@@ -1,16 +1,32 @@
 #include "core/basis.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "anf/indexed.hpp"
 #include "anf/ops.hpp"
 #include "ring/membership.hpp"
 
 namespace pd::core {
 namespace {
 
+std::uint64_t memoKey(std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// ---------------------------------------------------------------------------
+// Reference (Anf-domain) merge pipeline. Kept as the boundary
+// implementation: minimize/sizered run it on materialized pairs, tests use
+// it directly, and the indexed pipeline below is differentially tested
+// against it.
+// ---------------------------------------------------------------------------
+
 /// Groups pairs by equal second and XORs their firsts (and symmetrically).
-/// Returns true when the list shrank.
-bool mergeBySecond(PairList& pairs) {
+/// Returns true when the list shrank. Pairs produced by an actual merge
+/// get a fresh content-version id; pairs copied through unchanged keep
+/// theirs (so the failed-merge memo stays valid for them).
+bool mergeBySecond(PairList& pairs, MergeContext& ctx) {
     std::unordered_map<anf::Anf, std::vector<std::size_t>, anf::AnfHash> by;
     for (std::size_t i = 0; i < pairs.size(); ++i)
         by[pairs[i].second].push_back(i);
@@ -25,12 +41,15 @@ bool mergeBySecond(PairList& pairs) {
         const auto& bucket = by[pairs[i].second];
         BPair acc = pairs[i];
         used[i] = 1;
+        bool changed = false;
         for (const std::size_t j : bucket) {
             if (used[j]) continue;
             used[j] = 1;
+            changed = true;
             acc.first ^= pairs[j].first;
             acc.ns = ring::NullSpaceRing::productClosure(acc.ns, pairs[j].ns);
         }
+        if (changed) acc.id = ctx.freshId();
         merged.push_back(std::move(acc));
     }
     pairs = std::move(merged);
@@ -38,7 +57,7 @@ bool mergeBySecond(PairList& pairs) {
     return true;
 }
 
-bool mergeByFirst(PairList& pairs) {
+bool mergeByFirst(PairList& pairs, MergeContext& ctx) {
     std::unordered_map<anf::Anf, std::vector<std::size_t>, anf::AnfHash> by;
     for (std::size_t i = 0; i < pairs.size(); ++i)
         by[pairs[i].first].push_back(i);
@@ -52,12 +71,15 @@ bool mergeByFirst(PairList& pairs) {
         const auto& bucket = by[pairs[i].first];
         BPair acc = pairs[i];
         used[i] = 1;
+        bool changed = false;
         for (const std::size_t j : bucket) {
             if (used[j]) continue;
             used[j] = 1;
+            changed = true;
             acc.second ^= pairs[j].second;
             // first unchanged: null-space knowledge carries over as-is.
         }
+        if (changed) acc.id = ctx.freshId();
         merged.push_back(std::move(acc));
     }
     pairs = std::move(merged);
@@ -65,37 +87,196 @@ bool mergeByFirst(PairList& pairs) {
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Indexed (hot-path) merge pipeline: the same algorithm over IndexedAnf.
+// XOR is word-wise bit math, canonical form is free (a bitset has no
+// ordering to maintain), and membership solves run over cached indexed
+// spanning sets. Produces bit-identical pair lists (same pairs, same
+// order) as the reference pipeline — the id space is injective, so every
+// equality/zero test agrees.
+// ---------------------------------------------------------------------------
+
+struct IPair {
+    anf::IndexedAnf first;   ///< over group variables
+    anf::IndexedAnf second;  ///< over non-group variables (may have tags)
+    ring::NullSpaceRing ns;  ///< known subring of N(first)
+    std::uint32_t id = 0;    ///< content-version id (see BPair::id)
+};
+
+using IPairList = std::vector<IPair>;
+
+void iDropNull(IPairList& pairs) {
+    std::erase_if(pairs, [](const IPair& p) {
+        return p.first.isZero() || p.second.isZero();
+    });
+}
+
+bool iMergeBySecond(IPairList& pairs, MergeContext& ctx) {
+    std::unordered_map<anf::IndexedAnf, std::vector<std::size_t>,
+                       anf::IndexedAnfHash>
+        by;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        by[pairs[i].second].push_back(i);
+    if (by.size() == pairs.size()) return false;
+
+    IPairList merged;
+    merged.reserve(by.size());
+    std::vector<char> used(pairs.size(), 0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (used[i]) continue;
+        const auto& bucket = by[pairs[i].second];
+        IPair acc = pairs[i];
+        used[i] = 1;
+        bool changed = false;
+        for (const std::size_t j : bucket) {
+            if (used[j]) continue;
+            used[j] = 1;
+            changed = true;
+            acc.first ^= pairs[j].first;
+            acc.ns = ring::NullSpaceRing::productClosure(acc.ns, pairs[j].ns);
+        }
+        if (changed) acc.id = ctx.freshId();
+        merged.push_back(std::move(acc));
+    }
+    pairs = std::move(merged);
+    iDropNull(pairs);
+    return true;
+}
+
+bool iMergeByFirst(IPairList& pairs, MergeContext& ctx) {
+    std::unordered_map<anf::IndexedAnf, std::vector<std::size_t>,
+                       anf::IndexedAnfHash>
+        by;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        by[pairs[i].first].push_back(i);
+    if (by.size() == pairs.size()) return false;
+
+    IPairList merged;
+    merged.reserve(by.size());
+    std::vector<char> used(pairs.size(), 0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (used[i]) continue;
+        const auto& bucket = by[pairs[i].first];
+        IPair acc = pairs[i];
+        used[i] = 1;
+        bool changed = false;
+        for (const std::size_t j : bucket) {
+            if (used[j]) continue;
+            used[j] = 1;
+            changed = true;
+            acc.second ^= pairs[j].second;
+            // first unchanged: null-space knowledge carries over as-is.
+        }
+        if (changed) acc.id = ctx.freshId();
+        merged.push_back(std::move(acc));
+    }
+    pairs = std::move(merged);
+    iDropNull(pairs);
+    return true;
+}
+
+void iMergeAlgebraic(IPairList& pairs, MergeContext& ctx) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        if (iMergeByFirst(pairs, ctx)) changed = true;
+        if (iMergeBySecond(pairs, ctx)) changed = true;
+    }
+}
+
+bool iMergeNullspace(IPairList& pairs, const FindBasisOptions& opt,
+                     MergeContext& ctx) {
+    if (pairs.size() > opt.maxPairsForNullspace) return false;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+            if (pairs[i].ns.trivial() && pairs[j].ns.trivial()) continue;
+            const bool memoizable = pairs[i].id != 0 && pairs[j].id != 0;
+            const std::uint64_t key =
+                memoizable ? memoKey(pairs[i].id, pairs[j].id) : 0;
+            if (memoizable && ctx.failed.contains(key)) continue;
+            if (ctx.attempts >= ctx.attemptLimit) {
+                // Anytime cutoff: the list as it stands is a valid (merely
+                // less merged) basis; report the truncation honestly.
+                ctx.exhausted = true;
+                return false;
+            }
+            ++ctx.attempts;
+            anf::IndexedAnf diff = pairs[i].second;
+            diff ^= pairs[j].second;
+            const auto m = ring::memberOfSum(ctx.membership, diff,
+                                             pairs[i].ns, pairs[j].ns,
+                                             opt.maxSpan);
+            if (!m.member) {
+                if (memoizable) ctx.failed.insert(key);
+                continue;
+            }
+            // X_i·Y_i ⊕ X_j·Y_j == (X_i⊕X_j)·(Y_i⊕n_i): n_i annihilates
+            // X_i, n_j = diff⊕n_i annihilates X_j, so the product expands
+            // back exactly.
+            IPair merged;
+            merged.first = pairs[i].first;
+            merged.first ^= pairs[j].first;
+            merged.second = pairs[i].second;
+            merged.second ^= m.part1;
+            merged.ns =
+                ring::NullSpaceRing::productClosure(pairs[i].ns, pairs[j].ns);
+            merged.id = ctx.freshId();
+            pairs[i] = std::move(merged);
+            pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(j));
+            iDropNull(pairs);
+            return true;
+        }
+    }
+    return false;
+}
+
 }  // namespace
 
-void mergeAlgebraic(PairList& pairs) {
+void mergeAlgebraic(PairList& pairs, MergeContext& ctx) {
     // Alternate the two merge directions to a fixpoint. Each round strictly
     // shrinks the list, so this terminates quickly.
     bool changed = true;
     while (changed) {
         changed = false;
-        if (mergeByFirst(pairs)) changed = true;
-        if (mergeBySecond(pairs)) changed = true;
+        if (mergeByFirst(pairs, ctx)) changed = true;
+        if (mergeBySecond(pairs, ctx)) changed = true;
     }
 }
 
-bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt) {
+void mergeAlgebraic(PairList& pairs) {
+    MergeContext ctx;
+    ctx.versioned = false;  // foreign pairs: don't mint colliding ids
+    mergeAlgebraic(pairs, ctx);
+}
+
+bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt,
+                    MergeContext& ctx) {
     if (pairs.size() > opt.maxPairsForNullspace) return false;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
         for (std::size_t j = i + 1; j < pairs.size(); ++j) {
             if (pairs[i].ns.trivial() && pairs[j].ns.trivial()) continue;
+            const bool memoizable = pairs[i].id != 0 && pairs[j].id != 0;
+            const std::uint64_t key =
+                memoizable ? memoKey(pairs[i].id, pairs[j].id) : 0;
+            if (memoizable && ctx.failed.contains(key)) continue;
+            if (ctx.attempts >= ctx.attemptLimit) {
+                ctx.exhausted = true;
+                return false;
+            }
+            ++ctx.attempts;
             const anf::Anf diff = pairs[i].second ^ pairs[j].second;
             const auto m = ring::memberOfSum(diff, pairs[i].ns, pairs[j].ns,
                                              opt.maxSpan);
-            if (!m.member) continue;
-            // X_i·Y_i ⊕ X_j·Y_j == (X_i⊕X_j)·(Y_i⊕n_i): n_i annihilates
-            // X_i, n_j = diff⊕n_i annihilates X_j, so the product expands
-            // back exactly. Sanity-checked by tests, cheap to assert here
-            // only for small operands.
+            if (!m.member) {
+                if (memoizable) ctx.failed.insert(key);
+                continue;
+            }
             BPair merged;
             merged.first = pairs[i].first ^ pairs[j].first;
             merged.second = pairs[i].second ^ m.part1;
             merged.ns =
                 ring::NullSpaceRing::productClosure(pairs[i].ns, pairs[j].ns);
+            merged.id = ctx.freshId();
             pairs[i] = std::move(merged);
             pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(j));
             dropNullPairs(pairs);
@@ -105,47 +286,85 @@ bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt) {
     return false;
 }
 
+bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt) {
+    MergeContext ctx;
+    ctx.versioned = false;  // foreign pairs: don't mint colliding ids
+    if (opt.mergeAttemptBudget != 0) ctx.attemptLimit = opt.mergeAttemptBudget;
+    return mergeNullspace(pairs, opt, ctx);
+}
+
 BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
                       const ring::IdentityDb& ids,
                       const FindBasisOptions& opt) {
     BasisResult out;
-    const auto split = anf::splitByGroup(folded, group);
-    out.untouched = split.untouched;
+
+    MergeContext ctx;
+    if (opt.mergeAttemptBudget != 0) ctx.attemptLimit = opt.mergeAttemptBudget;
+    anf::MonomialIndexer& ix = ctx.membership.indexer;
+    // Upper bound on distinct rest/group-part monomials; spanning-set
+    // monomials push past it only when identities are in play.
+    ix.reserve(folded.termCount() + 64);
 
     // Raw pairs, immediately bucketed by group-part (merge-by-first on
     // monomials) — the paper's merge order, and near-linear in the term
     // count because a k-variable group admits at most 2^k − 1 distinct
-    // group-parts. Each bucket's first is the single monomial the identity
-    // database can seed a null-space ring for.
-    std::unordered_map<anf::Monomial, std::vector<anf::Monomial>,
-                       anf::MonomialHash>
-        byGroupPart;
-    std::vector<anf::Monomial> order;
-    for (const auto& t : split.touching.terms()) {
+    // group-parts. That bound also makes a first-occurrence-ordered vector
+    // with linear scan the right bucket container: no per-term 256-bit
+    // hashing. Each bucket's first is the single monomial the identity
+    // database can seed a null-space ring for. Bucket cofactors accumulate
+    // as indexed bit flips: mod-2 cancellation needs no sorting.
+    std::vector<std::pair<anf::Monomial, anf::IndexedAnf>> buckets;
+    std::vector<anf::Monomial> untouchedTerms;
+    for (const auto& t : folded.terms()) {
+        if (!t.intersects(group)) {
+            untouchedTerms.push_back(t);
+            continue;
+        }
         const anf::Monomial g = t.restrictedTo(group);
         const anf::Monomial r = t.without(group);
-        auto [it, inserted] = byGroupPart.try_emplace(g);
-        if (inserted) order.push_back(g);
-        it->second.push_back(r);
+        auto it = std::find_if(
+            buckets.begin(), buckets.end(),
+            [&](const auto& b) { return b.first == g; });
+        if (it == buckets.end()) {
+            buckets.emplace_back(g, anf::IndexedAnf{});
+            it = buckets.end() - 1;
+        }
+        it->second.flipTerm(ix.indexOf(r));
     }
+    out.untouched = anf::Anf::fromCanonicalTerms(std::move(untouchedTerms));
 
-    PairList pairs;
-    pairs.reserve(byGroupPart.size());
-    for (const auto& g : order) {
-        BPair p;
-        p.first = anf::Anf::term(g);
-        p.second = anf::Anf::fromTerms(std::move(byGroupPart[g]));
-        if (p.second.isZero()) continue;  // rests cancelled mod 2
+    IPairList pairs;
+    pairs.reserve(buckets.size());
+    for (auto& [g, acc] : buckets) {
+        if (acc.isZero()) continue;  // rests cancelled mod 2
+        IPair p;
+        p.first.flipTerm(ix.indexOf(g));
+        p.second = std::move(acc);
         p.ns = ids.nullspaceOfMonomial(g, opt.complementNullspace);
+        p.id = ctx.freshId();
         pairs.push_back(std::move(p));
     }
 
-    mergeAlgebraic(pairs);
+    iMergeAlgebraic(pairs, ctx);
     if (opt.useNullspaceMerging) {
-        while (mergeNullspace(pairs, opt)) mergeAlgebraic(pairs);
+        while (iMergeNullspace(pairs, opt, ctx)) iMergeAlgebraic(pairs, ctx);
     }
-    sortPairs(pairs);
-    out.pairs = std::move(pairs);
+
+    // Materialize to the boundary type for minimize/sizered/rewrite.
+    PairList apairs;
+    apairs.reserve(pairs.size());
+    for (auto& p : pairs) {
+        BPair b;
+        b.first = p.first.toAnf(ix);
+        b.second = p.second.toAnf(ix);
+        b.ns = std::move(p.ns);
+        b.id = p.id;
+        apairs.push_back(std::move(b));
+    }
+    sortPairs(apairs);
+    out.pairs = std::move(apairs);
+    out.budgetExhausted = ctx.exhausted;
+    out.mergeAttempts = ctx.attempts;
     return out;
 }
 

@@ -9,11 +9,22 @@
 //     Y₁⊕Y₂ ∈ N(X₁)⊕N(X₂) with witness split n₁⊕n₂ — the paper's second
 //     example, enabled by identities discovered in earlier iterations.
 // The firsts of the merged list are the basis candidates.
+//
+// The null-space pass is where decomposition time goes, so it runs under
+// a MergeContext: membership solves go through the indexed-ANF fast path
+// (ring/membership.hpp), failed (i, j) merge attempts are memoized by the
+// pairs' content-version ids so a merge elsewhere in the list never
+// forces them to be re-solved, and an optional merge-attempt budget turns
+// the pass into an anytime computation — stopping early only forgoes
+// merges (a larger but still correct basis), never soundness.
 #pragma once
+
+#include <unordered_set>
 
 #include "anf/anf.hpp"
 #include "core/pairlist.hpp"
 #include "ring/identity_db.hpp"
+#include "ring/membership.hpp"
 
 namespace pd::core {
 
@@ -26,11 +37,42 @@ struct FindBasisOptions {
     std::size_t maxSpan = 64;
     /// Cap on pairs considered for the quadratic null-space pass.
     std::size_t maxPairsForNullspace = 64;
+    /// Cap on membership solves across the whole null-space merge phase
+    /// (one findBasis call); 0 = unlimited. When the budget runs out the
+    /// merge loop stops with the best list found so far and the result is
+    /// flagged budgetExhausted.
+    std::size_t mergeAttemptBudget = 0;
+};
+
+/// Shared state of one findBasis merge phase: pair id allocation, the
+/// failed-merge memo, the membership fast-path context, and the budget
+/// accounting.
+struct MergeContext {
+    ring::MembershipContext membership;
+    /// (id lo << 32 | id hi) of pair-id pairs whose membership solve came
+    /// back negative; retried only when either pair's content changes.
+    std::unordered_set<std::uint64_t> failed;
+    std::uint32_t nextPairId = 1;
+    /// Budget accounting (attempts = actual solves, memo hits excluded).
+    std::size_t attempts = 0;
+    std::size_t attemptLimit = SIZE_MAX;  ///< from mergeAttemptBudget
+    bool exhausted = false;
+    /// Unversioned contexts hand out id 0 (= never memoized) instead of
+    /// minting ids. The throwaway contexts behind the context-free
+    /// mergeAlgebraic/mergeNullspace overloads run unversioned: ids they
+    /// minted would collide with ids from whichever context produced the
+    /// incoming pairs, and a colliding id is how a false memo hit —
+    /// a silently skipped valid merge — would happen.
+    bool versioned = true;
+
+    std::uint32_t freshId() { return versioned ? nextPairId++ : 0; }
 };
 
 struct BasisResult {
     PairList pairs;       ///< merged (basis element, cofactor) pairs
     anf::Anf untouched;   ///< monomials disjoint from the group
+    bool budgetExhausted = false;  ///< null-space merging was truncated
+    std::size_t mergeAttempts = 0; ///< membership solves performed
 };
 
 /// Extracts the basis of `group` from `folded`. Identities in `ids` seed
@@ -41,10 +83,14 @@ struct BasisResult {
                                     const FindBasisOptions& opt = {});
 
 /// Runs only the algebraic merge rounds on an existing list (exposed for
-/// reuse after §5.3/§5.4 transformations and for unit tests).
+/// reuse after §5.3/§5.4 transformations and for unit tests). The
+/// context-free overload runs with a throwaway context (no memo carry).
 void mergeAlgebraic(PairList& pairs);
+void mergeAlgebraic(PairList& pairs, MergeContext& ctx);
 
 /// Runs one full null-space merge pass; returns true when a merge fired.
 bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt);
+bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt,
+                    MergeContext& ctx);
 
 }  // namespace pd::core

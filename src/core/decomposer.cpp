@@ -63,10 +63,12 @@ Decomposition decompose(anf::VarTable& vars,
     FindBasisOptions fbOpt;
     fbOpt.useNullspaceMerging = opt.useNullspaceMerging;
     fbOpt.complementNullspace = opt.complementNullspace;
+    fbOpt.mergeAttemptBudget = opt.mergeAttemptBudget;
 
     GroupOptions gOpt;
     gOpt.k = opt.k;
     gOpt.maxCombinations = opt.maxExhaustiveCombinations;
+    gOpt.probeMergeBudget = opt.mergeAttemptBudget;
 
     for (std::size_t iter = 0; iter < opt.maxIterations; ++iter) {
         if (allLiterals(currentList())) {
@@ -77,7 +79,10 @@ Decomposition decompose(anf::VarTable& vars,
         // pair; stop with a residual rather than overflow the monomial.
         if (vars.size() + 2 * opt.k + 2 >= anf::Monomial::kMaxVars) break;
 
-        const anf::VarSet group = findGroup(folded, vars, tagMask, idb, gOpt);
+        bool probeExhausted = false;
+        const anf::VarSet group =
+            findGroup(folded, vars, tagMask, idb, gOpt, &probeExhausted);
+        if (probeExhausted) result.budgetExhausted = true;
         if (group.isOne()) break;  // no visible variables left
 
         IterationTrace tr;
@@ -87,6 +92,9 @@ Decomposition decompose(anf::VarTable& vars,
 
         auto bres = findBasis(folded, group, idb, fbOpt);
         tr.rawPairCount = bres.pairs.size();
+        tr.mergeAttempts = bres.mergeAttempts;
+        tr.budgetExhausted = bres.budgetExhausted;
+        if (bres.budgetExhausted) result.budgetExhausted = true;
         if (bres.pairs.empty()) break;  // group vars vanished: stall
 
         if (opt.useLinearMinimize)

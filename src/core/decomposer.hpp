@@ -26,6 +26,15 @@
 
 namespace pd::core {
 
+/// Default per-phase merge-attempt budget. Calibrated empirically: the
+/// worst findBasis call across the light batch and both multipliers
+/// performs ~200 membership solves (probe phases included), so 100k is
+/// three orders of magnitude of headroom — results on every registered
+/// benchmark are bit-identical to an unbudgeted run — while still
+/// bounding a pathological phase (the quadratic merge scan over a
+/// runaway pair list) instead of letting it go open-ended.
+inline constexpr std::size_t kDefaultMergeAttemptBudget = 100000;
+
 struct DecomposeOptions {
     /// Group size (the paper always uses 4).
     std::size_t k = 4;
@@ -41,6 +50,14 @@ struct DecomposeOptions {
     bool complementNullspace = false;
     std::size_t maxIterations = 256;
     std::size_t maxExhaustiveCombinations = 4000;
+    /// Anytime mode: cap on null-space membership solves per iteration
+    /// (one findBasis merge phase); 0 = unlimited. When an iteration runs
+    /// out, its merge loop stops with the best pair list found so far and
+    /// the decomposition is flagged budgetExhausted — every light
+    /// benchmark finishes far below the default, so results there are
+    /// identical to an unbudgeted run, while multiplier-class jobs become
+    /// tractable instead of open-ended.
+    std::size_t mergeAttemptBudget = kDefaultMergeAttemptBudget;
     bool recordTrace = true;
 };
 

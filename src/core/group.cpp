@@ -12,9 +12,12 @@ namespace {
 /// Literal count of the expression after hypothetically rewriting with the
 /// group's basis — the paper's stated selection criterion.
 std::size_t probeScore(const anf::Anf& folded, const anf::VarSet& group,
-                       const ring::IdentityDb& ids) {
+                       const ring::IdentityDb& ids, std::size_t mergeBudget,
+                       bool* exhausted) {
     FindBasisOptions fb;
+    fb.mergeAttemptBudget = mergeBudget;
     auto res = findBasis(folded, group, ids, fb);
+    if (exhausted && res.budgetExhausted) *exhausted = true;
     minimizeBasisLinear(res.pairs);
     // Rewritten size: one fresh literal per pair plus its cofactor, plus
     // the untouched remainder.
@@ -50,7 +53,7 @@ void combinations(const std::vector<anf::Var>& vars, std::size_t k,
 
 anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
                       const anf::VarSet& tags, const ring::IdentityDb& ids,
-                      const GroupOptions& opt) {
+                      const GroupOptions& opt, bool* budgetExhaustedOut) {
     const anf::VarSet visible = folded.support().without(tags);
     anf::VarSet group;
     if (visible.isOne()) return group;  // empty support: nothing to do
@@ -121,19 +124,29 @@ anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
             candidates.push_back(g);
         }
 
-        std::size_t bestScore = SIZE_MAX;
+        // Dedup first: single-integer circuits often produce one distinct
+        // candidate, and scoring an uncontested candidate is a full
+        // findBasis for nothing.
+        std::vector<const anf::VarSet*> distinct;
         for (const auto& g : candidates) {
             if (g.isOne()) continue;
-            const bool dup = [&] {
-                for (const auto& seen : candidates)
-                    if (&seen != &g && seen == g && &seen < &g) return true;
-                return false;
-            }();
-            if (dup) continue;
-            const std::size_t score = probeScore(folded, g, ids);
+            bool dup = false;
+            for (const auto* seen : distinct)
+                if (*seen == g) {
+                    dup = true;
+                    break;
+                }
+            if (!dup) distinct.push_back(&g);
+        }
+        if (distinct.size() == 1) return *distinct.front();
+
+        std::size_t bestScore = SIZE_MAX;
+        for (const auto* g : distinct) {
+            const std::size_t score = probeScore(
+                folded, *g, ids, opt.probeMergeBudget, budgetExhaustedOut);
             if (score < bestScore) {
                 bestScore = score;
-                group = g;
+                group = *g;
             }
         }
         return group;
@@ -160,7 +173,9 @@ anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
 
     std::size_t bestScore = SIZE_MAX;
     for (const auto& g : candidates) {
-        const std::size_t score = probeScore(folded, g, ids);
+        const std::size_t score = probeScore(folded, g, ids,
+                                             opt.probeMergeBudget,
+                                             budgetExhaustedOut);
         if (score < bestScore) {
             bestScore = score;
             group = g;

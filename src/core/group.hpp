@@ -23,14 +23,22 @@ struct GroupOptions {
     /// phase; beyond it, a sliding-window heuristic over variable ids is
     /// used (derived variables created together tend to belong together).
     std::size_t maxCombinations = 4000;
+    /// Merge-attempt budget applied to each candidate's probe findBasis
+    /// (0 = unlimited) — the anytime knob, forwarded from
+    /// DecomposeOptions::mergeAttemptBudget.
+    std::size_t probeMergeBudget = 0;
 };
 
 /// Selects the next group from the variables visible in `folded`,
 /// excluding `tags`. Returns an empty set when no variables remain.
+/// When `budgetExhaustedOut` is non-null, it is set to true if any
+/// candidate probe was truncated by probeMergeBudget (scores may then
+/// differ from an unbudgeted run's).
 [[nodiscard]] anf::VarSet findGroup(const anf::Anf& folded,
                                     const anf::VarTable& vars,
                                     const anf::VarSet& tags,
                                     const ring::IdentityDb& ids,
-                                    const GroupOptions& opt);
+                                    const GroupOptions& opt,
+                                    bool* budgetExhaustedOut = nullptr);
 
 }  // namespace pd::core

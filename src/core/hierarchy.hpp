@@ -38,6 +38,8 @@ struct IterationTrace {
     std::size_t mergedPairCount = 0;
     std::size_t linearRemoved = 0;
     std::size_t sizeReductions = 0;
+    std::size_t mergeAttempts = 0;   ///< membership solves this iteration
+    bool budgetExhausted = false;    ///< null-space merging was truncated
     std::vector<std::string> basis;
     std::vector<std::string> identities;
     std::vector<std::string> reductions;
@@ -54,6 +56,10 @@ struct Decomposition {
     std::vector<std::string> outputNames;
     std::vector<IterationTrace> trace;
     bool converged = false;
+    /// True when any iteration's null-space merge phase hit its
+    /// merge-attempt budget: the result is valid but may use more blocks
+    /// than an unbudgeted run would have found (anytime semantics).
+    bool budgetExhausted = false;
     std::size_t iterations = 0;
 
     /// var → defining expression for every derived variable (block outputs

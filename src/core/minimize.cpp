@@ -10,7 +10,12 @@ namespace {
 /// One elimination round over the chosen side. Returns true if a
 /// dependency was found and eliminated.
 bool eliminateOne(PairList& pairs, bool onFirsts) {
+    if (pairs.size() < 2) return false;  // one non-zero side is independent
     anf::MonomialIndexer indexer;
+    std::size_t terms = 0;
+    for (const auto& p : pairs)
+        terms += (onFirsts ? p.first : p.second).termCount();
+    indexer.reserve(terms);
     gf2::SpanSolver solver;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
         const anf::Anf& side = onFirsts ? pairs[i].first : pairs[i].second;
@@ -28,6 +33,7 @@ bool eliminateOne(PairList& pairs, bool onFirsts) {
                     pairs[j].ns = ring::NullSpaceRing::productClosure(
                         pairs[j].ns, pairs[i].ns);
                 }
+                pairs[j].id = 0;  // content changed: retire the version id
             }
         }
         pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(i));

@@ -26,7 +26,8 @@ void dropNullPairs(PairList& pairs) {
 void sortPairs(PairList& pairs) {
     std::sort(pairs.begin(), pairs.end(),
               [](const BPair& a, const BPair& b) {
-                  if (a.first != b.first) return a.first < b.first;
+                  const auto c = a.first <=> b.first;
+                  if (c != 0) return c < 0;
                   return a.second < b.second;
               });
 }

@@ -7,6 +7,7 @@
 // pair carries the known subring of N(X) used for null-space merging.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "anf/anf.hpp"
@@ -19,6 +20,10 @@ struct BPair {
     anf::Anf first;         ///< over group variables
     anf::Anf second;        ///< over non-group variables (may contain tags)
     ring::NullSpaceRing ns; ///< known subring of N(first)
+    /// Content-version id for the merge memo: unique (within one merge
+    /// context) per (first, second, ns) value — any mutation of the pair
+    /// must assign a fresh id. 0 means "unversioned": never memoized.
+    std::uint32_t id = 0;
 };
 
 using PairList = std::vector<BPair>;

@@ -45,6 +45,8 @@ bool improveOnce(PairList& pairs) {
     pi.first = newFirst;
     // pj.first unchanged; pj.ns still valid.
     pj.second = newSecond;
+    pi.id = 0;  // content changed: retire the version ids
+    pj.id = 0;
     dropNullPairs(pairs);
     return true;
 }

@@ -96,6 +96,7 @@ std::string optionsFingerprint(const core::DecomposeOptions& opt,
     flag('c', opt.complementNullspace);
     sig += "|m" + std::to_string(opt.maxIterations);
     sig += "|x" + std::to_string(opt.maxExhaustiveCombinations);
+    sig += "|b" + std::to_string(opt.mergeAttemptBudget);
     flag('v', verify);
     return sig;
 }
@@ -253,6 +254,11 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         if (opt_.conflictBudget != 0)
             dopt.maxIterations =
                 std::min(dopt.maxIterations, opt_.conflictBudget);
+        if (opt_.mergeBudget != 0)
+            dopt.mergeAttemptBudget =
+                dopt.mergeAttemptBudget == 0
+                    ? opt_.mergeBudget
+                    : std::min(dopt.mergeAttemptBudget, opt_.mergeBudget);
 
         // Registry-named jobs can learn their signature from the memo and
         // defer building the (possibly huge) ANF until a cache miss.
@@ -315,6 +321,7 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 result.iterations = cached.iterations;
                 result.leaders = cached.leaders;
                 result.converged = cached.converged;
+                result.budgetExhausted = cached.budgetExhausted;
                 result.qor = cached.qor;
                 result.levels = cached.levels;
                 result.interconnect = cached.interconnect;
@@ -334,22 +341,36 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             }
         }
 
-        // Miss (reserved) or non-caching miss: run the full flow.
+        // Miss (reserved) or non-caching miss: run the full flow, timing
+        // each phase so reports can say where the job's wall time went.
         if (!job) job.emplace(resolve(spec));
+        auto phaseStart = std::chrono::steady_clock::now();
+        const auto phase = [&phaseStart](double& slot) {
+            const auto now = std::chrono::steady_clock::now();
+            slot = std::chrono::duration<double, std::milli>(now - phaseStart)
+                       .count();
+            phaseStart = now;
+        };
         const auto d =
             core::decompose(job->vars, job->outputs, job->outputNames, dopt);
+        phase(result.phases.decomposeMs);
         result.blocks = d.blocks.size();
         result.iterations = d.iterations;
         result.leaders = d.totalBlockOutputs();
         result.converged = d.converged;
+        result.budgetExhausted = d.budgetExhausted;
 
         const auto raw = synth::synthDecomposition(d, job->vars);
+        phase(result.phases.synthMs);
         const auto optimized = synth::optimize(raw);
+        phase(result.phases.optimizeMs);
         auto mapped = synth::techMap(optimized, lib_);
+        phase(result.phases.mapMs);
         result.qor = synth::qor(mapped, lib_);
         const auto stats = netlist::computeStats(mapped);
         result.levels = stats.levels;
         result.interconnect = stats.interconnect;
+        phase(result.phases.staMs);
 
         if (!spec.verify) {
             result.verification = VerifyStatus::kSkipped;
@@ -375,6 +396,7 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             }
             result.verification = VerifyStatus::kAlgebraic;
         }
+        phase(result.phases.verifyMs);
 
         result.ok = true;
         result.mapped = std::move(mapped);

@@ -38,9 +38,14 @@ struct EngineOptions {
     /// DecomposeOptions::maxIterations for every job, bounding worst-case
     /// latency of a batch at the price of possibly unconverged results.
     std::size_t conflictBudget = 0;
+    /// Anytime-mode override: when non-zero, caps every job's
+    /// DecomposeOptions::mergeAttemptBudget (merge solves per phase).
+    /// Jobs whose own budget is 0 (unlimited) adopt this cap outright.
+    /// Truncation is reported per job as budget_exhausted.
+    std::size_t mergeBudget = 0;
     /// Verification effort for simulation-checked jobs.
     sim::EquivOptions equiv;
-    /// Path of a persistent pd-cache-v1 store ("" disables persistence).
+    /// Path of a persistent pd-cache-v2 store ("" disables persistence).
     /// The engine warm-starts from it on construction and flushes ready
     /// cache entries back on destruction (or flushCache()). A missing,
     /// corrupt, wrong-version or wrong-fingerprint file is reported via

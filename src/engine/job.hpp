@@ -72,6 +72,9 @@ struct JobResult {
     std::size_t iterations = 0;
     std::size_t leaders = 0;  ///< materialized block outputs
     bool converged = false;
+    /// Anytime mode truncated at least one merge phase: the result is
+    /// valid and verified but may use more blocks than an unbudgeted run.
+    bool budgetExhausted = false;
 
     // optimize → map → STA quality of result.
     synth::Qor qor;
@@ -83,9 +86,22 @@ struct JobResult {
     std::uint64_t vectorsTested = 0;
     bool exhaustive = false;
 
-    // Timings (not part of cache equality — a cache hit reports its own).
+    // Timings (not part of cache equality — a cache hit reports its own;
+    // phase times are zero on hits since no stage ran).
     double wallMs = 0.0;
     double cpuMs = 0.0;
+
+    /// Per-phase wall-time breakdown of the flow, so perf work can see
+    /// where a job's time goes without a profiler.
+    struct PhaseTimes {
+        double decomposeMs = 0.0;
+        double synthMs = 0.0;
+        double optimizeMs = 0.0;
+        double mapMs = 0.0;
+        double staMs = 0.0;    ///< QoR + netlist statistics
+        double verifyMs = 0.0;
+    };
+    PhaseTimes phases;
 
     // Cache provenance.
     bool cacheHit = false;

@@ -121,6 +121,7 @@ void serializeJobResult(const JobResult& r, std::string& out) {
     w.u64(r.iterations);
     w.u64(r.leaders);
     w.u8(r.converged ? 1 : 0);
+    w.u8(r.budgetExhausted ? 1 : 0);
     w.f64(r.qor.area);
     w.f64(r.qor.delay);
     w.u64(r.qor.gates);
@@ -141,6 +142,7 @@ std::shared_ptr<JobResult> deserializeJobResult(std::string_view payload) {
     out->iterations = r.u64();
     out->leaders = r.u64();
     out->converged = r.u8() != 0;
+    out->budgetExhausted = r.u8() != 0;
     out->qor.area = r.f64();
     out->qor.delay = r.f64();
     out->qor.gates = r.u64();

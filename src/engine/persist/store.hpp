@@ -1,9 +1,9 @@
-// Versioned on-disk result store ("pd-cache-v1").
+// Versioned on-disk result store ("pd-cache-v2").
 //
 // File layout (all integers little-endian, see format.hpp):
 //
 //   magic            8 bytes   "pdcache\0"
-//   version          u32       kFormatVersion (1)
+//   version          u32       kFormatVersion (2)
 //   fingerprint      str       options-fingerprint salt of the writer
 //   entry count      u64
 //   entry[count]:
@@ -34,8 +34,8 @@
 
 namespace pd::engine::persist {
 
-inline constexpr std::string_view kFormatName = "pd-cache-v1";
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::string_view kFormatName = "pd-cache-v2";
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::string_view kMagic{"pdcache\0", 8};
 
 struct StoreEntry {

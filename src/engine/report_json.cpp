@@ -174,6 +174,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("iterations", r.iterations);
         w.field("leaders", r.leaders);
         w.field("converged", r.converged);
+        w.field("budget_exhausted", r.budgetExhausted);
         w.endObject();
 
         w.key("qor").beginObject();
@@ -193,6 +194,14 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.key("timing").beginObject();
         w.field("wall_ms", r.wallMs);
         w.field("cpu_ms", r.cpuMs);
+        w.key("phases").beginObject();
+        w.field("decompose_ms", r.phases.decomposeMs);
+        w.field("synth_ms", r.phases.synthMs);
+        w.field("optimize_ms", r.phases.optimizeMs);
+        w.field("map_ms", r.phases.mapMs);
+        w.field("sta_ms", r.phases.staMs);
+        w.field("verify_ms", r.phases.verifyMs);
+        w.endObject();
         w.endObject();
 
         w.key("cache").beginObject();

@@ -16,13 +16,16 @@
 //       {
 //         "name": s, "ok": b, "error": s,          // error "" when ok
 //         "decomposition": {"blocks": u, "iterations": u, "leaders": u,
-//                           "converged": b},
+//                           "converged": b, "budget_exhausted": b},
 //         "qor": {"area_um2": f, "delay_ns": f, "cells": u,
 //                 "levels": u, "interconnect": u},
 //         "verification": {"status": "skipped"|"simulated"|"algebraic"|
 //                          "failed", "vectors": u, "exhaustive": b},
-//         "timing": {"wall_ms": f, "cpu_ms": f},   // only non-deterministic
-//                                                  // fields in the report
+//         "timing": {"wall_ms": f, "cpu_ms": f,    // only non-deterministic
+//                    "phases": {"decompose_ms": f, // fields in the report;
+//                     "synth_ms": f, "optimize_ms": f,  // phases are zero
+//                     "map_ms": f, "sta_ms": f,    // on cache hits
+//                     "verify_ms": f}},
 //         "cache": {"hit": b, "key": s,            // key: 16-hex digest
 //                   "source": "computed"|"memory"|"disk"}
 //       }, ...

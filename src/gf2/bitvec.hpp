@@ -6,6 +6,8 @@
 // index (see gf2/solver.hpp) and by netlist simulation bookkeeping.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -51,6 +53,16 @@ public:
 
     /// In-place XOR (vector addition over GF(2)).
     BitVec& operator^=(const BitVec& rhs);
+
+    /// In-place XOR under implicit zero-extension: grows to rhs's length
+    /// when needed and never copies rhs — only the words rhs actually has
+    /// can change the result.
+    BitVec& xorZeroExtended(const BitVec& rhs) {
+        if (bits_ < rhs.bits_) resize(rhs.bits_);
+        for (std::size_t w = 0; w < rhs.words_.size(); ++w)
+            words_[w] ^= rhs.words_[w];
+        return *this;
+    }
     /// In-place AND (pointwise product).
     BitVec& operator&=(const BitVec& rhs);
 
@@ -64,6 +76,39 @@ public:
     }
 
     [[nodiscard]] bool operator==(const BitVec& rhs) const = default;
+
+    /// Equality under implicit zero-extension: vectors of different length
+    /// are equal when they agree on every position either one covers.
+    [[nodiscard]] bool equalsZeroExtended(const BitVec& rhs) const {
+        const std::size_t common = std::min(words_.size(), rhs.words_.size());
+        for (std::size_t w = 0; w < common; ++w)
+            if (words_[w] != rhs.words_[w]) return false;
+        const auto& longer = words_.size() > rhs.words_.size() ? *this : rhs;
+        for (std::size_t w = common; w < longer.words_.size(); ++w)
+            if (longer.words_[w] != 0) return false;
+        return true;
+    }
+
+    /// Number of 64-bit storage words.
+    [[nodiscard]] std::size_t wordCount() const { return words_.size(); }
+
+    /// The i-th 64-bit storage word (little-endian bit order).
+    [[nodiscard]] std::uint64_t word(std::size_t i) const {
+        PD_ASSERT(i < words_.size());
+        return words_[i];
+    }
+
+    /// Calls `fn(std::size_t)` for each set bit in ascending index order.
+    template <typename Fn>
+    void forEachSetBit(Fn&& fn) const {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t w = words_[i];
+            while (w) {
+                fn(i * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
 
     [[nodiscard]] bool isZero() const;
 

@@ -37,6 +37,7 @@ NullSpaceRing IdentityDb::nullspaceOf(anf::Var v) const {
 NullSpaceRing IdentityDb::nullspaceOfMonomial(const anf::Monomial& m,
                                               bool withComplements) const {
     NullSpaceRing r;
+    if (ids_.empty() && !withComplements) return r;  // nothing can seed it
     m.forEachVar([&](anf::Var v) {
         r = NullSpaceRing::merged(r, nullspaceOf(v));
         if (withComplements) r.addGenerator(~anf::Anf::var(v));

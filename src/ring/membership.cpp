@@ -47,4 +47,100 @@ SumMembership memberOfSum(const anf::Anf& target, const NullSpaceRing& r1,
     return out;
 }
 
+IndexedSumMembership memberOfSum(MembershipContext& ctx,
+                                 const anf::IndexedAnf& target,
+                                 const NullSpaceRing& r1,
+                                 const NullSpaceRing& r2,
+                                 std::size_t maxSpan) {
+    IndexedSumMembership out;
+    if (target.isZero()) {
+        out.member = true;
+        return out;
+    }
+
+    const auto& span1 = r1.indexedSpanningSet(ctx.indexer, maxSpan);
+    const auto& span2 = r2.indexedSpanningSet(ctx.indexer, maxSpan);
+    if (span1.empty() && span2.empty()) return out;
+    ++ctx.solves_;
+
+    // Assign dense solver columns in the reference's first-occurrence
+    // order: each element's terms in canonical monomial order, elements in
+    // span1-then-span2 order. The scratch arrays translate a global
+    // monomial id to this query's column in O(1). (Target-only columns
+    // may be assigned in any order: they are beyond every pivot, so they
+    // change neither the verdict nor the certificate.)
+    ++ctx.generation_;
+    std::uint32_t nextLocal = 0;
+    const auto localCol = [&](anf::MonomialIndexer::Id id) {
+        if (id >= ctx.stamp_.size()) {
+            ctx.stamp_.resize(ctx.indexer.size(), 0);
+            ctx.localOf_.resize(ctx.indexer.size(), 0);
+        }
+        if (ctx.stamp_[id] != ctx.generation_) {
+            ctx.stamp_[id] = ctx.generation_;
+            ctx.localOf_[id] = nextLocal++;
+        }
+        return ctx.localOf_[id];
+    };
+
+    gf2::SpanSolver solver;
+    const std::vector<NullSpaceRing::SpanEntry>* spans[2] = {&span1, &span2};
+    for (const auto* span : spans) {
+        for (const auto& e : *span) {
+            for (const auto id : e.termIds) localCol(id);
+            gf2::BitVec v(nextLocal);
+            for (const auto id : e.termIds) v.set(ctx.localOf_[id]);
+            solver.add(std::move(v));
+        }
+    }
+    const std::size_t split = span1.size();
+
+    std::vector<std::uint32_t> targetCols;
+    targetCols.reserve(target.termCount());
+    target.bits().forEachSetBit([&](std::size_t id) {
+        targetCols.push_back(
+            localCol(static_cast<anf::MonomialIndexer::Id>(id)));
+    });
+    gf2::BitVec tv(nextLocal);
+    for (const auto col : targetCols) tv.set(col);
+
+    const auto comb = solver.represent(std::move(tv));
+    if (!comb) return out;
+
+    out.member = true;
+    const std::size_t total = span1.size() + span2.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        if (i < comb->size() && comb->get(i)) {
+            const auto& e =
+                i < split ? span1[i] : span2[i - split];
+            anf::IndexedAnf elem;
+            for (const auto id : e.termIds) elem.flipTerm(id);
+            if (i < split)
+                out.part1 ^= elem;
+            else
+                out.part2 ^= elem;
+        }
+    }
+    {
+        anf::IndexedAnf check = out.part1;
+        check ^= out.part2;
+        PD_ASSERT(check == target);
+    }
+    return out;
+}
+
+SumMembership memberOfSum(MembershipContext& ctx, const anf::Anf& target,
+                          const NullSpaceRing& r1, const NullSpaceRing& r2,
+                          std::size_t maxSpan) {
+    const auto indexed = memberOfSum(
+        ctx, anf::IndexedAnf::fromAnf(ctx.indexer, target), r1, r2, maxSpan);
+    SumMembership out;
+    out.member = indexed.member;
+    if (indexed.member) {
+        out.part1 = indexed.part1.toAnf(ctx.indexer);
+        out.part2 = indexed.part2.toAnf(ctx.indexer);
+    }
+    return out;
+}
+
 }  // namespace pd::ring

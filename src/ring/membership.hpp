@@ -6,11 +6,24 @@
 // instance of the Ideal Membership Problem; because our rings are tracked
 // by finite spanning sets, it reduces to a GF(2) solve that also yields
 // the split (n_P, n_R) needed to build T.
+//
+// Two implementations share this header:
+//   * the context-free overload — the reference path: fresh indexer and
+//     spanning sets per query (kept as the differential-testing oracle);
+//   * the MembershipContext overload — the hot path: spanning sets come
+//     from the rings' per-ring caches (ring/nullspace.hpp) as pre-indexed
+//     term-id lists, and solver columns are assigned through a flat
+//     generation-stamped scratch array in exactly the reference's
+//     first-occurrence order, so both paths return byte-identical
+//     membership verdicts AND witnesses.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "anf/anf.hpp"
+#include "anf/indexed.hpp"
 #include "ring/nullspace.hpp"
 
 namespace pd::ring {
@@ -25,7 +38,59 @@ struct SumMembership {
 /// Decides `target ∈ R₁ ⊕ R₂` over the rings' spanning sets and, on
 /// success, returns parts with part1 ⊕ part2 == target.
 /// `maxSpan` caps each spanning set (conservative under-approximation).
+/// Reference implementation: rebuilds everything per query.
 [[nodiscard]] SumMembership memberOfSum(const anf::Anf& target,
+                                        const NullSpaceRing& r1,
+                                        const NullSpaceRing& r2,
+                                        std::size_t maxSpan = 64);
+
+/// Indexed-domain outcome of a (target ∈ R₁ ⊕ R₂) query; parts live in
+/// the query context's id space.
+struct IndexedSumMembership {
+    bool member = false;
+    anf::IndexedAnf part1;  ///< element of span(R₁'s spanning set)
+    anf::IndexedAnf part2;  ///< element of span(R₂'s spanning set)
+};
+
+/// Shared state for a run of membership queries: the monomial id space,
+/// the column-assignment scratch, and query statistics. One context spans
+/// one merge phase (or one findGroup's probe sweep); the indexer grows
+/// monotonically across queries and the rings' spanning-set caches are
+/// keyed to it.
+class MembershipContext {
+public:
+    anf::MonomialIndexer indexer;
+
+    /// Number of GF(2) solves actually performed through this context.
+    [[nodiscard]] std::uint64_t solves() const { return solves_; }
+
+private:
+    friend IndexedSumMembership memberOfSum(MembershipContext&,
+                                            const anf::IndexedAnf&,
+                                            const NullSpaceRing&,
+                                            const NullSpaceRing&,
+                                            std::size_t);
+
+    /// Maps a global monomial id to this query's dense solver column.
+    /// Generation stamps avoid clearing the arrays between queries.
+    std::vector<std::uint32_t> localOf_;
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t generation_ = 0;
+    std::uint64_t solves_ = 0;
+};
+
+/// Hot-path overload: identical verdicts and witnesses to the reference
+/// overload (differentially tested), served from the rings' cached
+/// indexed spanning sets. `target` must be encoded over ctx.indexer.
+[[nodiscard]] IndexedSumMembership memberOfSum(MembershipContext& ctx,
+                                               const anf::IndexedAnf& target,
+                                               const NullSpaceRing& r1,
+                                               const NullSpaceRing& r2,
+                                               std::size_t maxSpan = 64);
+
+/// Boundary-type convenience over the indexed overload.
+[[nodiscard]] SumMembership memberOfSum(MembershipContext& ctx,
+                                        const anf::Anf& target,
                                         const NullSpaceRing& r1,
                                         const NullSpaceRing& r2,
                                         std::size_t maxSpan = 64);

@@ -8,6 +8,7 @@ void NullSpaceRing::addGenerator(const anf::Anf& g) {
     if (g.isZero()) return;
     if (std::find(gens_.begin(), gens_.end(), g) != gens_.end()) return;
     gens_.push_back(g);
+    spanCache_.reset();
 }
 
 std::vector<anf::Anf> NullSpaceRing::spanningSet(std::size_t maxElems) const {
@@ -20,9 +21,7 @@ std::vector<anf::Anf> NullSpaceRing::spanningSet(std::size_t maxElems) const {
     // zeros are dropped.
     std::vector<anf::Anf> frontier = gens_;
     out = gens_;
-    std::size_t gen0 = 0;  // first generator index not yet folded in
     for (std::size_t level = 1; level < gens_.size(); ++level) {
-        (void)gen0;
         std::vector<anf::Anf> next;
         for (const auto& f : frontier) {
             for (const auto& g : gens_) {
@@ -42,6 +41,68 @@ std::vector<anf::Anf> NullSpaceRing::spanningSet(std::size_t maxElems) const {
     }
     if (out.size() > maxElems) out.resize(maxElems);
     return out;
+}
+
+const std::vector<NullSpaceRing::SpanEntry>& NullSpaceRing::indexedSpanningSet(
+    anf::MonomialIndexer& ix, std::size_t maxElems) const {
+    if (spanCache_ && spanCache_->indexerUid == ix.uid() &&
+        spanCache_->maxElems == maxElems)
+        return spanCache_->elems;
+
+    // Same breadth-first construction as spanningSet(), but products run
+    // over IndexedAnf: one memoized id lookup + bit flip per term pair
+    // instead of a 256-bit union and a sorted-vector merge. Equality and
+    // zero tests are exact mirrors (interning is injective), so the
+    // element sequence is identical to the reference.
+    auto span = std::make_shared<IndexedSpan>();
+    span->indexerUid = ix.uid();
+    span->maxElems = maxElems;
+
+    std::vector<anf::IndexedAnf> out;
+    if (!gens_.empty()) {
+        std::vector<anf::IndexedAnf> gens;
+        gens.reserve(gens_.size());
+        for (const auto& g : gens_)
+            gens.push_back(anf::IndexedAnf::fromAnf(ix, g));
+        std::vector<anf::IndexedAnf> frontier = gens;
+        out = gens;
+        for (std::size_t level = 1; level < gens.size(); ++level) {
+            std::vector<anf::IndexedAnf> next;
+            for (const auto& f : frontier) {
+                for (const auto& g : gens) {
+                    if (out.size() + next.size() >= maxElems) break;
+                    const anf::IndexedAnf p = indexedProduct(ix, f, g);
+                    if (p.isZero() || p == f) continue;
+                    if (std::find(out.begin(), out.end(), p) != out.end())
+                        continue;
+                    if (std::find(next.begin(), next.end(), p) != next.end())
+                        continue;
+                    next.push_back(p);
+                }
+            }
+            if (next.empty() || out.size() >= maxElems) break;
+            out.insert(out.end(), next.begin(), next.end());
+            frontier = std::move(next);
+        }
+        if (out.size() > maxElems) out.resize(maxElems);
+    }
+
+    span->elems.reserve(out.size());
+    for (const auto& e : out) {
+        SpanEntry entry;
+        entry.termIds = e.termIds();
+        // Canonical monomial order — the order the reference solve sees
+        // the terms in, and the order Anf stores them in.
+        ix.sortIdsCanonical(entry.termIds);
+        std::vector<anf::Monomial> terms;
+        terms.reserve(entry.termIds.size());
+        for (const auto id : entry.termIds) terms.push_back(ix.monomialAt(id));
+        entry.expr = anf::Anf::fromCanonicalTerms(std::move(terms));
+        span->elems.push_back(std::move(entry));
+    }
+
+    spanCache_ = std::move(span);
+    return spanCache_->elems;
 }
 
 NullSpaceRing NullSpaceRing::productClosure(const NullSpaceRing& a,

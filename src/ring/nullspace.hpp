@@ -9,12 +9,20 @@
 // Ring closure is finite in a Boolean ring (x² = x): it is the GF(2) span
 // of all products of non-empty generator subsets. spanningSet() produces
 // exactly those products (capped), which is what membership solves over.
+//
+// The membership hot path uses indexedSpanningSet(): the same breadth-
+// first construction run over IndexedAnf (memoized monomial products, bit
+// flips instead of sorted merges), with the result cached on the ring.
+// Rings mutate rarely — a pair's ring changes only when the pair merges —
+// so one construction typically serves hundreds of membership queries.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "anf/anf.hpp"
+#include "anf/indexed.hpp"
 
 namespace pd::ring {
 
@@ -42,6 +50,23 @@ public:
     [[nodiscard]] std::vector<anf::Anf> spanningSet(
         std::size_t maxElems = 64) const;
 
+    /// One spanning-set element in both domains: the canonical expression
+    /// plus its term ids listed in canonical monomial order, so a
+    /// membership solve can assign local solver columns in exactly the
+    /// order the reference implementation would.
+    struct SpanEntry {
+        anf::Anf expr;
+        std::vector<anf::MonomialIndexer::Id> termIds;
+    };
+
+    /// spanningSet() computed over `ix` and cached on the ring. The cache
+    /// is invalidated by addGenerator and ignored when presented with a
+    /// different indexer; entries are immutable and shared across ring
+    /// copies. Produces exactly the elements of spanningSet(maxElems), in
+    /// the same order (differentially tested).
+    [[nodiscard]] const std::vector<SpanEntry>& indexedSpanningSet(
+        anf::MonomialIndexer& ix, std::size_t maxElems = 64) const;
+
     /// Ring attached to X₁⊕X₂ given rings for X₁ and X₂:
     /// rC(N(X₁)·N(X₂)) per the containment N(P)·N(Q) ⊆ N(P⊕Q).
     /// Generators are the pairwise products of the two generator sets.
@@ -55,7 +80,15 @@ public:
                                               const NullSpaceRing& b);
 
 private:
+    struct IndexedSpan {
+        std::uint64_t indexerUid = 0;
+        std::size_t maxElems = 0;
+        std::vector<SpanEntry> elems;
+    };
+
     std::vector<anf::Anf> gens_;
+    /// Lazily filled by indexedSpanningSet; shared by ring copies.
+    mutable std::shared_ptr<const IndexedSpan> spanCache_;
 };
 
 }  // namespace pd::ring

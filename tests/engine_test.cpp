@@ -416,6 +416,87 @@ TEST(Engine, CacheSourceDistinguishesComputedFromMemory) {
     EXPECT_EQ(second.cacheSource, CacheSource::kMemory);
 }
 
+TEST(Engine, VariableCapacityOverflowIsAPerJobFailure) {
+    // A job that outgrows the 256-variable monomial universe must fail as
+    // that job — with a capacity message, not a crash — while its batch
+    // mates run to completion.
+    std::string huge = "y=x0";
+    for (int i = 1; i < 300; ++i) huge += " ^ x" + std::to_string(i);
+    std::vector<JobSpec> specs(3);
+    specs[0].benchmark = "majority7";
+    specs[1].name = "too-wide";
+    specs[1].expressions = {huge};
+    specs[2].benchmark = "counter8";
+
+    const auto results = runBatch(specs, EngineOptions{});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("capacity"), std::string::npos)
+        << results[1].error;
+    EXPECT_TRUE(results[2].ok) << results[2].error;
+}
+
+TEST(Engine, MergeBudgetOverrideIsReportedHonestly) {
+    // An absurdly small engine-level merge budget must truncate the
+    // search (budget_exhausted) yet still produce a valid, verified
+    // result — anytime semantics, not failure.
+    EngineOptions opt;
+    opt.jobs = 1;
+    opt.mergeBudget = 1;
+    JobSpec spec;
+    spec.benchmark = "counter16";
+    const auto r = runBatch({spec}, opt).front();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.budgetExhausted);
+    EXPECT_TRUE(r.verified());
+
+    // And an effectively unlimited budget reports no truncation.
+    EngineOptions loose;
+    loose.jobs = 1;
+    JobSpec easy;
+    easy.benchmark = "majority7";
+    const auto ok = runBatch({easy}, loose).front();
+    ASSERT_TRUE(ok.ok) << ok.error;
+    EXPECT_FALSE(ok.budgetExhausted);
+}
+
+TEST(Engine, PhaseTimesCoverTheFlow) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    Engine engine(opt);
+    JobSpec spec;
+    spec.benchmark = "counter8";
+    const auto r = engine.runJob(spec);
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto& p = r.phases;
+    EXPECT_GT(p.decomposeMs, 0.0);
+    const double sum = p.decomposeMs + p.synthMs + p.optimizeMs + p.mapMs +
+                       p.staMs + p.verifyMs;
+    EXPECT_LE(sum, r.wallMs + 1.0) << "phases cannot exceed the job wall";
+
+    // A cache hit re-runs nothing: phases must be zero.
+    const auto hit = engine.runJob(spec);
+    ASSERT_TRUE(hit.cacheHit);
+    EXPECT_EQ(hit.phases.decomposeMs, 0.0);
+    EXPECT_EQ(hit.phases.verifyMs, 0.0);
+}
+
+TEST(ReportJson, BudgetAndPhasesInSchema) {
+    JobResult r;
+    r.name = "j";
+    r.ok = true;
+    r.budgetExhausted = true;
+    r.phases.decomposeMs = 12.5;
+    std::ostringstream os;
+    writeBatchReport(os, EngineOptions{}, std::vector<JobResult>{r},
+                     ResultCache::Stats{});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"budget_exhausted\": true"), std::string::npos);
+    EXPECT_NE(out.find("\"phases\""), std::string::npos);
+    EXPECT_NE(out.find("\"decompose_ms\": 12.5"), std::string::npos);
+}
+
 TEST(ReportJson, EscapesAndNests) {
     JobResult r;
     r.name = "quote\" backslash\\ newline\n";

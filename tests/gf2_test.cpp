@@ -69,7 +69,9 @@ TEST(BitVec, ResizeZeroFills) {
 
 BitVec fromMask(std::uint32_t mask, std::size_t bits = 8) {
     BitVec v(bits);
-    for (std::size_t i = 0; i < bits; ++i)
+    // The mask has 32 bits; wider vectors are zero beyond it (shifting a
+    // u32 by >=32 is UB, which UBSan rightly flags).
+    for (std::size_t i = 0; i < bits && i < 32; ++i)
         if ((mask >> i) & 1u) v.set(i);
     return v;
 }

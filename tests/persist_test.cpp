@@ -247,18 +247,27 @@ TEST(PersistStore, RejectsFlippedChecksumByte) {
     EXPECT_EQ(rejected, bytes.size() - kMagic.size() - 4);
 }
 
-TEST(PersistStore, RejectsFutureFormatVersion) {
+TEST(PersistStore, RejectsOtherFormatVersions) {
     TempFile file("version");
     std::vector<StoreEntry> entries{
         {"sig", std::make_shared<const JobResult>(sampleResult())}};
     ASSERT_TRUE(CacheStore::save(file.path(), "fp", entries));
     std::string bytes = readFile(file.path());
-    bytes[kMagic.size()] = 2;  // version u32 LE: bump to 2
-    writeFile(file.path(), bytes);
-    const auto loaded = CacheStore::load(file.path(), "fp");
-    EXPECT_EQ(loaded.status, LoadResult::Status::kBadVersion);
-    EXPECT_NE(loaded.detail.find("version 2"), std::string::npos)
-        << loaded.detail;
+    const auto probe = [&](std::uint8_t version) {
+        std::string mutated = bytes;
+        mutated[kMagic.size()] = static_cast<char>(version);  // u32 LE
+        writeFile(file.path(), mutated);
+        return CacheStore::load(file.path(), "fp");
+    };
+    // A past version (e.g. a v1 store inherited by CI) and a future one
+    // must both be rejected loudly as bad-version, never decoded.
+    for (const std::uint8_t v : {std::uint8_t{1}, std::uint8_t{99}}) {
+        const auto loaded = probe(v);
+        EXPECT_EQ(loaded.status, LoadResult::Status::kBadVersion);
+        EXPECT_NE(loaded.detail.find("version " + std::to_string(v)),
+                  std::string::npos)
+            << loaded.detail;
+    }
 }
 
 TEST(PersistStore, RejectsBadMagic) {

@@ -14,6 +14,9 @@
 //   -k <n>           group size (default 4)
 //   --jobs <n>       engine worker threads (parallelizes batch; accepted
 //                    but single-job in expr/bench)
+//   --merge-budget <n>  anytime mode: cap on null-space merge solves per
+//                    decomposition phase (0 = unlimited; default 100000).
+//                    A truncated job reports budget_exhausted.
 //   --no-identities  / --no-nullspace / --no-sizered / --no-linmin
 // expr/bench only:
 //   --trace          print the per-iteration trace (paper Fig. 6 style)
@@ -25,7 +28,7 @@
 //   --heavy          include the heavy (multiplier-class) benchmarks
 //   --json <file>    write the machine-readable pd-batch-report-v1 report
 //   --cache <n>      result-cache capacity (default 64, 0 disables)
-//   --cache-file <f> persistent pd-cache-v1 store: warm-start from it and
+//   --cache-file <f> persistent pd-cache-v2 store: warm-start from it and
 //                    flush results back after the batch
 //   --cache-readonly load the store but never write it back
 //   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
@@ -68,7 +71,7 @@ int usage() {
         "  pd_cli batch [options] [benchmark ...|--all]\n"
         "  pd_cli list\n"
         "  pd_cli cache-info [--key] [file]\n"
-        "options: -k <n>  --jobs <n>  --trace  --stats\n"
+        "options: -k <n>  --jobs <n>  --merge-budget <n>  --trace  --stats\n"
         "         --verilog <file>  --blif <file>\n"
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
@@ -98,6 +101,8 @@ void printTrace(const pd::core::Decomposition& d) {
                   << tr.mergedPairCount << " (linear -" << tr.linearRemoved
                   << ", size-red " << tr.sizeReductions << "), terms "
                   << tr.foldedTermsBefore << " -> " << tr.foldedTermsAfter
+                  << ", merge-attempts " << tr.mergeAttempts
+                  << (tr.budgetExhausted ? " (budget exhausted)" : "")
                   << "\n";
         for (const auto& s : tr.basis) std::cout << "  basis     " << s << "\n";
         for (const auto& s : tr.reductions)
@@ -225,6 +230,8 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             opt.cacheReadonly = true;
         } else if (arg == "--budget") {
             if (!countArg(opt.budget)) return usage();
+        } else if (arg == "--merge-budget") {
+            if (!countArg(opt.decompose.mergeAttemptBudget)) return usage();
         } else if (arg == "--trace") {
             opt.trace = true;
         } else if (arg == "--stats") {
@@ -319,6 +326,7 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
                   << " cells, verify "
                   << pd::engine::verifyStatusName(r.verification) << ", "
                   << r.wallMs << " ms";
+        if (r.budgetExhausted) std::cout << " (budget exhausted)";
         if (r.cacheHit)
             std::cout << " (" << pd::engine::cacheSourceName(r.cacheSource)
                       << " hit)";

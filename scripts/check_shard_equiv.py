@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI gate for sharded-vs-single-process batch equivalence.
+
+Usage: check_shard_equiv.py single_report.json sharded_report.json
+
+Asserts, against two pd-batch-report-v1 documents produced by running the
+same `pd_cli batch ...` selection with and without --shards:
+
+  1. both runs succeeded on every job;
+  2. the sharded report really ran sharded (engine.shards >= 1, and every
+     wire-eligible job carries a worker shard id >= 0);
+  3. the semantic payload of every job — everything except timings, cache
+     provenance, and the shard id — is byte-identical between the two
+     reports.
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+import json
+import sys
+
+VOLATILE_JOB_FIELDS = ("timing", "cache", "shard")
+
+
+def semantic_jobs(report):
+    """Jobs with the volatile (timing / cache / shard) fields removed."""
+    jobs = []
+    for job in report["jobs"]:
+        job = dict(job)
+        for field in VOLATILE_JOB_FIELDS:
+            job.pop(field, None)
+        jobs.append(job)
+    return jobs
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    single_path, sharded_path = sys.argv[1], sys.argv[2]
+    with open(single_path) as f:
+        single = json.load(f)
+    with open(sharded_path) as f:
+        sharded = json.load(f)
+
+    for report, path in ((single, single_path), (sharded, sharded_path)):
+        if report.get("schema") != "pd-batch-report-v1":
+            sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+        for job in report["jobs"]:
+            if not job["ok"]:
+                sys.exit(f"{path}: job {job['name']!r} failed: "
+                         f"{job['error']!r}")
+
+    shards = sharded.get("engine", {}).get("shards", 0)
+    if shards < 1:
+        sys.exit(f"{sharded_path}: engine.shards is {shards} — "
+                 f"was --shards passed?")
+    stay_local = [j["name"] for j in sharded["jobs"] if j.get("shard", -1) < 0]
+    if stay_local:
+        sys.exit(f"{sharded_path}: jobs ran in-process instead of in a "
+                 f"worker: {stay_local}")
+
+    single_sem = json.dumps(semantic_jobs(single), sort_keys=True)
+    sharded_sem = json.dumps(semantic_jobs(sharded), sort_keys=True)
+    if single_sem != sharded_sem:
+        for a, b in zip(semantic_jobs(single), semantic_jobs(sharded)):
+            if a != b:
+                sys.exit(f"result drift on job {a['name']!r}:\n"
+                         f"  single:  {json.dumps(a, sort_keys=True)}\n"
+                         f"  sharded: {json.dumps(b, sort_keys=True)}")
+        sys.exit("result drift: job lists differ in length or order")
+
+    used = sorted({j["shard"] for j in sharded["jobs"]})
+    print(f"shard-equivalence gate OK: {len(sharded['jobs'])} jobs across "
+          f"{shards} shards (workers used: {used}), results byte-identical "
+          f"to the single-process run")
+
+
+if __name__ == "__main__":
+    main()

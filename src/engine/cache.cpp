@@ -101,14 +101,17 @@ void ResultCache::Reservation::fulfill(Value v) {
     cache_->publish(shard_, key_, /*success=*/true);
 }
 
-std::vector<ResultCache::SnapshotEntry> ResultCache::snapshot() const {
+std::vector<ResultCache::SnapshotEntry> ResultCache::snapshot(
+    SnapshotScope scope) const {
     std::vector<SnapshotEntry> out;
     for (const auto& shard : shards_) {
         std::lock_guard lock(shard->mutex);
         for (const auto& [key, entry] : shard->map) {
             if (!entry.ready) continue;  // in-flight: value doesn't exist
+            if (scope == SnapshotScope::kLocalOnly && entry.restored)
+                continue;
             Value v = entry.future.get();
-            if (v) out.push_back({key, std::move(v)});
+            if (v) out.push_back({key, std::move(v), entry.lastUse});
         }
     }
     return out;
@@ -129,6 +132,7 @@ std::size_t ResultCache::restore(std::vector<SnapshotEntry> entries) {
         Entry entry;
         entry.future = promise.get_future().share();
         entry.ready = true;
+        entry.restored = true;
         entry.lastUse = ++s.tick;  // stamps reset: restored ≙ just used
         s.map.emplace(std::move(e.key), std::move(entry));
         ++s.stats.restored;

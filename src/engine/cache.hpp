@@ -56,7 +56,19 @@ public:
     struct SnapshotEntry {
         std::string key;
         std::shared_ptr<const JobResult> value;
+        /// LRU stamp at snapshot time (larger = more recently used).
+        /// Meaningful only within one cache — cross-process merges order
+        /// by it per worker, not across workers.
+        std::uint64_t lastUse = 0;
     };
+
+    /// What snapshot() drains. kAll feeds a full store rewrite; kLocalOnly
+    /// excludes entries adopted via restore() — it is the *delta* this
+    /// cache added on top of what it was warm-started with, which is all a
+    /// read-only sharded worker may hand back for merging (re-shipping the
+    /// shared store's own entries from N workers would be N-fold wasted
+    /// pipe traffic).
+    enum class SnapshotScope : std::uint8_t { kAll, kLocalOnly };
 
     /// RAII token for a reserved (in-flight) computation slot.
     class Reservation {
@@ -117,7 +129,8 @@ public:
     /// persistence. In-flight computations are never snapshotted: their
     /// values don't exist yet, and waiting for them here would make a
     /// mid-batch flush block on the slowest job.
-    [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+    [[nodiscard]] std::vector<SnapshotEntry> snapshot(
+        SnapshotScope scope = SnapshotScope::kAll) const;
 
     /// Merge-on-load: adopts entries whose keys are not already present
     /// (live entries — ready or in-flight — win over the store), each
@@ -131,6 +144,9 @@ private:
     struct Entry {
         std::shared_future<Value> future;
         bool ready = false;
+        /// Adopted from a store/merge via restore(), as opposed to
+        /// computed by this process (see SnapshotScope::kLocalOnly).
+        bool restored = false;
         std::uint64_t lastUse = 0;
     };
     struct Shard {

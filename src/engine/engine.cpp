@@ -10,6 +10,9 @@
 #include "anf/parser.hpp"
 #include "circuits/registry.hpp"
 #include "engine/persist/format.hpp"
+#include "engine/persist/serialize.hpp"
+#include "engine/shard/coordinator.hpp"
+#include "engine/shard/scheduler.hpp"
 #include "netlist/stats.hpp"
 #include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
@@ -184,7 +187,8 @@ Engine::Engine(EngineOptions opt)
 }
 
 Engine::~Engine() {
-    if (cache_.stats().inserts > flushedInserts_) flushCache();
+    if (cache_.stats().inserts > flushedInserts_ || unflushedDeltas_)
+        flushCache();
 }
 
 bool Engine::flushCache(std::size_t* savedOut, std::string* errorOut) {
@@ -208,6 +212,12 @@ bool Engine::flushCache(std::size_t* savedOut, std::string* errorOut) {
     // calls are still saved now and merely re-flushed by the destructor.
     const std::uint64_t insertsBefore = cache_.stats().inserts;
     auto snap = cache_.snapshot();
+    // Canonical entry order: snapshot order is hash-map order, which
+    // varies run to run; sorting by key makes equal entry *sets* produce
+    // byte-identical stores — a sharded run and a single-process run of
+    // the same batch leave the same artifact bits.
+    std::sort(snap.begin(), snap.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
     std::vector<persist::StoreEntry> entries;
     entries.reserve(snap.size());
     for (auto& e : snap)
@@ -219,20 +229,81 @@ bool Engine::flushCache(std::size_t* savedOut, std::string* errorOut) {
         return false;
     }
     flushedInserts_ = insertsBefore;
+    unflushedDeltas_ = false;
     if (savedOut) *savedOut = entries.size();
     return true;
 }
 
+std::vector<shard::CacheDelta> Engine::cacheDelta(
+    const std::unordered_set<std::string>& alreadyShipped) const {
+    auto snap = cache_.snapshot(ResultCache::SnapshotScope::kLocalOnly);
+    std::vector<shard::CacheDelta> deltas;
+    deltas.reserve(snap.size());
+    for (const auto& e : snap) {
+        if (alreadyShipped.contains(e.key)) continue;
+        shard::CacheDelta d;
+        d.key = e.key;
+        persist::serializeJobResult(*e.value, d.payload);
+        d.stamp = e.lastUse;
+        deltas.push_back(std::move(d));
+    }
+    return deltas;
+}
+
+std::size_t Engine::adoptCacheDeltas(
+    const std::vector<shard::CacheDelta>& deltas) {
+    std::vector<ResultCache::SnapshotEntry> entries;
+    entries.reserve(deltas.size());
+    for (const auto& d : deltas) {
+        try {
+            entries.push_back({d.key, persist::deserializeJobResult(d.payload)});
+        } catch (const std::exception&) {
+            // A malformed delta entry is a worker bug; dropping it merely
+            // costs a future cache hit, never correctness.
+        }
+    }
+    const std::size_t adopted = cache_.restore(std::move(entries));
+    if (adopted > 0) unflushedDeltas_ = true;
+    return adopted;
+}
+
 std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
-    std::vector<std::future<JobResult>> futures;
-    futures.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        futures.push_back(
-            pool_.submit([this, &specs, i] { return execute(specs[i], i); }));
-    std::vector<JobResult> results;
-    results.reserve(specs.size());
-    for (auto& f : futures) results.push_back(f.get());
-    return results;
+    // One scheduling core for both execution paths: the scheduler
+    // partitions jobs into a local lane (this process's thread pool) and,
+    // in sharded mode, a wire lane (worker processes). Pool threads and
+    // the shard coordinator pull from it concurrently and complete
+    // results by index, so output stays in spec order either way.
+    const bool sharded = opt_.shards >= 1;
+    shard::BatchScheduler sched(specs, sharded);
+
+    std::vector<std::future<void>> pullers;
+    const std::size_t threads =
+        std::min(pool_.threadCount(),
+                 specs.size() - sched.wireJobs().size());
+    for (std::size_t t = 0; t < threads; ++t)
+        pullers.push_back(pool_.submit([this, &sched, &specs] {
+            while (const auto index = sched.stealLocal())
+                sched.complete(*index, execute(specs[*index], *index));
+        }));
+
+    if (!sched.wireJobs().empty()) {
+        shard::ShardConfig cfg;
+        cfg.shards = opt_.shards;
+        cfg.workerExe = opt_.shardWorkerExe;
+        cfg.cacheCapacity = opt_.cacheCapacity;
+        cfg.conflictBudget = opt_.conflictBudget;
+        cfg.mergeBudget = opt_.mergeBudget;
+        cfg.equiv = opt_.equiv;
+        cfg.cacheFile = opt_.cacheFile;
+        cfg.wallMsPerJob = opt_.shardWallMsPerJob;
+        cfg.rssBudgetMb = opt_.shardRssMb;
+        shard::ShardCoordinator coordinator(cfg);
+        const auto outcome = coordinator.run(sched, specs);
+        adoptCacheDeltas(outcome.deltas);
+    }
+
+    for (auto& p : pullers) p.get();
+    return std::move(sched).take();
 }
 
 JobResult Engine::runJob(const JobSpec& spec) {

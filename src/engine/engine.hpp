@@ -8,12 +8,19 @@
 // without re-decomposing. Results come back in spec order, independent of
 // scheduling; a throwing job yields a JobResult with ok=false and
 // poisons nothing else.
+//
+// With EngineOptions::shards > 1 the same batch is partitioned across
+// crash-isolated worker *processes* (src/engine/shard/): both execution
+// paths run through one BatchScheduler core, so spec-order results, the
+// result cache, and the persistent store behave identically — a sharded
+// run leaves the same warm artifact a single-process run would.
 #pragma once
 
 #include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "anf/anf.hpp"
@@ -21,6 +28,7 @@
 #include "engine/job.hpp"
 #include "engine/persist/store.hpp"
 #include "engine/pool.hpp"
+#include "engine/shard/protocol.hpp"
 #include "sim/equivalence.hpp"
 #include "synth/celllib.hpp"
 
@@ -54,6 +62,23 @@ struct EngineOptions {
     /// Load from cacheFile but never write it back (CI consumers, shared
     /// read-mostly artifacts).
     bool cacheReadonly = false;
+    /// Worker *processes* for runBatch (0 → everything in-process).
+    /// With N ≥ 1 every wire-serializable job (registry benchmarks,
+    /// expression jobs) runs in one of N crash-isolated `pd_cli worker`
+    /// children — N = 1 buys crash isolation without parallelism; specs
+    /// carrying a live Benchmark object stay on the local thread-pool
+    /// lane. Workers warm-start read-only from cacheFile and their cache
+    /// deltas are merged back here, so the flushed store matches a
+    /// single-process run.
+    std::size_t shards = 0;
+    /// Per-job wall budget in sharded mode, ms (0 = unlimited): a worker
+    /// whose job overruns is killed and the job retried once elsewhere.
+    double shardWallMsPerJob = 0.0;
+    /// Per-worker address-space budget in MiB (0 = unlimited).
+    std::size_t shardRssMb = 0;
+    /// Worker executable; "" resolves $PD_SHARD_WORKER_EXE then
+    /// /proc/self/exe (correct when the host process *is* pd_cli).
+    std::string shardWorkerExe;
 };
 
 /// What happened to the persistent store this engine was given.
@@ -105,6 +130,22 @@ public:
         return persistInfo_;
     }
 
+    /// The cache entries this engine computed itself (excluding anything
+    /// adopted from the store at warm start, and any key in
+    /// `alreadyShipped`), serialized for the shard wire. Workers stream
+    /// this after every job — a crash then forfeits only the in-flight
+    /// job's entry, not the whole worker's session — and once more at
+    /// shutdown.
+    [[nodiscard]] std::vector<shard::CacheDelta> cacheDelta(
+        const std::unordered_set<std::string>& alreadyShipped = {}) const;
+
+    /// Coordinator half of the merge: deserializes worker deltas into the
+    /// cache (live entries win; between deltas, callers pre-merge with
+    /// shard::mergeCacheDeltas for newest-LRU-wins). Undecodable entries
+    /// are dropped — a worker bug must not poison the batch. Returns the
+    /// number adopted.
+    std::size_t adoptCacheDeltas(const std::vector<shard::CacheDelta>& deltas);
+
 private:
     [[nodiscard]] JobResult execute(const JobSpec& spec,
                                     std::size_t index) const;
@@ -116,6 +157,10 @@ private:
     /// Insert count at the last successful flush: the destructor only
     /// rewrites the store when something new was cached since.
     std::uint64_t flushedInserts_ = 0;
+    /// Worker deltas merged since the last flush arrive via restore()
+    /// (which bumps `restored`, not `inserts`), so the destructor needs
+    /// its own dirty marker for them.
+    bool unflushedDeltas_ = false;
     /// Registry-named specs memoize (name, options) → canonical
     /// signature, so a repeat hit skips rebuilding the (possibly huge)
     /// flat Reed-Muller form just to compute its own cache key. Safe

@@ -108,6 +108,12 @@ struct JobResult {
     CacheSource cacheSource = CacheSource::kComputed;
     std::string cacheKey;  ///< 64-bit hex digest of the canonical signature
 
+    /// Which shard worker process produced this result; -1 for jobs run
+    /// in the requesting process (sharding off, or a spec that cannot
+    /// cross a worker pipe). Provenance only — never part of cache
+    /// equality or the semantic payload.
+    int shard = -1;
+
     /// Mapped netlist (only when spec.keepMapped).
     netlist::Netlist mapped;
 

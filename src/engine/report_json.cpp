@@ -120,6 +120,12 @@ JsonWriter& JsonWriter::value(std::uint64_t v) {
     return *this;
 }
 
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+}
+
 std::string_view verifyStatusName(VerifyStatus s) {
     switch (s) {
         case VerifyStatus::kSkipped: return "skipped";
@@ -151,6 +157,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("jobs", opt.jobs);
     w.field("cache_capacity", opt.cacheCapacity);
     w.field("conflict_budget", opt.conflictBudget);
+    w.field("shards", opt.shards);
     w.endObject();
 
     w.key("cache").beginObject();
@@ -209,6 +216,9 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("key", r.cacheKey);
         w.field("source", cacheSourceName(r.cacheSource));
         w.endObject();
+
+        // Provenance, not semantics: -1 = ran in the requesting process.
+        w.field("shard", r.shard);
 
         w.endObject();
     }

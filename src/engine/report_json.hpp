@@ -9,7 +9,8 @@
 // Batch report schema ("pd-batch-report-v1"):
 //   {
 //     "schema": "pd-batch-report-v1",
-//     "engine": {"jobs": u, "cache_capacity": u, "conflict_budget": u},
+//     "engine": {"jobs": u, "cache_capacity": u, "conflict_budget": u,
+//                "shards": u},                    // 0 → in-process batch
 //     "cache":  {"hits": u, "misses": u, "inserts": u, "evictions": u,
 //                "entries": u},
 //     "jobs": [
@@ -27,8 +28,9 @@
 //                     "map_ms": f, "sta_ms": f,    // on cache hits
 //                     "verify_ms": f}},
 //         "cache": {"hit": b, "key": s,            // key: 16-hex digest
-//                   "source": "computed"|"memory"|"disk"}
-//       }, ...
+//                   "source": "computed"|"memory"|"disk"},
+//         "shard": i                               // worker that ran the
+//       }, ...                                     // job; -1 = in-process
 //     ],
 //     "persist": {                                 // only with a cache file
 //       "file": s, "readonly": b,
@@ -71,9 +73,8 @@ public:
     JsonWriter& value(bool v);
     JsonWriter& value(double v);
     JsonWriter& value(std::uint64_t v);
-    JsonWriter& value(int v) {
-        return value(static_cast<std::uint64_t>(static_cast<unsigned>(v)));
-    }
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
 
     /// key + value in one call.
     template <typename T>

@@ -1,0 +1,542 @@
+#include "engine/shard/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace pd::engine::shard {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How long the shutdown drain may take before stragglers are SIGKILLed
+/// and their cache deltas forfeited. Draining only serializes the
+/// worker's cache — seconds, not minutes.
+constexpr int kDrainTimeoutMs = 60000;
+
+/// The display-name rule execute() applies, replicated for jobs that die
+/// before any worker could run them.
+std::string jobDisplayName(const JobSpec& spec, std::size_t index) {
+    if (!spec.name.empty()) return spec.name;
+    if (spec.bench) return spec.bench->name;
+    if (!spec.benchmark.empty()) return spec.benchmark;
+    return "job" + std::to_string(index);
+}
+
+std::string describeExit(int status) {
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char* name = strsignal(sig);
+        return "killed by signal " + std::to_string(sig) +
+               (name ? std::string(" (") + name + ")" : "");
+    }
+    if (WIFEXITED(status))
+        return "exited with status " + std::to_string(WEXITSTATUS(status));
+    return "ended with wait status " + std::to_string(status);
+}
+
+bool writeAll(int fd, std::string_view bytes) {
+    while (!bytes.empty()) {
+        const ssize_t n = ::write(fd, bytes.data(), bytes.size());
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/// Scoped process-wide SIGPIPE suppression: writing to a crashed worker
+/// must surface as EPIPE (handled as a worker death), not kill the
+/// coordinator. Restored on scope exit.
+class IgnoreSigpipe {
+public:
+    IgnoreSigpipe() {
+        struct sigaction ign {};
+        ign.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ign, &old_);
+    }
+    ~IgnoreSigpipe() { ::sigaction(SIGPIPE, &old_, nullptr); }
+
+private:
+    struct sigaction old_ {};
+};
+
+struct Slot {
+    enum class State {
+        kDown,      ///< no process (initial, or died and not yet respawned)
+        kSpawning,  ///< forked, hello not yet received
+        kIdle,      ///< hello'd / finished a job, ready for work
+        kBusy,      ///< job in flight
+        kDraining,  ///< shutdown sent, cache delta streaming back
+        kDone,      ///< drained cleanly and reaped
+        kRetired,   ///< crashed twice without accepting work; given up on
+    };
+
+    State state = State::kDown;
+    pid_t pid = -1;
+    int toChild = -1;
+    int fromChild = -1;
+    FrameDecoder decoder;
+    bool inFlight = false;
+    std::size_t job = 0;
+    Clock::time_point jobStart{};
+    bool budgetKilled = false;
+    bool byeSeen = false;
+    bool everSpawned = false;
+    int idleCrashes = 0;  ///< consecutive deaths with no job in flight
+
+    [[nodiscard]] bool live() const {
+        return state == State::kSpawning || state == State::kIdle ||
+               state == State::kBusy || state == State::kDraining;
+    }
+};
+
+}  // namespace
+
+std::string resolveWorkerExe(const std::string& configured) {
+    if (!configured.empty()) return configured;
+    if (const char* env = std::getenv("PD_SHARD_WORKER_EXE"); env && *env)
+        return env;
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    fail("shard", "cannot resolve a worker executable (set "
+                  "EngineOptions::shardWorkerExe or $PD_SHARD_WORKER_EXE)");
+}
+
+std::vector<CacheDelta> mergeCacheDeltas(std::vector<CacheDelta> deltas) {
+    // Later deltas win ties on the stamp: `deltas` arrives in drain
+    // order, so "latest worker, then most-recently-used within the
+    // worker" is the newest-LRU-wins rule the store merge promises.
+    std::unordered_map<std::string, std::size_t> byKey;
+    std::vector<CacheDelta> merged;
+    merged.reserve(deltas.size());
+    for (auto& d : deltas) {
+        const auto it = byKey.find(d.key);
+        if (it == byKey.end()) {
+            byKey.emplace(d.key, merged.size());
+            merged.push_back(std::move(d));
+        } else if (d.stamp >= merged[it->second].stamp) {
+            merged[it->second] = std::move(d);
+        }
+    }
+    return merged;
+}
+
+ShardCoordinator::ShardCoordinator(ShardConfig cfg) : cfg_(std::move(cfg)) {}
+
+ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
+                                   const std::vector<JobSpec>& specs) {
+    ShardOutcome outcome;
+    const std::vector<std::size_t>& wireJobs = sched.wireJobs();
+    if (wireJobs.empty()) return outcome;
+
+    std::string exe;  // resolved at first spawn, inside the fail-soft scope
+    const std::size_t slotCount =
+        std::min(std::max<std::size_t>(cfg_.shards, 1), wireJobs.size());
+
+    IgnoreSigpipe sigpipeGuard;
+
+    std::deque<std::size_t> queue(wireJobs.begin(), wireJobs.end());
+    std::unordered_map<std::size_t, std::size_t> avoidSlot;  // retried jobs
+    std::unordered_map<std::size_t, int> attempts;
+    std::size_t completed = 0;
+
+    std::vector<Slot> slots(slotCount);
+
+    const auto failJob = [&](std::size_t index, const std::string& why) {
+        JobResult r;
+        r.name = jobDisplayName(specs[index], index);
+        r.ok = false;
+        r.error = why;
+        sched.complete(index, std::move(r));
+        ++completed;
+    };
+
+    const auto spawn = [&](std::size_t slotId) {
+        if (exe.empty()) exe = resolveWorkerExe(cfg_.workerExe);
+        Slot& s = slots[slotId];
+        int toChild[2] = {-1, -1};
+        int fromChild[2] = {-1, -1};
+        if (::pipe(toChild) != 0 || ::pipe(fromChild) != 0) {
+            if (toChild[0] >= 0) ::close(toChild[0]);
+            if (toChild[1] >= 0) ::close(toChild[1]);
+            fail("shard", "pipe() failed spawning worker " +
+                              std::to_string(slotId));
+        }
+        // Parent-kept ends close on exec so later workers don't inherit
+        // their siblings' pipes (an inherited write end would mask EOF
+        // on a crashed sibling).
+        ::fcntl(toChild[1], F_SETFD, FD_CLOEXEC);
+        ::fcntl(fromChild[0], F_SETFD, FD_CLOEXEC);
+
+        std::vector<std::string> args = {
+            exe,
+            "worker",
+            "--shard-id", std::to_string(slotId),
+            "--cache-capacity", std::to_string(cfg_.cacheCapacity),
+            "--budget", std::to_string(cfg_.conflictBudget),
+            "--merge-budget", std::to_string(cfg_.mergeBudget),
+            "--equiv-xl", std::to_string(cfg_.equiv.exhaustiveLimitBits),
+            "--equiv-rb", std::to_string(cfg_.equiv.randomBatches),
+            "--equiv-seed", std::to_string(cfg_.equiv.seed),
+        };
+        if (!cfg_.cacheFile.empty()) {
+            args.push_back("--cache-file");
+            args.push_back(cfg_.cacheFile);
+        }
+        if (cfg_.rssBudgetMb != 0) {
+            args.push_back("--rss-budget-mb");
+            args.push_back(std::to_string(cfg_.rssBudgetMb));
+        }
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(toChild[0]);
+            ::close(toChild[1]);
+            ::close(fromChild[0]);
+            ::close(fromChild[1]);
+            fail("shard", "fork() failed spawning worker " +
+                              std::to_string(slotId));
+        }
+        if (pid == 0) {
+            ::dup2(toChild[0], STDIN_FILENO);
+            ::dup2(fromChild[1], STDOUT_FILENO);
+            ::close(toChild[0]);
+            ::close(toChild[1]);
+            ::close(fromChild[0]);
+            ::close(fromChild[1]);
+            std::vector<char*> argv;
+            argv.reserve(args.size() + 1);
+            for (auto& a : args) argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(exe.c_str(), argv.data());
+            _exit(127);  // exec failed; parent sees an idle crash
+        }
+        ::close(toChild[0]);
+        ::close(fromChild[1]);
+        s.pid = pid;
+        s.toChild = toChild[1];
+        s.fromChild = fromChild[0];
+        s.decoder = FrameDecoder{};
+        s.state = Slot::State::kSpawning;
+        s.inFlight = false;
+        s.budgetKilled = false;
+        s.byeSeen = false;
+        if (s.everSpawned) ++outcome.workerRespawns;
+        s.everSpawned = true;
+    };
+
+    const auto closeSlot = [&](Slot& s) {
+        if (s.toChild >= 0) ::close(s.toChild);
+        if (s.fromChild >= 0) ::close(s.fromChild);
+        s.toChild = s.fromChild = -1;
+        if (s.pid > 0) {
+            int status = 0;
+            ::waitpid(s.pid, &status, 0);
+            s.pid = -1;
+            return status;
+        }
+        return 0;
+    };
+
+    /// A worker's pipe hit EOF or became unwritable: reap it and decide
+    /// what its death costs.
+    const auto onDeath = [&](std::size_t slotId) {
+        Slot& s = slots[slotId];
+        const int status = closeSlot(s);
+        if (s.byeSeen) {  // clean drain: the exit is the protocol working
+            s.state = Slot::State::kDone;
+            return;
+        }
+        ++outcome.workerCrashes;
+        const std::string how =
+            s.budgetKilled
+                ? "exceeded the per-job wall budget of " +
+                      std::to_string(cfg_.wallMsPerJob) + " ms and was killed"
+                : describeExit(status);
+        if (s.inFlight) {
+            s.idleCrashes = 0;
+            const std::size_t index = s.job;
+            const int tries = ++attempts[index];
+            if (tries >= 2) {
+                failJob(index, "shard worker " + std::to_string(slotId) +
+                                   " " + how + " running this job (already "
+                                   "retried once on another worker)");
+            } else {
+                ++outcome.retries;
+                avoidSlot[index] = slotId;
+                queue.push_front(index);  // retry ahead of fresh work
+            }
+        } else if (s.state == Slot::State::kSpawning ||
+                   s.state == Slot::State::kIdle) {
+            if (++s.idleCrashes >= 2) {
+                s.state = Slot::State::kRetired;
+                return;
+            }
+        }
+        s.inFlight = false;
+        s.state = Slot::State::kDown;
+    };
+
+    const auto sendFrame = [&](std::size_t slotId, FrameType type,
+                               std::string_view payload) {
+        std::string bytes;
+        appendFrame(bytes, type, payload);
+        if (!writeAll(slots[slotId].toChild, bytes)) onDeath(slotId);
+    };
+
+    /// Drains every decodable frame the slot has buffered.
+    const auto onReadable = [&](std::size_t slotId) {
+        Slot& s = slots[slotId];
+        char buf[1 << 16];
+        const ssize_t n = ::read(s.fromChild, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN) return;
+            onDeath(slotId);
+            return;
+        }
+        if (n == 0) {
+            onDeath(slotId);
+            return;
+        }
+        s.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        try {
+            while (auto frame = s.decoder.next()) {
+                switch (frame->type) {
+                    case FrameType::kHello: {
+                        const Hello h = decodeHello(frame->payload);
+                        if (h.version != kProtocolVersion)
+                            fail("shard",
+                                 "worker speaks protocol version " +
+                                     std::to_string(h.version));
+                        if (s.state == Slot::State::kSpawning)
+                            s.state = Slot::State::kIdle;
+                        break;
+                    }
+                    case FrameType::kResult: {
+                        auto [index, result] = decodeResult(frame->payload);
+                        result.shard = static_cast<int>(slotId);
+                        sched.complete(index, std::move(result));
+                        ++completed;
+                        s.inFlight = false;
+                        s.idleCrashes = 0;
+                        if (s.state == Slot::State::kBusy)
+                            s.state = Slot::State::kIdle;
+                        break;
+                    }
+                    case FrameType::kCacheEntry:
+                        outcome.deltas.push_back(
+                            decodeCacheDelta(frame->payload));
+                        break;
+                    case FrameType::kBye:
+                        s.byeSeen = true;
+                        break;
+                    default:
+                        fail("shard", "unexpected frame from worker");
+                }
+            }
+        } catch (const std::exception&) {
+            // Malformed stream: the worker is not speaking the protocol.
+            // Kill it and take the ordinary death path (retry/fail).
+            if (s.pid > 0) ::kill(s.pid, SIGKILL);
+            onDeath(slotId);
+        }
+    };
+
+    // ---- main loop: spawn → assign → poll → consume -----------------------
+    // Coordinator-side resource failures (fork, pipe, poll, a worker-exe
+    // that cannot be resolved at respawn) must not escape as exceptions:
+    // the local lane is running concurrently against the same scheduler,
+    // so run() converts them into failures on every job that has no
+    // result yet and returns normally.
+    try {
+    while (completed < wireJobs.size()) {
+        // Respawn dead slots while work remains queued.
+        if (!queue.empty())
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                if (slots[i].state == Slot::State::kDown) spawn(i);
+
+        // Pool collapse: every slot retired/finished with jobs still
+        // queued — fail them rather than hang.
+        if (!queue.empty() &&
+            std::none_of(slots.begin(), slots.end(), [](const Slot& s) {
+                return s.live() || s.state == Slot::State::kDown;
+            })) {
+            while (!queue.empty()) {
+                failJob(queue.front(),
+                        "shard worker pool collapsed before this job could "
+                        "run (every worker slot crashed at startup)");
+                queue.pop_front();
+            }
+            continue;
+        }
+
+        // Assignment: idle slots steal queued work. A retried job prefers
+        // a different slot than the one it crashed; it falls back to the
+        // crash slot only when no other slot is live.
+        for (std::size_t i = 0; i < slots.size() && !queue.empty(); ++i) {
+            Slot& s = slots[i];
+            if (s.state != Slot::State::kIdle) continue;
+            const bool othersLive = std::any_of(
+                slots.begin(), slots.end(), [&](const Slot& o) {
+                    return &o != &s &&
+                           (o.live() || o.state == Slot::State::kDown);
+                });
+            auto pick = queue.end();
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                const auto avoid = avoidSlot.find(*it);
+                if (avoid != avoidSlot.end() && avoid->second == i &&
+                    othersLive)
+                    continue;
+                pick = it;
+                break;
+            }
+            if (pick == queue.end()) continue;
+            const std::size_t index = *pick;
+            queue.erase(pick);
+            s.inFlight = true;
+            s.job = index;
+            s.jobStart = Clock::now();
+            s.state = Slot::State::kBusy;
+            sendFrame(i, FrameType::kJob, encodeJob(
+                static_cast<std::uint32_t>(index), specs[index]));
+        }
+
+        if (completed >= wireJobs.size()) break;
+
+        // Poll timeout: the nearest wall-budget deadline, else a guard
+        // tick so a logic bug can never become a silent forever-hang.
+        int timeoutMs = 60000;
+        if (cfg_.wallMsPerJob > 0) {
+            for (const Slot& s : slots) {
+                if (s.state != Slot::State::kBusy) continue;
+                const double elapsed =
+                    std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              s.jobStart)
+                        .count();
+                // Clamp in double-space first: a huge configured budget
+                // must not overflow the int cast.
+                const double left =
+                    std::clamp(cfg_.wallMsPerJob - elapsed, 0.0, 60000.0);
+                timeoutMs = std::clamp(
+                    static_cast<int>(left) + 1, 1, timeoutMs);
+            }
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdSlot;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (!slots[i].live()) continue;
+            fds.push_back({slots[i].fromChild, POLLIN, 0});
+            fdSlot.push_back(i);
+        }
+        if (fds.empty()) continue;  // respawn/collapse handled next pass
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), timeoutMs);
+        if (ready < 0 && errno != EINTR)
+            fail("shard", std::string("poll() failed: ") + strerror(errno));
+        for (std::size_t f = 0; f < fds.size(); ++f)
+            if (fds[f].revents & (POLLIN | POLLHUP | POLLERR))
+                onReadable(fdSlot[f]);
+
+        // Wall-budget enforcement: SIGKILL overrunning workers; the EOF
+        // arrives on the next poll and takes the crash-retry path.
+        if (cfg_.wallMsPerJob > 0) {
+            for (Slot& s : slots) {
+                if (s.state != Slot::State::kBusy || s.budgetKilled)
+                    continue;
+                const double elapsed =
+                    std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              s.jobStart)
+                        .count();
+                if (elapsed > cfg_.wallMsPerJob && s.pid > 0) {
+                    s.budgetKilled = true;
+                    ::kill(s.pid, SIGKILL);
+                }
+            }
+        }
+    }
+
+    // ---- drain: collect cache deltas, then reap every worker --------------
+    const auto drainDeadline =
+        Clock::now() + std::chrono::milliseconds(kDrainTimeoutMs);
+    for (;;) {
+        bool anyLive = false;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot& s = slots[i];
+            if (s.state == Slot::State::kIdle)
+                sendFrame(i, FrameType::kShutdown, {});
+            if (slots[i].state == Slot::State::kIdle)
+                slots[i].state = Slot::State::kDraining;
+            anyLive = anyLive || slots[i].live();
+        }
+        if (!anyLive) break;
+        const auto leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                drainDeadline - Clock::now())
+                                .count();
+        if (leftMs <= 0) {
+            // Stragglers forfeit their deltas; the batch result is
+            // complete either way.
+            for (Slot& s : slots)
+                if (s.live()) {
+                    if (s.pid > 0) ::kill(s.pid, SIGKILL);
+                    closeSlot(s);
+                    s.state = Slot::State::kDown;
+                }
+            break;
+        }
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdSlot;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (!slots[i].live()) continue;
+            fds.push_back({slots[i].fromChild, POLLIN, 0});
+            fdSlot.push_back(i);
+        }
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   static_cast<int>(std::min<long long>(leftMs, 1000)));
+        if (ready < 0 && errno != EINTR)
+            fail("shard", std::string("poll() failed: ") + strerror(errno));
+        for (std::size_t f = 0; f < fds.size(); ++f)
+            if (fds[f].revents & (POLLIN | POLLHUP | POLLERR))
+                onReadable(fdSlot[f]);
+    }
+    } catch (const std::exception& e) {
+        for (Slot& s : slots) {
+            if (s.pid > 0) ::kill(s.pid, SIGKILL);
+            closeSlot(s);
+            const bool hadJob = s.inFlight;
+            const std::size_t job = s.job;
+            s.inFlight = false;
+            s.state = Slot::State::kDown;
+            if (hadJob)
+                failJob(job, std::string("shard coordinator failed: ") +
+                                 e.what());
+        }
+        while (!queue.empty()) {
+            failJob(queue.front(),
+                    std::string("shard coordinator failed: ") + e.what());
+            queue.pop_front();
+        }
+    }
+
+    outcome.deltas = mergeCacheDeltas(std::move(outcome.deltas));
+    return outcome;
+}
+
+}  // namespace pd::engine::shard

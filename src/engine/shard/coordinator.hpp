@@ -1,0 +1,90 @@
+// ShardCoordinator: partitions a batch across crash-isolated worker
+// processes.
+//
+// The coordinator fork/execs N `pd_cli worker` processes and drives them
+// from a single poll() loop: an idle worker steals the next queued job
+// (assignment follows idleness — no static partition, so one slow job
+// never serializes the batch behind it), results stream back as
+// checksummed frames, and on completion each worker ships its
+// locally-computed cache entries back for the coordinator's newest-wins
+// merge into the shared pd-cache-v2 store.
+//
+// Crash isolation: a worker that dies (abort, OOM kill, sanitizer trap)
+// or overruns the per-job wall budget (SIGKILL by deadline) costs exactly
+// its in-flight job. The slot is respawned; the job is requeued once,
+// preferring a *different* slot, and only a second death reports it as a
+// per-job failure — the batch, the report, and the cache flush all
+// complete normally. A slot that dies twice without ever accepting work
+// (startup crash loop) is retired; if every slot retires, the remaining
+// queued jobs fail loudly instead of hanging the coordinator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/shard/protocol.hpp"
+#include "engine/shard/scheduler.hpp"
+#include "sim/equivalence.hpp"
+
+namespace pd::engine::shard {
+
+struct ShardConfig {
+    std::size_t shards = 2;
+    /// Worker executable (must understand `worker` argv). Resolution
+    /// order: this field → $PD_SHARD_WORKER_EXE → /proc/self/exe.
+    std::string workerExe;
+    /// Engine knobs mirrored into every worker so results (and the
+    /// persist fingerprint guarding the shared store) match a
+    /// single-process run exactly.
+    std::size_t cacheCapacity = 64;
+    std::size_t conflictBudget = 0;
+    std::size_t mergeBudget = 0;
+    sim::EquivOptions equiv;
+    std::string cacheFile;  ///< workers warm-start from it read-only
+    /// Per-job wall budget in ms (0 = unlimited): a worker whose job runs
+    /// past it is SIGKILLed and the job takes the crash-retry path.
+    double wallMsPerJob = 0.0;
+    /// Per-worker RLIMIT_AS budget in MiB (0 = unlimited).
+    std::size_t rssBudgetMb = 0;
+};
+
+/// What one coordinated run produced besides the per-job results (which
+/// land in the BatchScheduler).
+struct ShardOutcome {
+    /// Newest-wins-merged cache deltas from every cleanly-drained worker.
+    std::vector<CacheDelta> deltas;
+    std::size_t workerCrashes = 0;   ///< deaths observed (incl. budget kills)
+    std::size_t workerRespawns = 0;
+    std::size_t retries = 0;         ///< jobs requeued after a crash
+};
+
+class ShardCoordinator {
+public:
+    explicit ShardCoordinator(ShardConfig cfg);
+
+    /// Runs every index in `sched.wireJobs()` across the worker pool,
+    /// completing each into `sched`. Blocks until all wire jobs have a
+    /// result and every worker exited. Does not throw: worker trouble and
+    /// coordinator-side resource exhaustion (pipe/fork/poll failure) both
+    /// degrade to per-job failure results, never a lost batch.
+    ShardOutcome run(BatchScheduler& sched,
+                     const std::vector<JobSpec>& specs);
+
+private:
+    ShardConfig cfg_;
+};
+
+/// Newest-wins de-duplication of worker cache deltas: for key collisions
+/// the entry with the larger LRU stamp survives (ties: the later delta in
+/// `deltas` order, i.e. the most recently drained worker). Exposed for
+/// the persist-layer merge tests.
+[[nodiscard]] std::vector<CacheDelta> mergeCacheDeltas(
+    std::vector<CacheDelta> deltas);
+
+/// Resolves the worker executable path (cfg → env → /proc/self/exe).
+[[nodiscard]] std::string resolveWorkerExe(const std::string& configured);
+
+}  // namespace pd::engine::shard

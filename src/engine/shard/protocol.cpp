@@ -1,0 +1,243 @@
+#include "engine/shard/protocol.hpp"
+
+#include "engine/persist/format.hpp"
+#include "engine/persist/serialize.hpp"
+#include "util/error.hpp"
+
+namespace pd::engine::shard {
+namespace {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+using persist::fnv1a;
+
+constexpr std::uint8_t kMaxFrameType =
+    static_cast<std::uint8_t>(FrameType::kBye);
+constexpr std::uint8_t kMaxCacheSource =
+    static_cast<std::uint8_t>(CacheSource::kDisk);
+
+std::uint64_t frameChecksum(FrameType type, std::string_view payload) {
+    const char t = static_cast<char>(type);
+    return fnv1a(payload, fnv1a(std::string_view(&t, 1)));
+}
+
+}  // namespace
+
+void appendFrame(std::string& out, FrameType type, std::string_view payload) {
+    if (payload.size() > kMaxFramePayload)
+        fail("shard", "frame payload of " + std::to_string(payload.size()) +
+                          " bytes exceeds the protocol limit");
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(type));
+    w.str(payload);
+    w.u64(frameChecksum(type, payload));
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+    // Compact before growing: the consumed prefix would otherwise
+    // accumulate for the lifetime of a long batch.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > (1u << 20)) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(bytes);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (poisoned_)
+        fail("shard", "frame stream already malformed; decoder is poisoned");
+    const std::string_view avail =
+        std::string_view(buf_).substr(pos_);
+    if (avail.size() < 5) return std::nullopt;  // type + length prefix
+    const auto t = static_cast<std::uint8_t>(avail[0]);
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(avail[1 + i]))
+               << (8 * i);
+    // Validate before waiting for the body: a corrupt header must error
+    // now, not make the reader block forever on bytes that never come.
+    if (t == 0 || t > kMaxFrameType) {
+        poisoned_ = true;
+        fail("shard", "unknown frame type " + std::to_string(t));
+    }
+    if (len > kMaxFramePayload) {
+        poisoned_ = true;
+        fail("shard", "frame length " + std::to_string(len) +
+                          " exceeds the protocol limit");
+    }
+    if (avail.size() < 5 + static_cast<std::size_t>(len) + 8)
+        return std::nullopt;  // body or checksum still in flight
+    Frame f;
+    f.type = static_cast<FrameType>(t);
+    f.payload = std::string(avail.substr(5, len));
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                      avail[5 + len + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+    if (stored != frameChecksum(f.type, f.payload)) {
+        poisoned_ = true;
+        fail("shard", "frame checksum mismatch (type " + std::to_string(t) +
+                          ", " + std::to_string(len) + " payload bytes)");
+    }
+    pos_ += 5 + static_cast<std::size_t>(len) + 8;
+    return f;
+}
+
+// ---- payloads --------------------------------------------------------------
+
+std::string encodeHello(const Hello& h) {
+    std::string out;
+    ByteWriter w(out);
+    w.u32(h.version);
+    w.u32(h.shardId);
+    return out;
+}
+
+Hello decodeHello(std::string_view payload) {
+    ByteReader r(payload);
+    Hello h;
+    h.version = r.u32();
+    h.shardId = r.u32();
+    if (!r.done()) fail("shard", "trailing bytes after hello");
+    return h;
+}
+
+bool wireSerializable(const JobSpec& spec) { return spec.bench == nullptr; }
+
+std::string encodeJob(std::uint32_t index, const JobSpec& spec) {
+    if (!wireSerializable(spec))
+        fail("shard", "job '" + spec.name +
+                          "' carries a live Benchmark object and cannot "
+                          "cross a worker pipe");
+    std::string out;
+    ByteWriter w(out);
+    w.u32(index);
+    w.str(spec.name);
+    w.str(spec.benchmark);
+    w.u32(static_cast<std::uint32_t>(spec.expressions.size()));
+    for (const auto& e : spec.expressions) w.str(e);
+    const auto& o = spec.options;
+    w.u64(o.k);
+    w.u32(static_cast<std::uint32_t>(o.identityMaxDegree));
+    w.u8(o.useLinearMinimize ? 1 : 0);
+    w.u8(o.useSizeReduction ? 1 : 0);
+    w.u8(o.useIdentities ? 1 : 0);
+    w.u8(o.useNullspaceMerging ? 1 : 0);
+    w.u8(o.complementNullspace ? 1 : 0);
+    w.u64(o.maxIterations);
+    w.u64(o.maxExhaustiveCombinations);
+    w.u64(o.mergeAttemptBudget);
+    w.u8(o.recordTrace ? 1 : 0);
+    w.u8(spec.verify ? 1 : 0);
+    w.u8(spec.keepMapped ? 1 : 0);
+    return out;
+}
+
+std::pair<std::uint32_t, JobSpec> decodeJob(std::string_view payload) {
+    ByteReader r(payload);
+    const std::uint32_t index = r.u32();
+    JobSpec spec;
+    spec.name = std::string(r.str());
+    spec.benchmark = std::string(r.str());
+    const std::uint32_t nexpr = r.u32();
+    spec.expressions.reserve(
+        std::min<std::size_t>(nexpr, payload.size() / 4 + 1));
+    for (std::uint32_t i = 0; i < nexpr; ++i)
+        spec.expressions.emplace_back(r.str());
+    auto& o = spec.options;
+    o.k = r.u64();
+    o.identityMaxDegree = static_cast<int>(r.u32());
+    o.useLinearMinimize = r.u8() != 0;
+    o.useSizeReduction = r.u8() != 0;
+    o.useIdentities = r.u8() != 0;
+    o.useNullspaceMerging = r.u8() != 0;
+    o.complementNullspace = r.u8() != 0;
+    o.maxIterations = r.u64();
+    o.maxExhaustiveCombinations = r.u64();
+    o.mergeAttemptBudget = r.u64();
+    o.recordTrace = r.u8() != 0;
+    spec.verify = r.u8() != 0;
+    spec.keepMapped = r.u8() != 0;
+    if (!r.done()) fail("shard", "trailing bytes after job spec");
+    return {index, std::move(spec)};
+}
+
+std::string encodeResult(std::uint32_t index, const JobResult& result) {
+    std::string out;
+    ByteWriter w(out);
+    w.u32(index);
+    // Per-request fields the pd-cache-v2 payload deliberately omits.
+    w.str(result.name);
+    w.f64(result.wallMs);
+    w.f64(result.cpuMs);
+    w.f64(result.phases.decomposeMs);
+    w.f64(result.phases.synthMs);
+    w.f64(result.phases.optimizeMs);
+    w.f64(result.phases.mapMs);
+    w.f64(result.phases.staMs);
+    w.f64(result.phases.verifyMs);
+    w.u8(result.cacheHit ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(result.cacheSource));
+    w.str(result.cacheKey);
+    std::string semantic;
+    persist::serializeJobResult(result, semantic);
+    w.str(semantic);
+    return out;
+}
+
+std::pair<std::uint32_t, JobResult> decodeResult(std::string_view payload) {
+    ByteReader r(payload);
+    const std::uint32_t index = r.u32();
+    const std::string name(r.str());
+    const double wallMs = r.f64();
+    const double cpuMs = r.f64();
+    JobResult::PhaseTimes phases;
+    phases.decomposeMs = r.f64();
+    phases.synthMs = r.f64();
+    phases.optimizeMs = r.f64();
+    phases.mapMs = r.f64();
+    phases.staMs = r.f64();
+    phases.verifyMs = r.f64();
+    const bool cacheHit = r.u8() != 0;
+    const std::uint8_t source = r.u8();
+    if (source > kMaxCacheSource)
+        fail("shard", "bad cache source " + std::to_string(source));
+    const std::string cacheKey(r.str());
+    const auto semantic = persist::deserializeJobResult(r.str());
+    if (!r.done()) fail("shard", "trailing bytes after job result");
+    JobResult result = *semantic;
+    result.name = name;
+    result.wallMs = wallMs;
+    result.cpuMs = cpuMs;
+    result.phases = phases;
+    result.cacheHit = cacheHit;
+    result.cacheSource = static_cast<CacheSource>(source);
+    result.cacheKey = cacheKey;
+    return {index, std::move(result)};
+}
+
+std::string encodeCacheDelta(const CacheDelta& d) {
+    std::string out;
+    ByteWriter w(out);
+    w.str(d.key);
+    w.str(d.payload);
+    w.u64(d.stamp);
+    return out;
+}
+
+CacheDelta decodeCacheDelta(std::string_view payload) {
+    ByteReader r(payload);
+    CacheDelta d;
+    d.key = std::string(r.str());
+    d.payload = std::string(r.str());
+    d.stamp = r.u64();
+    if (!r.done()) fail("shard", "trailing bytes after cache delta");
+    return d;
+}
+
+}  // namespace pd::engine::shard

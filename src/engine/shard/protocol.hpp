@@ -1,0 +1,114 @@
+// Wire protocol between the shard coordinator and its worker processes
+// ("pd-shard-wire-v1"; see src/engine/shard/README.md for the full spec).
+//
+// Everything that crosses a worker pipe is a length-prefixed, checksummed
+// frame over the same little-endian primitives as the pd-cache-v2 store:
+//
+//   frame := type u8 | length u32 | payload[length] | checksum u64
+//
+// where checksum is FNV-1a over the type byte followed by the payload.
+// FrameDecoder is the defensive half: it accepts bytes in arbitrary
+// chunks (pipes deliver whatever they like), yields complete frames, and
+// throws pd::Error on any malformation — unknown type, length above
+// kMaxFramePayload, or checksum mismatch — so a corrupt or truncated
+// stream can never walk the decoder out of its buffer or hand the
+// coordinator a half-record. Payload encoders carry the same semantic
+// fields as a pd-batch-report-v1 job record (spec in, result out), plus
+// the cache-delta records workers hand back at shutdown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/job.hpp"
+
+namespace pd::engine::shard {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame payload. Generous (a mapped multiplier
+/// netlist is kilobytes, not gigabytes) while keeping a corrupt length
+/// prefix from provoking a giant allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+    kHello = 1,       ///< worker → coordinator: ready (version, shard id)
+    kJob = 2,         ///< coordinator → worker: run this job
+    kResult = 3,      ///< worker → coordinator: job outcome
+    kShutdown = 4,    ///< coordinator → worker: drain and exit
+    kCacheEntry = 5,  ///< worker → coordinator: one cache-delta entry
+    kBye = 6,         ///< worker → coordinator: delta complete, exiting
+};
+
+struct Frame {
+    FrameType type = FrameType::kHello;
+    std::string payload;
+};
+
+/// Appends the framed encoding of (type, payload) to `out`.
+void appendFrame(std::string& out, FrameType type, std::string_view payload);
+
+/// Incremental frame parser over a byte stream fed in arbitrary chunks.
+class FrameDecoder {
+public:
+    /// Buffers more stream bytes.
+    void feed(std::string_view bytes);
+
+    /// The next complete frame, or nullopt when the buffer holds only a
+    /// frame prefix (feed more). Throws pd::Error on a malformed stream;
+    /// the decoder is then poisoned and every later call throws too.
+    [[nodiscard]] std::optional<Frame> next();
+
+    /// True when every fed byte has been consumed by next().
+    [[nodiscard]] bool drained() const { return pos_ == buf_.size(); }
+
+private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+    bool poisoned_ = false;
+};
+
+// ---- payload encodings -----------------------------------------------------
+
+struct Hello {
+    std::uint32_t version = kProtocolVersion;
+    std::uint32_t shardId = 0;
+};
+
+/// One worker-local cache entry handed back at shutdown: the full
+/// canonical-signature key, the pd-cache-v2 payload bytes of the result,
+/// and the worker's LRU stamp (larger = used more recently within that
+/// worker), which the coordinator's newest-wins merge keys on.
+struct CacheDelta {
+    std::string key;
+    std::string payload;
+    std::uint64_t stamp = 0;
+};
+
+[[nodiscard]] std::string encodeHello(const Hello& h);
+[[nodiscard]] Hello decodeHello(std::string_view payload);
+
+/// Throws pd::Error when the spec is not wire-serializable (it carries a
+/// live Benchmark object); see wireSerializable().
+[[nodiscard]] std::string encodeJob(std::uint32_t index, const JobSpec& spec);
+[[nodiscard]] std::pair<std::uint32_t, JobSpec> decodeJob(
+    std::string_view payload);
+
+[[nodiscard]] std::string encodeResult(std::uint32_t index,
+                                       const JobResult& result);
+[[nodiscard]] std::pair<std::uint32_t, JobResult> decodeResult(
+    std::string_view payload);
+
+[[nodiscard]] std::string encodeCacheDelta(const CacheDelta& d);
+[[nodiscard]] CacheDelta decodeCacheDelta(std::string_view payload);
+
+/// A spec can cross the pipe iff it can be rebuilt in another process:
+/// registry-named benchmarks and expression jobs qualify; a spec carrying
+/// a caller-built Benchmark object (executable reference semantics — a
+/// std::function) cannot, and runs on the coordinator's local lane.
+[[nodiscard]] bool wireSerializable(const JobSpec& spec);
+
+}  // namespace pd::engine::shard

@@ -1,0 +1,34 @@
+#include "engine/shard/scheduler.hpp"
+
+#include "engine/shard/protocol.hpp"
+
+namespace pd::engine::shard {
+
+BatchScheduler::BatchScheduler(const std::vector<JobSpec>& specs,
+                               bool shardWireJobs)
+    : results_(specs.size()) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (shardWireJobs && wireSerializable(specs[i]))
+            wire_.push_back(i);
+        else
+            local_.push_back(i);
+    }
+}
+
+std::optional<std::size_t> BatchScheduler::stealLocal() {
+    std::lock_guard lock(mutex_);
+    if (nextLocal_ >= local_.size()) return std::nullopt;
+    return local_[nextLocal_++];
+}
+
+void BatchScheduler::complete(std::size_t index, JobResult result) {
+    std::lock_guard lock(mutex_);
+    results_[index] = std::move(result);
+}
+
+std::vector<JobResult> BatchScheduler::take() && {
+    std::lock_guard lock(mutex_);
+    return std::move(results_);
+}
+
+}  // namespace pd::engine::shard

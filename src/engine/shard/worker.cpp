@@ -1,0 +1,134 @@
+#include "engine/shard/worker.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+
+#include "engine/shard/protocol.hpp"
+
+namespace pd::engine::shard {
+namespace {
+
+/// write() the whole buffer, riding out EINTR and short writes. Returns
+/// false when the pipe is gone (coordinator died) — the worker then just
+/// exits; there is nobody left to report to.
+bool writeAll(int fd, std::string_view bytes) {
+    while (!bytes.empty()) {
+        const ssize_t n = ::write(fd, bytes.data(), bytes.size());
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool sendFrame(int fd, FrameType type, std::string_view payload) {
+    std::string out;
+    appendFrame(out, type, payload);
+    return writeAll(fd, out);
+}
+
+}  // namespace
+
+int runWorker(const WorkerOptions& opt) {
+    // Claim the frame channel, then point stdout at stderr: any library
+    // or debug print from here on lands in the coordinator's stderr
+    // passthrough instead of splicing garbage into the frame stream.
+    const int outFd = ::dup(STDOUT_FILENO);
+    if (outFd < 0) return 3;
+    ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+    if (opt.rssBudgetMb != 0) {
+        rlimit lim{};
+        lim.rlim_cur = lim.rlim_max =
+            static_cast<rlim_t>(opt.rssBudgetMb) << 20;
+        ::setrlimit(RLIMIT_AS, &lim);  // best-effort; failure = no budget
+    }
+
+    EngineOptions eopt = opt.engine;
+    eopt.jobs = 1;  // parallelism lives in the process fan-out
+    eopt.cacheReadonly = true;
+    eopt.shards = 0;  // a worker never recursively shards
+    Engine engine(eopt);
+
+    Hello hello;
+    hello.shardId = opt.shardId;
+    if (!sendFrame(outFd, FrameType::kHello, encodeHello(hello))) return 3;
+
+    const char* crashJob = std::getenv(kCrashJobEnv);
+    const char* hangJob = std::getenv(kHangJobEnv);
+
+    // Keys already streamed to the coordinator. Deltas ship eagerly after
+    // every job so a later crash forfeits only the in-flight entry, never
+    // the worker's whole session.
+    std::unordered_set<std::string> shipped;
+    const auto shipDeltas = [&] {
+        for (const CacheDelta& d : engine.cacheDelta(shipped)) {
+            if (!sendFrame(outFd, FrameType::kCacheEntry,
+                           encodeCacheDelta(d)))
+                return false;
+            shipped.insert(d.key);
+        }
+        return true;
+    };
+
+    FrameDecoder decoder;
+    char buf[1 << 16];
+    for (;;) {
+        std::optional<Frame> frame;
+        try {
+            frame = decoder.next();
+        } catch (const std::exception&) {
+            return 4;  // malformed stream: nothing sane left to do
+        }
+        if (!frame) {
+            const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                return 4;
+            }
+            if (n == 0) return 0;  // coordinator closed the pipe
+            decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            continue;
+        }
+        switch (frame->type) {
+            case FrameType::kJob: {
+                auto [index, spec] = decodeJob(frame->payload);
+                const std::string& hookName =
+                    !spec.name.empty() ? spec.name : spec.benchmark;
+                if (crashJob && hookName == crashJob) std::abort();
+                if (hangJob && hookName == hangJob) {
+                    // Park until the coordinator's wall budget kills us.
+                    for (;;)
+                        std::this_thread::sleep_for(
+                            std::chrono::seconds(3600));
+                }
+                const JobResult result = engine.runJob(spec);
+                if (!sendFrame(outFd, FrameType::kResult,
+                               encodeResult(index, result)))
+                    return 3;
+                if (!shipDeltas()) return 3;
+                break;
+            }
+            case FrameType::kShutdown: {
+                // Catch-up pass for anything not yet streamed (normally
+                // empty); disk-restored entries stay behind — the
+                // coordinator already has them.
+                if (!shipDeltas()) return 3;
+                sendFrame(outFd, FrameType::kBye, {});
+                return 0;
+            }
+            default:
+                return 4;  // coordinator-only frame on the worker pipe
+        }
+    }
+}
+
+}  // namespace pd::engine::shard

@@ -1,0 +1,52 @@
+// Shard worker process entry point.
+//
+// A worker is a fresh `pd_cli worker` process wired to the coordinator by
+// two pipes (jobs arrive on stdin, frames leave on a private dup of
+// stdout; the worker's real stdout is re-pointed at stderr so stray
+// library prints can never corrupt the frame stream). It owns a
+// single-threaded Engine that warm-starts *read-only* from the shared
+// pd-cache-v2 store — N workers may open one warm.pdc simultaneously —
+// and never writes that store itself: newly computed cache entries are
+// streamed back to the coordinator as checksummed kCacheEntry frames
+// right after each job (plus a catch-up pass at shutdown) — so a crash
+// forfeits only the in-flight entry — and the coordinator alone flushes
+// the merged artifact.
+//
+// Crash philosophy: a worker is disposable. An abort, OOM kill, or RSS
+// budget violation costs exactly the in-flight job (the coordinator
+// respawns the slot and retries the job once elsewhere); a pd::Error from
+// the flow is *not* a crash — the engine already converts it into a
+// per-job failure result that travels back as a normal kResult frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace pd::engine::shard {
+
+/// Environment hook for the crash-isolation tests: a worker that receives
+/// a job with this exact name calls abort() before touching the engine.
+inline constexpr const char* kCrashJobEnv = "PD_SHARD_TEST_CRASH_JOB";
+/// Same idea for the wall-budget tests: the worker sleeps forever on the
+/// named job, forcing the coordinator's deadline kill.
+inline constexpr const char* kHangJobEnv = "PD_SHARD_TEST_HANG_JOB";
+
+struct WorkerOptions {
+    std::uint32_t shardId = 0;
+    /// Engine configuration mirrored from the coordinator. cacheFile is
+    /// opened read-only regardless of what the caller set.
+    EngineOptions engine;
+    /// RLIMIT_AS budget in MiB (0 = unlimited): allocations beyond it
+    /// fail, surfacing as a per-job failure or a crash — either way the
+    /// blast radius is this worker, not the batch.
+    std::size_t rssBudgetMb = 0;
+};
+
+/// Runs the worker loop over stdin/stdout until kShutdown or EOF.
+/// Returns a process exit code.
+int runWorker(const WorkerOptions& opt);
+
+}  // namespace pd::engine::shard

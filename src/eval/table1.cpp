@@ -2,12 +2,18 @@
 
 #include <cstdlib>
 
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+
 #include "circuits/adder.hpp"
 #include "circuits/comparator.hpp"
 #include "circuits/counter.hpp"
 #include "circuits/lzd.hpp"
 #include "circuits/majority.hpp"
 #include "circuits/manual.hpp"
+#include "circuits/registry.hpp"
 #include "sat/equiv.hpp"
 #include "sim/equivalence.hpp"
 #include "synth/mapper.hpp"
@@ -25,6 +31,38 @@ engine::EngineOptions flowEngineOptions(std::string cacheFile) {
             cacheFile = env;
     }
     opt.cacheFile = std::move(cacheFile);
+    // PD_SHARDS=N routes the PD rows through the sharded multi-process
+    // engine (benchmarks the registry can rebuild cross worker pipes;
+    // the rest stay on the local lane). Junk values are ignored: an eval
+    // run must never die on a stray environment variable.
+    //
+    // Honored only when a worker executable is actually resolvable: the
+    // fallback is /proc/self/exe, and eval hosts are usually *not*
+    // pd_cli (gtest binaries, bench_table1_*, examples) — exec'ing one
+    // of those as a `worker` would rerun its own main under the
+    // coordinator, not speak the protocol. Set PD_SHARD_WORKER_EXE to
+    // the pd_cli binary to shard the eval from such hosts.
+    if (const char* env = std::getenv("PD_SHARDS")) {
+        const char* end = env + std::strlen(env);
+        std::size_t n = 0;
+        const auto [ptr, ec] = std::from_chars(env, end, n);
+        const bool workerResolvable = [] {
+            if (const char* exe = std::getenv("PD_SHARD_WORKER_EXE");
+                exe && *exe)
+                return true;
+            char buf[4096];
+            const ssize_t len =
+                ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+            if (len <= 0) return false;
+            const std::string_view self(buf, static_cast<std::size_t>(len));
+            const auto slash = self.rfind('/');
+            return self.substr(slash == std::string_view::npos ? 0
+                                                               : slash + 1) ==
+                   "pd_cli";
+        }();
+        if (ec == std::errc() && ptr == end && workerResolvable)
+            opt.shards = n;
+    }
     return opt;
 }
 
@@ -90,7 +128,17 @@ RowResult Flow::runPd(const std::string& variant,
                       double paperDelay, const core::DecomposeOptions& opt) {
     engine::JobSpec spec;
     spec.name = variant;
-    spec.bench = std::make_shared<const circuits::Benchmark>(bench);
+    // Sharded eval: a benchmark the registry can rebuild crosses the
+    // worker pipe as its registry name (built names differ — "maj15" is
+    // registry entry "majority15"); one with no registry counterpart
+    // (custom widths) carries the live object and runs on the local lane.
+    std::string registryName;
+    if (engine_.options().shards >= 1)
+        registryName = circuits::registryNameForBuilt(bench.name);
+    if (!registryName.empty())
+        spec.benchmark = std::move(registryName);
+    else
+        spec.bench = std::make_shared<const circuits::Benchmark>(bench);
     spec.options = opt;
     spec.verify = true;
     spec.keepMapped = true;

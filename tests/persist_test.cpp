@@ -17,6 +17,7 @@
 #include "engine/persist/format.hpp"
 #include "engine/persist/serialize.hpp"
 #include "engine/persist/store.hpp"
+#include "engine/shard/coordinator.hpp"
 #include "util/error.hpp"
 
 namespace pd::engine::persist {
@@ -436,6 +437,174 @@ TEST(PersistEngine, WrongFingerprintColdStarts) {
     EXPECT_EQ(engine.persistInfo().loadStatus,
               LoadResult::Status::kBadFingerprint);
     EXPECT_EQ(engine.persistInfo().loadedEntries, 0u);
+}
+
+// ---- cross-process cache merge (shard coordinator semantics) ---------------
+
+// Two workers computed overlapping key sets; the coordinator's
+// newest-LRU-wins merge must keep exactly one entry per key, the merged
+// store must save/load clean (load() verifies every checksum), and the
+// surviving entry must be the newest one.
+TEST(PersistShardMerge, OverlappingWorkerDeltasMergeNewestWins) {
+    TempFile file("shardmerge");
+    JobResult older = sampleResult();
+    older.qor.area = 100.0;
+    JobResult newer = sampleResult();
+    newer.qor.area = 200.0;
+
+    const auto payloadOf = [](const JobResult& r) {
+        std::string bytes;
+        serializeJobResult(r, bytes);
+        return bytes;
+    };
+    // Worker 0 computed sig-A early (stamp 1) and sig-B; worker 1
+    // recomputed sig-A later in its own LRU time (stamp 8) and adds
+    // sig-C. Drain order: worker 0 first.
+    std::vector<engine::shard::CacheDelta> deltas = {
+        {"sig-A", payloadOf(older), 1},
+        {"sig-B", payloadOf(older), 2},
+        {"sig-A", payloadOf(newer), 8},
+        {"sig-C", payloadOf(newer), 3},
+    };
+    const auto merged = engine::shard::mergeCacheDeltas(std::move(deltas));
+    ASSERT_EQ(merged.size(), 3u);
+
+    std::vector<StoreEntry> entries;
+    for (const auto& d : merged)
+        entries.push_back({d.key, deserializeJobResult(d.payload)});
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", entries));
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    ASSERT_EQ(loaded.entries.size(), 3u);
+    for (const auto& e : loaded.entries) {
+        if (e.key == "sig-A")
+            EXPECT_EQ(e.result->qor.area, 200.0) << "newest entry must win";
+    }
+}
+
+// End-to-end flavor with real engines standing in for two workers: both
+// compute majority7 (overlapping canonical key), each contributes a
+// private job, and the merged adoption + flush must yield exactly three
+// entries in a clean store.
+TEST(PersistShardMerge, TwoEngineDeltasAdoptAndFlushClean) {
+    TempFile file("twoengines");
+    const auto deltaFor = [](std::initializer_list<const char*> names) {
+        Engine engine{EngineOptions{}};
+        for (const char* name : names) {
+            JobSpec s;
+            s.benchmark = name;
+            EXPECT_TRUE(engine.runJob(s).ok);
+        }
+        return engine.cacheDelta();
+    };
+    auto deltas = deltaFor({"majority7", "counter8"});
+    const auto second = deltaFor({"majority7", "adder8"});
+    deltas.insert(deltas.end(), second.begin(), second.end());
+    const auto merged = engine::shard::mergeCacheDeltas(std::move(deltas));
+    ASSERT_EQ(merged.size(), 3u);
+
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    Engine coordinator(opt);
+    EXPECT_EQ(coordinator.adoptCacheDeltas(merged), 3u);
+    std::size_t saved = 0;
+    ASSERT_TRUE(coordinator.flushCache(&saved));
+    EXPECT_EQ(saved, 3u);
+    const auto loaded =
+        CacheStore::load(file.path(), persistFingerprint(opt));
+    ASSERT_TRUE(loaded.ok()) << loaded.detail;
+    EXPECT_EQ(loaded.entries.size(), 3u);
+}
+
+// The worker-side delta must exclude entries the engine was warm-started
+// with: N read-only workers re-shipping the shared store back to the
+// coordinator would be pure pipe waste (and a subtle way to resurrect
+// stale entries).
+TEST(PersistShardMerge, CacheDeltaExcludesWarmStartedEntries) {
+    TempFile file("deltalocal");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    std::string warmKey;
+    {
+        Engine engine(opt);
+        JobSpec s;
+        s.benchmark = "majority7";
+        warmKey = engine.runJob(s).cacheKey;
+        ASSERT_TRUE(engine.flushCache());
+    }
+    EngineOptions readerOpt = opt;
+    readerOpt.cacheReadonly = true;
+    Engine reader(readerOpt);
+    ASSERT_EQ(reader.persistInfo().loadedEntries, 1u);
+    JobSpec warm;
+    warm.benchmark = "majority7";  // served from the restored entry
+    JobSpec fresh;
+    fresh.benchmark = "counter8";  // computed locally
+    ASSERT_TRUE(reader.runJob(warm).ok);
+    const auto freshKey = reader.runJob(fresh).cacheKey;
+    const auto delta = reader.cacheDelta();
+    ASSERT_EQ(delta.size(), 1u);
+    EXPECT_EQ(signatureDigest(delta[0].key), freshKey);
+    EXPECT_NE(signatureDigest(delta[0].key), warmKey);
+}
+
+// N workers warm-starting read-only from one warm.pdc simultaneously —
+// with a writer flushing the same path concurrently — must each get a
+// clean load (the save path's atomic rename guarantees readers never
+// observe partial bytes) and must never write the store themselves.
+TEST(PersistShardMerge, SharedReadonlyWarmStartUnderConcurrentFlush) {
+    TempFile file("sharedro");
+    EngineOptions writerOpt;
+    writerOpt.cacheFile = file.path();
+    {
+        Engine writer(writerOpt);
+        JobSpec s;
+        s.benchmark = "majority7";
+        ASSERT_TRUE(writer.runJob(s).ok);
+        ASSERT_TRUE(writer.flushCache());
+    }
+
+    EngineOptions readerOpt = writerOpt;
+    readerOpt.cacheReadonly = true;
+    std::atomic<bool> done{false};
+    std::thread flusher([&] {
+        Engine writer(writerOpt);
+        JobSpec s;
+        s.benchmark = "majority7";
+        EXPECT_TRUE(writer.runJob(s).ok);
+        while (!done.load()) {
+            writer.flushCache();
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> readers;
+    std::atomic<std::size_t> warmLoads{0};
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&] {
+            for (int round = 0; round < 5; ++round) {
+                Engine reader(readerOpt);
+                if (reader.persistInfo().loadStatus ==
+                    LoadResult::Status::kLoaded)
+                    ++warmLoads;
+                else
+                    ADD_FAILURE()
+                        << "reader saw "
+                        << loadStatusName(reader.persistInfo().loadStatus)
+                        << ": " << reader.persistInfo().loadDetail;
+                JobSpec s;
+                s.benchmark = "majority7";
+                const auto r = reader.runJob(s);
+                EXPECT_TRUE(r.ok) << r.error;
+                EXPECT_EQ(r.cacheSource, CacheSource::kDisk);
+            }
+        });
+    for (auto& t : readers) t.join();
+    done.store(true);
+    flusher.join();
+    EXPECT_EQ(warmLoads.load(), 20u);
+    EXPECT_TRUE(
+        CacheStore::load(file.path(), persistFingerprint(writerOpt)).ok());
 }
 
 TEST(PersistEngine, ConcurrentSaveWhileComputing) {

@@ -33,6 +33,18 @@
 //   --cache-readonly load the store but never write it back
 //   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
 //   --no-verify      skip verification of the mapped netlists
+//   --shards <n>     partition the batch across n crash-isolated worker
+//                    processes (0 = in-process; 1 = one isolated worker);
+//                    workers warm-start read-only from --cache-file and
+//                    the coordinator flushes one merged store
+//   --shard-wall-ms <n>  per-job wall budget in sharded mode: an
+//                    overrunning worker is killed and the job retried
+//                    once on another worker (0 = unlimited)
+//   --shard-rss-mb <n>   per-worker address-space budget (0 = unlimited)
+//
+// There is also a hidden `pd_cli worker` mode: the shard coordinator
+// fork/execs it with pipes on stdin/stdout (see src/engine/shard/README.md
+// for the frame protocol). It is not for interactive use.
 //
 // Expressions use the parser grammar: XOR is '^' or '+', AND is '*' or
 // '&', '~' complements, identifiers are registered as inputs on first
@@ -51,6 +63,7 @@
 #include "engine/engine.hpp"
 #include "engine/persist/store.hpp"
 #include "engine/report_json.hpp"
+#include "engine/shard/worker.hpp"
 #include "io/blif.hpp"
 #include "io/verilog.hpp"
 #include "netlist/stats.hpp"
@@ -75,7 +88,8 @@ int usage() {
         "         --verilog <file>  --blif <file>\n"
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
-        "         --cache-file <file>  --cache-readonly  --no-verify\n";
+        "         --cache-file <file>  --cache-readonly  --no-verify\n"
+        "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n";
     return 2;
 }
 
@@ -128,6 +142,9 @@ struct Options {
     std::size_t budget = 0;
     std::string cacheFile;
     bool cacheReadonly = false;
+    std::size_t shards = 0;
+    std::size_t shardWallMs = 0;
+    std::size_t shardRssMb = 0;
 };
 
 int runDecomposition(pd::anf::VarTable& vt,
@@ -195,7 +212,10 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--json" || arg == "--cache" ||
                                arg == "--budget" || arg == "--no-verify" ||
                                arg == "--cache-file" ||
-                               arg == "--cache-readonly";
+                               arg == "--cache-readonly" ||
+                               arg == "--shards" ||
+                               arg == "--shard-wall-ms" ||
+                               arg == "--shard-rss-mb";
         const bool flowOnly = arg == "--trace" || arg == "--stats" ||
                               arg == "--verilog" || arg == "--blif";
         if (batchOnly && !batchMode) {
@@ -230,6 +250,12 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             opt.cacheReadonly = true;
         } else if (arg == "--budget") {
             if (!countArg(opt.budget)) return usage();
+        } else if (arg == "--shards") {
+            if (!countArg(opt.shards)) return usage();
+        } else if (arg == "--shard-wall-ms") {
+            if (!countArg(opt.shardWallMs)) return usage();
+        } else if (arg == "--shard-rss-mb") {
+            if (!countArg(opt.shardRssMb)) return usage();
         } else if (arg == "--merge-budget") {
             if (!countArg(opt.decompose.mergeAttemptBudget)) return usage();
         } else if (arg == "--trace") {
@@ -297,6 +323,9 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.conflictBudget = opt.budget;
     eopt.cacheFile = opt.cacheFile;
     eopt.cacheReadonly = opt.cacheReadonly;
+    eopt.shards = opt.shards;
+    eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
+    eopt.shardRssMb = opt.shardRssMb;
     pd::engine::Engine engine(eopt);
 
     const auto& pinfo = engine.persistInfo();
@@ -362,6 +391,60 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         }
     }
     return anyFailed ? 1 : 0;
+}
+
+/// Hidden `worker` mode: the ShardCoordinator fork/execs this with the
+/// frame pipes already wired to stdin/stdout. Every option mirrors an
+/// engine knob of the coordinating process so worker results (and the
+/// persist fingerprint guarding the shared read-only store) match a
+/// single-process run bit for bit.
+int runWorkerMode(const std::vector<std::string>& args) {
+    pd::engine::shard::WorkerOptions wopt;
+    std::size_t shardId = 0;
+    std::size_t equivXl = wopt.engine.equiv.exhaustiveLimitBits;
+    std::size_t equivRb = wopt.engine.equiv.randomBatches;
+    std::size_t equivSeed = wopt.engine.equiv.seed;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const auto countArgAt = [&](std::size_t& out) {
+            if (++i >= args.size()) {
+                std::cerr << "worker option " << arg << " expects a value\n";
+                return false;
+            }
+            return parseCount(arg.c_str(), args[i].c_str(), out);
+        };
+        if (arg == "--shard-id") {
+            if (!countArgAt(shardId)) return 2;
+        } else if (arg == "--cache-capacity") {
+            if (!countArgAt(wopt.engine.cacheCapacity)) return 2;
+        } else if (arg == "--budget") {
+            if (!countArgAt(wopt.engine.conflictBudget)) return 2;
+        } else if (arg == "--merge-budget") {
+            if (!countArgAt(wopt.engine.mergeBudget)) return 2;
+        } else if (arg == "--equiv-xl") {
+            if (!countArgAt(equivXl)) return 2;
+        } else if (arg == "--equiv-rb") {
+            if (!countArgAt(equivRb)) return 2;
+        } else if (arg == "--equiv-seed") {
+            if (!countArgAt(equivSeed)) return 2;
+        } else if (arg == "--rss-budget-mb") {
+            if (!countArgAt(wopt.rssBudgetMb)) return 2;
+        } else if (arg == "--cache-file") {
+            if (++i >= args.size()) {
+                std::cerr << "worker option --cache-file expects a path\n";
+                return 2;
+            }
+            wopt.engine.cacheFile = args[i];
+        } else {
+            std::cerr << "unknown worker option '" << arg << "'\n";
+            return 2;
+        }
+    }
+    wopt.shardId = static_cast<std::uint32_t>(shardId);
+    wopt.engine.equiv.exhaustiveLimitBits = equivXl;
+    wopt.engine.equiv.randomBatches = equivRb;
+    wopt.engine.equiv.seed = equivSeed;
+    return pd::engine::shard::runWorker(wopt);
 }
 
 int runCacheInfo(const std::vector<std::string>& args) {
@@ -436,6 +519,10 @@ int main(int argc, char** argv) {
 
         if (mode == "cache-info")
             return runCacheInfo(
+                std::vector<std::string>(argv + 2, argv + argc));
+
+        if (mode == "worker")
+            return runWorkerMode(
                 std::vector<std::string>(argv + 2, argv + argc));
 
         Options opt;

@@ -19,6 +19,15 @@
 // more than PD_HOTPATH_TOL× (default 2×) against the committed baseline —
 // generous because shared runners are noisy, tight enough to catch a
 // kernel falling off a cliff.
+//
+// A second document, BENCH_probe.json ("pd-bench-probe-v1"), covers the
+// group-selection probe sweep: the exact sweep workload of a real
+// majority15 decompose (captured via the probe capture hook) replayed
+// through the incremental ProbeContext and through the sequential PR-4
+// referenceSweep, plus end-to-end decompose times and per-phase
+// breakdowns. The "speedups" ratio is measured within one run, so it is
+// machine-independent; check_hotpath.py gates both documents with the
+// same policy.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -29,6 +38,8 @@
 #include "circuits/registry.hpp"
 #include "core/basis.hpp"
 #include "core/decomposer.hpp"
+#include "core/group.hpp"
+#include "core/probe/probe.hpp"
 #include "engine/report_json.hpp"
 #include "ring/identity_db.hpp"
 #include "ring/membership.hpp"
@@ -82,6 +93,7 @@ double timeUs(std::size_t reps, Fn&& fn) {
 
 int main(int argc, char** argv) {
     const std::string jsonPath = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+    const std::string probeJsonPath = argc > 2 ? argv[2] : "BENCH_probe.json";
 
     // ---- ANF product: 48×48 terms over 14 variables. -------------------
     Rng rng(101);
@@ -169,6 +181,63 @@ int main(int argc, char** argv) {
                                }) /
                                1000.0;
 
+    // ---- Probe sweep: replay the exact group-selection workload of the
+    // majority15 decompose (captured via the probe hook) through the
+    // incremental ProbeContext and through the sequential PR-4
+    // reference sweep. Same inputs, same winners — the ratio is the
+    // probe-phase speedup, measured machine-independently. -------------
+    struct CapturedSweep {
+        pd::anf::Anf folded;
+        std::vector<pd::anf::VarSet> candidates;
+        pd::ring::IdentityDb ids;
+    };
+    std::vector<CapturedSweep> sweeps;
+    pd::core::Decomposition probeDecomp;
+    {
+        pd::anf::VarTable tbl;
+        const auto outs = bench->anf(tbl);
+        pd::core::DecomposeOptions dopt;
+        dopt.probeCaptureHook = [&](const pd::anf::Anf& f,
+                                    const std::vector<pd::anf::VarSet>& c,
+                                    const pd::ring::IdentityDb& i) {
+            sweeps.push_back({f, c, i});
+        };
+        probeDecomp = pd::core::decompose(tbl, outs, bench->outputNames, dopt);
+    }
+    pd::core::GroupOptions gopt;
+    gopt.probeMergeBudget = pd::core::kDefaultMergeAttemptBudget;
+    double probeSweepMs = 1e300;
+    double probeSweepRefMs = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        probeSweepMs = std::min(
+            probeSweepMs, timeUs(1, [&](std::size_t) {
+                pd::core::probe::ProbeContext ctx;
+                for (const auto& sw : sweeps)
+                    sink += ctx.sweep(sw.folded, sw.candidates, sw.ids, gopt)
+                                .score;
+            }) / 1000.0);
+        probeSweepRefMs = std::min(
+            probeSweepRefMs, timeUs(1, [&](std::size_t) {
+                for (const auto& sw : sweeps)
+                    sink += pd::core::probe::referenceSweep(
+                                sw.folded, sw.candidates, sw.ids, gopt)
+                                .score;
+            }) / 1000.0);
+    }
+
+    // ---- End to end: mul4 (exhaustive-sweep dominated; was 15+ s before
+    // the incremental sweep). ------------------------------------------
+    const auto mul4 = pd::circuits::makeNamedBenchmark("mul4");
+    pd::core::Decomposition mul4Decomp;
+    const double decomposeMul4Ms = timeUs(1, [&](std::size_t) {
+                                       pd::anf::VarTable tbl;
+                                       const auto outs = mul4->anf(tbl);
+                                       mul4Decomp = pd::core::decompose(
+                                           tbl, outs, mul4->outputNames, {});
+                                       sink += mul4Decomp.blocks.size();
+                                   }) /
+                                   1000.0;
+
     std::cout << "anf product:      ref " << productRefUs << " us, indexed "
               << productIndexedUs << " us ("
               << productRefUs / productIndexedUs << "x)\n"
@@ -177,6 +246,11 @@ int main(int argc, char** argv) {
               << "x)\n"
               << "findBasis merge:  " << findBasisUs << " us\n"
               << "decompose majority15: " << decomposeMs << " ms\n"
+              << "probe sweep (majority15 workload): incremental "
+              << probeSweepMs << " ms, reference " << probeSweepRefMs
+              << " ms (" << probeSweepRefMs / probeSweepMs << "x)\n"
+              << "decompose mul4: " << decomposeMul4Ms << " ms (probe "
+              << mul4Decomp.probe.sweepMs << " ms)\n"
               << "(sink " << sink << ")\n";
 
     std::ofstream os(jsonPath);
@@ -203,5 +277,49 @@ int main(int argc, char** argv) {
     w.endObject();
     w.endObject();
     std::cout << "wrote " << jsonPath << "\n";
+
+    std::ofstream pos(probeJsonPath);
+    if (!pos) {
+        std::cerr << "cannot write " << probeJsonPath << "\n";
+        return 1;
+    }
+    const auto breakdown = [](pd::engine::JsonWriter& jw,
+                              const pd::core::Decomposition& d,
+                              double totalMs) {
+        jw.field("decompose_ms", totalMs);
+        jw.field("probe_sweep_ms", d.probe.sweepMs);
+        jw.field("probe_share",
+                 totalMs > 0.0 ? d.probe.sweepMs / totalMs : 0.0);
+        jw.field("sweeps", d.probe.sweeps);
+        jw.field("candidates", d.probe.candidates);
+        jw.field("probed", d.probe.probed);
+        jw.field("pruned", d.probe.pruned);
+        jw.field("deduped", d.probe.deduped);
+        jw.field("basis_reuses", d.probe.basisReuses);
+    };
+    pd::engine::JsonWriter pw(pos);
+    pw.beginObject();
+    pw.field("schema", "pd-bench-probe-v1");
+    pw.key("metrics").beginObject();
+    pw.field("probe_sweep_majority15_ms", probeSweepMs);
+    pw.field("decompose_majority15_ms", decomposeMs);
+    pw.field("decompose_mul4_ms", decomposeMul4Ms);
+    pw.endObject();
+    pw.key("reference").beginObject();
+    pw.field("probe_sweep_reference_majority15_ms", probeSweepRefMs);
+    pw.endObject();
+    pw.key("speedups").beginObject();
+    pw.field("probe_sweep_majority15", probeSweepRefMs / probeSweepMs);
+    pw.endObject();
+    pw.key("breakdown").beginObject();
+    pw.key("majority15").beginObject();
+    breakdown(pw, probeDecomp, decomposeMs);
+    pw.endObject();
+    pw.key("mul4").beginObject();
+    breakdown(pw, mul4Decomp, decomposeMul4Ms);
+    pw.endObject();
+    pw.endObject();
+    pw.endObject();
+    std::cout << "wrote " << probeJsonPath << "\n";
     return 0;
 }

@@ -1,24 +1,30 @@
 #!/usr/bin/env python3
-"""CI perf smoke gate for the indexed-ANF hot-path kernel.
+"""CI perf smoke gate for the indexed-ANF hot path and the probe sweep.
 
 Usage: check_hotpath.py BASELINE.json CURRENT.json [tolerance]
 
-Two complementary checks against the committed bench_hotpath baseline:
+Accepts either committed bench_hotpath document — the kernel baseline
+(pd-bench-hotpath-v1) or the probe-sweep baseline (pd-bench-probe-v1);
+baseline and current must carry the same schema. Two complementary
+checks:
 
-  1. "metrics" (absolute microseconds): every entry must stay within
+  1. "metrics" (absolute units): every entry must stay within
      `tolerance`x of the baseline (default 2.0, or env PD_HOTPATH_TOL).
-     Catches a kernel falling off a cliff, but compares across machines,
+     Catches a phase falling off a cliff, but compares across machines,
      so CI passes a larger tolerance to absorb runner-speed variance.
-  2. "speedups" (indexed-vs-reference ratios measured WITHIN the current
-     run): each must stay above baseline_speedup / tolerance. These are
+  2. "speedups" (ratios measured WITHIN the current run — indexed vs
+     reference kernels, incremental vs reference probe sweep): each must
+     stay above baseline_speedup / tolerance. These are
      machine-independent, so they catch the scary regressions — an
-     accidental reference-path fallback, a spanning-set cache that
-     stopped hitting — even on a runner whose absolute speed differs
-     wildly from the baseline machine's.
+     accidental reference-path fallback, a span pool that stopped
+     hitting — even on a runner whose absolute speed differs wildly
+     from the baseline machine's.
 """
 import json
 import os
 import sys
+
+SCHEMAS = ("pd-bench-hotpath-v1", "pd-bench-probe-v1")
 
 
 def main() -> int:
@@ -32,9 +38,13 @@ def main() -> int:
             "PD_HOTPATH_TOL", "2.0"))
 
     for doc, name in ((baseline, sys.argv[1]), (current, sys.argv[2])):
-        if doc.get("schema") != "pd-bench-hotpath-v1":
+        if doc.get("schema") not in SCHEMAS:
             print(f"{name}: unexpected schema {doc.get('schema')!r}")
             return 1
+    if baseline.get("schema") != current.get("schema"):
+        print(f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+              f"current {current.get('schema')!r}")
+        return 1
 
     failed = False
     for key, base in sorted(baseline["metrics"].items()):

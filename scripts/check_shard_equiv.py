@@ -69,9 +69,16 @@ def main():
         sys.exit("result drift: job lists differ in length or order")
 
     used = sorted({j["shard"] for j in sharded["jobs"]})
+    # Probe-thread plumbing coverage: when the sharded run fanned its
+    # probe sweeps out (--probe-threads through the pd-shard-wire v2 job
+    # frames), byte-identical semantics above proves the sweep's
+    # determinism held across both the process and the thread fan-out.
+    probe_threads = sharded.get("engine", {}).get("probe_threads", 0)
+    probe_note = (f", probe_threads={probe_threads} (deterministic sweep "
+                  f"verified)" if probe_threads else "")
     print(f"shard-equivalence gate OK: {len(sharded['jobs'])} jobs across "
           f"{shards} shards (workers used: {used}), results byte-identical "
-          f"to the single-process run")
+          f"to the single-process run{probe_note}")
 
 
 if __name__ == "__main__":

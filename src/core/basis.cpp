@@ -296,14 +296,25 @@ bool mergeNullspace(PairList& pairs, const FindBasisOptions& opt) {
 BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
                       const ring::IdentityDb& ids,
                       const FindBasisOptions& opt) {
+    MergeContext ctx;
+    return findBasisWith(ctx, folded, group, ids, opt);
+}
+
+BasisResult findBasisWith(MergeContext& ctx, const anf::Anf& folded,
+                          const anf::VarSet& group,
+                          const ring::IdentityDb& ids,
+                          const FindBasisOptions& opt,
+                          const MonomialRingFn& ringOf,
+                          const SplitHints& hints) {
     BasisResult out;
 
-    MergeContext ctx;
-    if (opt.mergeAttemptBudget != 0) ctx.attemptLimit = opt.mergeAttemptBudget;
+    ctx.resetForRun(opt.mergeAttemptBudget);
     anf::MonomialIndexer& ix = ctx.membership.indexer;
     // Upper bound on distinct rest/group-part monomials; spanning-set
-    // monomials push past it only when identities are in play.
-    ix.reserve(folded.termCount() + 64);
+    // monomials push past it only when identities are in play. Fresh
+    // contexts only — a recycled probe context is already sized, and
+    // re-running the rehash policy each probe is measurable churn.
+    if (ix.size() == 0) ix.reserve(folded.termCount() + 64);
 
     // Raw pairs, immediately bucketed by group-part (merge-by-first on
     // monomials) — the paper's merge order, and near-linear in the term
@@ -314,12 +325,7 @@ BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
     // database can seed a null-space ring for. Bucket cofactors accumulate
     // as indexed bit flips: mod-2 cancellation needs no sorting.
     std::vector<std::pair<anf::Monomial, anf::IndexedAnf>> buckets;
-    std::vector<anf::Monomial> untouchedTerms;
-    for (const auto& t : folded.terms()) {
-        if (!t.intersects(group)) {
-            untouchedTerms.push_back(t);
-            continue;
-        }
+    const auto splitTerm = [&](const anf::Monomial& t) {
         const anf::Monomial g = t.restrictedTo(group);
         const anf::Monomial r = t.without(group);
         auto it = std::find_if(
@@ -330,8 +336,29 @@ BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
             it = buckets.end() - 1;
         }
         it->second.flipTerm(ix.indexOf(r));
+    };
+    const auto terms = folded.terms();
+    if (hints.touchedTerms) {
+        // The sweep pre-indexed the intersecting terms; walk just those.
+        for (const auto idx : *hints.touchedTerms) splitTerm(terms[idx]);
+        if (!hints.skipUntouched) {
+            std::vector<anf::Monomial> untouchedTerms;
+            for (const auto& t : terms)
+                if (!t.intersects(group)) untouchedTerms.push_back(t);
+            out.untouched =
+                anf::Anf::fromCanonicalTerms(std::move(untouchedTerms));
+        }
+    } else {
+        std::vector<anf::Monomial> untouchedTerms;
+        for (const auto& t : terms) {
+            if (!t.intersects(group))
+                untouchedTerms.push_back(t);
+            else
+                splitTerm(t);
+        }
+        out.untouched =
+            anf::Anf::fromCanonicalTerms(std::move(untouchedTerms));
     }
-    out.untouched = anf::Anf::fromCanonicalTerms(std::move(untouchedTerms));
 
     IPairList pairs;
     pairs.reserve(buckets.size());
@@ -340,7 +367,8 @@ BasisResult findBasis(const anf::Anf& folded, const anf::VarSet& group,
         IPair p;
         p.first.flipTerm(ix.indexOf(g));
         p.second = std::move(acc);
-        p.ns = ids.nullspaceOfMonomial(g, opt.complementNullspace);
+        p.ns = ringOf ? ringOf(g)
+                      : ids.nullspaceOfMonomial(g, opt.complementNullspace);
         p.id = ctx.freshId();
         pairs.push_back(std::move(p));
     }

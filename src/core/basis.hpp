@@ -19,6 +19,8 @@
 // merges (a larger but still correct basis), never soundness.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <unordered_set>
 
 #include "anf/anf.hpp"
@@ -66,6 +68,21 @@ struct MergeContext {
     bool versioned = true;
 
     std::uint32_t freshId() { return versioned ? nextPairId++ : 0; }
+
+    /// Re-arms the context for a fresh findBasis run while keeping the
+    /// expensive cross-run state — the membership indexer with its cached
+    /// solver scratch and memoized monomial products. Everything scoped
+    /// to one run (pair ids, the failed-merge memo, budget accounting)
+    /// resets, so a run on a recycled context is bit-identical to a run
+    /// on a brand-new one (IndexedAnf semantics are id-injective: only
+    /// term-set equality matters, never the numeric ids).
+    void resetForRun(std::size_t attemptBudget) {
+        failed.clear();
+        nextPairId = 1;
+        attempts = 0;
+        attemptLimit = attemptBudget == 0 ? SIZE_MAX : attemptBudget;
+        exhausted = false;
+    }
 };
 
 struct BasisResult {
@@ -81,6 +98,41 @@ struct BasisResult {
                                     const anf::VarSet& group,
                                     const ring::IdentityDb& ids,
                                     const FindBasisOptions& opt = {});
+
+/// Optional monomial → seed-ring source for the initial pairs. A
+/// provider must return the same ring *content* as
+/// `ids.nullspaceOfMonomial(m, opt.complementNullspace)` — the probe
+/// sweep passes a per-sweep cache so one derivation (and one indexed
+/// spanning set, warm on the shared ring object) serves every candidate
+/// that buckets on the monomial, instead of one per probe.
+using MonomialRingFn =
+    std::function<const ring::NullSpaceRing&(const anf::Monomial&)>;
+
+/// Probe-only split acceleration. The sweep has already indexed which
+/// folded terms intersect each candidate, so the split can walk just
+/// those (`touchedTerms`: ascending indices into folded.terms(), exactly
+/// the intersecting ones), and the untouched remainder — whose literal
+/// count the sweep already knows as the candidate's bound — need not be
+/// materialized (`skipUntouched` leaves BasisResult::untouched empty).
+/// Pair results are bit-identical with or without hints.
+struct SplitHints {
+    const std::vector<std::uint32_t>* touchedTerms = nullptr;
+    bool skipUntouched = false;
+};
+
+/// findBasis over a caller-owned context: the indexer (and the solver
+/// scratch keyed to it) survives across runs, which is what makes a
+/// probe sweep incremental — candidates share interned monomials and
+/// memoized products instead of re-deriving them per probe. The context
+/// is resetForRun() internally, so results are bit-identical to
+/// findBasis() on a fresh context whatever state the indexer carries.
+[[nodiscard]] BasisResult findBasisWith(MergeContext& ctx,
+                                        const anf::Anf& folded,
+                                        const anf::VarSet& group,
+                                        const ring::IdentityDb& ids,
+                                        const FindBasisOptions& opt = {},
+                                        const MonomialRingFn& ringOf = {},
+                                        const SplitHints& hints = {});
 
 /// Runs only the algebraic merge rounds on an existing list (exposed for
 /// reuse after §5.3/§5.4 transformations and for unit tests). The

@@ -1,11 +1,13 @@
 #include "core/decomposer.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "anf/ops.hpp"
 #include "anf/printer.hpp"
 #include "core/basis.hpp"
 #include "core/group.hpp"
+#include "core/probe/probe.hpp"
 #include "core/identities.hpp"
 #include "core/minimize.hpp"
 #include "core/rewrite.hpp"
@@ -70,6 +72,17 @@ Decomposition decompose(anf::VarTable& vars,
     gOpt.maxCombinations = opt.maxExhaustiveCombinations;
     gOpt.probeMergeBudget = opt.mergeAttemptBudget;
 
+    // One probe context for the whole run: per-worker indexers and
+    // solver scratch persist across iterations, and the sweep fans out
+    // over probeThreads deterministically (bit-identical results at any
+    // setting).
+    probe::ProbeContext probeCtx(opt.probeThreads, opt.probePool);
+    probeCtx.captureHook = opt.probeCaptureHook;
+    // The winning probe's findBasis is reusable for the iteration
+    // exactly when the probes scored under this run's merge options.
+    const bool probeBasisReusable =
+        probe::sameFindBasisOptions(probe::probeFindBasisOptions(gOpt), fbOpt);
+
     for (std::size_t iter = 0; iter < opt.maxIterations; ++iter) {
         if (allLiterals(currentList())) {
             result.converged = true;
@@ -79,10 +92,14 @@ Decomposition decompose(anf::VarTable& vars,
         // pair; stop with a residual rather than overflow the monomial.
         if (vars.size() + 2 * opt.k + 2 >= anf::Monomial::kMaxVars) break;
 
-        bool probeExhausted = false;
-        const anf::VarSet group =
-            findGroup(folded, vars, tagMask, idb, gOpt, &probeExhausted);
-        if (probeExhausted) result.budgetExhausted = true;
+        const auto probeStart = std::chrono::steady_clock::now();
+        auto sel = selectGroup(folded, vars, tagMask, idb, gOpt, probeCtx);
+        result.probe.sweepMs +=
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - probeStart)
+                .count();
+        if (sel.budgetExhausted) result.budgetExhausted = true;
+        const anf::VarSet group = sel.group;
         if (group.isOne()) break;  // no visible variables left
 
         IterationTrace tr;
@@ -90,7 +107,15 @@ Decomposition decompose(anf::VarTable& vars,
         tr.foldedTermsBefore = folded.termCount();
         if (opt.recordTrace) tr.group = anf::setToString(group, vars);
 
-        auto bres = findBasis(folded, group, idb, fbOpt);
+        BasisResult bres;
+        if (probeBasisReusable && sel.winnerBasis) {
+            // The sweep already ran findBasis on the winner under these
+            // exact options; recomputing would be bit-identical work.
+            bres = std::move(*sel.winnerBasis);
+            ++result.probe.basisReuses;
+        } else {
+            bres = findBasis(folded, group, idb, fbOpt);
+        }
         tr.rawPairCount = bres.pairs.size();
         tr.mergeAttempts = bres.mergeAttempts;
         tr.budgetExhausted = bres.budgetExhausted;
@@ -181,6 +206,12 @@ Decomposition decompose(anf::VarTable& vars,
 
     if (!result.converged) result.converged = allLiterals(currentList());
     result.residualOutputs = currentList();
+    const auto& ps = probeCtx.stats();
+    result.probe.sweeps = ps.sweeps;
+    result.probe.candidates = ps.candidates;
+    result.probe.probed = ps.probed;
+    result.probe.pruned = ps.pruned;
+    result.probe.deduped = ps.deduped;
     return result;
 }
 

@@ -18,11 +18,21 @@
 // bounds (iteration cap, variable-capacity cap, stall detection).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "anf/anf.hpp"
 #include "core/hierarchy.hpp"
+
+namespace pd::util {
+class ThreadPool;
+}
+
+namespace pd::ring {
+class IdentityDb;
+}
 
 namespace pd::core {
 
@@ -59,6 +69,23 @@ struct DecomposeOptions {
     /// tractable instead of open-ended.
     std::size_t mergeAttemptBudget = kDefaultMergeAttemptBudget;
     bool recordTrace = true;
+    /// Worker threads for the group-selection probe sweep (0/1 =
+    /// sequential). Purely a scheduling knob: the sweep is deterministic
+    /// by construction, so results are bit-identical at every setting —
+    /// which is why this field is excluded from the engine's options
+    /// fingerprint and cache signatures.
+    std::size_t probeThreads = 0;
+    /// Probe-sweep pool shared across jobs (engine-owned). When null and
+    /// probeThreads > 1, the decomposer's probe context lazily spins up
+    /// its own pool. Never serialized; runtime wiring only.
+    std::shared_ptr<util::ThreadPool> probePool;
+    /// Bench/test hook forwarded to the probe context: reports every
+    /// sweep's inputs (folded expression, candidates, identity-database
+    /// snapshot) so the probe workload of a real run can be replayed.
+    /// Never affects results; never serialized.
+    std::function<void(const anf::Anf&, const std::vector<anf::VarSet>&,
+                       const ring::IdentityDb&)>
+        probeCaptureHook;
 };
 
 /// Runs Progressive Decomposition over a list of output expressions.

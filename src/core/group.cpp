@@ -3,31 +3,10 @@
 #include <algorithm>
 #include <map>
 
-#include "core/basis.hpp"
-#include "core/minimize.hpp"
+#include "core/probe/probe.hpp"
 
 namespace pd::core {
 namespace {
-
-/// Literal count of the expression after hypothetically rewriting with the
-/// group's basis — the paper's stated selection criterion.
-std::size_t probeScore(const anf::Anf& folded, const anf::VarSet& group,
-                       const ring::IdentityDb& ids, std::size_t mergeBudget,
-                       bool* exhausted) {
-    FindBasisOptions fb;
-    fb.mergeAttemptBudget = mergeBudget;
-    auto res = findBasis(folded, group, ids, fb);
-    if (exhausted && res.budgetExhausted) *exhausted = true;
-    minimizeBasisLinear(res.pairs);
-    // Rewritten size: one fresh literal per pair plus its cofactor, plus
-    // the untouched remainder.
-    std::size_t score = res.untouched.literalCount();
-    for (const auto& p : res.pairs) score += 1 + p.second.literalCount();
-    // Penalize wide bases slightly: more leader expressions means more
-    // block outputs to build.
-    score += 2 * res.pairs.size();
-    return score;
-}
 
 void combinations(const std::vector<anf::Var>& vars, std::size_t k,
                   std::size_t cap, std::vector<anf::VarSet>& out) {
@@ -51,12 +30,13 @@ void combinations(const std::vector<anf::Var>& vars, std::size_t k,
 
 }  // namespace
 
-anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
-                      const anf::VarSet& tags, const ring::IdentityDb& ids,
-                      const GroupOptions& opt, bool* budgetExhaustedOut) {
+GroupCandidates groupCandidates(const anf::Anf& folded,
+                                const anf::VarTable& vars,
+                                const anf::VarSet& tags,
+                                const GroupOptions& opt) {
+    GroupCandidates out;
     const anf::VarSet visible = folded.support().without(tags);
-    anf::VarSet group;
-    if (visible.isOne()) return group;  // empty support: nothing to do
+    if (visible.isOne()) return out;  // empty support: nothing to do
 
     // Partition visible variables into primary-input bits and the rest.
     std::map<int, std::vector<std::pair<int, anf::Var>>> byInteger;
@@ -138,50 +118,57 @@ anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
                 }
             if (!dup) distinct.push_back(&g);
         }
-        if (distinct.size() == 1) return *distinct.front();
-
-        std::size_t bestScore = SIZE_MAX;
-        for (const auto* g : distinct) {
-            const std::size_t score = probeScore(
-                folded, *g, ids, opt.probeMergeBudget, budgetExhaustedOut);
-            if (score < bestScore) {
-                bestScore = score;
-                group = *g;
-            }
+        if (distinct.size() == 1) {
+            out.forced = *distinct.front();
+            return out;
         }
-        return group;
+        out.candidates.reserve(distinct.size());
+        for (const auto* g : distinct) out.candidates.push_back(*g);
+        return out;
     }
 
     // Exhaustive phase over derived variables.
     std::sort(derived.begin(), derived.end());
     const std::size_t k = std::min(opt.k, derived.size());
     if (derived.size() <= k) {
-        for (const auto v : derived) group.insert(v);
-        return group;
+        for (const auto v : derived) out.forced.insert(v);
+        return out;
     }
 
-    std::vector<anf::VarSet> candidates;
     // Number of k-subsets may be huge; `combinations` stops at the cap and
     // we additionally seed sliding windows (adjacent ids were created by
     // related iterations) so good locality groups are always present.
-    combinations(derived, k, opt.maxCombinations, candidates);
+    combinations(derived, k, opt.maxCombinations, out.candidates);
     for (std::size_t start = 0; start + k <= derived.size(); ++start) {
         anf::VarSet g;
         for (std::size_t i = 0; i < k; ++i) g.insert(derived[start + i]);
-        candidates.push_back(g);
+        out.candidates.push_back(g);
     }
+    return out;
+}
 
-    std::size_t bestScore = SIZE_MAX;
-    for (const auto& g : candidates) {
-        const std::size_t score = probeScore(folded, g, ids,
-                                             opt.probeMergeBudget,
-                                             budgetExhaustedOut);
-        if (score < bestScore) {
-            bestScore = score;
-            group = g;
-        }
+probe::SweepOutcome selectGroup(const anf::Anf& folded,
+                                const anf::VarTable& vars,
+                                const anf::VarSet& tags,
+                                const ring::IdentityDb& ids,
+                                const GroupOptions& opt,
+                                probe::ProbeContext& ctx) {
+    auto gen = groupCandidates(folded, vars, tags, opt);
+    if (!gen.forced.isOne() || gen.candidates.empty()) {
+        probe::SweepOutcome out;
+        out.group = gen.forced;
+        return out;
     }
-    return group;
+    return ctx.sweep(folded, gen.candidates, ids, opt);
+}
+
+anf::VarSet findGroup(const anf::Anf& folded, const anf::VarTable& vars,
+                      const anf::VarSet& tags, const ring::IdentityDb& ids,
+                      const GroupOptions& opt, bool* budgetExhaustedOut) {
+    probe::ProbeContext ctx;  // sequential, single-use
+    const auto out = selectGroup(folded, vars, tags, ids, opt, ctx);
+    if (budgetExhaustedOut && out.budgetExhausted) *budgetExhaustedOut = true;
+    return out.group;
 }
 
 }  // namespace pd::core

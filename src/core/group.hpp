@@ -4,9 +4,12 @@
 // heuristic picks the ⌊k/r⌋ least significant *available* bits of each of
 // the r input integers (which may yield a group smaller than k). Once the
 // primary inputs are exhausted, candidate k-subsets of the remaining
-// (derived) variables are tried exhaustively — the expressions are small
-// by then — scoring each candidate by the literal count of the rewritten
-// expression and keeping the best.
+// (derived) variables are tried exhaustively — scoring each candidate by
+// the literal count of the rewritten expression and keeping the best.
+//
+// The scoring sweep itself lives in core/probe: incremental shared-state
+// probes, candidate dedup/pruning, and deterministic wave parallelism.
+// This header owns candidate *generation* and the selection entry points.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +19,11 @@
 #include "ring/identity_db.hpp"
 
 namespace pd::core {
+
+namespace probe {
+class ProbeContext;
+struct SweepOutcome;
+}  // namespace probe
 
 struct GroupOptions {
     std::size_t k = 4;
@@ -29,11 +37,44 @@ struct GroupOptions {
     std::size_t probeMergeBudget = 0;
 };
 
+/// What the next group is chosen among: either the choice is forced (no
+/// probing needed) or `candidates` go to the probe sweep in tie-break
+/// order.
+struct GroupCandidates {
+    /// Probe candidates, in the order that breaks score ties (earlier
+    /// wins). Empty when the choice is `forced` (or there is nothing
+    /// left to group).
+    std::vector<anf::VarSet> candidates;
+    /// The group when no probing is needed: a single distinct heuristic
+    /// candidate, or all remaining derived variables when ≤ k survive.
+    /// Empty set (isOne) otherwise.
+    anf::VarSet forced;
+};
+
+/// Candidate generation for one findGroup decision (exposed for the
+/// probe bench and the differential tests).
+[[nodiscard]] GroupCandidates groupCandidates(const anf::Anf& folded,
+                                              const anf::VarTable& vars,
+                                              const anf::VarSet& tags,
+                                              const GroupOptions& opt);
+
+/// Full selection: candidate generation plus the probe sweep, run
+/// through `ctx` (shared across a decompose run for incremental scoring
+/// and parallelism). The outcome carries the winner's raw findBasis
+/// result when the sweep scored it — see probe::SweepOutcome.
+[[nodiscard]] probe::SweepOutcome selectGroup(const anf::Anf& folded,
+                                              const anf::VarTable& vars,
+                                              const anf::VarSet& tags,
+                                              const ring::IdentityDb& ids,
+                                              const GroupOptions& opt,
+                                              probe::ProbeContext& ctx);
+
 /// Selects the next group from the variables visible in `folded`,
 /// excluding `tags`. Returns an empty set when no variables remain.
 /// When `budgetExhaustedOut` is non-null, it is set to true if any
 /// candidate probe was truncated by probeMergeBudget (scores may then
-/// differ from an unbudgeted run's).
+/// differ from an unbudgeted run's). Convenience wrapper over
+/// selectGroup with a throwaway sequential probe context.
 [[nodiscard]] anf::VarSet findGroup(const anf::Anf& folded,
                                     const anf::VarTable& vars,
                                     const anf::VarSet& tags,

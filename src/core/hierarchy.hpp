@@ -8,6 +8,7 @@
 // ("all elements in L are literals" on convergence).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,22 @@ struct Decomposition {
     /// than an unbudgeted run would have found (anytime semantics).
     bool budgetExhausted = false;
     std::size_t iterations = 0;
+
+    /// Group-selection probe-sweep accounting across the whole run, so
+    /// perf work can see the phase without a profiler. `sweepMs` is the
+    /// wall time spent selecting groups (candidate generation included);
+    /// `basisReuses` counts iterations whose findBasis was served from
+    /// the winning probe instead of being recomputed.
+    struct ProbeSummary {
+        double sweepMs = 0.0;
+        std::uint64_t sweeps = 0;
+        std::uint64_t candidates = 0;
+        std::uint64_t probed = 0;
+        std::uint64_t pruned = 0;
+        std::uint64_t deduped = 0;
+        std::uint64_t basisReuses = 0;
+    };
+    ProbeSummary probe;
 
     /// var → defining expression for every derived variable (block outputs
     /// and reduced elements alike).

@@ -1,0 +1,142 @@
+// Incremental, work-shared, parallel group-selection probe sweep.
+//
+// findGroup scores each candidate group by running a full findBasis
+// probe and measuring the rewritten size (paper §5.1's selection
+// criterion). PR 3's indexed kernel made the merge phase cheap enough
+// that this sweep became the dominant cold cost: an exhaustive phase
+// probes thousands of candidate subsets, each probe re-deriving the
+// monomial id space, the identity rings and their spanning sets from
+// scratch. This subsystem replaces the naive loop with:
+//
+//   * incremental scoring — candidates share persistent per-worker
+//     state (a MergeContext whose MonomialIndexer, solver scratch and
+//     memoized monomial products survive across probes, recycled at a
+//     size cap to keep bit-vectors dense; a per-sweep monomial →
+//     seed-ring cache; and a content-addressed spanning-set pool so each
+//     distinct ring closure is built once, not once per probe), and the
+//     winner's findBasis result is handed to the caller for reuse;
+//   * candidate pruning — duplicate candidates are dropped (exact
+//     equality is the complete sound equivalence: rest-parts pin which
+//     variables a split removed, so distinct candidate sets always
+//     produce distinct split streams), and every survivor gets a sound
+//     lower bound on its score — the untouched-cofactor literal count
+//     plus the literals of rest-monomials whose group-part coefficient
+//     polynomial is provably non-zero — which orders the sweep so
+//     likely winners go first and budgeted sweeps spend well;
+//   * early abandon — a candidate whose lower bound already loses
+//     against the best fully-scored candidate is never probed;
+//   * intra-job parallelism — candidates fan out across a
+//     util::ThreadPool in fixed-size waves.
+//
+// Determinism contract: the sweep returns bit-identical outcomes (group,
+// score, winner index, budget-exhausted flag, winner basis) at every
+// thread count, including under probeMergeBudget truncation. Waves are a
+// fixed size, wave membership and pruning decisions depend only on
+// completed waves, each probe is independent of which worker ran it
+// (IndexedAnf semantics are id-injective), and the winner is the
+// (score, candidate index) lexicographic minimum — exactly the
+// first-strict-minimum the sequential reference keeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "core/basis.hpp"
+#include "core/group.hpp"
+#include "ring/identity_db.hpp"
+
+namespace pd::util {
+class ThreadPool;
+}
+
+namespace pd::core::probe {
+
+/// Cumulative accounting across every sweep run through one context.
+struct ProbeStats {
+    std::uint64_t sweeps = 0;       ///< multi-candidate sweeps executed
+    std::uint64_t candidates = 0;   ///< candidates received (pre-dedup)
+    std::uint64_t deduped = 0;      ///< dropped as duplicate/equivalent
+    std::uint64_t probed = 0;       ///< full findBasis probes scored
+    std::uint64_t pruned = 0;       ///< skipped by the lower-bound test
+};
+
+/// Result of one sweep. `winnerBasis` is the winner's raw findBasis
+/// output under probeFindBasisOptions (pre-minimize), so the decomposer
+/// can skip re-running findBasis when its own options coincide.
+struct SweepOutcome {
+    anf::VarSet group;              ///< empty when there were no candidates
+    std::size_t score = SIZE_MAX;
+    std::size_t index = SIZE_MAX;   ///< winner's index in the input order
+    bool budgetExhausted = false;   ///< any scored probe was truncated
+    std::optional<BasisResult> winnerBasis;
+};
+
+/// The FindBasisOptions probes score under: defaults plus the forwarded
+/// merge budget. Public so the decomposer can check reuse eligibility.
+[[nodiscard]] FindBasisOptions probeFindBasisOptions(const GroupOptions& opt);
+
+/// Field-wise equality (FindBasisOptions has no operator==).
+[[nodiscard]] bool sameFindBasisOptions(const FindBasisOptions& a,
+                                        const FindBasisOptions& b);
+
+/// Sweep engine. One context serves a whole decompose run: per-worker
+/// workspaces persist across sweeps (the indexer only grows), while the
+/// ring caches reset each sweep (the identity database mutates between
+/// iterations). Not thread-safe itself — one context per decompose run.
+class ProbeContext {
+public:
+    /// `threads` ≤ 1 probes inline on the calling thread. With more, the
+    /// sweep fans out over `pool` when given (the engine shares one pool
+    /// across jobs) or over a lazily created private pool otherwise.
+    explicit ProbeContext(std::size_t threads = 0,
+                          std::shared_ptr<util::ThreadPool> pool = nullptr);
+    ~ProbeContext();
+
+    ProbeContext(const ProbeContext&) = delete;
+    ProbeContext& operator=(const ProbeContext&) = delete;
+
+    /// Scores `candidates` against `folded` and returns the winner.
+    /// Candidate order is the tie-break order (earlier wins ties).
+    [[nodiscard]] SweepOutcome sweep(const anf::Anf& folded,
+                                     const std::vector<anf::VarSet>& candidates,
+                                     const ring::IdentityDb& ids,
+                                     const GroupOptions& opt);
+
+    [[nodiscard]] const ProbeStats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t threads() const { return threads_; }
+
+    /// Bench/test hook: when set, every sweep reports its inputs before
+    /// probing (the folded expression, the candidate list, the identity
+    /// database as of this sweep). bench_hotpath uses it to replay the
+    /// exact workload of a real decompose run through both this sweep
+    /// and referenceSweep — the honest legacy-vs-incremental probe-phase
+    /// comparison. Never affects results.
+    std::function<void(const anf::Anf&, const std::vector<anf::VarSet>&,
+                       const ring::IdentityDb&)>
+        captureHook;
+
+private:
+    struct Workspace;
+
+    util::ThreadPool& pool();
+    Workspace& workspace(std::size_t slot);
+
+    std::size_t threads_ = 0;
+    std::shared_ptr<util::ThreadPool> pool_;   ///< external or lazily owned
+    std::vector<std::unique_ptr<Workspace>> workspaces_;
+    std::uint64_t epoch_ = 0;   ///< bumped per sweep; ring caches key on it
+    ProbeStats stats_;
+};
+
+/// The PR-4 sequential sweep: every candidate probed with a fresh
+/// context, first strict minimum kept. Differential-testing oracle and
+/// the bench's legacy reference — not used by the decomposer.
+[[nodiscard]] SweepOutcome referenceSweep(
+    const anf::Anf& folded, const std::vector<anf::VarSet>& candidates,
+    const ring::IdentityDb& ids, const GroupOptions& opt);
+
+}  // namespace pd::core::probe

@@ -166,6 +166,8 @@ Engine::Engine(EngineOptions opt)
       lib_(synth::CellLibrary::umc130()),
       cache_(opt.cacheCapacity),
       pool_(opt.jobs == 0 ? 1 : opt.jobs) {
+    if (opt_.probeThreads > 1)
+        probePool_ = std::make_shared<ThreadPool>(opt_.probeThreads);
     persistInfo_.file = opt_.cacheFile;
     persistInfo_.readonly = opt_.cacheReadonly;
     if (opt_.cacheFile.empty()) return;
@@ -293,6 +295,7 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         cfg.cacheCapacity = opt_.cacheCapacity;
         cfg.conflictBudget = opt_.conflictBudget;
         cfg.mergeBudget = opt_.mergeBudget;
+        cfg.probeThreads = opt_.probeThreads;
         cfg.equiv = opt_.equiv;
         cfg.cacheFile = opt_.cacheFile;
         cfg.wallMsPerJob = opt_.shardWallMsPerJob;
@@ -330,6 +333,11 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 dopt.mergeAttemptBudget == 0
                     ? opt_.mergeBudget
                     : std::min(dopt.mergeAttemptBudget, opt_.mergeBudget);
+        // Probe parallelism is purely a scheduling knob (results are
+        // deterministic at any setting), so it is not part of the cache
+        // signature; jobs without their own setting adopt the engine's.
+        if (dopt.probeThreads == 0) dopt.probeThreads = opt_.probeThreads;
+        if (dopt.probeThreads > 1) dopt.probePool = probePool_;
 
         // Registry-named jobs can learn their signature from the memo and
         // defer building the (possibly huge) ANF until a cache miss.
@@ -425,6 +433,7 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         const auto d =
             core::decompose(job->vars, job->outputs, job->outputNames, dopt);
         phase(result.phases.decomposeMs);
+        result.phases.probeSweepMs = d.probe.sweepMs;
         result.blocks = d.blocks.size();
         result.iterations = d.iterations;
         result.leaders = d.totalBlockOutputs();

@@ -51,6 +51,13 @@ struct EngineOptions {
     /// Jobs whose own budget is 0 (unlimited) adopt this cap outright.
     /// Truncation is reported per job as budget_exhausted.
     std::size_t mergeBudget = 0;
+    /// Worker threads for each job's group-selection probe sweep
+    /// (intra-job parallelism, orthogonal to `jobs`). Jobs whose own
+    /// DecomposeOptions::probeThreads is 0 adopt this value; all jobs
+    /// share one engine-owned probe pool. The sweep is deterministic, so
+    /// results are bit-identical at every setting — the knob is not part
+    /// of cache signatures or the persist fingerprint.
+    std::size_t probeThreads = 0;
     /// Verification effort for simulation-checked jobs.
     sim::EquivOptions equiv;
     /// Path of a persistent pd-cache-v2 store ("" disables persistence).
@@ -168,6 +175,11 @@ private:
     mutable std::mutex sigMutex_;
     mutable std::unordered_map<std::string, std::string> sigByName_;
     ThreadPool pool_;
+    /// Shared probe-sweep pool (EngineOptions::probeThreads > 1). A
+    /// separate pool from `pool_`: job tasks block on probe futures, so
+    /// running both through one pool could deadlock with every worker
+    /// parked on a wait.
+    std::shared_ptr<ThreadPool> probePool_;
 };
 
 /// One-shot convenience over a temporary Engine.

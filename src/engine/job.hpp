@@ -95,6 +95,10 @@ struct JobResult {
     /// where a job's time goes without a profiler.
     struct PhaseTimes {
         double decomposeMs = 0.0;
+        /// Group-selection probe-sweep share of decomposeMs (findGroup's
+        /// candidate scoring — the decomposition's dominant cold cost on
+        /// exhaustive-phase-heavy benchmarks).
+        double probeSweepMs = 0.0;
         double synthMs = 0.0;
         double optimizeMs = 0.0;
         double mapMs = 0.0;

@@ -1,56 +1,13 @@
-// Fixed-size worker pool with a FIFO work queue.
-//
-// submit() hands back a future so the caller chooses the result order:
-// the batch engine collects futures in spec order, making batch output
-// deterministic and independent of how jobs were scheduled across
-// workers. Exceptions thrown by a task are captured in its future
-// (std::packaged_task semantics) — a crashing job never takes a worker
-// thread down.
+// The batch engine's worker pool moved to util/pool.hpp so core's probe
+// sweep can share the implementation without an engine dependency; this
+// shim keeps the historical engine-namespace spelling alive for existing
+// includes.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/pool.hpp"
 
 namespace pd::engine {
 
-class ThreadPool {
-public:
-    /// Spawns `threads` workers (at least one).
-    explicit ThreadPool(std::size_t threads);
-
-    /// Drains the queue, then joins all workers.
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
-
-    /// Enqueues `fn`; the future carries its return value or exception.
-    template <typename Fn>
-    auto submit(Fn&& fn) -> std::future<decltype(fn())> {
-        using R = decltype(fn());
-        auto task =
-            std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
-        std::future<R> fut = task->get_future();
-        enqueue([task] { (*task)(); });
-        return fut;
-    }
-
-    [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
-
-private:
-    void enqueue(std::function<void()> fn);
-    void workerLoop();
-
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stopping_ = false;
-    std::vector<std::thread> workers_;
-};
+using util::ThreadPool;
 
 }  // namespace pd::engine

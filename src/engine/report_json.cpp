@@ -157,6 +157,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("jobs", opt.jobs);
     w.field("cache_capacity", opt.cacheCapacity);
     w.field("conflict_budget", opt.conflictBudget);
+    w.field("probe_threads", opt.probeThreads);
     w.field("shards", opt.shards);
     w.endObject();
 
@@ -203,6 +204,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("cpu_ms", r.cpuMs);
         w.key("phases").beginObject();
         w.field("decompose_ms", r.phases.decomposeMs);
+        w.field("probe_sweep_ms", r.phases.probeSweepMs);
         w.field("synth_ms", r.phases.synthMs);
         w.field("optimize_ms", r.phases.optimizeMs);
         w.field("map_ms", r.phases.mapMs);

@@ -191,6 +191,7 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             "--cache-capacity", std::to_string(cfg_.cacheCapacity),
             "--budget", std::to_string(cfg_.conflictBudget),
             "--merge-budget", std::to_string(cfg_.mergeBudget),
+            "--probe-threads", std::to_string(cfg_.probeThreads),
             "--equiv-xl", std::to_string(cfg_.equiv.exhaustiveLimitBits),
             "--equiv-rb", std::to_string(cfg_.equiv.randomBatches),
             "--equiv-seed", std::to_string(cfg_.equiv.seed),

@@ -42,6 +42,9 @@ struct ShardConfig {
     std::size_t cacheCapacity = 64;
     std::size_t conflictBudget = 0;
     std::size_t mergeBudget = 0;
+    /// Probe-sweep threads per worker (deterministic — a sharded run
+    /// stays byte-identical to in-process at any setting).
+    std::size_t probeThreads = 0;
     sim::EquivOptions equiv;
     std::string cacheFile;  ///< workers warm-start from it read-only
     /// Per-job wall budget in ms (0 = unlimited): a worker whose job runs

@@ -132,6 +132,10 @@ std::string encodeJob(std::uint32_t index, const JobSpec& spec) {
     w.u64(o.maxIterations);
     w.u64(o.maxExhaustiveCombinations);
     w.u64(o.mergeAttemptBudget);
+    // Scheduling knob, not semantics: carried so a worker can fan its
+    // probe sweep out exactly as the in-process engine would, while the
+    // sweep's determinism keeps results byte-identical either way.
+    w.u64(o.probeThreads);
     w.u8(o.recordTrace ? 1 : 0);
     w.u8(spec.verify ? 1 : 0);
     w.u8(spec.keepMapped ? 1 : 0);
@@ -160,6 +164,7 @@ std::pair<std::uint32_t, JobSpec> decodeJob(std::string_view payload) {
     o.maxIterations = r.u64();
     o.maxExhaustiveCombinations = r.u64();
     o.mergeAttemptBudget = r.u64();
+    o.probeThreads = r.u64();
     o.recordTrace = r.u8() != 0;
     spec.verify = r.u8() != 0;
     spec.keepMapped = r.u8() != 0;
@@ -176,6 +181,7 @@ std::string encodeResult(std::uint32_t index, const JobResult& result) {
     w.f64(result.wallMs);
     w.f64(result.cpuMs);
     w.f64(result.phases.decomposeMs);
+    w.f64(result.phases.probeSweepMs);
     w.f64(result.phases.synthMs);
     w.f64(result.phases.optimizeMs);
     w.f64(result.phases.mapMs);
@@ -198,6 +204,7 @@ std::pair<std::uint32_t, JobResult> decodeResult(std::string_view payload) {
     const double cpuMs = r.f64();
     JobResult::PhaseTimes phases;
     phases.decomposeMs = r.f64();
+    phases.probeSweepMs = r.f64();
     phases.synthMs = r.f64();
     phases.optimizeMs = r.f64();
     phases.mapMs = r.f64();

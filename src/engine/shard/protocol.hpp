@@ -1,5 +1,5 @@
 // Wire protocol between the shard coordinator and its worker processes
-// ("pd-shard-wire-v1"; see src/engine/shard/README.md for the full spec).
+// ("pd-shard-wire-v2"; see src/engine/shard/README.md for the full spec).
 //
 // Everything that crosses a worker pipe is a length-prefixed, checksummed
 // frame over the same little-endian primitives as the pd-cache-v2 store:
@@ -27,7 +27,11 @@
 
 namespace pd::engine::shard {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 (PR 5): kJob gained DecomposeOptions::probeThreads (u64), kResult
+/// gained phases.probeSweepMs (f64). The hello handshake rejects a
+/// worker binary speaking a different layout cleanly instead of
+/// misparsing its frames.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a single frame payload. Generous (a mapped multiplier
 /// netlist is kilobytes, not gigabytes) while keeping a corrupt length

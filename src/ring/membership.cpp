@@ -47,6 +47,31 @@ SumMembership memberOfSum(const anf::Anf& target, const NullSpaceRing& r1,
     return out;
 }
 
+const NullSpaceRing::IndexedSpan& MembershipContext::spanOf(
+    const NullSpaceRing& r, std::size_t maxSpan) {
+    if (r.trivial()) {
+        static const NullSpaceRing::IndexedSpan kEmpty;
+        return kEmpty;
+    }
+    if (const auto* cached = r.cachedSpan(indexer.uid(), maxSpan))
+        return *cached;
+    std::uint64_t h = NullSpaceRing::SpanPool::hashGens(r.generators());
+    h ^= maxSpan;
+    h *= 0x100000001b3ull;
+    auto& bucket = spanPool_[h];
+    for (const auto& [gens, span] : bucket) {
+        if (span->maxElems == maxSpan && gens == r.generators()) {
+            r.adoptSpan(span);
+            return *span;
+        }
+    }
+    // Builds (or re-encodes from the shared Anf-domain pool) and caches
+    // the result on `r` itself.
+    auto span = r.indexedSpan(indexer, maxSpan, sharedSpans);
+    bucket.emplace_back(r.generators(), span);
+    return *bucket.back().second;
+}
+
 IndexedSumMembership memberOfSum(MembershipContext& ctx,
                                  const anf::IndexedAnf& target,
                                  const NullSpaceRing& r1,
@@ -58,9 +83,29 @@ IndexedSumMembership memberOfSum(MembershipContext& ctx,
         return out;
     }
 
-    const auto& span1 = r1.indexedSpanningSet(ctx.indexer, maxSpan);
-    const auto& span2 = r2.indexedSpanningSet(ctx.indexer, maxSpan);
+    const auto& ispan1 = ctx.spanOf(r1, maxSpan);
+    const auto& ispan2 = ctx.spanOf(r2, maxSpan);
+    const auto& span1 = ispan1.elems;
+    const auto& span2 = ispan2.elems;
     if (span1.empty() && span2.empty()) return out;
+
+    // Coverage pre-check: a target term no span element can produce makes
+    // the solve unwinnable — the solver would fail on that column, so
+    // skipping it is exact, not heuristic. Most negative queries die
+    // here, word-wise, instead of building a solver.
+    {
+        const gf2::BitVec& t = target.bits();
+        const gf2::BitVec& m1 = ispan1.termMask;
+        const gf2::BitVec& m2 = ispan2.termMask;
+        for (std::size_t w = 0; w < t.wordCount(); ++w) {
+            const std::uint64_t tw = t.word(w);
+            if (!tw) continue;
+            std::uint64_t mw = 0;
+            if (w < m1.wordCount()) mw |= m1.word(w);
+            if (w < m2.wordCount()) mw |= m2.word(w);
+            if (tw & ~mw) return out;
+        }
+    }
     ++ctx.solves_;
 
     // Assign dense solver columns in the reference's first-occurrence

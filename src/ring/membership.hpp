@@ -20,6 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "anf/anf.hpp"
@@ -61,8 +64,27 @@ class MembershipContext {
 public:
     anf::MonomialIndexer indexer;
 
+    /// Optional indexer-free spanning-set pool shared across contexts
+    /// (a probe workspace wires its pool in so span closures survive
+    /// context recycles). Not owned.
+    NullSpaceRing::SpanPool* sharedSpans = nullptr;
+
     /// Number of GF(2) solves actually performed through this context.
     [[nodiscard]] std::uint64_t solves() const { return solves_; }
+
+    /// The ring's indexed spanning set, served content-addressed: rings
+    /// are copied by value into pairs, so the per-object span cache goes
+    /// cold on every copy — but generator sequences repeat massively
+    /// (the same merged rings are re-derived by every probe of a sweep).
+    /// Keying built spans by the exact generator sequence lets every
+    /// copy and every re-derivation share one construction; the span is
+    /// also adopted back onto `r`'s object cache so repeat queries skip
+    /// the content hash. Same elements in the same order as
+    /// r.indexedSpanningSet(indexer, maxSpan) — sharing never changes a
+    /// solve. Returns a span whose `termMask` feeds the coverage
+    /// pre-check (empty span for trivial rings).
+    const NullSpaceRing::IndexedSpan& spanOf(const NullSpaceRing& r,
+                                             std::size_t maxSpan);
 
 private:
     friend IndexedSumMembership memberOfSum(MembershipContext&,
@@ -77,6 +99,13 @@ private:
     std::vector<std::uint32_t> stamp_;
     std::uint32_t generation_ = 0;
     std::uint64_t solves_ = 0;
+    /// Generator-content hash → (generator sequence, shared span). The
+    /// generator copy pins the key; spans are immutable shared state.
+    std::unordered_map<
+        std::uint64_t,
+        std::vector<std::pair<std::vector<anf::Anf>,
+                              std::shared_ptr<const NullSpaceRing::IndexedSpan>>>>
+        spanPool_;
 };
 
 /// Hot-path overload: identical verdicts and witnesses to the reference

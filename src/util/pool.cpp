@@ -1,8 +1,8 @@
-#include "engine/pool.hpp"
+#include "util/pool.hpp"
 
 #include "util/error.hpp"
 
-namespace pd::engine {
+namespace pd::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) threads = 1;
@@ -43,4 +43,4 @@ void ThreadPool::workerLoop() {
     }
 }
 
-}  // namespace pd::engine
+}  // namespace pd::util

@@ -1,0 +1,61 @@
+// Fixed-size worker pool with a FIFO work queue.
+//
+// submit() hands back a future so the caller chooses the result order:
+// the batch engine collects futures in spec order, making batch output
+// deterministic and independent of how jobs were scheduled across
+// workers; the probe sweep collects futures in candidate order for the
+// same reason. Exceptions thrown by a task are captured in its future
+// (std::packaged_task semantics) — a crashing task never takes a worker
+// thread down.
+//
+// Lives in util (not engine) because both the batch engine's job fan-out
+// and core's intra-job probe sweep share it; core must not depend on
+// engine.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pd::util {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (at least one).
+    explicit ThreadPool(std::size_t threads);
+
+    /// Drains the queue, then joins all workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues `fn`; the future carries its return value or exception.
+    template <typename Fn>
+    auto submit(Fn&& fn) -> std::future<decltype(fn())> {
+        using R = decltype(fn());
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+private:
+    void enqueue(std::function<void()> fn);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace pd::util

@@ -1,0 +1,349 @@
+// Probe-sweep tests: the incremental parallel group-selection sweep
+// (core/probe) against the sequential PR-4 reference, including under
+// probeMergeBudget truncation, plus decompose-level determinism at every
+// probe-thread setting and winner-basis reuse correctness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "anf/printer.hpp"
+#include "circuits/registry.hpp"
+#include "core/basis.hpp"
+#include "core/decomposer.hpp"
+#include "core/group.hpp"
+#include "core/minimize.hpp"
+#include "core/probe/probe.hpp"
+#include "ring/identity_db.hpp"
+
+namespace pd::core {
+namespace {
+
+using anf::Anf;
+using anf::Monomial;
+using anf::Var;
+using anf::VarTable;
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed ? seed : 1) {}
+    std::uint64_t next() {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return s_;
+    }
+    std::size_t below(std::size_t n) { return next() % n; }
+
+private:
+    std::uint64_t s_;
+};
+
+Anf randomAnf(Rng& rng, Var maxVar, std::size_t terms, std::size_t maxDeg) {
+    std::vector<Monomial> ts;
+    for (std::size_t i = 0; i < terms; ++i) {
+        Monomial m;
+        const std::size_t deg = 1 + rng.below(maxDeg);
+        for (std::size_t d = 0; d < deg; ++d)
+            m.insert(static_cast<Var>(rng.below(maxVar)));
+        ts.push_back(m);
+    }
+    return Anf::fromTerms(std::move(ts));
+}
+
+/// A random sweep workload: derived-variable expression (so candidate
+/// generation runs the exhaustive phase), optionally seeded identities.
+struct Workload {
+    VarTable vars;
+    Anf folded;
+    ring::IdentityDb ids;
+    std::vector<anf::VarSet> candidates;
+};
+
+Workload makeWorkload(std::uint64_t seed, std::size_t nVars,
+                      std::size_t terms, bool withIdentities,
+                      const GroupOptions& opt) {
+    Workload w;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < nVars; ++i)
+        (void)w.vars.addDerived("s" + std::to_string(i + 1),
+                                static_cast<int>(i / 4));
+    w.folded = randomAnf(rng, static_cast<Var>(nVars), terms, 3);
+    if (withIdentities) {
+        for (int i = 0; i < 5; ++i)
+            w.ids.add(Anf::var(static_cast<Var>(rng.below(nVars))) *
+                      randomAnf(rng, static_cast<Var>(nVars), 2, 2));
+    }
+    auto gen = groupCandidates(w.folded, w.vars, {}, opt);
+    w.candidates = std::move(gen.candidates);
+    return w;
+}
+
+void expectSameOutcome(const probe::SweepOutcome& a,
+                       const probe::SweepOutcome& b) {
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.budgetExhausted, b.budgetExhausted);
+}
+
+TEST(ProbeSweep, MatchesReferenceOnRandomWorkloads) {
+    GroupOptions opt;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (const bool withIds : {false, true}) {
+            auto w = makeWorkload(seed, 9, 24, withIds, opt);
+            if (w.candidates.empty()) continue;
+            probe::ProbeContext ctx;
+            const auto got = ctx.sweep(w.folded, w.candidates, w.ids, opt);
+            const auto want =
+                probe::referenceSweep(w.folded, w.candidates, w.ids, opt);
+            EXPECT_EQ(got.group, want.group)
+                << "seed " << seed << " ids " << withIds;
+            EXPECT_EQ(got.score, want.score);
+            EXPECT_EQ(got.index, want.index);
+        }
+    }
+}
+
+TEST(ProbeSweep, ThreadCountNeverChangesTheOutcome) {
+    GroupOptions opt;
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+        auto w = makeWorkload(seed, 10, 28, true, opt);
+        if (w.candidates.empty()) continue;
+        probe::ProbeContext sequential(1);
+        const auto want = sequential.sweep(w.folded, w.candidates, w.ids, opt);
+        for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+            probe::ProbeContext ctx(threads);
+            const auto got = ctx.sweep(w.folded, w.candidates, w.ids, opt);
+            expectSameOutcome(want, got);
+        }
+    }
+}
+
+TEST(ProbeSweep, BudgetTruncationIsDeterministicAcrossThreadCounts) {
+    // Tiny per-probe budgets truncate candidate scoring; the sweep must
+    // still return the same winner, score and exhausted flag at every
+    // thread count (waves and pruning are schedule-independent).
+    for (const std::size_t budget : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{7}}) {
+        GroupOptions opt;
+        opt.probeMergeBudget = budget;
+        auto w = makeWorkload(21, 10, 30, true, opt);
+        ASSERT_FALSE(w.candidates.empty());
+        probe::ProbeContext sequential(1);
+        const auto want = sequential.sweep(w.folded, w.candidates, w.ids, opt);
+        // The reference probes every candidate, so its winner is a valid
+        // cross-check even when the sweep prunes.
+        const auto ref =
+            probe::referenceSweep(w.folded, w.candidates, w.ids, opt);
+        EXPECT_EQ(want.group, ref.group) << "budget " << budget;
+        EXPECT_EQ(want.score, ref.score);
+        for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+            probe::ProbeContext ctx(threads);
+            const auto got = ctx.sweep(w.folded, w.candidates, w.ids, opt);
+            expectSameOutcome(want, got);
+        }
+    }
+}
+
+TEST(ProbeSweep, ReusedContextMatchesFreshContextAcrossSweeps) {
+    // One context across many sweeps (the decomposer's usage): recycled
+    // indexers, warm span pools and stale-ring clearing must never leak
+    // into results.
+    GroupOptions opt;
+    probe::ProbeContext reused;
+    for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+        auto w = makeWorkload(seed, 9, 26, true, opt);
+        if (w.candidates.empty()) continue;
+        probe::ProbeContext fresh;
+        const auto a = reused.sweep(w.folded, w.candidates, w.ids, opt);
+        const auto b = fresh.sweep(w.folded, w.candidates, w.ids, opt);
+        expectSameOutcome(a, b);
+    }
+    EXPECT_GE(reused.stats().sweeps, 1u);
+}
+
+TEST(ProbeSweep, WinnerBasisEqualsFreshFindBasis) {
+    GroupOptions opt;
+    auto w = makeWorkload(41, 9, 24, true, opt);
+    ASSERT_FALSE(w.candidates.empty());
+    probe::ProbeContext ctx;
+    const auto out = ctx.sweep(w.folded, w.candidates, w.ids, opt);
+    ASSERT_TRUE(out.winnerBasis.has_value());
+    const auto fresh = findBasis(w.folded, out.group, w.ids,
+                                 probe::probeFindBasisOptions(opt));
+    ASSERT_EQ(out.winnerBasis->pairs.size(), fresh.pairs.size());
+    for (std::size_t i = 0; i < fresh.pairs.size(); ++i) {
+        EXPECT_EQ(out.winnerBasis->pairs[i].first, fresh.pairs[i].first);
+        EXPECT_EQ(out.winnerBasis->pairs[i].second, fresh.pairs[i].second);
+    }
+    EXPECT_EQ(out.winnerBasis->untouched, fresh.untouched);
+    EXPECT_EQ(out.winnerBasis->budgetExhausted, fresh.budgetExhausted);
+}
+
+TEST(ProbeSweep, DedupAndPruneAccounting) {
+    GroupOptions opt;
+    auto w = makeWorkload(51, 12, 40, false, opt);
+    ASSERT_GT(w.candidates.size(), 2u);
+    // Duplicate the first candidate at the end: it must be deduped, and
+    // the winner must not change.
+    auto withDup = w.candidates;
+    withDup.push_back(withDup.front());
+    probe::ProbeContext a;
+    probe::ProbeContext b;
+    const auto clean = a.sweep(w.folded, w.candidates, w.ids, opt);
+    const auto duped = b.sweep(w.folded, withDup, w.ids, opt);
+    EXPECT_EQ(clean.group, duped.group);
+    EXPECT_EQ(clean.score, duped.score);
+    EXPECT_GE(b.stats().deduped, 1u);
+    // Accounting invariant: every candidate is deduped, pruned or probed.
+    EXPECT_EQ(b.stats().candidates,
+              b.stats().deduped + b.stats().pruned + b.stats().probed);
+}
+
+TEST(FindBasisWith, SharedContextIsBitIdenticalToFreshContexts) {
+    Rng rng(61);
+    MergeContext shared;
+    for (int round = 0; round < 6; ++round) {
+        VarTable vt;
+        for (int i = 0; i < 8; ++i)
+            (void)vt.addDerived("s" + std::to_string(i + 1), 0);
+        const Anf folded = randomAnf(rng, 8, 20, 3);
+        ring::IdentityDb ids;
+        ids.add(Anf::var(static_cast<Var>(rng.below(8))) *
+                randomAnf(rng, 8, 2, 2));
+        anf::VarSet group;
+        for (int i = 0; i < 3; ++i)
+            group.insert(static_cast<Var>(rng.below(8)));
+        const auto a = findBasisWith(shared, folded, group, ids);
+        const auto b = findBasis(folded, group, ids);
+        ASSERT_EQ(a.pairs.size(), b.pairs.size());
+        for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+            EXPECT_EQ(a.pairs[i].first, b.pairs[i].first);
+            EXPECT_EQ(a.pairs[i].second, b.pairs[i].second);
+        }
+        EXPECT_EQ(a.untouched, b.untouched);
+        EXPECT_EQ(a.mergeAttempts, b.mergeAttempts);
+    }
+}
+
+// ---- decompose-level determinism -------------------------------------------
+
+void expectSameDecomposition(const Decomposition& a, const Decomposition& b) {
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.budgetExhausted, b.budgetExhausted);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        EXPECT_EQ(a.blocks[i].level, b.blocks[i].level);
+        EXPECT_EQ(a.blocks[i].group, b.blocks[i].group);
+        ASSERT_EQ(a.blocks[i].outputs.size(), b.blocks[i].outputs.size());
+        for (std::size_t j = 0; j < a.blocks[i].outputs.size(); ++j) {
+            EXPECT_EQ(a.blocks[i].outputs[j].var, b.blocks[i].outputs[j].var);
+            EXPECT_EQ(a.blocks[i].outputs[j].expr,
+                      b.blocks[i].outputs[j].expr);
+        }
+        EXPECT_EQ(a.blocks[i].reduced, b.blocks[i].reduced);
+    }
+    EXPECT_EQ(a.residualOutputs, b.residualOutputs);
+}
+
+TEST(ProbeDecompose, IdenticalAcrossProbeThreadSettings) {
+    const auto bench = circuits::makeNamedBenchmark("majority7");
+    ASSERT_TRUE(bench.has_value());
+    std::vector<Decomposition> runs;
+    std::vector<std::vector<Anf>> expanded;
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{4}}) {
+        VarTable vt;
+        const auto outs = bench->anf(vt);
+        DecomposeOptions opt;
+        opt.probeThreads = threads;
+        runs.push_back(decompose(vt, outs, bench->outputNames, opt));
+        expanded.push_back(runs.back().expandedOutputs(vt));
+        EXPECT_EQ(expanded.back(), outs) << "threads " << threads;
+    }
+    expectSameDecomposition(runs[0], runs[1]);
+    expectSameDecomposition(runs[0], runs[2]);
+    EXPECT_EQ(expanded[0], expanded[1]);
+    EXPECT_EQ(expanded[0], expanded[2]);
+}
+
+TEST(ProbeDecompose, BudgetedRunsIdenticalAcrossProbeThreadSettings) {
+    // Truncation is the adversarial case for parallel determinism: the
+    // exhausted flag and the (possibly different) winner must match the
+    // sequential run exactly.
+    const auto bench = circuits::makeNamedBenchmark("counter8");
+    ASSERT_TRUE(bench.has_value());
+    std::vector<Decomposition> runs;
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{4}}) {
+        VarTable vt;
+        const auto outs = bench->anf(vt);
+        DecomposeOptions opt;
+        opt.probeThreads = threads;
+        opt.mergeAttemptBudget = 2;  // binds in probes and iterations
+        runs.push_back(decompose(vt, outs, bench->outputNames, opt));
+        EXPECT_EQ(runs.back().expandedOutputs(vt), outs);
+    }
+    expectSameDecomposition(runs[0], runs[1]);
+    expectSameDecomposition(runs[0], runs[2]);
+}
+
+TEST(ProbeDecompose, ProbeStatsAreReported) {
+    const auto bench = circuits::makeNamedBenchmark("majority15");
+    ASSERT_TRUE(bench.has_value());
+    VarTable vt;
+    const auto outs = bench->anf(vt);
+    const auto d = decompose(vt, outs, bench->outputNames, {});
+    EXPECT_GT(d.probe.sweeps, 0u);
+    EXPECT_GT(d.probe.candidates, 0u);
+    EXPECT_GT(d.probe.probed, 0u);
+    EXPECT_GT(d.probe.basisReuses, 0u);
+    EXPECT_GT(d.probe.sweepMs, 0.0);
+    EXPECT_EQ(d.probe.candidates,
+              d.probe.deduped + d.probe.pruned + d.probe.probed);
+}
+
+TEST(ProbeDecompose, CaptureHookSeesEverySweep) {
+    const auto bench = circuits::makeNamedBenchmark("majority7");
+    ASSERT_TRUE(bench.has_value());
+    VarTable vt;
+    const auto outs = bench->anf(vt);
+    std::size_t calls = 0;
+    DecomposeOptions opt;
+    opt.probeCaptureHook = [&](const Anf&, const std::vector<anf::VarSet>& c,
+                               const ring::IdentityDb&) {
+        ++calls;
+        EXPECT_FALSE(c.empty());
+    };
+    const auto d = decompose(vt, outs, bench->outputNames, opt);
+    EXPECT_EQ(calls, d.probe.sweeps);
+}
+
+TEST(GroupCandidates, ForcedPathsSkipProbing) {
+    // Single-integer circuits force the heuristic candidate without
+    // probing; ≤ k remaining derived variables force the full set.
+    VarTable vt;
+    std::vector<Var> a;
+    for (int i = 0; i < 8; ++i)
+        a.push_back(vt.addInput("a" + std::to_string(i), 0, i));
+    Anf e;
+    for (const Var v : a) e ^= Anf::var(v);
+    ring::IdentityDb ids;
+    const auto gen = groupCandidates(e, vt, {}, {.k = 4});
+    EXPECT_TRUE(gen.candidates.empty());
+    EXPECT_FALSE(gen.forced.isOne());
+
+    VarTable vt2;
+    const Var s1 = vt2.addDerived("s1", 0);
+    const Var s2 = vt2.addDerived("s2", 0);
+    const auto gen2 = groupCandidates(Anf::var(s1) ^ Anf::var(s2), vt2, {},
+                                      {.k = 4});
+    EXPECT_TRUE(gen2.candidates.empty());
+    EXPECT_TRUE(gen2.forced.contains(s1));
+    EXPECT_TRUE(gen2.forced.contains(s2));
+}
+
+}  // namespace
+}  // namespace pd::core

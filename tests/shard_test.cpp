@@ -161,6 +161,7 @@ TEST(ShardProtocol, JobSpecRoundTrip) {
     spec.options.maxIterations = 17;
     spec.options.maxExhaustiveCombinations = 1234;
     spec.options.mergeAttemptBudget = 99;
+    spec.options.probeThreads = 3;
     spec.options.recordTrace = false;
     spec.verify = false;
     spec.keepMapped = true;
@@ -184,6 +185,7 @@ TEST(ShardProtocol, JobSpecRoundTrip) {
               spec.options.maxExhaustiveCombinations);
     EXPECT_EQ(back.options.mergeAttemptBudget,
               spec.options.mergeAttemptBudget);
+    EXPECT_EQ(back.options.probeThreads, spec.options.probeThreads);
     EXPECT_EQ(back.options.recordTrace, spec.options.recordTrace);
     EXPECT_EQ(back.verify, spec.verify);
     EXPECT_EQ(back.keepMapped, spec.keepMapped);
@@ -361,6 +363,39 @@ TEST(ShardEngine, ShardedBatchesMatchInProcessAcross124) {
             expectSameSemantics(reference[i], results[i]);
             EXPECT_GE(results[i].shard, 0) << "shards=" << shards;
         }
+    }
+}
+
+TEST(ShardEngine, ProbeThreadsStayByteIdenticalAcrossTheWire) {
+    // The probe sweep is deterministic at any thread count, so a sharded
+    // run whose workers fan probes out over --probe-threads (plumbed via
+    // the worker argv and the pd-shard-wire-v2 job frames) must match
+    // the sequential in-process run semantically, field for field.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    const auto specs = lightSpecs();
+    const auto reference = Engine(shardOptions(0)).runBatch(specs);
+    for (const auto& r : reference) ASSERT_TRUE(r.ok) << r.error;
+
+    auto opt = shardOptions(2);
+    opt.probeThreads = 2;
+    Engine engine(opt);
+    const auto results = engine.runBatch(specs);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        expectSameSemantics(reference[i], results[i]);
+        EXPECT_GE(results[i].shard, 0);
+    }
+
+    // Per-job probeThreads must survive the job frame too (engine-level
+    // adoption is only applied to jobs that carry 0).
+    auto perJob = specs;
+    for (auto& ps : perJob) ps.options.probeThreads = 2;
+    Engine engine2(shardOptions(2));
+    const auto results2 = engine2.runBatch(perJob);
+    for (std::size_t i = 0; i < results2.size(); ++i) {
+        ASSERT_TRUE(results2[i].ok) << results2[i].error;
+        expectSameSemantics(reference[i], results2[i]);
     }
 }
 

@@ -17,6 +17,11 @@
 //   --merge-budget <n>  anytime mode: cap on null-space merge solves per
 //                    decomposition phase (0 = unlimited; default 100000).
 //                    A truncated job reports budget_exhausted.
+//   --probe-threads <n>  worker threads for the group-selection probe
+//                    sweep inside each job (0/1 = sequential). The sweep
+//                    is deterministic: results are bit-identical at any
+//                    setting, so this is pure wall-clock on multi-core
+//                    hosts.
 //   --no-identities  / --no-nullspace / --no-sizered / --no-linmin
 // expr/bench only:
 //   --trace          print the per-iteration trace (paper Fig. 6 style)
@@ -84,7 +89,8 @@ int usage() {
         "  pd_cli batch [options] [benchmark ...|--all]\n"
         "  pd_cli list\n"
         "  pd_cli cache-info [--key] [file]\n"
-        "options: -k <n>  --jobs <n>  --merge-budget <n>  --trace  --stats\n"
+        "options: -k <n>  --jobs <n>  --merge-budget <n>  --probe-threads <n>\n"
+        "         --trace  --stats\n"
         "         --verilog <file>  --blif <file>\n"
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
@@ -145,13 +151,16 @@ struct Options {
     std::size_t shards = 0;
     std::size_t shardWallMs = 0;
     std::size_t shardRssMb = 0;
+    std::size_t probeThreads = 0;
 };
 
 int runDecomposition(pd::anf::VarTable& vt,
                      const std::vector<pd::anf::Anf>& outputs,
                      const std::vector<std::string>& names,
                      const Options& opt) {
-    const auto d = pd::core::decompose(vt, outputs, names, opt.decompose);
+    pd::core::DecomposeOptions dopt = opt.decompose;
+    dopt.probeThreads = opt.probeThreads;  // context spins up its own pool
+    const auto d = pd::core::decompose(vt, outputs, names, dopt);
 
     std::cout << "decomposition: " << d.blocks.size() << " blocks over "
               << d.iterations << " iterations"
@@ -258,6 +267,8 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             if (!countArg(opt.shardRssMb)) return usage();
         } else if (arg == "--merge-budget") {
             if (!countArg(opt.decompose.mergeAttemptBudget)) return usage();
+        } else if (arg == "--probe-threads") {
+            if (!countArg(opt.probeThreads)) return usage();
         } else if (arg == "--trace") {
             opt.trace = true;
         } else if (arg == "--stats") {
@@ -326,6 +337,7 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.shards = opt.shards;
     eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
     eopt.shardRssMb = opt.shardRssMb;
+    eopt.probeThreads = opt.probeThreads;
     pd::engine::Engine engine(eopt);
 
     const auto& pinfo = engine.persistInfo();
@@ -421,6 +433,8 @@ int runWorkerMode(const std::vector<std::string>& args) {
             if (!countArgAt(wopt.engine.conflictBudget)) return 2;
         } else if (arg == "--merge-budget") {
             if (!countArgAt(wopt.engine.mergeBudget)) return 2;
+        } else if (arg == "--probe-threads") {
+            if (!countArgAt(wopt.engine.probeThreads)) return 2;
         } else if (arg == "--equiv-xl") {
             if (!countArgAt(equivXl)) return 2;
         } else if (arg == "--equiv-rb") {

@@ -12,6 +12,7 @@
 #include "core/minimize.hpp"
 #include "core/rewrite.hpp"
 #include "core/sizered.hpp"
+#include "obs/metrics.hpp"
 #include "ring/identity_db.hpp"
 #include "util/error.hpp"
 
@@ -113,11 +114,15 @@ Decomposition decompose(anf::VarTable& vars,
             // exact options; recomputing would be bit-identical work.
             bres = std::move(*sel.winnerBasis);
             ++result.probe.basisReuses;
+            static auto& cReuses = obs::counter("probe.basis_reuses");
+            cReuses.add();
         } else {
             bres = findBasis(folded, group, idb, fbOpt);
         }
         tr.rawPairCount = bres.pairs.size();
         tr.mergeAttempts = bres.mergeAttempts;
+        static auto& cMerges = obs::counter("decompose.merge_attempts");
+        cMerges.add(bres.mergeAttempts);
         tr.budgetExhausted = bres.budgetExhausted;
         if (bres.budgetExhausted) result.budgetExhausted = true;
         if (bres.pairs.empty()) break;  // group vars vanished: stall

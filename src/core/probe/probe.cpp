@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "core/minimize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/pool.hpp"
 
 namespace pd::core::probe {
@@ -172,6 +174,14 @@ SweepOutcome ProbeContext::sweep(const anf::Anf& folded,
     ++epoch_;
     ++stats_.sweeps;
     stats_.candidates += candidates.size();
+    static auto& cSweeps = obs::counter("probe.sweeps");
+    static auto& cCandidates = obs::counter("probe.candidates");
+    cSweeps.add();
+    cCandidates.add(candidates.size());
+    obs::ScopedSpan sweepSpan("probe.sweep", "probe");
+    if (sweepSpan.live())
+        sweepSpan.setDetail("candidates=" +
+                            std::to_string(candidates.size()));
 
     SweepOutcome out;
     if (candidates.empty()) return out;
@@ -194,6 +204,8 @@ SweepOutcome ProbeContext::sweep(const anf::Anf& folded,
             if (!seen.emplace(candidates[i], i).second) {
                 keep[i] = 0;
                 ++stats_.deduped;
+                static auto& cDeduped = obs::counter("probe.deduped");
+                cDeduped.add();
             }
         }
     }
@@ -332,18 +344,31 @@ SweepOutcome ProbeContext::sweep(const anf::Anf& folded,
             std::min(order.size(), waveStart + kWaveSize);
         std::vector<std::size_t> runnable;
         runnable.reserve(waveEnd - waveStart);
+        std::size_t wavePruned = 0;
         for (std::size_t w = waveStart; w < waveEnd; ++w) {
             const std::size_t i = order[w];
             const bool prunable =
                 bound[i] > out.score ||
                 (bound[i] == out.score && i > out.index);
-            if (prunable)
+            if (prunable) {
                 ++stats_.pruned;
-            else
+                ++wavePruned;
+            } else {
                 runnable.push_back(i);
+            }
         }
+        static auto& cPruned = obs::counter("probe.pruned");
+        cPruned.add(wavePruned);
         if (runnable.empty()) continue;
         stats_.probed += runnable.size();
+        static auto& cProbed = obs::counter("probe.probed");
+        cProbed.add(runnable.size());
+        obs::ScopedSpan waveSpan("probe.wave", "probe");
+        if (waveSpan.live())
+            waveSpan.setDetail(
+                "wave=" + std::to_string(waveStart / kWaveSize) +
+                " probed=" + std::to_string(runnable.size()) +
+                " pruned=" + std::to_string(wavePruned));
 
         std::vector<Scored> scored(runnable.size());
         const std::size_t t = std::min(lanes, runnable.size());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/metrics.hpp"
+
 namespace pd::engine {
 
 ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
@@ -32,6 +34,8 @@ ResultCache::LookupResult ResultCache::lookupOrReserve(const std::string& key) {
         const auto it = s.map.find(key);
         if (it == s.map.end()) {
             ++s.stats.misses;
+            static auto& misses = obs::counter("cache.miss");
+            misses.add();
             std::promise<Value> promise;
             Entry e;
             e.future = promise.get_future().share();
@@ -40,6 +44,8 @@ ResultCache::LookupResult ResultCache::lookupOrReserve(const std::string& key) {
             return Reservation(this, idx, key, std::move(promise));
         }
         ++s.stats.hits;
+        static auto& hits = obs::counter("cache.hit");
+        hits.add();
         it->second.lastUse = ++s.tick;
         if (it->second.ready) return it->second.future.get();
         wait = it->second.future;  // in-flight: wait outside the lock
@@ -65,6 +71,8 @@ void ResultCache::publish(std::size_t shard, const std::string& key,
     it->second.ready = true;
     it->second.lastUse = ++s.tick;
     ++s.stats.inserts;
+    static auto& inserts = obs::counter("cache.insert");
+    inserts.add();
     evictIfNeeded(s);
 }
 
@@ -82,6 +90,8 @@ void ResultCache::evictIfNeeded(Shard& s) {
         if (victim == s.map.end()) break;
         s.map.erase(victim);
         ++s.stats.evictions;
+        static auto& evictions = obs::counter("cache.eviction");
+        evictions.add();
         --ready;
     }
 }
@@ -136,6 +146,8 @@ std::size_t ResultCache::restore(std::vector<SnapshotEntry> entries) {
         entry.lastUse = ++s.tick;  // stamps reset: restored ≙ just used
         s.map.emplace(std::move(e.key), std::move(entry));
         ++s.stats.restored;
+        static auto& restored = obs::counter("cache.restored");
+        restored.add();
         ++adopted;
         evictIfNeeded(s);
     }

@@ -14,6 +14,8 @@
 #include "engine/shard/coordinator.hpp"
 #include "engine/shard/scheduler.hpp"
 #include "netlist/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
 #include "synth/opt.hpp"
@@ -21,6 +23,23 @@
 
 namespace pd::engine {
 namespace {
+
+/// steady_clock is CLOCK_MONOTONIC on this platform, so a time_point's
+/// epoch offset in ns is directly comparable with obs::monotonicNowNs()
+/// — phase spans and timing.phases come from the SAME clock reads, which
+/// is what makes their totals agree by construction.
+std::uint64_t toNs(std::chrono::steady_clock::time_point tp) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
+
+/// Clears the thread's span fingerprint when a job leaves execute() by
+/// any path (return, throw): the pool thread will run other jobs next.
+struct FingerprintScope {
+    ~FingerprintScope() { obs::setJobFingerprint(0); }
+};
 
 /// CPU time of the calling thread in milliseconds (0 where unsupported).
 double threadCpuMs() {
@@ -270,6 +289,7 @@ std::size_t Engine::adoptCacheDeltas(
 }
 
 std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
+    obs::ScopedSpan batchSpan("batch.run", "job");
     // One scheduling core for both execution paths: the scheduler
     // partitions jobs into a local lane (this process's thread pool) and,
     // in sharded mode, a wire lane (worker processes). Pool threads and
@@ -306,6 +326,20 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
     }
 
     for (auto& p : pullers) p.get();
+
+    // LRU-age census for the report's observability block: distance of
+    // each resident entry's last use from the freshest stamp. Reset
+    // first — the histogram describes the cache's state *now*, not an
+    // accumulation over repeated batches.
+    {
+        const auto entries = cache_.snapshot();
+        auto& ages = obs::histogram("cache.entry.lru_age");
+        ages.reset();
+        std::uint64_t freshest = 0;
+        for (const auto& e : entries)
+            freshest = std::max(freshest, e.lastUse);
+        for (const auto& e : entries) ages.observe(freshest - e.lastUse);
+    }
     return std::move(sched).take();
 }
 
@@ -316,6 +350,7 @@ JobResult Engine::runJob(const JobSpec& spec) {
 JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
     const auto wallStart = std::chrono::steady_clock::now();
     const double cpuStart = threadCpuMs();
+    FingerprintScope fpScope;
 
     JobResult result;
     result.name = !spec.name.empty() ? spec.name
@@ -360,6 +395,10 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             }
         }
         result.cacheKey = signatureDigest(sig);
+        // Span identity: every span this job emits (on this thread)
+        // carries the signature's digest, making traces diffable
+        // run-to-run — same batch, same (fp, name, seq) span sets.
+        obs::setJobFingerprint(persist::fnv1a(sig));
 
         auto lookup = cache_.lookupOrReserve(sig);
         if (auto* hit = std::get_if<ResultCache::Value>(&lookup)) {
@@ -424,15 +463,21 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         // each phase so reports can say where the job's wall time went.
         if (!job) job.emplace(resolve(spec));
         auto phaseStart = std::chrono::steady_clock::now();
-        const auto phase = [&phaseStart](double& slot) {
+        // One clock read closes a phase AND opens its span: the span's
+        // duration and the timing.phases slot are the same interval, so
+        // the trace's per-phase sums match the report exactly.
+        const auto phase = [&phaseStart](double& slot,
+                                         std::string_view spanName) {
             const auto now = std::chrono::steady_clock::now();
             slot = std::chrono::duration<double, std::milli>(now - phaseStart)
                        .count();
+            obs::emitSpan(spanName, "job", toNs(phaseStart),
+                          toNs(now) - toNs(phaseStart));
             phaseStart = now;
         };
         const auto d =
             core::decompose(job->vars, job->outputs, job->outputNames, dopt);
-        phase(result.phases.decomposeMs);
+        phase(result.phases.decomposeMs, "job.decompose");
         result.phases.probeSweepMs = d.probe.sweepMs;
         result.blocks = d.blocks.size();
         result.iterations = d.iterations;
@@ -441,16 +486,16 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         result.budgetExhausted = d.budgetExhausted;
 
         const auto raw = synth::synthDecomposition(d, job->vars);
-        phase(result.phases.synthMs);
+        phase(result.phases.synthMs, "job.synth");
         const auto optimized = synth::optimize(raw);
-        phase(result.phases.optimizeMs);
+        phase(result.phases.optimizeMs, "job.optimize");
         auto mapped = synth::techMap(optimized, lib_);
-        phase(result.phases.mapMs);
+        phase(result.phases.mapMs, "job.map");
         result.qor = synth::qor(mapped, lib_);
         const auto stats = netlist::computeStats(mapped);
         result.levels = stats.levels;
         result.interconnect = stats.interconnect;
-        phase(result.phases.staMs);
+        phase(result.phases.staMs, "job.sta");
 
         if (!spec.verify) {
             result.verification = VerifyStatus::kSkipped;
@@ -476,7 +521,7 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             }
             result.verification = VerifyStatus::kAlgebraic;
         }
-        phase(result.phases.verifyMs);
+        phase(result.phases.verifyMs, "job.verify");
 
         result.ok = true;
         result.mapped = std::move(mapped);

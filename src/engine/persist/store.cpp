@@ -10,6 +10,8 @@
 
 #include "engine/persist/format.hpp"
 #include "engine/persist/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace pd::engine::persist {
@@ -101,6 +103,9 @@ std::string_view loadStatusName(LoadResult::Status s) {
 
 LoadResult CacheStore::load(const std::string& path,
                             std::string_view fingerprint) {
+    obs::ScopedSpan span("persist.load", "persist");
+    static auto& loads = obs::counter("persist.load");
+    loads.add();
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return reject(LoadResult::Status::kNoFile,
@@ -111,6 +116,8 @@ LoadResult CacheStore::load(const std::string& path,
         return reject(LoadResult::Status::kCorrupt,
                       "read error on '" + path + "'");
     const std::string bytes = std::move(buf).str();
+    if (span.live())
+        span.setDetail("bytes=" + std::to_string(bytes.size()));
     try {
         return parse(bytes, fingerprint);
     } catch (const std::exception& e) {
@@ -122,6 +129,10 @@ LoadResult CacheStore::load(const std::string& path,
 bool CacheStore::save(const std::string& path, std::string_view fingerprint,
                       std::span<const StoreEntry> entries,
                       std::string* errorOut) {
+    obs::ScopedSpan span("persist.save", "persist");
+    static auto& saves = obs::counter("persist.save");
+    saves.add();
+    static auto& entryBytes = obs::histogram("persist.entry.bytes");
     std::string bytes;
     {
         ByteWriter w(bytes);
@@ -133,11 +144,15 @@ bool CacheStore::save(const std::string& path, std::string_view fingerprint,
         for (const auto& e : entries) {
             payload.clear();
             serializeJobResult(*e.result, payload);
+            entryBytes.observe(payload.size());
             w.str(e.key);
             w.str(payload);
             w.u64(fnv1a(payload, fnv1a(e.key)));
         }
     }
+    if (span.live())
+        span.setDetail("entries=" + std::to_string(entries.size()) +
+                       " bytes=" + std::to_string(bytes.size()));
 
     // Unique per process *and* per call: concurrent flushes from two
     // threads must not interleave writes into one tmp file.

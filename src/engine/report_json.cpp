@@ -1,130 +1,12 @@
 #include "engine/report_json.hpp"
 
-#include <cmath>
-#include <cstdio>
+#include "engine/persist/store.hpp"
+#include "engine/shard/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/build_info.hpp"
 
 namespace pd::engine {
-
-void JsonWriter::separate() {
-    if (pendingKey_) {
-        pendingKey_ = false;
-        return;  // value follows its key on the same line
-    }
-    if (!hasItems_.empty()) {
-        if (hasItems_.back()) os_ << ',';
-        hasItems_.back() = true;
-        os_ << '\n';
-        indent();
-    }
-}
-
-void JsonWriter::indent() {
-    for (std::size_t i = 0; i < hasItems_.size(); ++i) os_ << "  ";
-}
-
-JsonWriter& JsonWriter::beginObject() {
-    separate();
-    os_ << '{';
-    hasItems_.push_back(false);
-    return *this;
-}
-
-JsonWriter& JsonWriter::endObject() {
-    const bool had = hasItems_.back();
-    hasItems_.pop_back();
-    if (had) {
-        os_ << '\n';
-        indent();
-    }
-    os_ << '}';
-    if (hasItems_.empty()) os_ << '\n';
-    return *this;
-}
-
-JsonWriter& JsonWriter::beginArray() {
-    separate();
-    os_ << '[';
-    hasItems_.push_back(false);
-    return *this;
-}
-
-JsonWriter& JsonWriter::endArray() {
-    const bool had = hasItems_.back();
-    hasItems_.pop_back();
-    if (had) {
-        os_ << '\n';
-        indent();
-    }
-    os_ << ']';
-    return *this;
-}
-
-JsonWriter& JsonWriter::key(std::string_view k) {
-    separate();
-    writeString(k);
-    os_ << ": ";
-    pendingKey_ = true;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(std::string_view v) {
-    separate();
-    writeString(v);
-    return *this;
-}
-
-void JsonWriter::writeString(std::string_view v) {
-    os_ << '"';
-    for (const char c : v) {
-        switch (c) {
-            case '"': os_ << "\\\""; break;
-            case '\\': os_ << "\\\\"; break;
-            case '\n': os_ << "\\n"; break;
-            case '\r': os_ << "\\r"; break;
-            case '\t': os_ << "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x",
-                                  static_cast<unsigned>(c) & 0xff);
-                    os_ << buf;
-                } else {
-                    os_ << c;
-                }
-        }
-    }
-    os_ << '"';
-}
-
-JsonWriter& JsonWriter::value(bool v) {
-    separate();
-    os_ << (v ? "true" : "false");
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(double v) {
-    separate();
-    if (!std::isfinite(v)) {
-        os_ << "null";
-        return *this;
-    }
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    os_ << buf;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint64_t v) {
-    separate();
-    os_ << v;
-    return *this;
-}
-
-JsonWriter& JsonWriter::value(std::int64_t v) {
-    separate();
-    os_ << v;
-    return *this;
-}
 
 std::string_view verifyStatusName(VerifyStatus s) {
     switch (s) {
@@ -159,6 +41,23 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("conflict_budget", opt.conflictBudget);
     w.field("probe_threads", opt.probeThreads);
     w.field("shards", opt.shards);
+    {
+        // Provenance identity: which exact source + toolchain produced
+        // this document, and which schema versions its artifacts speak.
+        const util::BuildInfo& b = util::buildInfo();
+        w.key("build").beginObject();
+        w.field("git_hash", b.gitHash);
+        w.field("git_dirty", b.dirty);
+        w.field("compiler", b.compiler);
+        w.field("build_type", b.buildType);
+        w.key("schemas").beginObject();
+        w.field("report", "pd-batch-report-v1");
+        w.field("cache_store", persist::kFormatName);
+        w.field("shard_wire",
+                static_cast<std::uint64_t>(shard::kProtocolVersion));
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
 
     w.key("cache").beginObject();
@@ -234,6 +133,34 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                 persist::loadStatusName(persist->loadStatus));
         w.field("load_detail", persist->loadDetail);
         w.field("loaded_entries", persist->loadedEntries);
+        w.endObject();
+    }
+
+    {
+        // The pd-trace registry, dumped whole: in a sharded run the
+        // coordinator has already folded worker deltas in, so these are
+        // fleet-wide totals (gauges additionally appear per worker as
+        // "<name>.w<id>").
+        const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+        w.key("observability").beginObject();
+        w.field("spans_dropped", obs::droppedSpans());
+        w.key("counters").beginObject();
+        for (const auto& [name, value] : snap.counters) w.field(name, value);
+        w.endObject();
+        w.key("gauges").beginObject();
+        for (const auto& [name, value] : snap.gauges) w.field(name, value);
+        w.endObject();
+        w.key("histograms").beginObject();
+        for (const auto& h : snap.histograms) {
+            w.key(h.name).beginObject();
+            w.field("count", h.count);
+            w.field("sum", h.sum);
+            w.key("buckets").beginArray();
+            for (const auto b : h.buckets) w.value(b);
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
         w.endObject();
     }
     w.endObject();

@@ -1,16 +1,20 @@
 // Machine-readable batch reports.
 //
-// JsonWriter is a minimal streaming JSON emitter (objects, arrays,
-// escaped strings, numbers, booleans) shared by the batch report and the
-// benchmark trajectory files. writeBatchReport renders the schema below;
-// benches reuse JsonWriter for their own "pd-bench-*" schemas so every
-// artifact in the repo is parseable by the same tooling.
+// JsonWriter (now pd::util::JsonWriter; the alias below keeps existing
+// engine/bench call sites compiling) is a minimal streaming JSON emitter
+// shared by the batch report, the benchmark trajectory files, and the
+// obs trace/metrics exporters, so every artifact in the repo is
+// parseable by the same tooling.
 //
 // Batch report schema ("pd-batch-report-v1"):
 //   {
 //     "schema": "pd-batch-report-v1",
 //     "engine": {"jobs": u, "cache_capacity": u, "conflict_budget": u,
-//                "shards": u},                    // 0 → in-process batch
+//                "shards": u,                     // 0 → in-process batch
+//                "build": {"git_hash": s, "git_dirty": s, "compiler": s,
+//                          "build_type": s,       // provenance identity
+//                          "schemas": {"report": s, "cache_store": s,
+//                                      "shard_wire": u}}},
 //     "cache":  {"hits": u, "misses": u, "inserts": u, "evictions": u,
 //                "entries": u},
 //     "jobs": [
@@ -37,6 +41,13 @@
 //       "load_status": "loaded"|"no-file"|"bad-magic"|"bad-version"|
 //                      "bad-fingerprint"|"corrupt",
 //       "load_detail": s, "loaded_entries": u
+//     },
+//     "observability": {                           // pd-trace registry dump
+//       "spans_dropped": u,                        // ring-wrap losses
+//       "counters":   {"<name>": u, ...},
+//       "gauges":     {"<name>": i, ...},
+//       "histograms": {"<name>": {"count": u, "sum": u,
+//                                 "buckets": [u × 33]}, ...}  // log2, le 2^i
 //     }
 //   }
 //
@@ -53,45 +64,14 @@
 #include "engine/cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/job.hpp"
+#include "util/json_writer.hpp"
 
 namespace pd::engine {
 
-/// Streaming JSON emitter with 2-space indentation. Keys/values must be
-/// issued in a valid order (object → key → value); commas and newlines
-/// are handled automatically.
-class JsonWriter {
-public:
-    explicit JsonWriter(std::ostream& os) : os_(os) {}
-
-    JsonWriter& beginObject();
-    JsonWriter& endObject();
-    JsonWriter& beginArray();
-    JsonWriter& endArray();
-    JsonWriter& key(std::string_view k);
-    JsonWriter& value(std::string_view v);
-    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
-    JsonWriter& value(bool v);
-    JsonWriter& value(double v);
-    JsonWriter& value(std::uint64_t v);
-    JsonWriter& value(std::int64_t v);
-    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
-
-    /// key + value in one call.
-    template <typename T>
-    JsonWriter& field(std::string_view k, T&& v) {
-        key(k);
-        return value(std::forward<T>(v));
-    }
-
-private:
-    void separate();
-    void indent();
-    void writeString(std::string_view v);
-
-    std::ostream& os_;
-    std::vector<bool> hasItems_;  ///< per nesting level
-    bool pendingKey_ = false;
-};
+/// Kept as an alias after the emitter moved to util (the obs exporters
+/// need it below the engine layer); benches and engine code keep using
+/// engine::JsonWriter unchanged.
+using JsonWriter = util::JsonWriter;
 
 [[nodiscard]] std::string_view verifyStatusName(VerifyStatus s);
 [[nodiscard]] std::string_view cacheSourceName(CacheSource s);

@@ -14,7 +14,10 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace pd::engine::shard {
 namespace {
@@ -204,6 +207,9 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             args.push_back("--rss-budget-mb");
             args.push_back(std::to_string(cfg_.rssBudgetMb));
         }
+        // Tracing is a coordinator-side decision: workers only buffer and
+        // ship spans when told to, so an untraced run pays nothing.
+        if (obs::enabled()) args.push_back("--obs");
 
         const pid_t pid = ::fork();
         if (pid < 0) {
@@ -265,11 +271,14 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             return;
         }
         ++outcome.workerCrashes;
+        static auto& cCrashes = obs::counter("shard.worker.crashes");
+        cCrashes.add();
         const std::string how =
             s.budgetKilled
                 ? "exceeded the per-job wall budget of " +
                       std::to_string(cfg_.wallMsPerJob) + " ms and was killed"
                 : describeExit(status);
+        log::warn("shard", "worker " + std::to_string(slotId) + " " + how);
         if (s.inFlight) {
             s.idleCrashes = 0;
             const std::size_t index = s.job;
@@ -298,6 +307,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                                std::string_view payload) {
         std::string bytes;
         appendFrame(bytes, type, payload);
+        static auto& txBytes = obs::counter("shard.wire.tx.bytes");
+        static auto& txFrames = obs::counter("shard.wire.tx.frames");
+        static auto& frameBytes = obs::histogram("shard.wire.frame.bytes");
+        txBytes.add(bytes.size());
+        txFrames.add();
+        frameBytes.observe(bytes.size());
         if (!writeAll(slots[slotId].toChild, bytes)) onDeath(slotId);
     };
 
@@ -316,8 +331,15 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             return;
         }
         s.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        static auto& rxBytes = obs::counter("shard.wire.rx.bytes");
+        rxBytes.add(static_cast<std::uint64_t>(n));
         try {
             while (auto frame = s.decoder.next()) {
+                static auto& rxFrames = obs::counter("shard.wire.rx.frames");
+                static auto& frameBytes =
+                    obs::histogram("shard.wire.frame.bytes");
+                rxFrames.add();
+                frameBytes.observe(frame->payload.size() + 13);
                 switch (frame->type) {
                     case FrameType::kHello: {
                         const Hello h = decodeHello(frame->payload);
@@ -347,6 +369,18 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                     case FrameType::kBye:
                         s.byeSeen = true;
                         break;
+                    case FrameType::kObs: {
+                        // Fold the worker's shipment in right away: spans
+                        // re-tagged onto the worker's pid track, metric
+                        // deltas accumulated into the fleet registry.
+                        ObsDelta d = decodeObsDelta(frame->payload);
+                        for (auto& span : d.spans)
+                            span.pid = static_cast<std::int32_t>(slotId) + 1;
+                        obs::adoptSpans(std::move(d.spans));
+                        obs::applyWorkerDelta(d.metrics,
+                                              static_cast<int>(slotId));
+                        break;
+                    }
                     default:
                         fail("shard", "unexpected frame from worker");
                 }

@@ -12,7 +12,7 @@ using persist::ByteWriter;
 using persist::fnv1a;
 
 constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kBye);
+    static_cast<std::uint8_t>(FrameType::kObs);
 constexpr std::uint8_t kMaxCacheSource =
     static_cast<std::uint8_t>(CacheSource::kDisk);
 
@@ -244,6 +244,87 @@ CacheDelta decodeCacheDelta(std::string_view payload) {
     d.payload = std::string(r.str());
     d.stamp = r.u64();
     if (!r.done()) fail("shard", "trailing bytes after cache delta");
+    return d;
+}
+
+std::string encodeObsDelta(const ObsDelta& d) {
+    std::string out;
+    ByteWriter w(out);
+    w.u32(static_cast<std::uint32_t>(d.spans.size()));
+    for (const auto& s : d.spans) {
+        w.str(s.name);
+        w.str(s.cat);
+        w.str(s.detail);
+        w.u64(s.startNs);
+        w.u64(s.durNs);
+        w.u64(s.fp);
+        w.u64(s.seq);
+        w.u32(s.tid);
+    }
+    w.u32(static_cast<std::uint32_t>(d.metrics.counters.size()));
+    for (const auto& [name, value] : d.metrics.counters) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u32(static_cast<std::uint32_t>(d.metrics.gauges.size()));
+    for (const auto& [name, value] : d.metrics.gauges) {
+        w.str(name);
+        w.u64(static_cast<std::uint64_t>(value));
+    }
+    w.u32(static_cast<std::uint32_t>(d.metrics.histograms.size()));
+    for (const auto& h : d.metrics.histograms) {
+        w.str(h.name);
+        for (const auto b : h.buckets) w.u64(b);
+        w.u64(h.count);
+        w.u64(h.sum);
+    }
+    return out;
+}
+
+ObsDelta decodeObsDelta(std::string_view payload) {
+    ByteReader r(payload);
+    ObsDelta d;
+    const std::uint32_t nspans = r.u32();
+    d.spans.reserve(std::min<std::size_t>(nspans, payload.size() / 8 + 1));
+    for (std::uint32_t i = 0; i < nspans; ++i) {
+        obs::Span s;
+        s.name = std::string(r.str());
+        s.cat = std::string(r.str());
+        s.detail = std::string(r.str());
+        s.startNs = r.u64();
+        s.durNs = r.u64();
+        s.fp = r.u64();
+        s.seq = r.u64();
+        s.tid = r.u32();
+        d.spans.push_back(std::move(s));
+    }
+    const std::uint32_t ncounters = r.u32();
+    d.metrics.counters.reserve(
+        std::min<std::size_t>(ncounters, payload.size() / 8 + 1));
+    for (std::uint32_t i = 0; i < ncounters; ++i) {
+        const std::string name(r.str());
+        d.metrics.counters.emplace_back(name, r.u64());
+    }
+    const std::uint32_t ngauges = r.u32();
+    d.metrics.gauges.reserve(
+        std::min<std::size_t>(ngauges, payload.size() / 8 + 1));
+    for (std::uint32_t i = 0; i < ngauges; ++i) {
+        const std::string name(r.str());
+        d.metrics.gauges.emplace_back(
+            name, static_cast<std::int64_t>(r.u64()));
+    }
+    const std::uint32_t nhists = r.u32();
+    d.metrics.histograms.reserve(
+        std::min<std::size_t>(nhists, payload.size() / 8 + 1));
+    for (std::uint32_t i = 0; i < nhists; ++i) {
+        obs::HistogramSample h;
+        h.name = std::string(r.str());
+        for (auto& b : h.buckets) b = r.u64();
+        h.count = r.u64();
+        h.sum = r.u64();
+        d.metrics.histograms.push_back(std::move(h));
+    }
+    if (!r.done()) fail("shard", "trailing bytes after obs delta");
     return d;
 }
 

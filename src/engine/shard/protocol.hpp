@@ -1,5 +1,5 @@
 // Wire protocol between the shard coordinator and its worker processes
-// ("pd-shard-wire-v2"; see src/engine/shard/README.md for the full spec).
+// ("pd-shard-wire-v3"; see src/engine/shard/README.md for the full spec).
 //
 // Everything that crosses a worker pipe is a length-prefixed, checksummed
 // frame over the same little-endian primitives as the pd-cache-v2 store:
@@ -22,8 +22,11 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "engine/job.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pd::engine::shard {
 
@@ -31,7 +34,15 @@ namespace pd::engine::shard {
 /// gained phases.probeSweepMs (f64). The hello handshake rejects a
 /// worker binary speaking a different layout cleanly instead of
 /// misparsing its frames.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+///
+/// v3 (PR 6, pd-trace): new kObs frame — a worker ships its buffered
+/// spans and a metrics *delta* (counters/histograms since its previous
+/// kObs, gauges current) after each result and once more at shutdown,
+/// so the coordinator can fold the fleet into one trace and one
+/// registry. Workers only emit kObs when spawned with --obs, but the
+/// layout change alone bumps the version: a v2 peer would poison its
+/// decoder on the unknown frame type.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Upper bound on a single frame payload. Generous (a mapped multiplier
 /// netlist is kilobytes, not gigabytes) while keeping a corrupt length
@@ -45,6 +56,7 @@ enum class FrameType : std::uint8_t {
     kShutdown = 4,    ///< coordinator → worker: drain and exit
     kCacheEntry = 5,  ///< worker → coordinator: one cache-delta entry
     kBye = 6,         ///< worker → coordinator: delta complete, exiting
+    kObs = 7,         ///< worker → coordinator: spans + metrics delta
 };
 
 struct Frame {
@@ -108,6 +120,19 @@ struct CacheDelta {
 
 [[nodiscard]] std::string encodeCacheDelta(const CacheDelta& d);
 [[nodiscard]] CacheDelta decodeCacheDelta(std::string_view payload);
+
+/// One observability shipment: the worker's drained spans (pid still 0;
+/// the coordinator re-tags them with shardId + 1) and its metrics delta
+/// since the previous shipment. Span timestamps are CLOCK_MONOTONIC,
+/// shared across processes on one host, so no skew correction is needed
+/// at merge time.
+struct ObsDelta {
+    std::vector<obs::Span> spans;
+    obs::MetricsSnapshot metrics;
+};
+
+[[nodiscard]] std::string encodeObsDelta(const ObsDelta& d);
+[[nodiscard]] ObsDelta decodeObsDelta(std::string_view payload);
 
 /// A spec can cross the pipe iff it can be rebuilt in another process:
 /// registry-named benchmarks and expression jobs qualify; a spec carrying

@@ -10,6 +10,9 @@
 #include <unordered_set>
 
 #include "engine/shard/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/log.hpp"
 
 namespace pd::engine::shard {
 namespace {
@@ -45,6 +48,9 @@ int runWorker(const WorkerOptions& opt) {
     if (outFd < 0) return 3;
     ::dup2(STDERR_FILENO, STDOUT_FILENO);
 
+    log::setScopePrefix("w" + std::to_string(opt.shardId));
+    if (opt.obs) obs::setEnabled(true);
+
     if (opt.rssBudgetMb != 0) {
         rlimit lim{};
         lim.rlim_cur = lim.rlim_max =
@@ -77,6 +83,26 @@ int runWorker(const WorkerOptions& opt) {
             shipped.insert(d.key);
         }
         return true;
+    };
+
+    // Observability shipments mirror the cache-delta cadence: after every
+    // job plus a shutdown catch-up, so a crash forfeits at most one job's
+    // spans. Metrics ship as deltas against the previous shipment — the
+    // coordinator accumulates, so re-sending totals would double-count.
+    obs::MetricsSnapshot lastShipped;
+    const auto shipObs = [&] {
+        if (!opt.obs) return true;
+        if (rusage ru{}; ::getrusage(RUSAGE_SELF, &ru) == 0)
+            obs::gauge("worker.rss_mb").set(ru.ru_maxrss / 1024);
+        ObsDelta d;
+        d.spans = obs::drainSpans();
+        obs::MetricsSnapshot cur = obs::snapshotMetrics();
+        d.metrics = obs::deltaMetrics(cur, lastShipped);
+        lastShipped = std::move(cur);
+        if (d.spans.empty() && d.metrics.counters.empty() &&
+            d.metrics.gauges.empty() && d.metrics.histograms.empty())
+            return true;
+        return sendFrame(outFd, FrameType::kObs, encodeObsDelta(d));
     };
 
     FrameDecoder decoder;
@@ -115,6 +141,7 @@ int runWorker(const WorkerOptions& opt) {
                                encodeResult(index, result)))
                     return 3;
                 if (!shipDeltas()) return 3;
+                if (!shipObs()) return 3;
                 break;
             }
             case FrameType::kShutdown: {
@@ -122,6 +149,7 @@ int runWorker(const WorkerOptions& opt) {
                 // empty); disk-restored entries stay behind — the
                 // coordinator already has them.
                 if (!shipDeltas()) return 3;
+                if (!shipObs()) return 3;
                 sendFrame(outFd, FrameType::kBye, {});
                 return 0;
             }

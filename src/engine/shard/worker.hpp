@@ -43,6 +43,9 @@ struct WorkerOptions {
     /// fail, surfacing as a per-job failure or a crash — either way the
     /// blast radius is this worker, not the batch.
     std::size_t rssBudgetMb = 0;
+    /// Mirrors the coordinator's tracing switch (--obs): buffer spans and
+    /// ship kObs frames after every job and at shutdown.
+    bool obs = false;
 };
 
 /// Runs the worker loop over stdin/stdout until kShutdown or EOF.

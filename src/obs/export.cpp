@@ -1,0 +1,104 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "util/json_writer.hpp"
+
+namespace pd::obs {
+namespace {
+
+/// Rewrites a registry name to a Prometheus identifier:
+/// "shard.wire.tx.bytes" → "pd_shard_wire_tx_bytes".
+std::string promName(const std::string& name) {
+    std::string out = "pd_";
+    for (const char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0;
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& os, const std::vector<Span>& spans,
+                      const std::map<std::int32_t, std::string>& processNames) {
+    util::JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    // Name every pid track that appears, whether or not the caller
+    // supplied a label — Perfetto groups tracks by these.
+    std::set<std::int32_t> pids;
+    for (const auto& s : spans) pids.insert(s.pid);
+    for (const auto& [pid, name] : processNames) pids.insert(pid);
+    for (const std::int32_t pid : pids) {
+        const auto it = processNames.find(pid);
+        const std::string name =
+            it != processNames.end()
+                ? it->second
+                : "pd pid " + std::to_string(pid);
+        w.beginObject();
+        w.field("name", "process_name");
+        w.field("ph", "M");
+        w.field("pid", static_cast<std::int64_t>(pid));
+        w.field("tid", 0);
+        w.key("args").beginObject().field("name", name).endObject();
+        w.endObject();
+    }
+
+    for (const auto& s : spans) {
+        w.beginObject();
+        w.field("name", s.name);
+        w.field("cat", s.cat);
+        w.field("ph", "X");
+        // Trace-event timestamps are microseconds; keep sub-µs precision
+        // by emitting fractional values.
+        w.field("ts", static_cast<double>(s.startNs) / 1000.0);
+        w.field("dur", static_cast<double>(s.durNs) / 1000.0);
+        w.field("pid", static_cast<std::int64_t>(s.pid));
+        w.field("tid", static_cast<std::int64_t>(s.tid));
+        w.key("args").beginObject();
+        if (s.fp != 0) w.field("fp", s.fp);
+        w.field("seq", s.seq);
+        if (!s.detail.empty()) w.field("detail", s.detail);
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.endObject();
+}
+
+void writePrometheus(std::ostream& os, const MetricsSnapshot& snap) {
+    for (const auto& [name, value] : snap.counters) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << "_total counter\n";
+        os << p << "_total " << value << '\n';
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n";
+        os << p << ' ' << value << '\n';
+    }
+    for (const auto& h : snap.histograms) {
+        const std::string p = promName(h.name);
+        os << "# TYPE " << p << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            cumulative += h.buckets[i];
+            os << p << "_bucket{le=\"";
+            if (i + 1 == Histogram::kBuckets) {
+                os << "+Inf";
+            } else {
+                os << Histogram::bucketBound(i);
+            }
+            os << "\"} " << cumulative << '\n';
+        }
+        os << p << "_sum " << h.sum << '\n';
+        os << p << "_count " << h.count << '\n';
+    }
+}
+
+}  // namespace pd::obs

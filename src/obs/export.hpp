@@ -1,0 +1,33 @@
+// Exporters for the pd-trace subsystem:
+//  * writeChromeTrace — Chrome trace-event JSON ("X" complete events,
+//    µs timestamps), directly loadable at https://ui.perfetto.dev.
+//  * writePrometheus — Prometheus text exposition format 0.0.4, the
+//    groundwork for ROADMAP's /metrics endpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pd::obs {
+
+/// Emits one trace-event document: a metadata "M" event naming each
+/// logical process track (pid → name from `processNames`; unnamed pids
+/// fall back to "pd pid <n>"), then one "X" complete event per span with
+/// ts/dur in microseconds. Span fp/seq land in the event args, keeping
+/// traces diffable. Spans need not be sorted.
+void writeChromeTrace(std::ostream& os, const std::vector<Span>& spans,
+                      const std::map<std::int32_t, std::string>& processNames);
+
+/// Emits every registered metric in Prometheus exposition format:
+/// counters as `pd_<name>_total`, gauges as `pd_<name>`, histograms as
+/// `pd_<name>_bucket{le="..."}` / `_sum` / `_count` with log2 bounds.
+/// Dots and other non-identifier characters in names become '_'.
+void writePrometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace pd::obs

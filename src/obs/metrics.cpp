@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pd::obs {
+namespace {
+
+/// One registry per process. Maps own their metric objects and never
+/// erase, so references handed out by counter()/gauge()/histogram()
+/// remain valid forever (hot sites cache them in static locals).
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+    static auto* r = new Registry();  // leaked: outlives all users
+    return *r;
+}
+
+template <typename Map>
+auto& getOrCreate(Map& map, std::string_view name, std::mutex& mutex) {
+    std::lock_guard lock(mutex);
+    auto it = map.find(name);
+    if (it == map.end()) {
+        it = map.emplace(std::string(name),
+                         std::make_unique<typename Map::mapped_type::
+                                              element_type>())
+                 .first;
+    }
+    return *it->second;
+}
+
+}  // namespace
+
+std::size_t Histogram::bucketIndex(std::uint64_t v) {
+    if (v <= 1) return 0;
+    const auto width = static_cast<std::size_t>(std::bit_width(v - 1));
+    return std::min(width, kBuckets - 1);
+}
+
+void Histogram::merge(const std::array<std::uint64_t, kBuckets>& buckets,
+                      std::uint64_t count, std::uint64_t sum) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets[i] != 0) {
+            buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+        }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+    auto& r = registry();
+    return getOrCreate(r.counters, name, r.mutex);
+}
+
+Gauge& gauge(std::string_view name) {
+    auto& r = registry();
+    return getOrCreate(r.gauges, name, r.mutex);
+}
+
+Histogram& histogram(std::string_view name) {
+    auto& r = registry();
+    return getOrCreate(r.histograms, name, r.mutex);
+}
+
+MetricsSnapshot snapshotMetrics() {
+    auto& r = registry();
+    MetricsSnapshot snap;
+    std::lock_guard lock(r.mutex);
+    snap.counters.reserve(r.counters.size());
+    for (const auto& [name, c] : r.counters) {
+        snap.counters.emplace_back(name, c->value());
+    }
+    snap.gauges.reserve(r.gauges.size());
+    for (const auto& [name, g] : r.gauges) {
+        snap.gauges.emplace_back(name, g->value());
+    }
+    snap.histograms.reserve(r.histograms.size());
+    for (const auto& [name, h] : r.histograms) {
+        HistogramSample s;
+        s.name = name;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            s.buckets[i] = h->bucketCount(i);
+        }
+        s.count = h->count();
+        s.sum = h->sum();
+        snap.histograms.push_back(std::move(s));
+    }
+    return snap;
+}
+
+MetricsSnapshot deltaMetrics(const MetricsSnapshot& cur,
+                             const MetricsSnapshot& prev) {
+    MetricsSnapshot delta;
+    // Snapshots are name-sorted (registry maps are ordered), so a merge
+    // walk pairs up entries.
+    {
+        auto p = prev.counters.begin();
+        for (const auto& [name, value] : cur.counters) {
+            while (p != prev.counters.end() && p->first < name) ++p;
+            const std::uint64_t base =
+                (p != prev.counters.end() && p->first == name) ? p->second
+                                                               : 0;
+            if (value != base) delta.counters.emplace_back(name, value - base);
+        }
+    }
+    delta.gauges = cur.gauges;  // gauges are levels, not increments
+    {
+        auto p = prev.histograms.begin();
+        for (const auto& h : cur.histograms) {
+            while (p != prev.histograms.end() && p->name < h.name) ++p;
+            HistogramSample d;
+            d.name = h.name;
+            if (p != prev.histograms.end() && p->name == h.name) {
+                for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+                    d.buckets[i] = h.buckets[i] - p->buckets[i];
+                }
+                d.count = h.count - p->count;
+                d.sum = h.sum - p->sum;
+            } else {
+                d = h;
+            }
+            if (d.count != 0) delta.histograms.push_back(std::move(d));
+        }
+    }
+    return delta;
+}
+
+void applyWorkerDelta(const MetricsSnapshot& delta, int workerId) {
+    for (const auto& [name, value] : delta.counters) {
+        counter(name).add(value);
+    }
+    for (const auto& [name, value] : delta.gauges) {
+        gauge(name + ".w" + std::to_string(workerId)).set(value);
+        gauge(name).setMax(value);
+    }
+    for (const auto& h : delta.histograms) {
+        histogram(h.name).merge(h.buckets, h.count, h.sum);
+    }
+}
+
+void resetMetricsForTest() {
+    auto& r = registry();
+    std::lock_guard lock(r.mutex);
+    for (auto& [name, c] : r.counters) c->reset();
+    for (auto& [name, g] : r.gauges) g->reset();
+    for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace pd::obs

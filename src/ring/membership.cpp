@@ -2,11 +2,15 @@
 
 #include "anf/indexer.hpp"
 #include "gf2/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pd::ring {
 
 SumMembership memberOfSum(const anf::Anf& target, const NullSpaceRing& r1,
                           const NullSpaceRing& r2, std::size_t maxSpan) {
+    static auto& cQueries = obs::counter("ring.member.queries");
+    cQueries.add();
     SumMembership out;
     if (target.isZero()) {
         out.member = true;
@@ -77,6 +81,8 @@ IndexedSumMembership memberOfSum(MembershipContext& ctx,
                                  const NullSpaceRing& r1,
                                  const NullSpaceRing& r2,
                                  std::size_t maxSpan) {
+    static auto& cQueries = obs::counter("ring.member.queries");
+    cQueries.add();
     IndexedSumMembership out;
     if (target.isZero()) {
         out.member = true;
@@ -107,6 +113,13 @@ IndexedSumMembership memberOfSum(MembershipContext& ctx,
         }
     }
     ++ctx.solves_;
+    static auto& cSolves = obs::counter("ring.member.solves");
+    cSolves.add();
+    // Only solves slower than 20µs are worth a trace slot — membership
+    // runs ~10^5 times per job and the ring would otherwise wrap
+    // instantly; the counter above stays exact regardless.
+    obs::ScopedSpan solveSpan("ring.member.solve", "ring",
+                              /*minDurNs=*/20'000);
 
     // Assign dense solver columns in the reference's first-occurrence
     // order: each element's terms in canonical monomial order, elements in

@@ -1,0 +1,45 @@
+#include "util/build_info.hpp"
+
+namespace pd::util {
+namespace {
+
+#ifndef PD_GIT_HASH
+#define PD_GIT_HASH "unknown"
+#endif
+#ifndef PD_GIT_DIRTY
+#define PD_GIT_DIRTY "unknown"
+#endif
+#ifndef PD_BUILD_TYPE
+#define PD_BUILD_TYPE "unknown"
+#endif
+
+// Stringified major.minor.patch from the compiler's predefines; spelled
+// out per compiler because __VERSION__ formats differ wildly.
+#define PD_STR2(x) #x
+#define PD_STR(x) PD_STR2(x)
+#if defined(__clang__)
+constexpr std::string_view kCompiler =
+    "clang " PD_STR(__clang_major__) "." PD_STR(__clang_minor__) "." PD_STR(
+        __clang_patchlevel__);
+#elif defined(__GNUC__)
+constexpr std::string_view kCompiler =
+    "gcc " PD_STR(__GNUC__) "." PD_STR(__GNUC_MINOR__) "." PD_STR(
+        __GNUC_PATCHLEVEL__);
+#else
+constexpr std::string_view kCompiler = "unknown";
+#endif
+#undef PD_STR
+#undef PD_STR2
+
+constexpr BuildInfo kBuildInfo{
+    PD_GIT_HASH,
+    PD_GIT_DIRTY,
+    kCompiler,
+    PD_BUILD_TYPE,
+};
+
+}  // namespace
+
+const BuildInfo& buildInfo() { return kBuildInfo; }
+
+}  // namespace pd::util

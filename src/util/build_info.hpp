@@ -1,0 +1,25 @@
+// Build/provenance identity stamped into every emitted artifact
+// (pd-batch-report-v1 `engine.build`, trace metadata) so benches and
+// traces are attributable to an exact source + toolchain state.
+//
+// The git hash and build type arrive as compile definitions from CMake
+// (PD_GIT_HASH, PD_BUILD_TYPE); compiler identity comes from the
+// compiler's own predefines, so a gcc and a clang build of the same
+// commit are distinguishable in BENCH_* history.
+#pragma once
+
+#include <string_view>
+
+namespace pd::util {
+
+struct BuildInfo {
+    std::string_view gitHash;    ///< short commit hash, "unknown" outside git
+    std::string_view dirty;      ///< "clean" | "dirty" | "unknown"
+    std::string_view compiler;   ///< e.g. "clang 18.1.3", "gcc 13.2.0"
+    std::string_view buildType;  ///< CMAKE_BUILD_TYPE, "unknown" if unset
+};
+
+/// Identity of this binary; all fields are compile-time constants.
+[[nodiscard]] const BuildInfo& buildInfo();
+
+}  // namespace pd::util

@@ -1,0 +1,250 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pd::util {
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string* error)
+        : text_(text), error_(error) {}
+
+    bool parse(JsonValue& out) {
+        skipWs();
+        if (!parseValue(out)) return false;
+        skipWs();
+        if (pos_ != text_.size()) return fail("trailing characters");
+        return true;
+    }
+
+private:
+    bool fail(const char* msg) {
+        if (error_) {
+            *error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skipWs() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+
+    bool consume(char expected) {
+        if (atEnd() || text_[pos_] != expected) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool consumeWord(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parseValue(JsonValue& out) {
+        if (atEnd()) return fail("unexpected end of input");
+        switch (peek()) {
+            case '{': return parseObject(out);
+            case '[': return parseArray(out);
+            case '"': {
+                std::string s;
+                if (!parseString(s)) return false;
+                out = JsonValue(std::move(s));
+                return true;
+            }
+            case 't':
+                if (!consumeWord("true")) return fail("bad literal");
+                out = JsonValue(true);
+                return true;
+            case 'f':
+                if (!consumeWord("false")) return fail("bad literal");
+                out = JsonValue(false);
+                return true;
+            case 'n':
+                if (!consumeWord("null")) return fail("bad literal");
+                out = JsonValue();
+                return true;
+            default: return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue& out) {
+        ++pos_;  // '{'
+        JsonObject obj;
+        skipWs();
+        if (consume('}')) {
+            out = JsonValue(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string name;
+            if (!parseString(name)) return false;
+            skipWs();
+            if (!consume(':')) return fail("expected ':'");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v)) return false;
+            obj.insert_or_assign(std::move(name), std::move(v));
+            skipWs();
+            if (consume(',')) continue;
+            if (consume('}')) break;
+            return fail("expected ',' or '}'");
+        }
+        out = JsonValue(std::move(obj));
+        return true;
+    }
+
+    bool parseArray(JsonValue& out) {
+        ++pos_;  // '['
+        JsonArray arr;
+        skipWs();
+        if (consume(']')) {
+            out = JsonValue(std::move(arr));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v)) return false;
+            arr.push_back(std::move(v));
+            skipWs();
+            if (consume(',')) continue;
+            if (consume(']')) break;
+            return fail("expected ',' or ']'");
+        }
+        out = JsonValue(std::move(arr));
+        return true;
+    }
+
+    bool parseString(std::string& out) {
+        if (!consume('"')) return fail("expected string");
+        out.clear();
+        while (true) {
+            if (atEnd()) return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd()) return fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            cp |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                    // Encode the BMP code point as UTF-8 (surrogate pairs
+                    // are not combined — the repo's emitters never produce
+                    // them).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                }
+                default: return fail("bad escape");
+            }
+        }
+    }
+
+    bool parseNumber(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-') ++pos_;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            ++pos_;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        if (pos_ == start) return fail("expected value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) return fail("bad number");
+        out = JsonValue(v);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+    if (!isObject()) return nullptr;
+    const auto it = obj_->find(std::string(name));
+    return it == obj_->end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::findPath(std::string_view path) const {
+    const JsonValue* cur = this;
+    while (cur && !path.empty()) {
+        const std::size_t dot = path.find('.');
+        const std::string_view head =
+            dot == std::string_view::npos ? path : path.substr(0, dot);
+        path = dot == std::string_view::npos ? std::string_view{}
+                                             : path.substr(dot + 1);
+        cur = cur->find(head);
+    }
+    return cur;
+}
+
+bool parseJson(std::string_view text, JsonValue& out, std::string* error) {
+    return Parser(text, error).parse(out);
+}
+
+}  // namespace pd::util

@@ -1,0 +1,79 @@
+// Minimal recursive-descent JSON parser used by tests and tooling to
+// validate the artifacts the repo emits (pd-batch-report-v1 documents,
+// Chrome trace-event files). It is deliberately small: full JSON value
+// model, UTF-8 passthrough (no surrogate handling beyond \uXXXX escapes
+// of BMP code points), numbers parsed as double plus an exact-integer
+// flag. Not a hot-path component — do not use it inside the engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pd::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// One parsed JSON value. Object members are kept in a std::map so
+/// comparisons and golden-file assertions are order-independent.
+class JsonValue {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    JsonValue() : kind_(Kind::kNull) {}
+    explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+    explicit JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::kString), str_(std::move(s)) {}
+    explicit JsonValue(JsonArray a)
+        : kind_(Kind::kArray),
+          arr_(std::make_shared<JsonArray>(std::move(a))) {}
+    explicit JsonValue(JsonObject o)
+        : kind_(Kind::kObject),
+          obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool isBool() const { return kind_ == Kind::kBool; }
+    [[nodiscard]] bool isNumber() const { return kind_ == Kind::kNumber; }
+    [[nodiscard]] bool isString() const { return kind_ == Kind::kString; }
+    [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
+    [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+
+    [[nodiscard]] bool asBool() const { return bool_; }
+    [[nodiscard]] double asNumber() const { return num_; }
+    [[nodiscard]] std::int64_t asInt() const {
+        return static_cast<std::int64_t>(num_);
+    }
+    [[nodiscard]] const std::string& asString() const { return str_; }
+    [[nodiscard]] const JsonArray& asArray() const { return *arr_; }
+    [[nodiscard]] const JsonObject& asObject() const { return *obj_; }
+
+    /// Object member lookup; returns nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view name) const;
+
+    /// Dotted-path lookup ("engine.build.compiler"); nullptr when any
+    /// segment is missing. Array indices are not supported.
+    [[nodiscard]] const JsonValue* findPath(std::string_view path) const;
+
+private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::shared_ptr<JsonArray> arr_;
+    std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parses one JSON document. On failure returns nullopt-like null value
+/// and sets *error to a message with a byte offset; trailing
+/// non-whitespace after the document is an error.
+[[nodiscard]] bool parseJson(std::string_view text, JsonValue& out,
+                             std::string* error);
+
+}  // namespace pd::util

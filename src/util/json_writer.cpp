@@ -1,0 +1,129 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pd::util {
+
+void JsonWriter::separate() {
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;  // value follows its key on the same line
+    }
+    if (!hasItems_.empty()) {
+        if (hasItems_.back()) os_ << ',';
+        hasItems_.back() = true;
+        os_ << '\n';
+        indent();
+    }
+}
+
+void JsonWriter::indent() {
+    for (std::size_t i = 0; i < hasItems_.size(); ++i) os_ << "  ";
+}
+
+JsonWriter& JsonWriter::beginObject() {
+    separate();
+    os_ << '{';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+    const bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << '}';
+    if (hasItems_.empty()) os_ << '\n';
+    return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+    separate();
+    os_ << '[';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+    const bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    separate();
+    writeString(k);
+    os_ << ": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    separate();
+    writeString(v);
+    return *this;
+}
+
+void JsonWriter::writeString(std::string_view v) {
+    os_ << '"';
+    for (const char c : v) {
+        switch (c) {
+            case '"': os_ << "\\\""; break;
+            case '\\': os_ << "\\\\"; break;
+            case '\n': os_ << "\\n"; break;
+            case '\r': os_ << "\\r"; break;
+            case '\t': os_ << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+        }
+    }
+    os_ << '"';
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+}
+
+}  // namespace pd::util

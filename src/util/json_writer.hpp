@@ -1,0 +1,54 @@
+// Minimal streaming JSON emitter (objects, arrays, escaped strings,
+// numbers, booleans) shared by the batch report, the benchmark
+// trajectory files, and the obs trace/metrics exporters.
+//
+// Lives in util (not engine) because every layer that emits an artifact
+// uses it — engine reports, bench "pd-bench-*" schemas, and the obs
+// Chrome-trace exporter — and obs must not depend on engine.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace pd::util {
+
+/// Streaming JSON emitter with 2-space indentation. Keys/values must be
+/// issued in a valid order (object → key → value); commas and newlines
+/// are handled automatically.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+    JsonWriter& key(std::string_view k);
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(bool v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    /// key + value in one call.
+    template <typename T>
+    JsonWriter& field(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+private:
+    void separate();
+    void indent();
+    void writeString(std::string_view v);
+
+    std::ostream& os_;
+    std::vector<bool> hasItems_;  ///< per nesting level
+    bool pendingKey_ = false;
+};
+
+}  // namespace pd::util

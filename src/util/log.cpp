@@ -1,0 +1,87 @@
+#include "util/log.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace pd::log {
+namespace {
+
+std::atomic<int> g_threshold{-1};  ///< -1 = not yet initialized
+std::mutex g_mutex;                ///< serializes prefix writes + output
+std::string g_prefix;
+
+Level initFromEnv() {
+    const char* env = std::getenv("PD_LOG");
+    const Level level = env ? parseLevel(env) : Level::kWarn;
+    int expected = -1;
+    g_threshold.compare_exchange_strong(expected, static_cast<int>(level));
+    return static_cast<Level>(g_threshold.load(std::memory_order_relaxed));
+}
+
+std::string_view levelName(Level level) {
+    switch (level) {
+        case Level::kDebug: return "debug";
+        case Level::kInfo: return "info";
+        case Level::kWarn: return "warn";
+        case Level::kError: return "error";
+        case Level::kOff: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+Level parseLevel(std::string_view name) {
+    if (name == "debug") return Level::kDebug;
+    if (name == "info") return Level::kInfo;
+    if (name == "warn" || name == "warning") return Level::kWarn;
+    if (name == "error") return Level::kError;
+    if (name == "off" || name == "none") return Level::kOff;
+    return Level::kWarn;
+}
+
+Level threshold() {
+    const int t = g_threshold.load(std::memory_order_relaxed);
+    if (t >= 0) return static_cast<Level>(t);
+    return initFromEnv();
+}
+
+void setThreshold(Level level) {
+    g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool enabled(Level level) { return level >= threshold(); }
+
+void setScopePrefix(std::string prefix) {
+    std::lock_guard lock(g_mutex);
+    g_prefix = std::move(prefix);
+}
+
+void write(Level level, std::string_view subsystem, std::string_view msg) {
+    if (!enabled(level)) return;
+    std::string line;
+    line.reserve(subsystem.size() + msg.size() + 24);
+    line += "pd";
+    std::lock_guard lock(g_mutex);
+    if (!g_prefix.empty()) {
+        line += '[';
+        line += g_prefix;
+        line += ']';
+    }
+    line += ' ';
+    line += levelName(level);
+    line += ' ';
+    line += subsystem;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    // One write() call per line: interleaved fleet stderr stays readable
+    // line-by-line even when N workers log concurrently.
+    [[maybe_unused]] const ssize_t n =
+        ::write(STDERR_FILENO, line.data(), line.size());
+}
+
+}  // namespace pd::log

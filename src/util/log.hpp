@@ -1,0 +1,66 @@
+// Minimal leveled logger for the engine and the shard runtime.
+//
+// Every diagnostic that used to go to stderr ad hoc (worker crash
+// notices, persist-store trouble, coordinator lifecycle) goes through
+// here instead, so one environment variable controls verbosity:
+//
+//   PD_LOG=debug|info|warn|error|off      (default: warn)
+//
+// Lines are written to stderr in one atomic write each, formatted as
+//
+//   pd[w3] warn shard: worker 3 killed by signal 6 (Aborted)
+//
+// where the optional "[w3]" scope prefix identifies the shard worker
+// process in sharded runs (set once by the worker at startup, so every
+// line of a fleet's interleaved stderr is attributable). The level check
+// is a single relaxed atomic load, so disabled log statements cost a
+// branch — callers may build messages unconditionally for warn/error
+// paths but should gate expensive debug formatting on enabled().
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pd::log {
+
+enum class Level : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/// Active threshold: messages below it are dropped. Initialized from
+/// $PD_LOG on first use; setThreshold overrides (tests, CLI flags).
+[[nodiscard]] Level threshold();
+void setThreshold(Level level);
+
+/// Parses a $PD_LOG-style name ("debug", "info", "warn", "error",
+/// "off"); unknown names yield the default (warn) so a typo can never
+/// silence errors entirely.
+[[nodiscard]] Level parseLevel(std::string_view name);
+
+/// True when `level` would be emitted — gate expensive formatting on it.
+[[nodiscard]] bool enabled(Level level);
+
+/// Process-wide scope prefix ("w3" in shard worker 3; empty elsewhere).
+void setScopePrefix(std::string prefix);
+
+/// Emits one line: pd[<prefix>] <level> <subsystem>: <msg>
+void write(Level level, std::string_view subsystem, std::string_view msg);
+
+inline void debug(std::string_view subsystem, std::string_view msg) {
+    if (enabled(Level::kDebug)) write(Level::kDebug, subsystem, msg);
+}
+inline void info(std::string_view subsystem, std::string_view msg) {
+    if (enabled(Level::kInfo)) write(Level::kInfo, subsystem, msg);
+}
+inline void warn(std::string_view subsystem, std::string_view msg) {
+    if (enabled(Level::kWarn)) write(Level::kWarn, subsystem, msg);
+}
+inline void error(std::string_view subsystem, std::string_view msg) {
+    if (enabled(Level::kError)) write(Level::kError, subsystem, msg);
+}
+
+}  // namespace pd::log

@@ -46,6 +46,12 @@
 //                    overrunning worker is killed and the job retried
 //                    once on another worker (0 = unlimited)
 //   --shard-rss-mb <n>   per-worker address-space budget (0 = unlimited)
+//   --trace-out <f>  enable pd-trace span collection and write a Chrome
+//                    trace-event JSON (load it at ui.perfetto.dev). In
+//                    sharded mode the file is one merged fleet trace:
+//                    coordinator plus one process track per worker.
+//   --metrics-out <f>  dump the metrics registry in Prometheus text
+//                    exposition format after the batch
 //
 // There is also a hidden `pd_cli worker` mode: the shard coordinator
 // fork/execs it with pipes on stdin/stdout (see src/engine/shard/README.md
@@ -56,8 +62,10 @@
 // use. Example:
 //   pd_cli expr --trace "maj=a*b ^ a*c ^ b*c"
 #include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -66,10 +74,14 @@
 #include "circuits/registry.hpp"
 #include "core/decomposer.hpp"
 #include "engine/engine.hpp"
+#include "engine/persist/serialize.hpp"
 #include "engine/persist/store.hpp"
 #include "engine/report_json.hpp"
 #include "engine/shard/worker.hpp"
 #include "io/blif.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "io/verilog.hpp"
 #include "netlist/stats.hpp"
 #include "synth/celllib.hpp"
@@ -95,7 +107,8 @@ int usage() {
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
         "         --cache-file <file>  --cache-readonly  --no-verify\n"
-        "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n";
+        "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n"
+        "         --trace-out <file>  --metrics-out <file>\n";
     return 2;
 }
 
@@ -152,6 +165,8 @@ struct Options {
     std::size_t shardWallMs = 0;
     std::size_t shardRssMb = 0;
     std::size_t probeThreads = 0;
+    std::string traceOutPath;
+    std::string metricsOutPath;
 };
 
 int runDecomposition(pd::anf::VarTable& vt,
@@ -224,7 +239,9 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--cache-readonly" ||
                                arg == "--shards" ||
                                arg == "--shard-wall-ms" ||
-                               arg == "--shard-rss-mb";
+                               arg == "--shard-rss-mb" ||
+                               arg == "--trace-out" ||
+                               arg == "--metrics-out";
         const bool flowOnly = arg == "--trace" || arg == "--stats" ||
                               arg == "--verilog" || arg == "--blif";
         if (batchOnly && !batchMode) {
@@ -288,6 +305,12 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
         } else if (arg == "--json") {
             if (++i >= argc) return usage();
             opt.jsonPath = argv[i];
+        } else if (arg == "--trace-out") {
+            if (++i >= argc) return usage();
+            opt.traceOutPath = argv[i];
+        } else if (arg == "--metrics-out") {
+            if (++i >= argc) return usage();
+            opt.metricsOutPath = argv[i];
         } else if (arg == "--no-identities") {
             opt.decompose.useIdentities = false;
         } else if (arg == "--no-nullspace") {
@@ -326,6 +349,14 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         spec.options = opt.decompose;
         spec.verify = opt.verify;
         specs.push_back(std::move(spec));
+    }
+
+    if (!opt.traceOutPath.empty()) {
+#ifdef PD_OBS_OFF
+        std::cerr << "note: this build was configured with -DPD_OBS=OFF; "
+                     "--trace-out will contain no spans\n";
+#endif
+        pd::obs::setEnabled(true);
     }
 
     pd::engine::EngineOptions eopt;
@@ -388,6 +419,35 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         std::cout << "wrote " << opt.jsonPath << "\n";
     }
 
+    if (!opt.traceOutPath.empty()) {
+        std::ofstream os(opt.traceOutPath);
+        if (!os) {
+            std::cerr << "cannot write " << opt.traceOutPath << "\n";
+            return 1;
+        }
+        const auto spans = pd::obs::drainSpans();
+        // Name every expected track up front so a worker that shipped no
+        // spans still appears (empty) rather than as a bare pid number.
+        std::map<std::int32_t, std::string> tracks;
+        tracks[0] = opt.shards > 0 ? "pd coordinator" : "pd batch";
+        for (std::size_t s = 0; s < opt.shards; ++s)
+            tracks[static_cast<std::int32_t>(s) + 1] =
+                "pd worker " + std::to_string(s);
+        pd::obs::writeChromeTrace(os, spans, tracks);
+        std::cout << "wrote " << opt.traceOutPath << " (" << spans.size()
+                  << " spans)\n";
+    }
+
+    if (!opt.metricsOutPath.empty()) {
+        std::ofstream os(opt.metricsOutPath);
+        if (!os) {
+            std::cerr << "cannot write " << opt.metricsOutPath << "\n";
+            return 1;
+        }
+        pd::obs::writePrometheus(os, pd::obs::snapshotMetrics());
+        std::cout << "wrote " << opt.metricsOutPath << "\n";
+    }
+
     if (!opt.cacheFile.empty() && !opt.cacheReadonly) {
         std::size_t saved = 0;
         std::string error;
@@ -443,6 +503,8 @@ int runWorkerMode(const std::vector<std::string>& args) {
             if (!countArgAt(equivSeed)) return 2;
         } else if (arg == "--rss-budget-mb") {
             if (!countArgAt(wopt.rssBudgetMb)) return 2;
+        } else if (arg == "--obs") {
+            wopt.obs = true;
         } else if (arg == "--cache-file") {
             if (++i >= args.size()) {
                 std::cerr << "worker option --cache-file expects a path\n";
@@ -509,6 +571,39 @@ int runCacheInfo(const std::vector<std::string>& args) {
     else if (!loaded.detail.empty())
         std::cout << " — " << loaded.detail;
     std::cout << "\n";
+    if (loaded.ok() && !loaded.entries.empty()) {
+        // Per-entry size distributions, log2-bucketed. The pd-cache-v2
+        // format deliberately stores no timestamps (its byte-identical
+        // rewrite guarantee forbids them), so entry *age* is only
+        // observable in a live engine — the batch report's
+        // "cache.entry.lru_age" histogram covers that side.
+        pd::obs::Histogram keyBytes;
+        pd::obs::Histogram payloadBytes;
+        std::string payload;
+        for (const auto& e : loaded.entries) {
+            keyBytes.observe(e.key.size());
+            payload.clear();
+            pd::engine::persist::serializeJobResult(*e.result, payload);
+            payloadBytes.observe(payload.size());
+        }
+        const auto print = [](const char* label,
+                              const pd::obs::Histogram& h) {
+            std::cout << label << ": count " << h.count() << ", sum "
+                      << h.sum() << " bytes\n";
+            for (std::size_t i = 0; i < pd::obs::Histogram::kBuckets; ++i) {
+                const std::uint64_t n = h.bucketCount(i);
+                if (n == 0) continue;
+                std::cout << "  le ";
+                if (i + 1 == pd::obs::Histogram::kBuckets)
+                    std::cout << "+Inf";
+                else
+                    std::cout << pd::obs::Histogram::bucketBound(i);
+                std::cout << ": " << n << "\n";
+            }
+        };
+        print("key bytes", keyBytes);
+        print("payload bytes", payloadBytes);
+    }
     return loaded.ok() ? 0 : 1;
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI gate for documentation link integrity.
+
+Usage: check_doc_links.py [repo_root]
+
+Scans every Markdown file in the repository (skipping build trees and
+.git) and verifies that each relative link target exists on disk:
+
+  [text](src/sat/README.md)        -> file must exist
+  [text](../../docs/cli.md#flags)  -> file must exist (anchor ignored)
+
+External links (http://, https://, mailto:) and pure in-page anchors
+(#section) are skipped — this gate is about keeping the repo navigable
+offline, not about the public internet. GitHub web-app paths
+(../../actions/... badge URLs, which are relative to the repository's
+web URL, not its file tree) are likewise skipped. Any other link that
+resolves outside the repository root is an error: docs must not depend
+on files the checkout does not contain.
+
+Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".ccache", "__pycache__"}
+
+# [text](target) — non-greedy target, tolerates titles: (target "title")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+# GitHub-web-relative, not file-tree-relative (status badges).
+WEB_APP_PREFIXES = ("../../actions/",)
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(md_path, root):
+    """Returns a list of (line_number, target, reason) problems."""
+    problems = []
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_PREFIXES):
+                    continue
+                if target.startswith(WEB_APP_PREFIXES):
+                    continue
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = os.path.realpath(
+                    os.path.join(os.path.dirname(md_path), path_part))
+                if os.path.commonpath([resolved, root]) != root:
+                    problems.append((lineno, target, "escapes repo root"))
+                elif not os.path.exists(resolved):
+                    problems.append((lineno, target, "target does not exist"))
+    return problems
+
+
+def main():
+    root = os.path.realpath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    total_files = 0
+    total_links_broken = 0
+    for md_path in sorted(markdown_files(root)):
+        total_files += 1
+        for lineno, target, reason in check_file(md_path, root):
+            rel = os.path.relpath(md_path, root)
+            print(f"{rel}:{lineno}: broken link ({target}): {reason}",
+                  file=sys.stderr)
+            total_links_broken += 1
+    if total_links_broken:
+        sys.exit(f"{total_links_broken} broken link(s) across "
+                 f"{total_files} Markdown file(s)")
+    print(f"doc-link gate OK: {total_files} Markdown files, all relative "
+          f"links resolve")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""CI perf smoke gate for the indexed-ANF hot path and the probe sweep.
+"""CI perf smoke gate for the indexed-ANF hot path, the probe sweep,
+and the SAT verification core.
 
 Usage: check_hotpath.py BASELINE.json CURRENT.json [tolerance]
 
-Accepts either committed bench_hotpath document — the kernel baseline
-(pd-bench-hotpath-v1) or the probe-sweep baseline (pd-bench-probe-v1);
-baseline and current must carry the same schema. Two complementary
+Accepts any committed bench document — the kernel baseline
+(pd-bench-hotpath-v1), the probe-sweep baseline (pd-bench-probe-v1), or
+the SAT-core baseline (pd-bench-sat-v1, where the "speedups" floor
+guards the CDCL-vs-DPLL propagation-throughput ratio); baseline and
+current must carry the same schema. Two complementary
 checks:
 
   1. "metrics" (absolute units): every entry must stay within
@@ -24,7 +27,7 @@ import json
 import os
 import sys
 
-SCHEMAS = ("pd-bench-hotpath-v1", "pd-bench-probe-v1")
+SCHEMAS = ("pd-bench-hotpath-v1", "pd-bench-probe-v1", "pd-bench-sat-v1")
 
 
 def main() -> int:

@@ -16,6 +16,7 @@
 #include "netlist/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "sat/equiv.hpp"
 #include "synth/hier_synth.hpp"
 #include "synth/mapper.hpp"
 #include "synth/opt.hpp"
@@ -175,9 +176,18 @@ std::string signatureDigest(const std::string& signature) {
 }
 
 std::string persistFingerprint(const EngineOptions& opt) {
+    // SAT verification changes stored fields (verification status, the
+    // sat block), so whether it ran and under which budgets is part of
+    // the salt. The searcher count is NOT: the portfolio's fixed
+    // tie-break makes results identical at every count, exactly like
+    // probeThreads.
     return "lib:umc130|xl" + std::to_string(opt.equiv.exhaustiveLimitBits) +
            "|rb" + std::to_string(opt.equiv.randomBatches) + "|sd" +
-           std::to_string(opt.equiv.seed);
+           std::to_string(opt.equiv.seed) +
+           (opt.verifyThreads > 0
+                ? "|vs1|vcb" + std::to_string(opt.verifyConflictBudget) +
+                      "|vpb" + std::to_string(opt.verifyPropagationBudget)
+                : std::string("|vs0"));
 }
 
 Engine::Engine(EngineOptions opt)
@@ -187,6 +197,8 @@ Engine::Engine(EngineOptions opt)
       pool_(opt.jobs == 0 ? 1 : opt.jobs) {
     if (opt_.probeThreads > 1)
         probePool_ = std::make_shared<ThreadPool>(opt_.probeThreads);
+    if (opt_.verifyThreads > 1)
+        verifyPool_ = std::make_shared<ThreadPool>(opt_.verifyThreads);
     persistInfo_.file = opt_.cacheFile;
     persistInfo_.readonly = opt_.cacheReadonly;
     if (opt_.cacheFile.empty()) return;
@@ -316,6 +328,9 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         cfg.conflictBudget = opt_.conflictBudget;
         cfg.mergeBudget = opt_.mergeBudget;
         cfg.probeThreads = opt_.probeThreads;
+        cfg.verifyThreads = opt_.verifyThreads;
+        cfg.verifyConflictBudget = opt_.verifyConflictBudget;
+        cfg.verifyPropagationBudget = opt_.verifyPropagationBudget;
         cfg.equiv = opt_.equiv;
         cfg.cacheFile = opt_.cacheFile;
         cfg.wallMsPerJob = opt_.shardWallMsPerJob;
@@ -446,6 +461,7 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 result.verification = cached.verification;
                 result.vectorsTested = cached.vectorsTested;
                 result.exhaustive = cached.exhaustive;
+                result.satVerify = cached.satVerify;
                 if (spec.keepMapped) result.mapped = cached.mapped;
                 result.name = name;
                 result.cacheKey = key;
@@ -520,6 +536,58 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                          ": expanded decomposition differs from input ANF");
             }
             result.verification = VerifyStatus::kAlgebraic;
+        }
+        if (spec.verify && opt_.verifyThreads > 0) {
+            // SAT certification of the optimize→map stages: miter the
+            // raw synthesized netlist against the mapped one and refute
+            // it. Complements the reference check above (which certifies
+            // decompose→synth against the spec but only samples wide
+            // circuits); UNSAT here covers the full input space.
+            static auto& satJobs = obs::counter("verify.sat.jobs");
+            static auto& satConflicts = obs::counter("verify.sat.conflicts");
+            static auto& satProps = obs::counter("verify.sat.propagations");
+            static auto& satRestarts = obs::counter("verify.sat.restarts");
+            static auto& satLearned = obs::counter("verify.sat.learned");
+            static auto& satExhausted =
+                obs::counter("verify.sat.budget_exhausted");
+            sat::EquivSatOptions satOpt;
+            satOpt.searchers = opt_.verifyThreads;
+            satOpt.conflictBudget = opt_.verifyConflictBudget;
+            satOpt.propagationBudget = opt_.verifyPropagationBudget;
+            satOpt.pool = verifyPool_.get();
+            const auto eq = sat::checkEquivalentSat(raw, mapped, satOpt);
+            result.satVerify.ran = true;
+            result.satVerify.conflicts = eq.conflicts;
+            result.satVerify.propagations = eq.propagations;
+            result.satVerify.restarts = eq.restarts;
+            result.satVerify.learned = eq.learned;
+            result.satVerify.winner = eq.winner;
+            result.satVerify.budgetExhausted = eq.budgetExhausted;
+            satJobs.add(1);
+            satConflicts.add(eq.conflicts);
+            satProps.add(eq.propagations);
+            satRestarts.add(eq.restarts);
+            satLearned.add(eq.learned);
+            obs::histogram("verify.sat.conflicts").observe(eq.conflicts);
+            obs::histogram("verify.sat.propagations")
+                .observe(eq.propagations);
+            switch (eq.status) {
+                case sat::EquivCheckResult::Status::kEquivalent:
+                    result.verification = VerifyStatus::kSat;
+                    break;
+                case sat::EquivCheckResult::Status::kDifferent:
+                    result.verification = VerifyStatus::kFailed;
+                    fail("engine",
+                         result.name +
+                             ": SAT found raw/mapped mismatch at output '" +
+                             eq.differingOutput + "'");
+                    break;
+                case sat::EquivCheckResult::Status::kUnknown:
+                    // Budget exhausted: keep the simulated/algebraic
+                    // verdict and report the truncation honestly.
+                    satExhausted.add(1);
+                    break;
+            }
         }
         phase(result.phases.verifyMs, "job.verify");
 

@@ -60,7 +60,24 @@ struct EngineOptions {
     std::size_t probeThreads = 0;
     /// Verification effort for simulation-checked jobs.
     sim::EquivOptions equiv;
-    /// Path of a persistent pd-cache-v2 store ("" disables persistence).
+    /// SAT certification of the optimize→map stages (0 = off). With
+    /// N ≥ 1 every verified job also miters its raw synthesized netlist
+    /// against the mapped netlist and refutes it with a portfolio of N
+    /// CDCL searchers racing on an engine-owned pool. The portfolio
+    /// winner is chosen by a fixed lowest-index tie-break, so reported
+    /// results are bit-identical at every N (the searcher count, like
+    /// probeThreads, is not part of cache signatures or the persist
+    /// fingerprint — but *enabling* SAT verify and its budgets are,
+    /// because they change stored verification fields).
+    std::size_t verifyThreads = 0;
+    /// Per-searcher conflict budget for SAT verification (0 = unlimited).
+    /// Exhaustion is reported per job as verification.sat.budget_exhausted
+    /// — the simulation/algebraic verdict is never overridden by a
+    /// truncated search.
+    std::uint64_t verifyConflictBudget = 0;
+    /// Per-searcher propagation budget for SAT verification (0 = unlimited).
+    std::uint64_t verifyPropagationBudget = 0;
+    /// Path of a persistent pd-cache-v3 store ("" disables persistence).
     /// The engine warm-starts from it on construction and flushes ready
     /// cache entries back on destruction (or flushCache()). A missing,
     /// corrupt, wrong-version or wrong-fingerprint file is reported via
@@ -180,6 +197,9 @@ private:
     /// running both through one pool could deadlock with every worker
     /// parked on a wait.
     std::shared_ptr<ThreadPool> probePool_;
+    /// Shared SAT-portfolio pool (EngineOptions::verifyThreads > 1),
+    /// separate from `pool_` for the same wait-deadlock reason.
+    std::shared_ptr<ThreadPool> verifyPool_;
 };
 
 /// One-shot convenience over a temporary Engine.

@@ -59,6 +59,8 @@ enum class VerifyStatus : std::uint8_t {
     kSkipped,    ///< spec.verify was false
     kSimulated,  ///< simulation against reference semantics passed
     kAlgebraic,  ///< expanded outputs matched the input ANF exactly
+    kSat,        ///< SAT proof: raw-vs-mapped miter refuted (on top of the
+                 ///< simulated/algebraic check, which also passed)
     kFailed,
 };
 
@@ -85,6 +87,26 @@ struct JobResult {
     VerifyStatus verification = VerifyStatus::kSkipped;
     std::uint64_t vectorsTested = 0;
     bool exhaustive = false;
+
+    /// SAT certification of the optimize→map stages (only when the
+    /// engine runs with verifyThreads > 0): the raw synthesized netlist
+    /// is mitered against the mapped netlist and the miter refuted by
+    /// the CDCL portfolio. Statistics aggregate portfolio searchers
+    /// 0..winner, which the determinism contract keeps reproducible
+    /// across searcher counts.
+    struct SatVerify {
+        bool ran = false;
+        std::uint64_t conflicts = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t learned = 0;
+        /// Searcher whose answer was reported; -1 = budget exhausted.
+        int winner = -1;
+        /// The search hit its budget: status keeps the simulation /
+        /// algebraic answer and is never guessed from a partial search.
+        bool budgetExhausted = false;
+    };
+    SatVerify satVerify;
 
     // Timings (not part of cache equality — a cache hit reports its own;
     // phase times are zero on hits since no stage ran).
@@ -123,7 +145,8 @@ struct JobResult {
 
     [[nodiscard]] bool verified() const {
         return verification == VerifyStatus::kSimulated ||
-               verification == VerifyStatus::kAlgebraic;
+               verification == VerifyStatus::kAlgebraic ||
+               verification == VerifyStatus::kSat;
     }
 };
 

@@ -1,4 +1,4 @@
-// Byte-level primitives for the pd-cache-v2 on-disk format.
+// Byte-level primitives for the pd-cache-v3 on-disk format.
 //
 // Every multi-byte integer is written little-endian one byte at a time,
 // so a store written on any host loads on any other — the format never

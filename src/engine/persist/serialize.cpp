@@ -130,6 +130,14 @@ void serializeJobResult(const JobResult& r, std::string& out) {
     w.u8(static_cast<std::uint8_t>(r.verification));
     w.u64(r.vectorsTested);
     w.u8(r.exhaustive ? 1 : 0);
+    w.u8(r.satVerify.ran ? 1 : 0);
+    w.u64(r.satVerify.conflicts);
+    w.u64(r.satVerify.propagations);
+    w.u64(r.satVerify.restarts);
+    w.u64(r.satVerify.learned);
+    // winner is -1..N; bias by one so it stores as an unsigned count.
+    w.u64(static_cast<std::uint64_t>(r.satVerify.winner + 1));
+    w.u8(r.satVerify.budgetExhausted ? 1 : 0);
     serializeNetlist(r.mapped, w);
 }
 
@@ -154,6 +162,13 @@ std::shared_ptr<JobResult> deserializeJobResult(std::string_view payload) {
     out->verification = static_cast<VerifyStatus>(v);
     out->vectorsTested = r.u64();
     out->exhaustive = r.u8() != 0;
+    out->satVerify.ran = r.u8() != 0;
+    out->satVerify.conflicts = r.u64();
+    out->satVerify.propagations = r.u64();
+    out->satVerify.restarts = r.u64();
+    out->satVerify.learned = r.u64();
+    out->satVerify.winner = static_cast<int>(r.u64()) - 1;
+    out->satVerify.budgetExhausted = r.u8() != 0;
     out->mapped = deserializeNetlist(r);
     if (!r.done())
         fail("persist", std::to_string(r.remaining()) +

@@ -1,9 +1,9 @@
-// Versioned on-disk result store ("pd-cache-v2").
+// Versioned on-disk result store ("pd-cache-v3").
 //
 // File layout (all integers little-endian, see format.hpp):
 //
 //   magic            8 bytes   "pdcache\0"
-//   version          u32       kFormatVersion (2)
+//   version          u32       kFormatVersion (3)
 //   fingerprint      str       options-fingerprint salt of the writer
 //   entry count      u64
 //   entry[count]:
@@ -34,8 +34,11 @@
 
 namespace pd::engine::persist {
 
-inline constexpr std::string_view kFormatName = "pd-cache-v2";
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::string_view kFormatName = "pd-cache-v3";
+// v3: the JobResult payload gained the SAT-verification block
+// (satVerify.*) and VerifyStatus::kSat; v2 stores cold-start as
+// bad-version.
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::string_view kMagic{"pdcache\0", 8};
 
 struct StoreEntry {

@@ -13,6 +13,7 @@ std::string_view verifyStatusName(VerifyStatus s) {
         case VerifyStatus::kSkipped: return "skipped";
         case VerifyStatus::kSimulated: return "simulated";
         case VerifyStatus::kAlgebraic: return "algebraic";
+        case VerifyStatus::kSat: return "sat";
         case VerifyStatus::kFailed: return "failed";
     }
     return "unknown";
@@ -40,6 +41,9 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("cache_capacity", opt.cacheCapacity);
     w.field("conflict_budget", opt.conflictBudget);
     w.field("probe_threads", opt.probeThreads);
+    w.field("verify_threads", opt.verifyThreads);
+    w.field("verify_conflict_budget", opt.verifyConflictBudget);
+    w.field("verify_prop_budget", opt.verifyPropagationBudget);
     w.field("shards", opt.shards);
     {
         // Provenance identity: which exact source + toolchain produced
@@ -96,6 +100,19 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("status", verifyStatusName(r.verification));
         w.field("vectors", r.vectorsTested);
         w.field("exhaustive", r.exhaustive);
+        if (r.satVerify.ran) {
+            // Portfolio stats aggregate searchers 0..winner — a pure
+            // function of the job, not of the searcher count, so sharded
+            // and multi-threaded runs stay byte-comparable.
+            w.key("sat").beginObject();
+            w.field("conflicts", r.satVerify.conflicts);
+            w.field("propagations", r.satVerify.propagations);
+            w.field("restarts", r.satVerify.restarts);
+            w.field("learned", r.satVerify.learned);
+            w.field("winner", static_cast<std::int64_t>(r.satVerify.winner));
+            w.field("budget_exhausted", r.satVerify.budgetExhausted);
+            w.endObject();
+        }
         w.endObject();
 
         w.key("timing").beginObject();

@@ -10,6 +10,9 @@
 //   {
 //     "schema": "pd-batch-report-v1",
 //     "engine": {"jobs": u, "cache_capacity": u, "conflict_budget": u,
+//                "probe_threads": u,
+//                "verify_threads": u,             // 0 → SAT verify off
+//                "verify_conflict_budget": u, "verify_prop_budget": u,
 //                "shards": u,                     // 0 → in-process batch
 //                "build": {"git_hash": s, "git_dirty": s, "compiler": s,
 //                          "build_type": s,       // provenance identity
@@ -25,7 +28,12 @@
 //         "qor": {"area_um2": f, "delay_ns": f, "cells": u,
 //                 "levels": u, "interconnect": u},
 //         "verification": {"status": "skipped"|"simulated"|"algebraic"|
-//                          "failed", "vectors": u, "exhaustive": b},
+//                          "sat"|"failed", "vectors": u, "exhaustive": b,
+//                          "sat": {                // only when SAT verify ran
+//                            "conflicts": u, "propagations": u,
+//                            "restarts": u, "learned": u,
+//                            "winner": i,          // portfolio searcher index
+//                            "budget_exhausted": b}},
 //         "timing": {"wall_ms": f, "cpu_ms": f,    // only non-deterministic
 //                    "phases": {"decompose_ms": f, // fields in the report;
 //                     "synth_ms": f, "optimize_ms": f,  // phases are zero

@@ -195,6 +195,11 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             "--budget", std::to_string(cfg_.conflictBudget),
             "--merge-budget", std::to_string(cfg_.mergeBudget),
             "--probe-threads", std::to_string(cfg_.probeThreads),
+            "--verify-threads", std::to_string(cfg_.verifyThreads),
+            "--verify-conflict-budget",
+            std::to_string(cfg_.verifyConflictBudget),
+            "--verify-prop-budget",
+            std::to_string(cfg_.verifyPropagationBudget),
             "--equiv-xl", std::to_string(cfg_.equiv.exhaustiveLimitBits),
             "--equiv-rb", std::to_string(cfg_.equiv.randomBatches),
             "--equiv-seed", std::to_string(cfg_.equiv.seed),

@@ -7,7 +7,7 @@
 // never serializes the batch behind it), results stream back as
 // checksummed frames, and on completion each worker ships its
 // locally-computed cache entries back for the coordinator's newest-wins
-// merge into the shared pd-cache-v2 store.
+// merge into the shared pd-cache-v3 store.
 //
 // Crash isolation: a worker that dies (abort, OOM kill, sanitizer trap)
 // or overruns the per-job wall budget (SIGKILL by deadline) costs exactly
@@ -45,6 +45,11 @@ struct ShardConfig {
     /// Probe-sweep threads per worker (deterministic — a sharded run
     /// stays byte-identical to in-process at any setting).
     std::size_t probeThreads = 0;
+    /// SAT-verification portfolio searchers per worker (also
+    /// deterministic; 0 = SAT verify off) and its per-searcher budgets.
+    std::size_t verifyThreads = 0;
+    std::uint64_t verifyConflictBudget = 0;
+    std::uint64_t verifyPropagationBudget = 0;
     sim::EquivOptions equiv;
     std::string cacheFile;  ///< workers warm-start from it read-only
     /// Per-job wall budget in ms (0 = unlimited): a worker whose job runs

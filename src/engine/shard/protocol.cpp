@@ -176,7 +176,7 @@ std::string encodeResult(std::uint32_t index, const JobResult& result) {
     std::string out;
     ByteWriter w(out);
     w.u32(index);
-    // Per-request fields the pd-cache-v2 payload deliberately omits.
+    // Per-request fields the pd-cache-v3 payload deliberately omits.
     w.str(result.name);
     w.f64(result.wallMs);
     w.f64(result.cpuMs);

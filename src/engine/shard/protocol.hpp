@@ -1,8 +1,8 @@
 // Wire protocol between the shard coordinator and its worker processes
-// ("pd-shard-wire-v3"; see src/engine/shard/README.md for the full spec).
+// ("pd-shard-wire-v4"; see src/engine/shard/README.md for the full spec).
 //
 // Everything that crosses a worker pipe is a length-prefixed, checksummed
-// frame over the same little-endian primitives as the pd-cache-v2 store:
+// frame over the same little-endian primitives as the pd-cache-v3 store:
 //
 //   frame := type u8 | length u32 | payload[length] | checksum u64
 //
@@ -42,7 +42,12 @@ namespace pd::engine::shard {
 /// registry. Workers only emit kObs when spawned with --obs, but the
 /// layout change alone bumps the version: a v2 peer would poison its
 /// decoder on the unknown frame type.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+///
+/// v4 (PR 7, CDCL verify): the kResult/kCacheEntry semantic payload —
+/// the pd-cache-v3 JobResult encoding — gained the SAT-verification
+/// block (satVerify.*, VerifyStatus::kSat); workers additionally accept
+/// --verify-threads/--verify-conflict-budget/--verify-prop-budget argv.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Upper bound on a single frame payload. Generous (a mapped multiplier
 /// netlist is kilobytes, not gigabytes) while keeping a corrupt length
@@ -95,7 +100,7 @@ struct Hello {
 };
 
 /// One worker-local cache entry handed back at shutdown: the full
-/// canonical-signature key, the pd-cache-v2 payload bytes of the result,
+/// canonical-signature key, the pd-cache-v3 payload bytes of the result,
 /// and the worker's LRU stamp (larger = used more recently within that
 /// worker), which the coordinator's newest-wins merge keys on.
 struct CacheDelta {

@@ -5,7 +5,7 @@
 // stdout; the worker's real stdout is re-pointed at stderr so stray
 // library prints can never corrupt the frame stream). It owns a
 // single-threaded Engine that warm-starts *read-only* from the shared
-// pd-cache-v2 store — N workers may open one warm.pdc simultaneously —
+// pd-cache-v3 store — N workers may open one warm.pdc simultaneously —
 // and never writes that store itself: newly computed cache entries are
 // streamed back to the coordinator as checksummed kCacheEntry frames
 // right after each job (plus a catch-up pass at shutdown) — so a crash

@@ -33,6 +33,10 @@ void loadProblem(Solver& solver, const DimacsProblem& problem);
 /// in trailing comment lines ("c output <name> <var>"), 1-based.
 void writeDimacs(std::ostream& os, const netlist::Netlist& nl);
 
+/// Writes an already-built problem as DIMACS ("p cnf" header + clauses
+/// in order, no comments).
+void writeDimacs(std::ostream& os, const DimacsProblem& problem);
+
 /// Writes the equivalence miter of two netlists (inputs tied by name,
 /// XOR of outputs ORed and asserted); UNSAT ⇔ equivalent.
 void writeMiterDimacs(std::ostream& os, const netlist::Netlist& a,

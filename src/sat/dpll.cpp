@@ -1,0 +1,125 @@
+#include "sat/dpll.hpp"
+
+#include <chrono>
+
+namespace pd::sat {
+
+Var DpllSolver::newVar() {
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::kUndef);
+    return v;
+}
+
+bool DpllSolver::addClause(std::vector<Lit> lits) {
+    for (const Lit l : lits) PD_ASSERT(l.var() < numVars());
+    if (lits.empty()) {
+        unsatAtRoot_ = true;
+        return false;
+    }
+    clauses_.push_back(std::move(lits));
+    return true;
+}
+
+bool DpllSolver::propagateAll() {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& clause : clauses_) {
+            Lit unassigned;
+            std::size_t numUnassigned = 0;
+            bool satisfied = false;
+            for (const Lit l : clause) {
+                const LBool v = value(l);
+                if (v == LBool::kTrue) {
+                    satisfied = true;
+                    break;
+                }
+                if (v == LBool::kUndef) {
+                    unassigned = l;
+                    ++numUnassigned;
+                }
+            }
+            if (satisfied) continue;
+            if (numUnassigned == 0) return false;  // all false: conflict
+            if (numUnassigned == 1) {
+                ++stats_.propagations;
+                assign(unassigned);
+                changed = true;
+            }
+        }
+    }
+    return true;
+}
+
+Result DpllSolver::solve(std::uint64_t propagationBudget) {
+    if (unsatAtRoot_) return Result::kUnsat;
+    model_.clear();
+    const std::uint64_t baseProps = stats_.propagations;
+    const std::uint64_t baseDecisions = stats_.decisions;
+    // Decisions and backtrack flips count toward the budget alongside
+    // propagations: each one triggers a full clause scan, so charging
+    // propagations alone would let a search with sparse implications
+    // (exponentially many flips, few units) run far past its budget.
+    std::uint64_t flips = 0;
+
+    for (;;) {
+        if (propagationBudget != 0 &&
+            (stats_.propagations - baseProps) +
+                    (stats_.decisions - baseDecisions) + flips >=
+                propagationBudget) {
+            // Unwind so the solver can be re-run with a bigger budget.
+            while (!frames_.empty()) {
+                for (std::size_t i = trail_.size();
+                     i-- > frames_.back().trailSize;)
+                    assigns_[trail_[i].var()] = LBool::kUndef;
+                trail_.resize(frames_.back().trailSize);
+                frames_.pop_back();
+            }
+            return Result::kUnknown;
+        }
+        const auto propStart = std::chrono::steady_clock::now();
+        const bool noConflict = propagateAll();
+        stats_.propagationNanos += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - propStart)
+                .count());
+        if (noConflict) {
+            // Decide: first unassigned variable, ¬v first.
+            Var v = 0;
+            while (v < numVars() && assigns_[v] != LBool::kUndef) ++v;
+            if (v == numVars()) {
+                model_ = assigns_;
+                for (std::size_t i = trail_.size();
+                     i-- > (frames_.empty() ? 0 : frames_[0].trailSize);)
+                    assigns_[trail_[i].var()] = LBool::kUndef;
+                if (!frames_.empty()) trail_.resize(frames_[0].trailSize);
+                frames_.clear();
+                return Result::kSat;
+            }
+            ++stats_.decisions;
+            frames_.push_back({trail_.size(), Lit(v, /*negated=*/true),
+                               /*flipped=*/false});
+            assign(frames_.back().lit);
+            continue;
+        }
+        // Conflict: chronological backtrack to the deepest unflipped
+        // decision and try its complement.
+        for (;;) {
+            if (frames_.empty()) return Result::kUnsat;
+            Frame& f = frames_.back();
+            for (std::size_t i = trail_.size(); i-- > f.trailSize;)
+                assigns_[trail_[i].var()] = LBool::kUndef;
+            trail_.resize(f.trailSize);
+            if (!f.flipped) {
+                f.flipped = true;
+                f.lit = ~f.lit;
+                ++flips;
+                assign(f.lit);
+                break;
+            }
+            frames_.pop_back();
+        }
+    }
+}
+
+}  // namespace pd::sat

@@ -1,0 +1,94 @@
+// A deliberately naive DPLL solver, kept as the oracle for the CDCL
+// engine (sat/solver.hpp).
+//
+// No watched literals, no learning, no restarts: unit propagation scans
+// every clause to fixpoint and conflicts backtrack chronologically. That
+// makes it exponential in general, though on circuit miters with few
+// primary inputs it can still finish by brute-force enumeration — what it
+// can never match is the per-implication cost of watched-literal
+// propagation (bench/bench_sat.cpp measures that gap). Its value is being
+// simple enough to trust by inspection, which is exactly what a
+// differential-testing oracle needs (tests/sat_test.cpp cross-checks
+// every answer). The propagation budget returns kUnknown honestly instead
+// of guessing, so the oracle can be pointed at instances it cannot
+// finish.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace pd::sat {
+
+struct DpllStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    /// Wall time spent inside propagateAll() — the scan-to-fixpoint loop
+    /// that dominates DPLL's runtime. Comparable with
+    /// SolverStats::propagationNanos: both engines derive implications
+    /// from the same clauses, so propagations/propagationNanos is the
+    /// propagation-engine throughput bench_sat races.
+    std::uint64_t propagationNanos = 0;
+};
+
+/// Chronological-backtracking DPLL over the same Lit/Result vocabulary
+/// as the CDCL Solver. Same construction protocol: newVar(), addClause(),
+/// solve(), modelValue().
+class DpllSolver {
+public:
+    Var newVar();
+    [[nodiscard]] std::size_t numVars() const { return assigns_.size(); }
+
+    /// Returns false if the clause is empty (trivially unsatisfiable).
+    bool addClause(std::vector<Lit> lits);
+
+    /// `propagationBudget` bounds the search in elementary steps —
+    /// propagations, decisions, and backtrack flips all count, since
+    /// each triggers a full clause scan (0 = unlimited); exceeding it
+    /// returns kUnknown — never a guessed answer.
+    Result solve(std::uint64_t propagationBudget = 0);
+
+    /// Value of `v` in the model found by the last kSat solve.
+    [[nodiscard]] bool modelValue(Var v) const {
+        PD_ASSERT(v < model_.size());
+        return model_[v] == LBool::kTrue;
+    }
+
+    [[nodiscard]] const DpllStats& stats() const { return stats_; }
+
+private:
+    [[nodiscard]] LBool value(Lit l) const {
+        const LBool v = assigns_[l.var()];
+        if (v == LBool::kUndef) return LBool::kUndef;
+        const bool b = (v == LBool::kTrue) != l.negated();
+        return b ? LBool::kTrue : LBool::kFalse;
+    }
+
+    void assign(Lit l) {
+        assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
+        trail_.push_back(l);
+    }
+
+    /// Scans all clauses to fixpoint. Returns false on conflict.
+    bool propagateAll();
+
+    // One frame per decision: where the trail stood before the decision
+    // was made, which literal was tried, and whether its complement has
+    // been explored yet.
+    struct Frame {
+        std::size_t trailSize = 0;
+        Lit lit;
+        bool flipped = false;
+    };
+
+    std::vector<std::vector<Lit>> clauses_;
+    std::vector<LBool> assigns_;
+    std::vector<LBool> model_;
+    std::vector<Lit> trail_;
+    std::vector<Frame> frames_;
+    bool unsatAtRoot_ = false;
+    DpllStats stats_;
+};
+
+}  // namespace pd::sat

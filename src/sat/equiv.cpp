@@ -1,63 +1,36 @@
 #include "sat/equiv.hpp"
 
-#include <unordered_map>
-
-#include "sat/cnf.hpp"
-#include "sat/solver.hpp"
-#include "util/error.hpp"
+#include "sat/miter.hpp"
+#include "sat/portfolio.hpp"
 
 namespace pd::sat {
 
 EquivCheckResult checkEquivalentSat(const netlist::Netlist& a,
                                     const netlist::Netlist& b,
-                                    std::uint64_t conflictBudget) {
-    Solver solver;
-    const auto varsA = encodeNetlist(solver, a);
-    const auto varsB = encodeNetlist(solver, b);
-
-    // Tie inputs together by name.
-    std::unordered_map<std::string, netlist::NetId> inputsB;
-    for (std::size_t i = 0; i < b.inputs().size(); ++i)
-        inputsB.emplace(b.inputName(i), b.inputs()[i]);
-    if (inputsB.size() != a.inputs().size())
-        fail("checkEquivalentSat", "input count mismatch");
-    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-        const auto it = inputsB.find(a.inputName(i));
-        if (it == inputsB.end())
-            fail("checkEquivalentSat",
-                 "input '" + a.inputName(i) + "' missing in second netlist");
-        const Lit la(varsA[a.inputs()[i]], false);
-        const Lit lb(varsB[it->second], false);
-        solver.addClause(~la, lb);
-        solver.addClause(la, ~lb);
-    }
-
-    // Miter: OR over per-output XORs must be satisfiable for a difference.
-    std::unordered_map<std::string, netlist::NetId> outputsB;
-    for (const auto& port : b.outputs()) outputsB.emplace(port.name, port.net);
-    if (outputsB.size() != a.outputs().size())
-        fail("checkEquivalentSat", "output count mismatch");
-
-    std::vector<Lit> diffs;
-    std::vector<std::pair<std::string, Var>> diffNames;
-    diffs.reserve(a.outputs().size());
-    for (const auto& port : a.outputs()) {
-        const auto it = outputsB.find(port.name);
-        if (it == outputsB.end())
-            fail("checkEquivalentSat",
-                 "output '" + port.name + "' missing in second netlist");
-        const Var d = solver.newVar();
-        encodeXor(solver, d, varsA[port.net], varsB[it->second]);
-        diffs.emplace_back(d, false);
-        diffNames.emplace_back(port.name, d);
-    }
-    std::vector<Lit> clause = diffs;
-    solver.addClause(std::move(clause));
-
+                                    const EquivSatOptions& opt) {
+    const MiterCnf miter = buildMiterCnf(a, b);
     EquivCheckResult res;
-    const Result r = solver.solve(conflictBudget);
-    res.conflicts = solver.stats().conflicts;
-    switch (r) {
+    if (miter.trivialUnsat) {
+        // Clause construction alone refuted the miter: equivalent, no
+        // search performed.
+        res.status = EquivCheckResult::Status::kEquivalent;
+        return res;
+    }
+
+    PortfolioOptions popt;
+    popt.searchers = opt.searchers;
+    popt.conflictBudget = opt.conflictBudget;
+    popt.propagationBudget = opt.propagationBudget;
+    popt.pool = opt.pool;
+    PortfolioResult pr = solvePortfolio(miter.problem, popt);
+
+    res.conflicts = pr.stats.conflicts;
+    res.propagations = pr.stats.propagations;
+    res.restarts = pr.stats.restarts;
+    res.learned = pr.stats.learnedClauses;
+    res.winner = pr.winner;
+    res.budgetExhausted = pr.budgetExhausted;
+    switch (pr.result) {
         case Result::kUnsat:
             res.status = EquivCheckResult::Status::kEquivalent;
             break;
@@ -66,11 +39,11 @@ EquivCheckResult checkEquivalentSat(const netlist::Netlist& a,
             break;
         case Result::kSat: {
             res.status = EquivCheckResult::Status::kDifferent;
-            res.counterexample.reserve(a.inputs().size());
-            for (const netlist::NetId in : a.inputs())
-                res.counterexample.push_back(solver.modelValue(varsA[in]));
-            for (const auto& [name, d] : diffNames)
-                if (solver.modelValue(d)) {
+            res.counterexample.reserve(miter.inputVars.size());
+            for (const Var v : miter.inputVars)
+                res.counterexample.push_back(pr.model[v]);
+            for (const auto& [name, d] : miter.outputDiffVars)
+                if (pr.model[d]) {
                     res.differingOutput = name;
                     break;
                 }
@@ -78,6 +51,14 @@ EquivCheckResult checkEquivalentSat(const netlist::Netlist& a,
         }
     }
     return res;
+}
+
+EquivCheckResult checkEquivalentSat(const netlist::Netlist& a,
+                                    const netlist::Netlist& b,
+                                    std::uint64_t conflictBudget) {
+    EquivSatOptions opt;
+    opt.conflictBudget = conflictBudget;
+    return checkEquivalentSat(a, b, opt);
 }
 
 }  // namespace pd::sat

@@ -1,0 +1,68 @@
+#include "sat/miter.hpp"
+
+#include <unordered_map>
+
+#include "sat/cnf.hpp"
+#include "util/error.hpp"
+
+namespace pd::sat {
+
+MiterCnf buildMiterCnf(const netlist::Netlist& a, const netlist::Netlist& b) {
+    // Build into a throwaway solver (reusing the Tseitin encoder and its
+    // root-level simplification), then extract the canonical clause list.
+    Solver solver;
+    const auto varsA = encodeNetlist(solver, a);
+    const auto varsB = encodeNetlist(solver, b);
+
+    // Tie inputs together by name, in a's input order.
+    std::unordered_map<std::string, netlist::NetId> inputsB;
+    for (std::size_t i = 0; i < b.inputs().size(); ++i)
+        inputsB.emplace(b.inputName(i), b.inputs()[i]);
+    if (inputsB.size() != a.inputs().size())
+        fail("buildMiterCnf", "input count mismatch");
+    MiterCnf miter;
+    miter.inputVars.reserve(a.inputs().size());
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        const auto it = inputsB.find(a.inputName(i));
+        if (it == inputsB.end())
+            fail("buildMiterCnf",
+                 "input '" + a.inputName(i) + "' missing in second netlist");
+        const Lit la(varsA[a.inputs()[i]], false);
+        const Lit lb(varsB[it->second], false);
+        solver.addClause(~la, lb);
+        solver.addClause(la, ~lb);
+        miter.inputVars.push_back(varsA[a.inputs()[i]]);
+    }
+
+    // Miter: OR over per-output XORs must be satisfiable for a difference.
+    std::unordered_map<std::string, netlist::NetId> outputsB;
+    for (const auto& port : b.outputs()) outputsB.emplace(port.name, port.net);
+    if (outputsB.size() != a.outputs().size())
+        fail("buildMiterCnf", "output count mismatch");
+    std::vector<Lit> diffs;
+    diffs.reserve(a.outputs().size());
+    for (const auto& port : a.outputs()) {
+        const auto it = outputsB.find(port.name);
+        if (it == outputsB.end())
+            fail("buildMiterCnf",
+                 "output '" + port.name + "' missing in second netlist");
+        const Var d = solver.newVar();
+        encodeXor(solver, d, varsA[port.net], varsB[it->second]);
+        diffs.emplace_back(d, false);
+        miter.outputDiffVars.emplace_back(port.name, d);
+    }
+    // The only clause whose simplification can refute the miter outright:
+    // every diff literal false at the root ⇒ the netlists are equivalent.
+    solver.addClause(std::move(diffs));
+
+    miter.problem.numVars = solver.numVars();
+    for (const Lit u : solver.rootUnits())
+        miter.problem.clauses.push_back({u});
+    solver.forEachProblemClause([&](std::span<const Lit> clause) {
+        miter.problem.clauses.emplace_back(clause.begin(), clause.end());
+    });
+    miter.trivialUnsat = solver.provenUnsat();
+    return miter;
+}
+
+}  // namespace pd::sat

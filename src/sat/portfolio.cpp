@@ -1,0 +1,117 @@
+#include "sat/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+
+namespace pd::sat {
+
+SolverOptions searcherOptions(std::size_t index, const PortfolioOptions& opt) {
+    SolverOptions so;
+    so.conflictBudget = opt.conflictBudget;
+    so.propagationBudget = opt.propagationBudget;
+    if (index == 0) return so;  // canonical: seed 0, false-first
+    // Distinct odd multiplier keeps seeds well apart; polarity cycles
+    // through all three modes so nearby indices differ in kind, not just
+    // in seed.
+    so.seed = 0x517cc1b727220a95ull * static_cast<std::uint64_t>(index);
+    switch (index % 3) {
+        case 0: so.polarity = SolverOptions::Polarity::kFalse; break;
+        case 1: so.polarity = SolverOptions::Polarity::kTrue; break;
+        case 2: so.polarity = SolverOptions::Polarity::kHashed; break;
+    }
+    return so;
+}
+
+namespace {
+
+struct Searcher {
+    Result result = Result::kUnknown;
+    SolverStats stats;
+    std::vector<bool> model;
+    std::atomic<bool> stop{false};
+};
+
+void runSearcher(std::size_t index, const DimacsProblem& problem,
+                 const PortfolioOptions& opt, Searcher& slot) {
+    SolverOptions so = searcherOptions(index, opt);
+    so.stop = &slot.stop;
+    Solver solver(so);
+    loadProblem(solver, problem);
+    slot.result = solver.solve();
+    slot.stats = solver.stats();
+    if (slot.result == Result::kSat) {
+        slot.model.resize(problem.numVars);
+        for (Var v = 0; v < problem.numVars; ++v)
+            slot.model[v] = solver.modelValue(v);
+    }
+}
+
+PortfolioResult harvest(std::vector<Searcher>& slots, int winner) {
+    PortfolioResult out;
+    out.winner = winner;
+    const std::size_t upTo =
+        winner >= 0 ? static_cast<std::size_t>(winner) + 1 : slots.size();
+    for (std::size_t i = 0; i < upTo; ++i) {
+        out.stats.decisions += slots[i].stats.decisions;
+        out.stats.propagations += slots[i].stats.propagations;
+        out.stats.conflicts += slots[i].stats.conflicts;
+        out.stats.restarts += slots[i].stats.restarts;
+        out.stats.learnedClauses += slots[i].stats.learnedClauses;
+        out.stats.deletedClauses += slots[i].stats.deletedClauses;
+    }
+    if (winner >= 0) {
+        out.result = slots[static_cast<std::size_t>(winner)].result;
+        out.model = std::move(slots[static_cast<std::size_t>(winner)].model);
+    } else {
+        out.budgetExhausted = true;
+    }
+    return out;
+}
+
+}  // namespace
+
+PortfolioResult solvePortfolio(const DimacsProblem& problem,
+                               const PortfolioOptions& opt) {
+    const std::size_t n = std::max<std::size_t>(1, opt.searchers);
+    std::vector<Searcher> slots(n);
+
+    if (opt.pool == nullptr || n == 1) {
+        // Sequential fallback: index order IS the tie-break order, so
+        // the first definitive answer is the portfolio winner.
+        for (std::size_t i = 0; i < n; ++i) {
+            runSearcher(i, problem, opt, slots[i]);
+            if (slots[i].result != Result::kUnknown)
+                return harvest(slots, static_cast<int>(i));
+        }
+        return harvest(slots, -1);
+    }
+
+    // Parallel race. `lowestDefinitive` tracks the best (lowest) index
+    // with a definitive answer; a searcher finishing definitively may
+    // only cancel searchers ABOVE it — everything at or below keeps
+    // running to its deterministic conclusion, so the final winner and
+    // the 0..winner statistics cannot depend on scheduling.
+    std::atomic<std::size_t> lowestDefinitive{n};
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(opt.pool->submit([&, i] {
+            runSearcher(i, problem, opt, slots[i]);
+            if (slots[i].result == Result::kUnknown) return;
+            std::size_t cur = lowestDefinitive.load();
+            while (i < cur && !lowestDefinitive.compare_exchange_weak(cur, i)) {
+            }
+            const std::size_t best = lowestDefinitive.load();
+            for (std::size_t j = best + 1; j < n; ++j)
+                slots[j].stop.store(true, std::memory_order_relaxed);
+        }));
+    }
+    for (auto& f : futures) f.get();
+
+    const std::size_t best = lowestDefinitive.load();
+    return harvest(slots, best < n ? static_cast<int>(best) : -1);
+}
+
+}  // namespace pd::sat

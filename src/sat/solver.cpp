@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace pd::sat {
@@ -11,20 +12,49 @@ constexpr float kClauseDecay = 1.0f / 0.999f;
 constexpr double kActivityRescale = 1e100;
 constexpr float kClauseRescale = 1e20f;
 constexpr std::uint64_t kRestartUnit = 100;
+
+// splitmix64 finalizer — the per-variable hash behind seeded diversity.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
 }  // namespace
 
 Solver::Solver() = default;
 
+Solver::Solver(const SolverOptions& opt) : opt_(opt) {}
+
 Var Solver::newVar() {
     const Var v = static_cast<Var>(assigns_.size());
+    const std::uint64_t h =
+        opt_.seed != 0 || opt_.polarity == SolverOptions::Polarity::kHashed
+            ? mix64(opt_.seed ^ (v + 1))
+            : 0;
+    LBool phase = LBool::kFalse;
+    switch (opt_.polarity) {
+        case SolverOptions::Polarity::kFalse: break;
+        case SolverOptions::Polarity::kTrue: phase = LBool::kTrue; break;
+        case SolverOptions::Polarity::kHashed:
+            phase = (h & 1) != 0 ? LBool::kTrue : LBool::kFalse;
+            break;
+    }
     assigns_.push_back(LBool::kUndef);
-    savedPhase_.push_back(LBool::kFalse);
+    savedPhase_.push_back(phase);
     varInfo_.push_back({});
-    activity_.push_back(0.0);
+    // Seeded searchers start with a sub-bump activity jitter so the
+    // otherwise-equal-activity tie-break (heap order) differs per seed;
+    // one conflict bump (varInc_ = 1.0) dwarfs it immediately.
+    activity_.push_back(
+        opt_.seed != 0 ? 1e-9 * static_cast<double>(h >> 44) : 0.0);
     seen_.push_back(0);
     heapPos_.push_back(-1);
     watches_.emplace_back();
     watches_.emplace_back();
+    binBuild_.emplace_back();
+    binBuild_.emplace_back();
+    binDirty_ = true;  // the CSR image needs two more (empty) slots
     heapInsert(v);
     return v;
 }
@@ -84,12 +114,23 @@ void Solver::watchClause(ClauseRef cr) {
     PD_ASSERT(h.size >= 2);
     const Lit l0 = lits_[h.begin];
     const Lit l1 = lits_[h.begin + 1];
+    if (h.size == 2) {
+        // Learned binaries go into the same CSR image as problem ones:
+        // clauses of size <= 2 are never deleted, and learned binaries
+        // are rare enough (one per binary conflict clause) that the
+        // occasional O(vars + binaries) reflatten is cheaper than a
+        // second per-literal list probe on every propagated literal.
+        binBuild_[(~l0).code()].push_back({l1, cr});
+        binBuild_[(~l1).code()].push_back({l0, cr});
+        binDirty_ = true;
+        return;
+    }
     watches_[(~l0).code()].push_back({cr, l1});
     watches_[(~l1).code()].push_back({cr, l0});
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
-    PD_ASSERT(value(l) == LBool::kUndef);
+    PD_ASSERT(assigns_[l.var()] == LBool::kUndef);
     assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
     varInfo_[l.var()].reason = reason;
     varInfo_[l.var()].level =
@@ -98,15 +139,94 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
 }
 
 Solver::ClauseRef Solver::propagate() {
-    while (qhead_ < trail_.size()) {
+    const auto started = std::chrono::steady_clock::now();
+    const ClauseRef conflict = propagateImpl();
+    stats_.propagationNanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    return conflict;
+}
+
+void Solver::flattenBinWatches() {
+    binStart_.resize(binBuild_.size() + 1);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < binBuild_.size(); ++c) {
+        binStart_[c] = static_cast<std::uint32_t>(total);
+        total += binBuild_[c].size();
+    }
+    binStart_[binBuild_.size()] = static_cast<std::uint32_t>(total);
+    binOther_.clear();
+    binOther_.reserve(total);
+    binReason_.clear();
+    binReason_.reserve(total);
+    for (const auto& list : binBuild_) {
+        for (const BinWatcher& b : list) {
+            binOther_.push_back(b.other);
+            binReason_.push_back(b.clause);
+        }
+    }
+    binDirty_ = false;
+}
+
+Solver::ClauseRef Solver::propagateImpl() {
+    if (binDirty_) flattenBinWatches();
+    // None of these arrays reallocates while propagating (the local enq
+    // below only writes through assigns_/varInfo_ and appends to trail_,
+    // and the CSR image is immutable until the next flatten), so raw
+    // pointers can be hoisted past the vector indirection for the
+    // duration of the sweep. The decision level and the propagation
+    // counter are likewise hoisted: the level cannot change inside one
+    // propagation fixpoint, and the counter flushes once at exit.
+    LBool* const assigns = assigns_.data();
+    VarInfo* const vinfo = varInfo_.data();
+    const std::uint32_t* const binStart = binStart_.data();
+    const Lit* const binOther = binOther_.data();
+    const ClauseRef* const binReason = binReason_.data();
+    const auto lvl = static_cast<std::uint32_t>(trailLim_.size());
+    std::uint64_t popped = 0;
+    std::size_t tsize = trail_.size();
+    ClauseRef conflict = kNoClause;
+    const auto val = [assigns](Lit l) {
+        const auto raw = static_cast<std::uint8_t>(assigns[l.var()]);
+        return static_cast<LBool>(raw ^ (l.code() & 1u));
+    };
+    const auto enq = [&](Lit l, ClauseRef reason) {
+        PD_ASSERT(assigns[l.var()] == LBool::kUndef);
+        assigns[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
+        vinfo[l.var()] = {reason, lvl};
+        trail_.push_back(l);
+        ++tsize;
+    };
+    while (qhead_ < tsize) {
         const Lit p = trail_[qhead_++];
-        ++stats_.propagations;
+        ++popped;
+        // Binary clauses first: each is satisfied, unit, or conflicting
+        // by its inline `other` literal alone — a pure read-only sweep
+        // over the CSR slab.
+        const std::uint32_t b1 = binStart[p.code() + 1];
+        for (std::uint32_t i = binStart[p.code()]; i < b1; ++i) {
+            const LBool v = val(binOther[i]);
+            if (v == LBool::kTrue) continue;
+            if (v == LBool::kFalse) {
+                conflict = binReason[i];
+                qhead_ = tsize;
+                goto done;
+            }
+            enq(binOther[i], binReason[i]);
+        }
         auto& ws = watches_[p.code()];
+        // Relocated watchers always move to the list of a non-false
+        // literal, and ~p is false here, so `ws` never grows during this
+        // scan — the size and base pointer can be hoisted out of the loop.
+        const std::size_t n = ws.size();
+        Watcher* const data = ws.data();
         std::size_t i = 0, j = 0;
-        while (i < ws.size()) {
-            const Watcher w = ws[i];
-            if (value(w.blocker) == LBool::kTrue) {
-                ws[j++] = ws[i++];
+        while (i < n) {
+            const Watcher w = data[i];
+            const LBool blockerVal = val(w.blocker);
+            if (blockerVal == LBool::kTrue) {
+                data[j++] = data[i++];
                 continue;
             }
             ClauseHeader& h = headers_[w.clause];
@@ -116,15 +236,15 @@ Solver::ClauseRef Solver::propagate() {
             if (cl[0] == falseLit) std::swap(cl[0], cl[1]);
             PD_ASSERT(cl[1] == falseLit);
             // If the first literal is true the clause is satisfied.
-            if (value(cl[0]) == LBool::kTrue) {
-                ws[j++] = {w.clause, cl[0]};
+            if (val(cl[0]) == LBool::kTrue) {
+                data[j++] = {w.clause, cl[0]};
                 ++i;
                 continue;
             }
             // Look for a new literal to watch.
             bool moved = false;
             for (std::uint32_t k = 2; k < h.size; ++k) {
-                if (value(cl[k]) != LBool::kFalse) {
+                if (val(cl[k]) != LBool::kFalse) {
                     std::swap(cl[1], cl[k]);
                     watches_[(~cl[1]).code()].push_back({w.clause, cl[0]});
                     moved = true;
@@ -136,20 +256,23 @@ Solver::ClauseRef Solver::propagate() {
                 continue;
             }
             // Clause is unit or conflicting.
-            ws[j++] = {w.clause, cl[0]};
+            data[j++] = {w.clause, cl[0]};
             ++i;
-            if (value(cl[0]) == LBool::kFalse) {
+            if (val(cl[0]) == LBool::kFalse) {
                 // Conflict: copy the remaining watchers and report.
-                while (i < ws.size()) ws[j++] = ws[i++];
+                while (i < n) data[j++] = data[i++];
                 ws.resize(j);
-                qhead_ = trail_.size();
-                return w.clause;
+                conflict = w.clause;
+                qhead_ = tsize;
+                goto done;
             }
-            enqueue(cl[0], w.clause);
+            enq(cl[0], w.clause);
         }
         ws.resize(j);
     }
-    return kNoClause;
+done:
+    stats_.propagations += popped;
+    return conflict;
 }
 
 void Solver::analyze(ClauseRef conflict, std::vector<Lit>& outLearned,
@@ -167,8 +290,10 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& outLearned,
         PD_ASSERT(reason != kNoClause);
         const ClauseHeader& h = headers_[reason];
         if (h.learned) bumpClause(reason);
-        const std::uint32_t first = haveP ? 1 : 0;
-        for (std::uint32_t k = first; k < h.size; ++k) {
+        // Scan every literal, skipping the implied one by value rather
+        // than by position: the binary fast path in propagate() implies
+        // the blocker without normalising it to slot 0 of the arena.
+        for (std::uint32_t k = 0; k < h.size; ++k) {
             const Lit q = lits_[h.begin + k];
             if (haveP && q == p) continue;
             const Var v = q.var();
@@ -228,8 +353,11 @@ bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
     // DFS through reasons; `l` is redundant if every path ends in marked
     // or root-level literals. Marks made here are either rolled back (on
     // failure) or appended to analyzeClear_ so analyze() wipes them.
-    std::vector<Lit> stack{l};
-    std::vector<Var> toClear;
+    auto& stack = redundantStack_;
+    auto& toClear = redundantClear_;
+    stack.clear();
+    stack.push_back(l);
+    toClear.clear();
     while (!stack.empty()) {
         const Lit q = stack.back();
         stack.pop_back();
@@ -397,7 +525,8 @@ void Solver::reduceLearned() {
         }
     }
     learnedRefs_ = std::move(kept);
-    // Rebuild watch lists without the deleted clauses.
+    // Rebuild watch lists without the deleted clauses. Binary lists need
+    // no rebuild: clauses of size <= 2 are never deleted.
     for (auto& ws : watches_) {
         std::size_t j = 0;
         for (std::size_t i = 0; i < ws.size(); ++i)
@@ -406,9 +535,40 @@ void Solver::reduceLearned() {
     }
 }
 
+Result Solver::halt(StopCause cause) {
+    // Leave the solver reusable: back at the root level, ready for more
+    // clauses or another (bigger-budget) solve() call.
+    backtrack(0);
+    lastStop_ = cause;
+    return Result::kUnknown;
+}
+
 Result Solver::solve(std::uint64_t conflictBudget) {
+    return search({}, conflictBudget);
+}
+
+Result Solver::solveUnder(std::span<const Lit> assumptions,
+                          std::uint64_t conflictBudget) {
+    for (const Lit a : assumptions) PD_ASSERT(a.var() < numVars());
+    return search(assumptions, conflictBudget);
+}
+
+Result Solver::search(std::span<const Lit> assumptions,
+                      std::uint64_t conflictBudget) {
+    lastStop_ = StopCause::kNone;
     if (unsatAtRoot_) return Result::kUnsat;
     model_.clear();
+
+    // Budgets are per call: measure against this call's baseline.
+    const std::uint64_t maxConflicts =
+        conflictBudget != 0 ? conflictBudget : opt_.conflictBudget;
+    const std::uint64_t baseConflicts = stats_.conflicts;
+    const std::uint64_t basePropagations = stats_.propagations;
+    const auto overPropBudget = [&] {
+        return opt_.propagationBudget != 0 &&
+               stats_.propagations - basePropagations >=
+                   opt_.propagationBudget;
+    };
 
     std::uint64_t conflictsSinceRestart = 0;
     std::uint64_t restartLimit = kRestartUnit * luby(stats_.restarts);
@@ -416,6 +576,9 @@ Result Solver::solve(std::uint64_t conflictBudget) {
     std::vector<Lit> learned;
 
     for (;;) {
+        if (opt_.stop != nullptr &&
+            opt_.stop->load(std::memory_order_relaxed))
+            return halt(StopCause::kCancelled);
         const ClauseRef conflict = propagate();
         if (conflict != kNoClause) {
             ++stats_.conflicts;
@@ -435,14 +598,18 @@ Result Solver::solve(std::uint64_t conflictBudget) {
                 enqueue(learned[0], cr);
             }
             decayActivities();
-            if (conflictBudget != 0 && stats_.conflicts >= conflictBudget)
-                return Result::kUnknown;
+            if (maxConflicts != 0 &&
+                stats_.conflicts - baseConflicts >= maxConflicts)
+                return halt(StopCause::kConflictBudget);
+            if (overPropBudget())
+                return halt(StopCause::kPropagationBudget);
             if (stats_.learnedClauses - stats_.deletedClauses > reduceLimit) {
                 reduceLearned();
                 reduceLimit += reduceLimit / 2;
             }
             continue;
         }
+        if (overPropBudget()) return halt(StopCause::kPropagationBudget);
         if (conflictsSinceRestart >= restartLimit) {
             ++stats_.restarts;
             conflictsSinceRestart = 0;
@@ -450,7 +617,32 @@ Result Solver::solve(std::uint64_t conflictBudget) {
             backtrack(0);
             continue;
         }
-        const Lit next = pickBranchLit();
+        // Re-establish assumptions first: level k carries assumption k
+        // (restarts and backtracks peel them off; this loop puts the
+        // next pending one back before any free decision is made).
+        Lit next = Lit::fromCode(0xfffffffeu);
+        bool assumed = false;
+        while (trailLim_.size() < assumptions.size()) {
+            const Lit a = assumptions[trailLim_.size()];
+            const LBool av = value(a);
+            if (av == LBool::kTrue) {
+                // Already implied — dedicate an empty level so the
+                // level <-> assumption-index correspondence holds.
+                trailLim_.push_back(
+                    static_cast<std::uint32_t>(trail_.size()));
+                continue;
+            }
+            if (av == LBool::kFalse) {
+                // The formula (with earlier assumptions) refutes this
+                // assumption: unsatisfiable under the assumption set.
+                backtrack(0);
+                return Result::kUnsat;
+            }
+            next = a;
+            assumed = true;
+            break;
+        }
+        if (!assumed) next = pickBranchLit();
         if (next == Lit::fromCode(0xfffffffeu)) {
             model_ = assigns_;
             backtrack(0);

@@ -11,6 +11,7 @@
 // (tens of thousands of variables).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -60,6 +61,48 @@ struct SolverStats {
     std::uint64_t restarts = 0;
     std::uint64_t learnedClauses = 0;
     std::uint64_t deletedClauses = 0;
+    /// Wall time spent inside the propagation procedure. Sampled once per
+    /// propagate() call (coarse — one call covers a whole implication
+    /// round), so the overhead is negligible next to the work timed.
+    /// `propagations / propagationNanos` is the propagation-engine
+    /// throughput that bench/bench_sat.cpp races against the DPLL oracle.
+    std::uint64_t propagationNanos = 0;
+};
+
+/// Branching-diversity knobs and per-call resource budgets. Every field
+/// is deterministic: two solvers constructed with the same options and
+/// fed the same clauses make identical decisions, which is what lets the
+/// portfolio (sat/portfolio.hpp) report reproducible results.
+struct SolverOptions {
+    /// Initial phase of fresh variables. Phase saving takes over once a
+    /// variable has been assigned at least once.
+    enum class Polarity : std::uint8_t {
+        kFalse,   ///< classic default: try ¬v first
+        kTrue,    ///< try v first
+        kHashed,  ///< per-variable pseudo-random phase derived from `seed`
+    };
+
+    /// 0 = canonical branching order. Nonzero jitters the initial
+    /// variable activities (and, under kHashed, the initial phases) so
+    /// portfolio searchers explore different parts of the space.
+    std::uint64_t seed = 0;
+    Polarity polarity = Polarity::kFalse;
+    std::uint64_t conflictBudget = 0;     ///< per solve() call; 0 = unlimited
+    std::uint64_t propagationBudget = 0;  ///< per solve() call; 0 = unlimited
+    /// Cooperative cancellation: polled (relaxed) once per propagation
+    /// round; when it reads true, solve() returns kUnknown with
+    /// lastStop() == kCancelled.
+    const std::atomic<bool>* stop = nullptr;
+};
+
+/// Why the last solve() call returned kUnknown (kNone after a
+/// definitive kSat/kUnsat answer). Callers must report budget
+/// exhaustion honestly — never coerce kUnknown into an answer.
+enum class StopCause : std::uint8_t {
+    kNone,
+    kConflictBudget,
+    kPropagationBudget,
+    kCancelled,
 };
 
 /// Conflict-driven clause-learning SAT solver.
@@ -71,6 +114,7 @@ struct SolverStats {
 class Solver {
 public:
     Solver();
+    explicit Solver(const SolverOptions& opt);
 
     /// Allocates and returns a fresh variable.
     Var newVar();
@@ -86,9 +130,33 @@ public:
         return addClause(std::vector<Lit>{a, b, c});
     }
 
-    /// Decides satisfiability. `conflictBudget` bounds the search
-    /// (0 = unlimited); exceeding it returns kUnknown.
+    /// Decides satisfiability. `conflictBudget` bounds this call
+    /// (0 = fall back to SolverOptions::conflictBudget; both 0 =
+    /// unlimited); exhausting any budget returns kUnknown and
+    /// lastStop() says which limit fired. Budgets are per call, so an
+    /// exhausted solver can be re-run with a larger allowance.
     Result solve(std::uint64_t conflictBudget = 0);
+
+    /// Decides satisfiability under `assumptions` — literals forced true
+    /// for this call only, without becoming clauses. kUnsat means
+    /// unsatisfiable *under the assumptions* (the formula itself may
+    /// still be satisfiable, unless provenUnsat() reports otherwise);
+    /// kSat yields a model consistent with every assumption. The solver
+    /// stays reusable afterwards, clauses learned during the call are
+    /// kept, and repeated calls share them — the cheap way to sweep many
+    /// cofactors of one formula (e.g. per-input-vector miter refutations)
+    /// on warm data structures.
+    Result solveUnder(std::span<const Lit> assumptions,
+                      std::uint64_t conflictBudget = 0);
+
+    /// Why the previous solve() returned kUnknown (kNone otherwise).
+    [[nodiscard]] StopCause lastStop() const { return lastStop_; }
+
+    /// True once clause addition alone refuted the formula: every later
+    /// addClause is dropped and solve() returns kUnsat without search.
+    [[nodiscard]] bool provenUnsat() const { return unsatAtRoot_; }
+
+    [[nodiscard]] const SolverOptions& options() const { return opt_; }
 
     /// Value of `v` in the model found by the last kSat solve.
     [[nodiscard]] bool modelValue(Var v) const {
@@ -135,22 +203,48 @@ private:
         Lit blocker;  ///< quick sat check avoids touching the clause
     };
 
+    /// Binary clauses live in their own watch structure: the other
+    /// literal is stored inline, so propagation resolves each one
+    /// (satisfied, unit, or conflicting) without touching the clause
+    /// arena, and — since a binary watcher can never relocate — the lists
+    /// are scanned read-only, with none of the compaction writes the main
+    /// lists need. All binaries (problem and learned alike — clauses of
+    /// size <= 2 are never deleted, so both are permanent) accumulate in
+    /// binBuild_ and are flattened into a contiguous CSR image, rebuilt
+    /// lazily the next time propagation runs, so the hot cascade loop
+    /// streams one cache-friendly slab instead of chasing per-literal
+    /// heap vectors. The image is split into parallel arrays — binOther_
+    /// (the implied literals, all the satisfied-check needs) and
+    /// binReason_ (clause refs, touched only on the rarer enqueue and
+    /// conflict paths) — so the sweep streams 4-byte entries. Circuit
+    /// CNFs are roughly two-thirds binary clauses, so most watcher
+    /// visits take this path.
+    struct BinWatcher {
+        Lit other;           ///< the clause's second literal
+        ClauseRef clause = kNoClause;  ///< reason/conflict reference
+    };
+
     struct VarInfo {
         ClauseRef reason = kNoClause;
         std::uint32_t level = 0;
     };
 
+    /// Truth value of `l` under the current assignment, one XOR deep:
+    /// kFalse=0 / kTrue=1 flip under the literal's sign bit, and
+    /// kUndef=2 only has that bit toggled *above* the value range — the
+    /// result is 2 or 3 for unassigned variables. Callers may therefore
+    /// only compare against kTrue/kFalse (unassigned never equals
+    /// either); test assigns_[v] directly for undef.
     [[nodiscard]] LBool value(Lit l) const {
-        const LBool v = assigns_[l.var()];
-        if (v == LBool::kUndef) return LBool::kUndef;
-        const bool b = (v == LBool::kTrue) != l.negated();
-        return b ? LBool::kTrue : LBool::kFalse;
+        const auto raw = static_cast<std::uint8_t>(assigns_[l.var()]);
+        return static_cast<LBool>(raw ^ (l.code() & 1u));
     }
 
     ClauseRef allocClause(const std::vector<Lit>& lits, bool learned);
     void watchClause(ClauseRef cr);
     void enqueue(Lit l, ClauseRef reason);
     ClauseRef propagate();
+    ClauseRef propagateImpl();
     void analyze(ClauseRef conflict, std::vector<Lit>& outLearned,
                  std::uint32_t& outBtLevel);
     [[nodiscard]] bool litRedundant(Lit l, std::uint32_t abstractLevels);
@@ -160,11 +254,23 @@ private:
     void bumpClause(ClauseRef cr);
     void decayActivities();
     void reduceLearned();
+    Result search(std::span<const Lit> assumptions,
+                  std::uint64_t conflictBudget);
+    Result halt(StopCause cause);
     [[nodiscard]] static std::uint64_t luby(std::uint64_t i);
 
     std::vector<ClauseHeader> headers_;
     std::vector<Lit> lits_;
     std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
+    // Binary watches (see BinWatcher): binaries accumulate in binBuild_
+    // and are flattened to the binStart_/binFlat_ CSR image the next time
+    // propagation runs.
+    std::vector<std::vector<BinWatcher>> binBuild_;
+    std::vector<std::uint32_t> binStart_;  // CSR offsets, size 2V+1
+    std::vector<Lit> binOther_;            // CSR payload: implied literal
+    std::vector<ClauseRef> binReason_;     // CSR payload: clause ref
+    bool binDirty_ = false;
+    void flattenBinWatches();
 
     std::vector<LBool> assigns_;
     std::vector<LBool> model_;
@@ -188,8 +294,15 @@ private:
     std::vector<ClauseRef> learnedRefs_;
     std::vector<std::uint8_t> seen_;  // conflict-analysis scratch
     std::vector<Lit> analyzeClear_;   // vars whose seen_ mark needs wiping
+    // litRedundant() scratch, hoisted out of the call: the redundancy DFS
+    // runs for every candidate literal of every learned clause, so
+    // per-call vectors would allocate millions of times per solve.
+    std::vector<Lit> redundantStack_;
+    std::vector<Var> redundantClear_;
 
     bool unsatAtRoot_ = false;
+    SolverOptions opt_;
+    StopCause lastStop_ = StopCause::kNone;
     SolverStats stats_;
 };
 

@@ -482,6 +482,139 @@ TEST(Engine, PhaseTimesCoverTheFlow) {
     EXPECT_EQ(hit.phases.verifyMs, 0.0);
 }
 
+void expectSameSatVerify(const JobResult& a, const JobResult& b) {
+    EXPECT_EQ(a.satVerify.ran, b.satVerify.ran);
+    EXPECT_EQ(a.satVerify.conflicts, b.satVerify.conflicts);
+    EXPECT_EQ(a.satVerify.propagations, b.satVerify.propagations);
+    EXPECT_EQ(a.satVerify.restarts, b.satVerify.restarts);
+    EXPECT_EQ(a.satVerify.learned, b.satVerify.learned);
+    EXPECT_EQ(a.satVerify.winner, b.satVerify.winner);
+    EXPECT_EQ(a.satVerify.budgetExhausted, b.satVerify.budgetExhausted);
+}
+
+TEST(Engine, SatVerifyUpgradesStatusAndIsDeterministic) {
+    // verify-threads is pure scheduling: the report — including every
+    // portfolio statistic — must be bit-identical at N ∈ {1, 2, 4}.
+    JobSpec spec;
+    spec.benchmark = "majority7";
+    std::vector<JobResult> runs;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        EngineOptions opt;
+        opt.jobs = 1;
+        opt.cacheCapacity = 0;  // force a fresh compute per run
+        opt.verifyThreads = threads;
+        const auto r = runBatch({spec}, opt).front();
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.verification, VerifyStatus::kSat);
+        EXPECT_TRUE(r.verified());
+        ASSERT_TRUE(r.satVerify.ran);
+        EXPECT_EQ(r.satVerify.winner, 0);  // unlimited budget ⇒ canonical
+        EXPECT_FALSE(r.satVerify.budgetExhausted);
+        EXPECT_GT(r.satVerify.propagations, 0u);
+        runs.push_back(r);
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        expectSameSemantics(runs[0], runs[i]);
+        expectSameSatVerify(runs[0], runs[i]);
+    }
+}
+
+TEST(Engine, SatVerifyOffByDefaultAndSkippedWithNoVerify) {
+    JobSpec spec;
+    spec.benchmark = "majority7";
+    const auto plain = runBatch({spec}, EngineOptions{}).front();
+    ASSERT_TRUE(plain.ok) << plain.error;
+    EXPECT_FALSE(plain.satVerify.ran);
+    EXPECT_NE(plain.verification, VerifyStatus::kSat);
+
+    EngineOptions opt;
+    opt.verifyThreads = 2;
+    JobSpec unverified = spec;
+    unverified.verify = false;
+    const auto r = runBatch({unverified}, opt).front();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.satVerify.ran);
+    EXPECT_EQ(r.verification, VerifyStatus::kSkipped);
+}
+
+TEST(Engine, SatVerifyBudgetExhaustionNeverFailsTheJob) {
+    // A 1-conflict budget cannot refute the miter; the job must stay ok
+    // with its simulation verdict intact and the truncation reported.
+    EngineOptions opt;
+    opt.jobs = 1;
+    opt.verifyThreads = 1;
+    opt.verifyConflictBudget = 1;
+    JobSpec spec;
+    spec.benchmark = "mul4";
+    const auto r = runBatch({spec}, opt).front();
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.satVerify.ran);
+    if (r.satVerify.budgetExhausted) {
+        EXPECT_NE(r.verification, VerifyStatus::kSat);
+        EXPECT_NE(r.verification, VerifyStatus::kFailed);
+        EXPECT_TRUE(r.verified());  // sim/algebraic verdict survives
+        EXPECT_EQ(r.satVerify.winner, -1);
+    } else {
+        EXPECT_EQ(r.verification, VerifyStatus::kSat);
+    }
+}
+
+TEST(Engine, SatVerifySurvivesTheCache) {
+    EngineOptions opt;
+    opt.jobs = 1;
+    opt.verifyThreads = 1;
+    Engine engine(opt);
+    JobSpec spec;
+    spec.benchmark = "counter8";
+    const auto first = engine.runJob(spec);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.verification, VerifyStatus::kSat);
+    ASSERT_TRUE(first.satVerify.ran);
+
+    const auto hit = engine.runJob(spec);
+    ASSERT_TRUE(hit.cacheHit);
+    expectSameSemantics(first, hit);
+    expectSameSatVerify(first, hit);
+}
+
+TEST(Engine, VerifyFingerprintPolicy) {
+    // Searcher count is scheduling — same store works at any N — but
+    // enabling SAT verify or changing its budgets changes stored
+    // verification fields and must salt the fingerprint.
+    EngineOptions off;
+    EngineOptions one;
+    one.verifyThreads = 1;
+    EngineOptions four = one;
+    four.verifyThreads = 4;
+    EngineOptions budgeted = one;
+    budgeted.verifyConflictBudget = 1000;
+    EXPECT_EQ(persistFingerprint(one), persistFingerprint(four));
+    EXPECT_NE(persistFingerprint(off), persistFingerprint(one));
+    EXPECT_NE(persistFingerprint(one), persistFingerprint(budgeted));
+}
+
+TEST(ReportJson, SatVerifyBlockOnlyWhenRan) {
+    JobResult r;
+    r.name = "j";
+    r.ok = true;
+    std::ostringstream os;
+    writeBatchReport(os, EngineOptions{}, std::vector<JobResult>{r},
+                     ResultCache::Stats{});
+    EXPECT_EQ(os.str().find("\"sat\""), std::string::npos);
+
+    r.satVerify.ran = true;
+    r.satVerify.conflicts = 42;
+    r.satVerify.winner = 0;
+    r.verification = VerifyStatus::kSat;
+    std::ostringstream os2;
+    writeBatchReport(os2, EngineOptions{}, std::vector<JobResult>{r},
+                     ResultCache::Stats{});
+    const std::string out = os2.str();
+    EXPECT_NE(out.find("\"status\": \"sat\""), std::string::npos);
+    EXPECT_NE(out.find("\"conflicts\": 42"), std::string::npos);
+    EXPECT_NE(out.find("\"winner\": 0"), std::string::npos);
+}
+
 TEST(ReportJson, BudgetAndPhasesInSchema) {
     JobResult r;
     r.name = "j";

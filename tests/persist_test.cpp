@@ -63,9 +63,16 @@ void writeFile(const std::string& path, const std::string& bytes) {
     r.qor.gates = 2;
     r.levels = 2;
     r.interconnect = 4;
-    r.verification = VerifyStatus::kSimulated;
+    r.verification = VerifyStatus::kSat;
     r.vectorsTested = 8;
     r.exhaustive = true;
+    r.satVerify.ran = true;
+    r.satVerify.conflicts = 17;
+    r.satVerify.propagations = 512;
+    r.satVerify.restarts = 1;
+    r.satVerify.learned = 9;
+    r.satVerify.winner = 2;
+    r.satVerify.budgetExhausted = false;
     netlist::Netlist nl;
     const auto a = nl.addInput("a");
     const auto b = nl.addInput("b");
@@ -93,6 +100,13 @@ void expectSameResult(const JobResult& a, const JobResult& b) {
     EXPECT_EQ(a.verification, b.verification);
     EXPECT_EQ(a.vectorsTested, b.vectorsTested);
     EXPECT_EQ(a.exhaustive, b.exhaustive);
+    EXPECT_EQ(a.satVerify.ran, b.satVerify.ran);
+    EXPECT_EQ(a.satVerify.conflicts, b.satVerify.conflicts);
+    EXPECT_EQ(a.satVerify.propagations, b.satVerify.propagations);
+    EXPECT_EQ(a.satVerify.restarts, b.satVerify.restarts);
+    EXPECT_EQ(a.satVerify.learned, b.satVerify.learned);
+    EXPECT_EQ(a.satVerify.winner, b.satVerify.winner);
+    EXPECT_EQ(a.satVerify.budgetExhausted, b.satVerify.budgetExhausted);
     ASSERT_EQ(a.mapped.numNets(), b.mapped.numNets());
     for (netlist::NetId id = 0; id < a.mapped.numNets(); ++id) {
         EXPECT_EQ(a.mapped.gate(id).type, b.mapped.gate(id).type);

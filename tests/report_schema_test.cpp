@@ -141,7 +141,7 @@ TEST(ReportSchemaTest, BuildProvenanceIsPopulated) {
     // build tree but must at least be non-empty strings.
     EXPECT_FALSE(doc.findPath("engine.build.compiler")->asString().empty());
     EXPECT_FALSE(doc.findPath("engine.build.git_hash")->asString().empty());
-    EXPECT_EQ(doc.findPath("engine.build.schemas.shard_wire")->asInt(), 3);
+    EXPECT_EQ(doc.findPath("engine.build.schemas.shard_wire")->asInt(), 4);
 }
 
 }  // namespace

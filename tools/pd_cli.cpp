@@ -33,7 +33,7 @@
 //   --heavy          include the heavy (multiplier-class) benchmarks
 //   --json <file>    write the machine-readable pd-batch-report-v1 report
 //   --cache <n>      result-cache capacity (default 64, 0 disables)
-//   --cache-file <f> persistent pd-cache-v2 store: warm-start from it and
+//   --cache-file <f> persistent pd-cache-v3 store: warm-start from it and
 //                    flush results back after the batch
 //   --cache-readonly load the store but never write it back
 //   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
@@ -46,6 +46,11 @@
 //                    overrunning worker is killed and the job retried
 //                    once on another worker (0 = unlimited)
 //   --shard-rss-mb <n>   per-worker address-space budget (0 = unlimited)
+//   --verify-threads <n>  SAT-certify optimize→map on every verified job
+//                    with a portfolio of n CDCL searchers (0 = off;
+//                    results are bit-identical at every n ≥ 1)
+//   --verify-conflict-budget <n>  per-searcher conflict cap (0 = unlimited)
+//   --verify-prop-budget <n>      per-searcher propagation cap
 //   --trace-out <f>  enable pd-trace span collection and write a Chrome
 //                    trace-event JSON (load it at ui.perfetto.dev). In
 //                    sharded mode the file is one merged fleet trace:
@@ -56,6 +61,8 @@
 // There is also a hidden `pd_cli worker` mode: the shard coordinator
 // fork/execs it with pipes on stdin/stdout (see src/engine/shard/README.md
 // for the frame protocol). It is not for interactive use.
+//
+// The complete flag reference with examples lives in docs/cli.md.
 //
 // Expressions use the parser grammar: XOR is '^' or '+', AND is '*' or
 // '&', '~' complements, identifiers are registered as inputs on first
@@ -108,7 +115,10 @@ int usage() {
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
         "         --cache-file <file>  --cache-readonly  --no-verify\n"
         "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n"
-        "         --trace-out <file>  --metrics-out <file>\n";
+        "         --verify-threads <n>  --verify-conflict-budget <n>\n"
+        "         --verify-prop-budget <n>\n"
+        "         --trace-out <file>  --metrics-out <file>\n"
+        "(full reference: docs/cli.md)\n";
     return 2;
 }
 
@@ -165,6 +175,9 @@ struct Options {
     std::size_t shardWallMs = 0;
     std::size_t shardRssMb = 0;
     std::size_t probeThreads = 0;
+    std::size_t verifyThreads = 0;
+    std::size_t verifyConflictBudget = 0;
+    std::size_t verifyPropBudget = 0;
     std::string traceOutPath;
     std::string metricsOutPath;
 };
@@ -240,6 +253,9 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--shards" ||
                                arg == "--shard-wall-ms" ||
                                arg == "--shard-rss-mb" ||
+                               arg == "--verify-threads" ||
+                               arg == "--verify-conflict-budget" ||
+                               arg == "--verify-prop-budget" ||
                                arg == "--trace-out" ||
                                arg == "--metrics-out";
         const bool flowOnly = arg == "--trace" || arg == "--stats" ||
@@ -282,6 +298,12 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             if (!countArg(opt.shardWallMs)) return usage();
         } else if (arg == "--shard-rss-mb") {
             if (!countArg(opt.shardRssMb)) return usage();
+        } else if (arg == "--verify-threads") {
+            if (!countArg(opt.verifyThreads)) return usage();
+        } else if (arg == "--verify-conflict-budget") {
+            if (!countArg(opt.verifyConflictBudget)) return usage();
+        } else if (arg == "--verify-prop-budget") {
+            if (!countArg(opt.verifyPropBudget)) return usage();
         } else if (arg == "--merge-budget") {
             if (!countArg(opt.decompose.mergeAttemptBudget)) return usage();
         } else if (arg == "--probe-threads") {
@@ -369,6 +391,9 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
     eopt.shardRssMb = opt.shardRssMb;
     eopt.probeThreads = opt.probeThreads;
+    eopt.verifyThreads = opt.verifyThreads;
+    eopt.verifyConflictBudget = opt.verifyConflictBudget;
+    eopt.verifyPropagationBudget = opt.verifyPropBudget;
     pd::engine::Engine engine(eopt);
 
     const auto& pinfo = engine.persistInfo();
@@ -495,6 +520,16 @@ int runWorkerMode(const std::vector<std::string>& args) {
             if (!countArgAt(wopt.engine.mergeBudget)) return 2;
         } else if (arg == "--probe-threads") {
             if (!countArgAt(wopt.engine.probeThreads)) return 2;
+        } else if (arg == "--verify-threads") {
+            if (!countArgAt(wopt.engine.verifyThreads)) return 2;
+        } else if (arg == "--verify-conflict-budget") {
+            std::size_t v = 0;
+            if (!countArgAt(v)) return 2;
+            wopt.engine.verifyConflictBudget = v;
+        } else if (arg == "--verify-prop-budget") {
+            std::size_t v = 0;
+            if (!countArgAt(v)) return 2;
+            wopt.engine.verifyPropagationBudget = v;
         } else if (arg == "--equiv-xl") {
             if (!countArgAt(equivXl)) return 2;
         } else if (arg == "--equiv-rb") {
@@ -572,7 +607,7 @@ int runCacheInfo(const std::vector<std::string>& args) {
         std::cout << " — " << loaded.detail;
     std::cout << "\n";
     if (loaded.ok() && !loaded.entries.empty()) {
-        // Per-entry size distributions, log2-bucketed. The pd-cache-v2
+        // Per-entry size distributions, log2-bucketed. The pd-cache-v3
         // format deliberately stores no timestamps (its byte-identical
         // rewrite guarantee forbids them), so entry *age* is only
         // observable in a live engine — the batch report's

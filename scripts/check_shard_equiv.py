@@ -18,7 +18,7 @@ Exits non-zero with a diagnostic on the first violation.
 import json
 import sys
 
-VOLATILE_JOB_FIELDS = ("timing", "cache", "shard")
+VOLATILE_JOB_FIELDS = ("timing", "cache", "shard", "shard_fallback")
 
 
 def semantic_jobs(report):

@@ -21,6 +21,8 @@
 #include "synth/mapper.hpp"
 #include "synth/opt.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
+#include "util/shutdown.hpp"
 
 namespace pd::engine {
 namespace {
@@ -211,7 +213,11 @@ Engine::Engine(EngineOptions opt)
         persist::CacheStore::load(opt_.cacheFile, persistFingerprint(opt_));
     persistInfo_.loadStatus = loaded.status;
     persistInfo_.loadDetail = loaded.detail;
-    if (!loaded.ok()) return;  // cold start, loudly recorded
+    persistInfo_.droppedEntries = loaded.droppedEntries;
+    // A salvaged prefix warms the cache like a pristine store would:
+    // every adopted entry passed its own checksum. Anything less usable
+    // cold-starts, loudly recorded.
+    if (!loaded.usable()) return;
     std::vector<ResultCache::SnapshotEntry> entries;
     entries.reserve(loaded.entries.size());
     for (auto& e : loaded.entries)
@@ -309,6 +315,26 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
     // results by index, so output stays in spec order either way.
     const bool sharded = opt_.shards >= 1;
     shard::BatchScheduler sched(specs, sharded);
+    resilience_ = BatchResilience{};
+
+    // The display-name rule execute() applies, for jobs failed before it
+    // ever ran (shutdown abandonment).
+    const auto displayName = [&specs](std::size_t index) {
+        const JobSpec& spec = specs[index];
+        if (!spec.name.empty()) return spec.name;
+        if (spec.bench) return spec.bench->name;
+        if (!spec.benchmark.empty()) return spec.benchmark;
+        return "job" + std::to_string(index);
+    };
+    const auto failInterrupted = [&](std::size_t index) {
+        JobResult r;
+        r.name = displayName(index);
+        r.ok = false;
+        r.error = std::string(util::kInterruptedError) +
+                  " before this job ran";
+        sched.complete(index, std::move(r));
+        ++resilience_.interruptedJobs;
+    };
 
     std::vector<std::future<void>> pullers;
     const std::size_t threads =
@@ -316,10 +342,14 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
                  specs.size() - sched.wireJobs().size());
     for (std::size_t t = 0; t < threads; ++t)
         pullers.push_back(pool_.submit([this, &sched, &specs] {
-            while (const auto index = sched.stealLocal())
+            while (!util::shutdownRequested()) {
+                const auto index = sched.stealLocal();
+                if (!index) return;
                 sched.complete(*index, execute(specs[*index], *index));
+            }
         }));
 
+    std::vector<std::size_t> fallbackJobs;
     if (!sched.wireJobs().empty()) {
         shard::ShardConfig cfg;
         cfg.shards = opt_.shards;
@@ -335,12 +365,39 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         cfg.cacheFile = opt_.cacheFile;
         cfg.wallMsPerJob = opt_.shardWallMsPerJob;
         cfg.rssBudgetMb = opt_.shardRssMb;
+        cfg.retries = opt_.shardRetries;
+        cfg.drainTimeoutMs = opt_.shardDrainMs;
         shard::ShardCoordinator coordinator(cfg);
         const auto outcome = coordinator.run(sched, specs);
         adoptCacheDeltas(outcome.deltas);
+        resilience_.workerCrashes += outcome.workerCrashes;
+        resilience_.workerRespawns += outcome.workerRespawns;
+        resilience_.spawnFailures += outcome.spawnFailures;
+        resilience_.retries += outcome.retries;
+        resilience_.interruptedJobs += outcome.interruptedJobs;
+        fallbackJobs = outcome.fallbackJobs;
     }
 
     for (auto& p : pullers) p.get();
+
+    // Jobs the shard fleet could not run degrade to in-process
+    // execution here, with `shard.fallback` provenance in the report.
+    for (const std::size_t index : fallbackJobs) {
+        if (util::shutdownRequested()) {
+            failInterrupted(index);
+            continue;
+        }
+        JobResult r = execute(specs[index], index);
+        r.shardFallback = true;
+        ++resilience_.fallbackJobs;
+        sched.complete(index, std::move(r));
+    }
+
+    // Local-lane jobs the pullers abandoned on shutdown still need
+    // results: completed work is reported, the rest say why they didn't
+    // run.
+    if (util::shutdownRequested())
+        while (const auto index = sched.stealLocal()) failInterrupted(*index);
 
     // LRU-age census for the report's observability block: distance of
     // each resident entry's last use from the freshest stamp. Reset
@@ -374,6 +431,10 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                       ? spec.benchmark
                       : "job" + std::to_string(index);
     try {
+        if (PD_FAULT("engine.job.fail"))
+            fail("engine", result.name +
+                               ": injected fault engine.job.fail (clean "
+                               "per-job failure)");
         core::DecomposeOptions dopt = spec.options;
         if (opt_.conflictBudget != 0)
             dopt.maxIterations =
@@ -383,6 +444,11 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 dopt.mergeAttemptBudget == 0
                     ? opt_.mergeBudget
                     : std::min(dopt.mergeAttemptBudget, opt_.mergeBudget);
+        // Injected *before* the cache signature is computed: the merge
+        // budget is part of the options fingerprint, so a budget-starved
+        // result lands under its own key and can never impersonate the
+        // untruncated one.
+        if (PD_FAULT("engine.merge.budget")) dopt.mergeAttemptBudget = 1;
         // Probe parallelism is purely a scheduling knob (results are
         // deterministic at any setting), so it is not part of the cache
         // signature; jobs without their own setting adopt the engine's.
@@ -537,6 +603,11 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             }
             result.verification = VerifyStatus::kAlgebraic;
         }
+        // SAT budgets are engine-level (persist-fingerprint salt, not
+        // per-job key), so a budget-starved sat block must NOT be
+        // published to the cache: it would impersonate the full-budget
+        // result for every later run of this key.
+        bool tainted = false;
         if (spec.verify && opt_.verifyThreads > 0) {
             // SAT certification of the optimize→map stages: miter the
             // raw synthesized netlist against the mapped one and refute
@@ -554,6 +625,13 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             satOpt.searchers = opt_.verifyThreads;
             satOpt.conflictBudget = opt_.verifyConflictBudget;
             satOpt.propagationBudget = opt_.verifyPropagationBudget;
+            if (PD_FAULT("verify.sat.budget")) {
+                // Starve the search: the honest outcome is kUnknown with
+                // budget_exhausted, never a wrong verdict.
+                satOpt.conflictBudget = 1;
+                satOpt.propagationBudget = 1;
+                tainted = true;
+            }
             satOpt.pool = verifyPool_.get();
             const auto eq = sat::checkEquivalentSat(raw, mapped, satOpt);
             result.satVerify.ran = true;
@@ -597,11 +675,15 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
         result.cpuMs = threadCpuMs() - cpuStart;
 
         if (auto* reservation =
-                std::get_if<ResultCache::Reservation>(&lookup)) {
+                std::get_if<ResultCache::Reservation>(&lookup);
+            reservation != nullptr && !tainted) {
             // Cache the full result (netlist included) so a later
             // keepMapped request can be served from cache too. The
             // published copy is what future hits report against, so it
             // carries kMemory; the requester's own copy stays kComputed.
+            // Tainted results (fault-starved sat budgets) are withheld:
+            // the abandoned reservation wakes waiters to compute for
+            // themselves.
             auto published = std::make_shared<JobResult>(result);
             published->cacheSource = CacheSource::kMemory;
             reservation->fulfill(std::move(published));

@@ -103,6 +103,13 @@ struct EngineOptions {
     /// Worker executable; "" resolves $PD_SHARD_WORKER_EXE then
     /// /proc/self/exe (correct when the host process *is* pd_cli).
     std::string shardWorkerExe;
+    /// How many times a sharded job may be requeued after a worker crash
+    /// before it is reported failed (0 = fail on the first crash).
+    std::size_t shardRetries = 1;
+    /// Shard drain timeout in ms: how long worker shutdown (cache-delta
+    /// drain) may take before stragglers are killed, and the grace an
+    /// in-flight job gets after a cooperative shutdown request.
+    int shardDrainMs = 60000;
 };
 
 /// What happened to the persistent store this engine was given.
@@ -113,6 +120,20 @@ struct PersistInfo {
         persist::LoadResult::Status::kNoFile;
     std::string loadDetail;         ///< reason when the load was rejected
     std::uint64_t loadedEntries = 0;  ///< entries adopted at warm start
+    /// Entries lost to a damaged tail when the load was salvaged.
+    std::uint64_t droppedEntries = 0;
+};
+
+/// Degraded-mode accounting for the most recent runBatch: what the
+/// fleet survived rather than what it computed. Feeds the report's
+/// `resilience` block; reset at the start of every batch.
+struct BatchResilience {
+    std::size_t workerCrashes = 0;
+    std::size_t workerRespawns = 0;
+    std::size_t spawnFailures = 0;   ///< exec failures (exit 127)
+    std::size_t retries = 0;         ///< jobs requeued after a crash
+    std::size_t fallbackJobs = 0;    ///< ran in-process after pool collapse
+    std::size_t interruptedJobs = 0; ///< abandoned by a shutdown request
 };
 
 class Engine {
@@ -154,6 +175,11 @@ public:
         return persistInfo_;
     }
 
+    /// Degraded-mode accounting for the most recent runBatch.
+    [[nodiscard]] const BatchResilience& resilience() const {
+        return resilience_;
+    }
+
     /// The cache entries this engine computed itself (excluding anything
     /// adopted from the store at warm start, and any key in
     /// `alreadyShipped`), serialized for the shard wire. Workers stream
@@ -178,6 +204,7 @@ private:
     synth::CellLibrary lib_;
     mutable ResultCache cache_;
     PersistInfo persistInfo_;
+    BatchResilience resilience_;
     /// Insert count at the last successful flush: the destructor only
     /// rewrites the store when something new was cached since.
     std::uint64_t flushedInserts_ = 0;

@@ -140,6 +140,11 @@ struct JobResult {
     /// equality or the semantic payload.
     int shard = -1;
 
+    /// True when this job was destined for the shard fleet but ran
+    /// in-process because the worker pool collapsed. Provenance only
+    /// (like `shard`): not serialized to the wire or the store.
+    bool shardFallback = false;
+
     /// Mapped netlist (only when spec.keepMapped).
     netlist::Netlist mapped;
 

@@ -13,6 +13,8 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
+#include "util/log.hpp"
 
 namespace pd::engine::persist {
 namespace {
@@ -43,8 +45,12 @@ std::string printable(std::string_view bytes) {
     return out;
 }
 
-/// Header + entry walk; throws pd::Error on structural damage so the
-/// caller can collapse every decode problem into kCorrupt.
+/// Header + entry walk; throws pd::Error on header-level damage so the
+/// caller can collapse it into kCorrupt. Damage at or after entry 0 is
+/// absorbed here: the valid prefix is kept and the result downgraded to
+/// kSalvaged (or kCorrupt when nothing at all survived) — each entry's
+/// own checksum makes the kept prefix exactly as trustworthy as a
+/// pristine store.
 LoadResult parse(std::string_view bytes, std::string_view fingerprint) {
     ByteReader r(bytes);
     if (bytes.size() < kMagic.size() || r.raw(kMagic.size()) != kMagic)
@@ -69,21 +75,45 @@ LoadResult parse(std::string_view bytes, std::string_view fingerprint) {
     out.entries.reserve(static_cast<std::size_t>(
         std::min<std::uint64_t>(count, r.remaining() / 16)));
     for (std::uint64_t i = 0; i < count; ++i) {
-        const std::string_view key = r.str();
-        const std::string_view payload = r.str();
-        const std::uint64_t stored = r.u64();
-        const std::uint64_t computed = fnv1a(payload, fnv1a(key));
-        if (stored != computed)
-            fail("persist",
-                 "checksum mismatch on entry " + std::to_string(i));
-        StoreEntry e;
-        e.key = std::string(key);
-        e.result = deserializeJobResult(payload);
-        out.entries.push_back(std::move(e));
+        try {
+            const std::string_view key = r.str();
+            const std::string_view payload = r.str();
+            const std::uint64_t stored = r.u64();
+            const std::uint64_t computed = fnv1a(payload, fnv1a(key));
+            if (stored != computed)
+                fail("persist",
+                     "checksum mismatch on entry " + std::to_string(i));
+            StoreEntry e;
+            e.key = std::string(key);
+            e.result = deserializeJobResult(payload);
+            out.entries.push_back(std::move(e));
+        } catch (const std::exception& e) {
+            out.status = LoadResult::Status::kSalvaged;
+            out.droppedEntries = count - i;
+            out.detail = "salvaged " + std::to_string(i) + " of " +
+                         std::to_string(count) + " entries (" + e.what() +
+                         ")";
+            break;
+        }
     }
-    if (!r.done())
-        fail("persist", std::to_string(r.remaining()) +
-                            " trailing bytes after last entry");
+    if (out.status == LoadResult::Status::kLoaded && !r.done()) {
+        // The declared entries all validated but the file keeps going:
+        // the count field itself can't be trusted, yet the prefix can.
+        out.status = LoadResult::Status::kSalvaged;
+        out.detail = "salvaged " + std::to_string(out.entries.size()) +
+                     " entries; " + std::to_string(r.remaining()) +
+                     " trailing bytes after the declared count";
+    }
+    if (out.status == LoadResult::Status::kSalvaged) {
+        if (out.entries.empty())
+            return reject(LoadResult::Status::kCorrupt,
+                          "no salvageable prefix (" + out.detail + ")");
+        static auto& salvages = obs::counter("persist.salvage");
+        static auto& dropped = obs::counter("persist.salvage.dropped");
+        salvages.add();
+        dropped.add(out.droppedEntries);
+        log::warn("persist", out.detail);
+    }
     return out;
 }
 
@@ -97,6 +127,7 @@ std::string_view loadStatusName(LoadResult::Status s) {
         case LoadResult::Status::kBadVersion: return "bad-version";
         case LoadResult::Status::kBadFingerprint: return "bad-fingerprint";
         case LoadResult::Status::kCorrupt: return "corrupt";
+        case LoadResult::Status::kSalvaged: return "salvaged";
     }
     return "unknown";
 }
@@ -115,7 +146,12 @@ LoadResult CacheStore::load(const std::string& path,
     if (is.bad())
         return reject(LoadResult::Status::kCorrupt,
                       "read error on '" + path + "'");
-    const std::string bytes = std::move(buf).str();
+    std::string bytes = std::move(buf).str();
+    if (PD_FAULT("persist.load.flip") && bytes.size() > kMagic.size() + 4)
+        // Flip a bit two-thirds in: past the header on any real store,
+        // so the per-entry checksums must catch it and salvage the
+        // prefix before the flipped byte.
+        bytes[bytes.size() * 2 / 3] ^= 0x01;
     if (span.live())
         span.setDetail("bytes=" + std::to_string(bytes.size()));
     try {
@@ -160,6 +196,18 @@ bool CacheStore::save(const std::string& path, std::string_view fingerprint,
     const std::string tmp = path + ".tmp." +
                             std::to_string(static_cast<long>(::getpid())) +
                             "." + std::to_string(saveSeq.fetch_add(1));
+    if (PD_FAULT("persist.save.enospc")) {
+        if (errorOut)
+            *errorOut = "injected fault persist.save.enospc: no space "
+                        "left on device writing '" + tmp + "'";
+        return false;
+    }
+    if (PD_FAULT("persist.save.short_write"))
+        // Model a torn write that the filesystem acknowledged anyway
+        // (power cut between ack and durability): the truncated bytes
+        // go through the normal rename path and save() reports success,
+        // so only the next load() — via salvage — discovers the damage.
+        bytes.resize(bytes.size() / 2);
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os) {
@@ -173,6 +221,13 @@ bool CacheStore::save(const std::string& path, std::string_view fingerprint,
             std::remove(tmp.c_str());
             return false;
         }
+    }
+    if (PD_FAULT("persist.save.rename")) {
+        if (errorOut)
+            *errorOut = "injected fault persist.save.rename: rename '" +
+                        tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         if (errorOut)

@@ -12,11 +12,18 @@
 //     checksum       u64       FNV-1a over key bytes then payload bytes
 //
 // load() never throws and never crashes on hostile input: a missing,
-// truncated, corrupt, wrong-magic, wrong-version or wrong-fingerprint
-// file comes back as a non-ok LoadResult whose status/detail say loudly
-// why, and the caller cold-starts. A checksum or decode failure on one
-// entry rejects the whole file — a store is an artifact, not a salvage
-// site, and partial trust is how silent wrong answers happen.
+// wrong-magic, wrong-version or wrong-fingerprint file comes back as a
+// non-ok LoadResult whose status/detail say loudly why, and the caller
+// cold-starts. Damage in the entry region is recovered from, not
+// punished: each entry carries its own checksum, so every entry before
+// the first bad byte is provably intact — load() keeps that valid
+// prefix (status kSalvaged, with the drop count and reason in
+// detail/droppedEntries) and discards the rest. The header is held to
+// the stricter standard: a store whose magic/version/fingerprint can't
+// be trusted yields no salvage, and a salvage that recovers zero
+// entries is reported as plain kCorrupt. Callers that only want
+// perfect artifacts check ok(); callers happy with a warm prefix
+// (the engine) check usable().
 //
 // save() is atomic: the bytes go to "<path>.tmp.<pid>" first and are
 // renamed over the target, so readers never observe a half-written
@@ -53,13 +60,20 @@ struct LoadResult {
         kBadMagic,        ///< not a pd cache store at all
         kBadVersion,      ///< written by a different format version
         kBadFingerprint,  ///< written under different options
-        kCorrupt,         ///< truncated, checksum mismatch, or undecodable
+        kCorrupt,         ///< damaged beyond salvage (no valid prefix)
+        kSalvaged,        ///< valid prefix kept, damaged tail dropped
     };
     Status status = Status::kNoFile;
     std::string detail;  ///< human-readable reason when not kLoaded
     std::vector<StoreEntry> entries;
+    /// Declared entries lost to the damaged tail when kSalvaged.
+    std::uint64_t droppedEntries = 0;
 
     [[nodiscard]] bool ok() const { return status == Status::kLoaded; }
+    /// True when `entries` may be adopted: pristine or salvaged prefix.
+    [[nodiscard]] bool usable() const {
+        return status == Status::kLoaded || status == Status::kSalvaged;
+    }
 };
 
 [[nodiscard]] std::string_view loadStatusName(LoadResult::Status s);

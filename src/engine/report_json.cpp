@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/build_info.hpp"
+#include "util/fault/fault.hpp"
 
 namespace pd::engine {
 
@@ -31,7 +32,8 @@ std::string_view cacheSourceName(CacheSource s) {
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
                       const ResultCache::Stats& cache,
-                      const PersistInfo* persist) {
+                      const PersistInfo* persist,
+                      const BatchResilience* resilience) {
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", "pd-batch-report-v1");
@@ -137,6 +139,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
 
         // Provenance, not semantics: -1 = ran in the requesting process.
         w.field("shard", r.shard);
+        w.field("shard_fallback", r.shardFallback);
 
         w.endObject();
     }
@@ -150,6 +153,31 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                 persist::loadStatusName(persist->loadStatus));
         w.field("load_detail", persist->loadDetail);
         w.field("loaded_entries", persist->loadedEntries);
+        w.field("dropped_entries", persist->droppedEntries);
+        w.endObject();
+    }
+
+    {
+        // Degraded-mode accounting: always present (zeros on a healthy
+        // run) so chaos tooling never has to branch on its absence.
+        const BatchResilience zero;
+        const BatchResilience& r = resilience ? *resilience : zero;
+        w.key("resilience").beginObject();
+        w.field("worker_crashes", r.workerCrashes);
+        w.field("worker_respawns", r.workerRespawns);
+        w.field("spawn_failures", r.spawnFailures);
+        w.field("retries", r.retries);
+        w.field("fallback_jobs", r.fallbackJobs);
+        w.field("interrupted_jobs", r.interruptedJobs);
+        w.field("salvaged_entries",
+                persist && persist->loadStatus ==
+                               persist::LoadResult::Status::kSalvaged
+                    ? persist->loadedEntries
+                    : 0);
+        w.field("salvage_dropped", persist ? persist->droppedEntries : 0);
+        w.key("armed_faults").beginArray();
+        for (const auto& plan : fault::armedPlans()) w.value(plan);
+        w.endArray();
         w.endObject();
     }
 

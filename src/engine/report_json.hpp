@@ -41,14 +41,24 @@
 //                     "verify_ms": f}},
 //         "cache": {"hit": b, "key": s,            // key: 16-hex digest
 //                   "source": "computed"|"memory"|"disk"},
-//         "shard": i                               // worker that ran the
-//       }, ...                                     // job; -1 = in-process
+//         "shard": i,                              // worker that ran the
+//                                                  // job; -1 = in-process
+//         "shard_fallback": b                      // ran in-process after
+//       }, ...                                     // the pool collapsed
 //     ],
 //     "persist": {                                 // only with a cache file
 //       "file": s, "readonly": b,
 //       "load_status": "loaded"|"no-file"|"bad-magic"|"bad-version"|
-//                      "bad-fingerprint"|"corrupt",
-//       "load_detail": s, "loaded_entries": u
+//                      "bad-fingerprint"|"corrupt"|"salvaged",
+//       "load_detail": s, "loaded_entries": u,
+//       "dropped_entries": u                       // lost to a salvaged tail
+//     },
+//     "resilience": {                              // always present; zeros
+//       "worker_crashes": u, "worker_respawns": u, // on a healthy run
+//       "spawn_failures": u,                       // exec failures (127)
+//       "retries": u, "fallback_jobs": u, "interrupted_jobs": u,
+//       "salvaged_entries": u, "salvage_dropped": u,
+//       "armed_faults": [s, ...]                   // "site:spec" plans
 //     },
 //     "observability": {                           // pd-trace registry dump
 //       "spans_dropped": u,                        // ring-wrap losses
@@ -85,10 +95,13 @@ using JsonWriter = util::JsonWriter;
 [[nodiscard]] std::string_view cacheSourceName(CacheSource s);
 
 /// Renders the "pd-batch-report-v1" document for one batch run.
-/// `persist` (optional) records the persistent-store outcome.
+/// `persist` (optional) records the persistent-store outcome;
+/// `resilience` (optional) the degraded-mode accounting — the
+/// resilience block is emitted either way (zeros when absent).
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
                       const ResultCache::Stats& cache,
-                      const PersistInfo* persist = nullptr);
+                      const PersistInfo* persist = nullptr,
+                      const BatchResilience* resilience = nullptr);
 
 }  // namespace pd::engine

@@ -12,22 +12,28 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
 #include "util/log.hpp"
+#include "util/shutdown.hpp"
 
 namespace pd::engine::shard {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// How long the shutdown drain may take before stragglers are SIGKILLed
-/// and their cache deltas forfeited. Draining only serializes the
-/// worker's cache — seconds, not minutes.
-constexpr int kDrainTimeoutMs = 60000;
+/// Respawn backoff after a worker death: 10, 20, 40, ... ms, capped so
+/// a persistent crash loop retires the slot in about a second instead
+/// of fork-bombing the box. The streak resets on real progress (a
+/// completed job), not on a successful exec — a worker that hellos and
+/// then dies on its first job is still a crash loop.
+constexpr int kRespawnBackoffBaseMs = 10;
+constexpr int kRespawnBackoffCapMs = 1000;
 
 /// The display-name rule execute() applies, replicated for jobs that die
 /// before any worker could run them.
@@ -101,6 +107,8 @@ struct Slot {
     bool byeSeen = false;
     bool everSpawned = false;
     int idleCrashes = 0;  ///< consecutive deaths with no job in flight
+    int deathStreak = 0;  ///< consecutive deaths since the last result
+    Clock::time_point respawnAfter{};  ///< backoff gate for the next spawn
 
     [[nodiscard]] bool live() const {
         return state == State::kSpawning || state == State::kIdle ||
@@ -215,6 +223,18 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         // Tracing is a coordinator-side decision: workers only buffer and
         // ship spans when told to, so an untraced run pays nothing.
         if (obs::enabled()) args.push_back("--obs");
+        // Fault plans armed here (via --fault) are forwarded so workers
+        // arm the same sites; $PD_FAULTS reaches them through the
+        // environment on its own.
+        for (const auto& plan : fault::armedPlans()) {
+            args.push_back("--fault");
+            args.push_back(plan);
+        }
+
+        // Evaluated in the parent so the hit count is deterministic in
+        // the coordinator process; the child acts it out as the exact
+        // exit an execv failure would produce.
+        const bool spawnFault = PD_FAULT("shard.worker.spawn");
 
         const pid_t pid = ::fork();
         if (pid < 0) {
@@ -226,6 +246,7 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                               std::to_string(slotId));
         }
         if (pid == 0) {
+            if (spawnFault) _exit(127);
             ::dup2(toChild[0], STDIN_FILENO);
             ::dup2(fromChild[1], STDOUT_FILENO);
             ::close(toChild[0]);
@@ -237,7 +258,7 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             for (auto& a : args) argv.push_back(a.data());
             argv.push_back(nullptr);
             ::execv(exe.c_str(), argv.data());
-            _exit(127);  // exec failed; parent sees an idle crash
+            _exit(127);  // exec failed; parent counts a spawn failure
         }
         ::close(toChild[0]);
         ::close(fromChild[1]);
@@ -275,6 +296,41 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             s.state = Slot::State::kDone;
             return;
         }
+        // Every unclean death backs off the slot's next spawn; the
+        // streak only resets when the slot completes a job.
+        ++s.deathStreak;
+        const int backoffMs =
+            std::min(kRespawnBackoffBaseMs
+                         << std::min(s.deathStreak - 1, 7),
+                     kRespawnBackoffCapMs);
+        s.respawnAfter = Clock::now() + std::chrono::milliseconds(backoffMs);
+
+        // Exit 127 is the exec-failure sentinel: the worker binary never
+        // ran, so this is a spawn failure, not a crash — counted apart
+        // and charged to no job's retry budget.
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 127) {
+            ++outcome.spawnFailures;
+            static auto& cSpawnFail =
+                obs::counter("shard.worker.spawn_failures");
+            cSpawnFail.add();
+            log::warn("shard", "worker " + std::to_string(slotId) +
+                                   " failed to spawn (exec failure, "
+                                   "exit 127)");
+            if (s.inFlight) {  // can't normally happen pre-hello; be safe
+                avoidSlot[s.job] = slotId;
+                queue.push_front(s.job);
+            } else if ((s.state == Slot::State::kSpawning ||
+                        s.state == Slot::State::kIdle) &&
+                       ++s.idleCrashes >= 2) {
+                s.inFlight = false;
+                s.state = Slot::State::kRetired;
+                return;
+            }
+            s.inFlight = false;
+            s.state = Slot::State::kDown;
+            return;
+        }
+
         ++outcome.workerCrashes;
         static auto& cCrashes = obs::counter("shard.worker.crashes");
         cCrashes.add();
@@ -287,15 +343,32 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         if (s.inFlight) {
             s.idleCrashes = 0;
             const std::size_t index = s.job;
-            const int tries = ++attempts[index];
-            if (tries >= 2) {
-                failJob(index, "shard worker " + std::to_string(slotId) +
-                                   " " + how + " running this job (already "
-                                   "retried once on another worker)");
+            if (util::shutdownRequested()) {
+                // The death is (or may as well be) the shutdown kill:
+                // don't spend retries on a run that is winding down.
+                failJob(index, std::string(util::kInterruptedError) +
+                                   " while this job was in flight");
+                ++outcome.interruptedJobs;
             } else {
-                ++outcome.retries;
-                avoidSlot[index] = slotId;
-                queue.push_front(index);  // retry ahead of fresh work
+                const std::size_t tries =
+                    static_cast<std::size_t>(++attempts[index]);
+                if (tries > cfg_.retries) {
+                    std::string verdict;
+                    if (cfg_.retries == 0)
+                        verdict = "retries disabled by --shard-retries 0";
+                    else if (cfg_.retries == 1)
+                        verdict = "already retried once on another worker";
+                    else
+                        verdict = "already retried " +
+                                  std::to_string(cfg_.retries) + " times";
+                    failJob(index, "shard worker " + std::to_string(slotId) +
+                                       " " + how + " running this job (" +
+                                       verdict + ")");
+                } else {
+                    ++outcome.retries;
+                    avoidSlot[index] = slotId;
+                    queue.push_front(index);  // retry ahead of fresh work
+                }
             }
         } else if (s.state == Slot::State::kSpawning ||
                    s.state == Slot::State::kIdle) {
@@ -363,6 +436,7 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                         ++completed;
                         s.inFlight = false;
                         s.idleCrashes = 0;
+                        s.deathStreak = 0;  // real progress: clear backoff
                         if (s.state == Slot::State::kBusy)
                             s.state = Slot::State::kIdle;
                         break;
@@ -404,24 +478,58 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
     // the local lane is running concurrently against the same scheduler,
     // so run() converts them into failures on every job that has no
     // result yet and returns normally.
+    bool shutdownSeen = false;
+    Clock::time_point shutdownDeadline{};
     try {
     while (completed < wireJobs.size()) {
-        // Respawn dead slots while work remains queued.
+        // Cooperative shutdown: still-queued jobs are failed as
+        // interrupted; in-flight jobs get one drain timeout's grace
+        // before their workers are killed (handled below with the wall
+        // budget), and the drain still collects cache deltas.
+        if (util::shutdownRequested()) {
+            if (!shutdownSeen) {
+                shutdownSeen = true;
+                shutdownDeadline =
+                    Clock::now() +
+                    std::chrono::milliseconds(cfg_.drainTimeoutMs);
+                log::warn("shard",
+                          "shutdown requested: abandoning queued jobs, "
+                          "draining in-flight work");
+            }
+            while (!queue.empty()) {
+                failJob(queue.front(),
+                        std::string(util::kInterruptedError) +
+                            " before this job ran");
+                ++outcome.interruptedJobs;
+                queue.pop_front();
+            }
+        }
+
+        // Respawn dead slots while work remains queued, honoring each
+        // slot's crash backoff.
         if (!queue.empty())
             for (std::size_t i = 0; i < slots.size(); ++i)
-                if (slots[i].state == Slot::State::kDown) spawn(i);
+                if (slots[i].state == Slot::State::kDown &&
+                    Clock::now() >= slots[i].respawnAfter)
+                    spawn(i);
 
         // Pool collapse: every slot retired/finished with jobs still
-        // queued — fail them rather than hang.
+        // queued — hand them back for in-process execution rather than
+        // fail them or hang. Degraded throughput, full results.
         if (!queue.empty() &&
             std::none_of(slots.begin(), slots.end(), [](const Slot& s) {
                 return s.live() || s.state == Slot::State::kDown;
             })) {
+            static auto& cFallback = obs::counter("shard.fallback.jobs");
+            log::warn("shard",
+                      "worker pool collapsed; running " +
+                          std::to_string(queue.size()) +
+                          " remaining jobs in-process");
             while (!queue.empty()) {
-                failJob(queue.front(),
-                        "shard worker pool collapsed before this job could "
-                        "run (every worker slot crashed at startup)");
+                outcome.fallbackJobs.push_back(queue.front());
+                cFallback.add();
                 queue.pop_front();
+                ++completed;
             }
             continue;
         }
@@ -460,8 +568,9 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         if (completed >= wireJobs.size()) break;
 
         // Poll timeout: the nearest wall-budget deadline, else a guard
-        // tick so a logic bug can never become a silent forever-hang.
-        int timeoutMs = 60000;
+        // tick — short enough that a shutdown signal delivered to
+        // another thread (whose EINTR we never see) is noticed promptly.
+        int timeoutMs = 250;
         if (cfg_.wallMsPerJob > 0) {
             for (const Slot& s : slots) {
                 if (s.state != Slot::State::kBusy) continue;
@@ -485,7 +594,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             fds.push_back({slots[i].fromChild, POLLIN, 0});
             fdSlot.push_back(i);
         }
-        if (fds.empty()) continue;  // respawn/collapse handled next pass
+        if (fds.empty()) {
+            // Nothing to poll: every slot is down awaiting its respawn
+            // backoff. Sleep a tick instead of spinning.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+        }
         const int ready = ::poll(fds.data(),
                                  static_cast<nfds_t>(fds.size()), timeoutMs);
         if (ready < 0 && errno != EINTR)
@@ -510,11 +624,18 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                 }
             }
         }
+
+        // Shutdown grace expired: kill still-busy workers; onDeath sees
+        // the shutdown flag and fails their jobs as interrupted.
+        if (shutdownSeen && Clock::now() >= shutdownDeadline)
+            for (Slot& s : slots)
+                if (s.state == Slot::State::kBusy && s.pid > 0)
+                    ::kill(s.pid, SIGKILL);
     }
 
     // ---- drain: collect cache deltas, then reap every worker --------------
     const auto drainDeadline =
-        Clock::now() + std::chrono::milliseconds(kDrainTimeoutMs);
+        Clock::now() + std::chrono::milliseconds(cfg_.drainTimeoutMs);
     for (;;) {
         bool anyLive = false;
         for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -557,6 +678,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                 onReadable(fdSlot[f]);
     }
     } catch (const std::exception& e) {
+        // Coordinator-side failure (fork/pipe/poll/protocol): the fleet
+        // is gone, but the jobs are pure computations — hand everything
+        // unfinished back for in-process execution instead of failing.
+        log::error("shard", std::string("coordinator failed (") + e.what() +
+                                "); running unfinished jobs in-process");
+        static auto& cFallback = obs::counter("shard.fallback.jobs");
         for (Slot& s : slots) {
             if (s.pid > 0) ::kill(s.pid, SIGKILL);
             closeSlot(s);
@@ -564,13 +691,14 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             const std::size_t job = s.job;
             s.inFlight = false;
             s.state = Slot::State::kDown;
-            if (hadJob)
-                failJob(job, std::string("shard coordinator failed: ") +
-                                 e.what());
+            if (hadJob) {
+                outcome.fallbackJobs.push_back(job);
+                cFallback.add();
+            }
         }
         while (!queue.empty()) {
-            failJob(queue.front(),
-                    std::string("shard coordinator failed: ") + e.what());
+            outcome.fallbackJobs.push_back(queue.front());
+            cFallback.add();
             queue.pop_front();
         }
     }

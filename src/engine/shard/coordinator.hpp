@@ -11,12 +11,20 @@
 //
 // Crash isolation: a worker that dies (abort, OOM kill, sanitizer trap)
 // or overruns the per-job wall budget (SIGKILL by deadline) costs exactly
-// its in-flight job. The slot is respawned; the job is requeued once,
-// preferring a *different* slot, and only a second death reports it as a
+// its in-flight job. The slot is respawned under capped exponential
+// backoff; the job is requeued up to `retries` times, preferring a
+// *different* slot, and only exhausting the budget reports it as a
 // per-job failure — the batch, the report, and the cache flush all
-// complete normally. A slot that dies twice without ever accepting work
-// (startup crash loop) is retired; if every slot retires, the remaining
-// queued jobs fail loudly instead of hanging the coordinator.
+// complete normally. An exec failure (`_exit(127)`) is not a crash: it
+// is counted separately as a spawn failure and never burns a job's
+// retry budget, since the job never started. A slot that dies twice
+// without ever accepting work (startup crash loop) is retired; if every
+// slot retires, the remaining queued jobs are handed back to the engine
+// (ShardOutcome::fallbackJobs) for in-process execution instead of
+// failing — pool collapse degrades throughput, not results. A
+// cooperative shutdown request (util::shutdownRequested) fails
+// still-queued jobs as interrupted, grants in-flight jobs one drain
+// timeout to finish, and still drains cache deltas from the survivors.
 #pragma once
 
 #include <cstddef>
@@ -57,6 +65,13 @@ struct ShardConfig {
     double wallMsPerJob = 0.0;
     /// Per-worker RLIMIT_AS budget in MiB (0 = unlimited).
     std::size_t rssBudgetMb = 0;
+    /// How many times a job may be requeued after a worker crash before
+    /// it is reported failed (0 = fail on the first crash).
+    std::size_t retries = 1;
+    /// How long the shutdown drain may take before stragglers are
+    /// SIGKILLed and their cache deltas forfeited; also the grace an
+    /// in-flight job gets after a cooperative shutdown request.
+    int drainTimeoutMs = 60000;
 };
 
 /// What one coordinated run produced besides the per-job results (which
@@ -67,6 +82,14 @@ struct ShardOutcome {
     std::size_t workerCrashes = 0;   ///< deaths observed (incl. budget kills)
     std::size_t workerRespawns = 0;
     std::size_t retries = 0;         ///< jobs requeued after a crash
+    /// exec failures (exit 127): the worker binary never ran. Counted
+    /// apart from crashes and charged to no job's retry budget.
+    std::size_t spawnFailures = 0;
+    std::size_t interruptedJobs = 0; ///< failed by a shutdown request
+    /// Jobs the pool could not run (collapse, coordinator failure),
+    /// handed back for in-process execution. Not yet completed in the
+    /// scheduler — the caller owns running them.
+    std::vector<std::size_t> fallbackJobs;
 };
 
 class ShardCoordinator {

@@ -12,6 +12,7 @@
 #include "engine/shard/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "util/fault/fault.hpp"
 #include "util/log.hpp"
 
 namespace pd::engine::shard {
@@ -129,22 +130,48 @@ int runWorker(const WorkerOptions& opt) {
                 auto [index, spec] = decodeJob(frame->payload);
                 const std::string& hookName =
                     !spec.name.empty() ? spec.name : spec.benchmark;
+                // Name-targeted lifecycle hooks (exact, test-oriented)
+                // and counter-driven fault sites (chaos-oriented; hit
+                // counts are per worker process) model the same two
+                // failure modes: death and wedge.
                 if (crashJob && hookName == crashJob) std::abort();
-                if (hangJob && hookName == hangJob) {
+                if (PD_FAULT("shard.worker.crash")) std::abort();
+                if ((hangJob && hookName == hangJob) ||
+                    PD_FAULT("shard.worker.hang")) {
                     // Park until the coordinator's wall budget kills us.
                     for (;;)
                         std::this_thread::sleep_for(
                             std::chrono::seconds(3600));
                 }
                 const JobResult result = engine.runJob(spec);
-                if (!sendFrame(outFd, FrameType::kResult,
-                               encodeResult(index, result)))
-                    return 3;
+                std::string out;
+                appendFrame(out, FrameType::kResult,
+                            encodeResult(index, result));
+                if (PD_FAULT("shard.wire.corrupt") && !out.empty())
+                    // Flip one payload bit: the coordinator's frame
+                    // checksum must reject the stream and take the
+                    // worker-death path.
+                    out[out.size() / 2] ^= 0x01;
+                if (PD_FAULT("shard.wire.partial")) {
+                    // Crash mid-frame: ship half, then die. The
+                    // coordinator sees EOF inside a frame.
+                    writeAll(outFd, std::string_view(out).substr(
+                                        0, out.size() / 2));
+                    std::abort();
+                }
+                if (!writeAll(outFd, out)) return 3;
                 if (!shipDeltas()) return 3;
                 if (!shipObs()) return 3;
                 break;
             }
             case FrameType::kShutdown: {
+                if (PD_FAULT("shard.worker.drain.hang")) {
+                    // Wedge during drain: never Bye. The coordinator's
+                    // drain timeout must reap us and forfeit the deltas.
+                    for (;;)
+                        std::this_thread::sleep_for(
+                            std::chrono::seconds(3600));
+                }
                 // Catch-up pass for anything not yet streamed (normally
                 // empty); disk-restored entries stay behind — the
                 // coordinator already has them.

@@ -1,0 +1,282 @@
+#include "util/fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/log.hpp"
+
+namespace pd::fault {
+
+namespace detail {
+/// The one gate through Site's private surface: the registry (anonymous
+/// namespace below, so it cannot be a friend itself) and the arming
+/// entry points funnel through here.
+struct SiteAccess {
+    static std::unique_ptr<Site> make(std::string name) {
+        return std::unique_ptr<Site>(new Site(std::move(name)));
+    }
+    static void arm(Site& s, const Spec& spec, std::string planText) {
+        s.arm(spec, std::move(planText));
+    }
+    static void disarm(Site& s) { s.disarm(); }
+    static const std::string& planText(const Site& s) { return s.planText_; }
+};
+}  // namespace detail
+
+namespace {
+
+// Local copies of the usual mixing primitives: util must not depend on
+// the persist layer's format helpers.
+std::uint64_t fnv1a(std::string_view bytes) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+// Leaked singleton, same pattern (and reason) as the obs metrics
+// registry: sites handed out by site() must outlive every static whose
+// destructor might still evaluate a fault.
+class Registry {
+public:
+    static Registry& instance() {
+        static Registry* r = new Registry();
+        return *r;
+    }
+
+    Site& getOrCreate(std::string_view name) {
+        std::lock_guard lock(mutex_);
+        auto it = sites_.find(name);
+        if (it == sites_.end()) {
+            auto site = detail::SiteAccess::make(std::string(name));
+            it = sites_.emplace(site->name(), std::move(site)).first;
+        }
+        return *it->second;
+    }
+
+    std::vector<Site*> all() {
+        std::lock_guard lock(mutex_);
+        std::vector<Site*> out;
+        out.reserve(sites_.size());
+        for (auto& [name, site] : sites_) out.push_back(site.get());
+        return out;
+    }
+
+    void noteEnvValue(std::string value) {
+        std::lock_guard lock(mutex_);
+        lastEnvValue_ = std::move(value);
+    }
+    bool envValueSeen(std::string_view value) {
+        std::lock_guard lock(mutex_);
+        return lastEnvValue_ == value;
+    }
+    void forgetEnvValueForTest() {
+        std::lock_guard lock(mutex_);
+        lastEnvValue_.clear();
+    }
+
+private:
+    Registry() = default;
+
+    std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_;
+    std::string lastEnvValue_;
+};
+
+std::once_flag g_envOnce;
+
+}  // namespace
+
+bool Site::shouldFire() noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t hit =
+        hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    switch (spec_.kind) {
+    case Spec::Kind::kNth:
+        fire = hit == spec_.n;
+        break;
+    case Spec::Kind::kEvery:
+        fire = spec_.n != 0 && hit % spec_.n == 0;
+        break;
+    case Spec::Kind::kProb: {
+        const std::uint64_t state =
+            prngState_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t draw =
+            splitmix64((spec_.seed ^ fnv1a(name_)) + state);
+        // 53 uniform mantissa bits -> [0,1).
+        const double u =
+            static_cast<double>(draw >> 11) * 0x1.0p-53;
+        fire = u < spec_.probability;
+        break;
+    }
+    }
+    if (fire) {
+        fires_.fetch_add(1, std::memory_order_relaxed);
+        log::warn("fault", "firing injected fault '" + planText_ +
+                                     "' (hit " + std::to_string(hit) + ")");
+    }
+    return fire;
+}
+
+void Site::arm(const Spec& spec, std::string planText) {
+    spec_ = spec;
+    planText_ = std::move(planText);
+    hits_.store(0, std::memory_order_relaxed);
+    fires_.store(0, std::memory_order_relaxed);
+    prngState_.store(0, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+}
+
+void Site::disarm() {
+    armed_.store(false, std::memory_order_relaxed);
+    planText_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    fires_.store(0, std::memory_order_relaxed);
+    prngState_.store(0, std::memory_order_relaxed);
+}
+
+Site& site(std::string_view name) {
+    std::call_once(g_envOnce, armFromEnv);
+    return Registry::instance().getOrCreate(name);
+}
+
+bool parseSpec(std::string_view spec, Spec& out, std::string* error) {
+    const auto bad = [&](std::string_view why) {
+        if (error)
+            *error = "bad fault spec '" + std::string(spec) + "': " +
+                     std::string(why);
+        return false;
+    };
+    if (spec.empty()) return bad("empty");
+    const char kind = spec.front();
+    const std::string body(spec.substr(1));
+    Spec parsed;
+    if (kind == 'n' || kind == 'e') {
+        parsed.kind = kind == 'n' ? Spec::Kind::kNth : Spec::Kind::kEvery;
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(body.c_str(), &end, 10);
+        if (body.empty() || end == nullptr || *end != '\0' || v == 0)
+            return bad("expected a positive integer after the letter");
+        parsed.n = v;
+    } else if (kind == 'p') {
+        parsed.kind = Spec::Kind::kProb;
+        std::string probPart = body;
+        if (const auto at = body.find('@'); at != std::string::npos) {
+            probPart = body.substr(0, at);
+            const std::string seedPart = body.substr(at + 1);
+            char* end = nullptr;
+            const unsigned long long s =
+                std::strtoull(seedPart.c_str(), &end, 10);
+            if (seedPart.empty() || end == nullptr || *end != '\0')
+                return bad("expected an integer seed after '@'");
+            parsed.seed = s;
+        }
+        char* end = nullptr;
+        const double p = std::strtod(probPart.c_str(), &end);
+        if (probPart.empty() || end == nullptr || *end != '\0' || p < 0.0 ||
+            p > 1.0)
+            return bad("expected a probability in [0,1] after 'p'");
+        parsed.probability = p;
+    } else {
+        return bad("unknown trigger kind (want n<k>, e<k>, or p<f>[@seed])");
+    }
+    out = parsed;
+    return true;
+}
+
+bool armPlan(std::string_view plan, std::string* error) {
+    struct Item {
+        std::string site;
+        Spec spec;
+        std::string text;
+    };
+    std::vector<Item> items;
+    std::size_t pos = 0;
+    while (pos <= plan.size()) {
+        const std::size_t comma = plan.find(',', pos);
+        const std::string_view item = plan.substr(
+            pos, comma == std::string_view::npos ? plan.size() - pos
+                                                 : comma - pos);
+        pos = comma == std::string_view::npos ? plan.size() + 1 : comma + 1;
+        if (item.empty()) continue;  // tolerate stray commas
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string_view::npos || colon == 0 ||
+            colon + 1 == item.size()) {
+            if (error)
+                *error = "bad fault plan item '" + std::string(item) +
+                         "': want site:spec";
+            return false;
+        }
+        Item parsed;
+        parsed.site = std::string(item.substr(0, colon));
+        parsed.text = std::string(item);
+        if (!parseSpec(item.substr(colon + 1), parsed.spec, error))
+            return false;
+        items.push_back(std::move(parsed));
+    }
+    // Validate-then-arm: a malformed tail must not leave a half-armed
+    // plan behind.
+    for (auto& item : items)
+        detail::SiteAccess::arm(Registry::instance().getOrCreate(item.site),
+                                item.spec, std::move(item.text));
+    return true;
+}
+
+void armFromEnv() {
+    const char* raw = std::getenv(kFaultsEnv);
+    if (raw == nullptr || *raw == '\0') return;
+    auto& registry = Registry::instance();
+    if (registry.envValueSeen(raw)) return;
+    std::string error;
+    if (!armPlan(raw, &error)) {
+        log::warn("fault", std::string(kFaultsEnv) + " ignored: " +
+                                     error);
+        return;
+    }
+    registry.noteEnvValue(raw);
+    log::info("fault", std::string("armed from ") + kFaultsEnv + ": " +
+                                 raw);
+}
+
+std::vector<std::string> armedPlans() {
+    std::vector<std::string> out;
+    for (Site* s : Registry::instance().all())
+        if (s->armed()) out.push_back(detail::SiteAccess::planText(*s));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void disarmAllForTest() {
+    for (Site* s : Registry::instance().all())
+        detail::SiteAccess::disarm(*s);
+    Registry::instance().forgetEnvValueForTest();
+}
+
+std::vector<SiteStats> snapshot() {
+    std::vector<SiteStats> out;
+    for (Site* s : Registry::instance().all()) {
+        SiteStats stats;
+        stats.name = s->name();
+        stats.armed = s->armed();
+        stats.hits = s->hits();
+        stats.fires = s->fires();
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+}  // namespace pd::fault

@@ -1,0 +1,146 @@
+// Deterministic fault injection for every failure-prone layer.
+//
+// A *site* is a named place in the code where a failure can be provoked
+// on demand: a persist save pretending the disk is full, a shard worker
+// aborting on job receipt, a SAT verify budget collapsing to one
+// conflict. Sites are always compiled in — the same binaries that serve
+// production traffic are the ones the chaos gate exercises — and cost
+// one relaxed atomic load when disarmed, the same always-on contract as
+// the obs metrics registry this is modeled on.
+//
+// Arming. A *plan* is a comma-separated list of `site:spec` items,
+// accepted from the PD_FAULTS environment variable (read lazily on
+// first registry use, so forked workers inherit the plan for free) and
+// from repeated `--fault site:spec` CLI flags. Specs:
+//
+//   n<k>          fire on exactly the k-th evaluation of the site
+//                 (counted per process, from arming); `n3` = third hit
+//   e<k>          fire on every k-th evaluation (k, 2k, 3k, ...)
+//   p<f>[@<s>]    fire with probability f in [0,1], drawn from a
+//                 splitmix64 stream seeded by s ^ fnv1a(site name) —
+//                 the same (site, seed) pair always produces the same
+//                 decision sequence, so probabilistic soaks replay
+//
+// Hit counters are per process: a respawned shard worker starts its
+// own count at zero. Chaos invariants are therefore written as bounds
+// and properties ("at most N failures, every failure names the injected
+// fault"), not exact schedules, except for `n<k>` plans evaluated in a
+// single process.
+//
+// Usage at a site — bind the registry lookup once, then the disarmed
+// path is a single load:
+//
+//   if (PD_FAULT("persist.save.enospc")) { /* fail as if ENOSPC */ }
+//
+// The canonical site catalogue lives with the instrumented code; grep
+// for PD_FAULT to enumerate it. docs/cli.md lists the sites that ship.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pd::fault {
+
+namespace detail {
+struct SiteAccess;  // registry-internal construction/arming backdoor
+}
+
+/// Environment variable holding a fault plan, e.g.
+/// `PD_FAULTS=shard.worker.crash:e3,persist.save.enospc:n1`.
+inline constexpr const char* kFaultsEnv = "PD_FAULTS";
+
+/// Parsed trigger spec for one site.
+struct Spec {
+    enum class Kind : std::uint8_t { kNth, kEvery, kProb };
+    Kind kind = Kind::kNth;
+    std::uint64_t n = 1;      ///< k for kNth / kEvery
+    double probability = 0.0; ///< for kProb
+    std::uint64_t seed = 0;   ///< user seed for kProb (pre-mix)
+};
+
+/// One named injection point. Obtained from site(); never destroyed
+/// (the registry leaks like the metrics registry so references cached
+/// in function-local statics stay valid through static teardown).
+class Site {
+public:
+    /// Counts one evaluation and reports whether the armed spec says to
+    /// fire here. Disarmed sites return false after one relaxed load
+    /// and do not count hits.
+    bool shouldFire() noexcept;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] bool armed() const noexcept {
+        return armed_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t hits() const noexcept {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t fires() const noexcept {
+        return fires_.load(std::memory_order_relaxed);
+    }
+
+private:
+    friend struct detail::SiteAccess;
+    explicit Site(std::string name) : name_(std::move(name)) {}
+
+    void arm(const Spec& spec, std::string planText);
+    void disarm();
+
+    std::string name_;
+    std::string planText_;  ///< canonical "site:spec" string, for reports
+    Spec spec_;
+    std::atomic<bool> armed_{false};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> fires_{0};
+    std::atomic<std::uint64_t> prngState_{0};
+};
+
+/// Interns `name` and returns its site; stable for the process
+/// lifetime. First use anywhere arms any plan found in $PD_FAULTS.
+Site& site(std::string_view name);
+
+/// Parses `spec` ("n3", "e2", "p0.25", "p0.5@42") into `out`. Returns
+/// false and fills `*error` (if non-null) on malformed input.
+bool parseSpec(std::string_view spec, Spec& out, std::string* error);
+
+/// Arms every `site:spec` item in `plan` (comma separated). All items
+/// are validated before any is armed: a malformed plan arms nothing,
+/// returns false and fills `*error`.
+bool armPlan(std::string_view plan, std::string* error = nullptr);
+
+/// Reads $PD_FAULTS and arms it. Idempotent per distinct value; safe to
+/// call repeatedly. Called lazily by site(). A malformed environment
+/// plan is reported via util::log (warn) and ignored — a typo in an ops
+/// environment must not take the service down.
+void armFromEnv();
+
+/// Canonical `site:spec` strings for every currently armed site, sorted
+/// by site name. This is what the report's resilience block records and
+/// what the shard coordinator forwards to workers via `--fault`.
+std::vector<std::string> armedPlans();
+
+/// Disarms every site and resets hit/fire counters and the env-arming
+/// memo. Test-only.
+void disarmAllForTest();
+
+/// Point-in-time counters for every registered site.
+struct SiteStats {
+    std::string name;
+    bool armed = false;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+std::vector<SiteStats> snapshot();
+
+}  // namespace pd::fault
+
+/// Evaluates the named fault site: false (one relaxed load) when
+/// disarmed. The registry lookup happens once per call site.
+#define PD_FAULT(site_name)                                            \
+    ([]() -> bool {                                                    \
+        static auto& pdFaultSiteRef = ::pd::fault::site(site_name);    \
+        return pdFaultSiteRef.shouldFire();                            \
+    }())

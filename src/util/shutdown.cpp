@@ -1,0 +1,39 @@
+#include "util/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace pd::util {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void onShutdownSignal(int sig) {
+    if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+        // Second signal: the user means it. Die the default way so the
+        // exit status reports the signal.
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+    }
+}
+
+}  // namespace
+
+void requestShutdown() noexcept {
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool shutdownRequested() noexcept {
+    return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void clearShutdownForTest() noexcept {
+    g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+void installShutdownSignalHandlers() {
+    std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGTERM, onShutdownSignal);
+}
+
+}  // namespace pd::util

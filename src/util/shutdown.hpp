@@ -1,0 +1,32 @@
+// Cooperative shutdown for batch runs.
+//
+// One process-wide flag, set from a SIGINT/SIGTERM handler (or directly
+// by tests), polled by the batch loops: the engine's local lane stops
+// pulling new jobs, the shard coordinator fails still-queued jobs as
+// "interrupted", gives in-flight workers one drain-timeout's grace to
+// finish, then kills them — and the run still flushes the merged store
+// and writes a complete report for everything that did finish. A second
+// signal restores the default disposition and re-raises, so a wedged
+// run can always be killed the old-fashioned way.
+#pragma once
+
+namespace pd::util {
+
+/// Sets the shutdown flag. Async-signal-safe.
+void requestShutdown() noexcept;
+
+/// True once requestShutdown() has been called in this process.
+[[nodiscard]] bool shutdownRequested() noexcept;
+
+/// Clears the flag. Test-only.
+void clearShutdownForTest() noexcept;
+
+/// Installs SIGINT/SIGTERM handlers: first signal requests cooperative
+/// shutdown, second restores the default action and re-raises.
+void installShutdownSignalHandlers();
+
+/// Error-message prefix used for jobs abandoned by a shutdown; scripts
+/// and tests match on it.
+inline constexpr const char* kInterruptedError = "interrupted: shutdown requested";
+
+}  // namespace pd::util

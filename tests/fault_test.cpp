@@ -1,0 +1,173 @@
+// Fault-injection registry tests: spec grammar, trigger semantics
+// (nth-hit, every-k, seeded-probabilistic determinism), plan arming
+// (validate-then-arm, env idempotence), and the PD_FAULT macro's
+// disarmed contract. The sites themselves are exercised end-to-end by
+// persist_test / shard_test and scripts/check_chaos.py.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/fault/fault.hpp"
+
+namespace pd::fault {
+namespace {
+
+/// Every test leaves the registry disarmed — sites are process-global.
+class FaultTest : public ::testing::Test {
+protected:
+    void SetUp() override { disarmAllForTest(); }
+    void TearDown() override {
+        disarmAllForTest();
+        ::unsetenv(kFaultsEnv);
+    }
+};
+
+TEST_F(FaultTest, ParsesEveryTriggerKind) {
+    Spec s;
+    ASSERT_TRUE(parseSpec("n3", s, nullptr));
+    EXPECT_EQ(s.kind, Spec::Kind::kNth);
+    EXPECT_EQ(s.n, 3u);
+
+    ASSERT_TRUE(parseSpec("e2", s, nullptr));
+    EXPECT_EQ(s.kind, Spec::Kind::kEvery);
+    EXPECT_EQ(s.n, 2u);
+
+    ASSERT_TRUE(parseSpec("p0.25", s, nullptr));
+    EXPECT_EQ(s.kind, Spec::Kind::kProb);
+    EXPECT_DOUBLE_EQ(s.probability, 0.25);
+    EXPECT_EQ(s.seed, 0u);
+
+    ASSERT_TRUE(parseSpec("p0.5@42", s, nullptr));
+    EXPECT_DOUBLE_EQ(s.probability, 0.5);
+    EXPECT_EQ(s.seed, 42u);
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecsWithAMessage) {
+    Spec s;
+    std::string error;
+    for (const char* bad : {"", "x3", "n", "n0", "nfoo", "e0", "p", "p1.5",
+                            "p-0.1", "pabc", "p0.5@", "p0.5@x", "n3junk"}) {
+        error.clear();
+        EXPECT_FALSE(parseSpec(bad, s, &error)) << "'" << bad << "'";
+        EXPECT_FALSE(error.empty()) << "'" << bad << "'";
+    }
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnce) {
+    ASSERT_TRUE(armPlan("test.nth:n3"));
+    Site& s = site("test.nth");
+    std::size_t fires = 0;
+    for (int i = 0; i < 10; ++i) fires += s.shouldFire() ? 1 : 0;
+    EXPECT_EQ(fires, 1u);
+    EXPECT_EQ(s.fires(), 1u);
+    EXPECT_EQ(s.hits(), 10u);
+}
+
+TEST_F(FaultTest, EveryKFiresOnTheCadence) {
+    ASSERT_TRUE(armPlan("test.every:e3"));
+    Site& s = site("test.every");
+    std::vector<bool> pattern;
+    for (int i = 0; i < 9; ++i) pattern.push_back(s.shouldFire());
+    const std::vector<bool> expect = {false, false, true, false, false,
+                                      true, false, false, true};
+    EXPECT_EQ(pattern, expect);
+}
+
+TEST_F(FaultTest, ProbabilisticSequencesReplayUnderTheSameSeed) {
+    const auto draw = [](const char* plan, const char* name, int n) {
+        disarmAllForTest();
+        EXPECT_TRUE(armPlan(plan));
+        Site& s = site(name);
+        std::vector<bool> out;
+        for (int i = 0; i < n; ++i) out.push_back(s.shouldFire());
+        return out;
+    };
+    const auto a = draw("test.prob:p0.5@7", "test.prob", 64);
+    const auto b = draw("test.prob:p0.5@7", "test.prob", 64);
+    EXPECT_EQ(a, b) << "same (site, seed) must replay bit for bit";
+    const auto c = draw("test.prob:p0.5@8", "test.prob", 64);
+    EXPECT_NE(a, c) << "a different seed must draw a different sequence";
+
+    // Degenerate probabilities are exact, not approximate.
+    const auto never = draw("test.prob:p0@1", "test.prob", 64);
+    EXPECT_EQ(std::count(never.begin(), never.end(), true), 0);
+    const auto always = draw("test.prob:p1@1", "test.prob", 64);
+    EXPECT_EQ(std::count(always.begin(), always.end(), true), 64);
+}
+
+TEST_F(FaultTest, DisarmedSitesNeverFireOrCount) {
+    Site& s = site("test.disarmed");
+    EXPECT_FALSE(s.armed());
+    for (int i = 0; i < 5; ++i) EXPECT_FALSE(s.shouldFire());
+    EXPECT_EQ(s.hits(), 0u);
+    EXPECT_FALSE(PD_FAULT("test.disarmed"));
+}
+
+TEST_F(FaultTest, MalformedPlansArmNothing) {
+    std::string error;
+    EXPECT_FALSE(armPlan("test.good:n1,test.bad:q9", &error));
+    EXPECT_FALSE(error.empty());
+    // Validate-then-arm: the well-formed head must not be live either.
+    EXPECT_FALSE(site("test.good").armed());
+    EXPECT_TRUE(armedPlans().empty());
+
+    EXPECT_FALSE(armPlan("no-colon", &error));
+    EXPECT_FALSE(armPlan(":n1", &error));
+    EXPECT_FALSE(armPlan("site:", &error));
+}
+
+TEST_F(FaultTest, ArmedPlansReportCanonicalSortedItems) {
+    ASSERT_TRUE(armPlan("test.b:e2,test.a:n1"));
+    const auto plans = armedPlans();
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_EQ(plans[0], "test.a:n1");
+    EXPECT_EQ(plans[1], "test.b:e2");
+    disarmAllForTest();
+    EXPECT_TRUE(armedPlans().empty());
+}
+
+TEST_F(FaultTest, RearmingResetsCounters) {
+    ASSERT_TRUE(armPlan("test.rearm:n1"));
+    Site& s = site("test.rearm");
+    EXPECT_TRUE(s.shouldFire());
+    EXPECT_FALSE(s.shouldFire());
+    ASSERT_TRUE(armPlan("test.rearm:n1"));
+    EXPECT_EQ(s.hits(), 0u);
+    EXPECT_TRUE(s.shouldFire()) << "re-arming restarts the hit count";
+}
+
+TEST_F(FaultTest, EnvArmingIsIdempotentPerValue) {
+    ::setenv(kFaultsEnv, "test.env:n2", 1);
+    armFromEnv();
+    Site& s = site("test.env");
+    EXPECT_TRUE(s.armed());
+    EXPECT_FALSE(s.shouldFire());  // hit 1 of n2
+    // A repeat call with the same value must not re-arm (which would
+    // reset the count and shift the schedule).
+    armFromEnv();
+    EXPECT_TRUE(s.shouldFire()) << "hit 2 fires; env re-read reset it";
+    // A malformed value is ignored, not fatal, and disturbs nothing.
+    ::setenv(kFaultsEnv, "broken", 1);
+    armFromEnv();
+    EXPECT_TRUE(s.armed());
+}
+
+TEST_F(FaultTest, SnapshotSeesEverySite) {
+    ASSERT_TRUE(armPlan("test.snap:n1"));
+    (void)site("test.snap").shouldFire();
+    bool found = false;
+    for (const auto& stats : snapshot()) {
+        if (stats.name != "test.snap") continue;
+        found = true;
+        EXPECT_TRUE(stats.armed);
+        EXPECT_EQ(stats.hits, 1u);
+        EXPECT_EQ(stats.fires, 1u);
+    }
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pd::fault

@@ -19,6 +19,7 @@
 #include "engine/persist/store.hpp"
 #include "engine/shard/coordinator.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
 
 namespace pd::engine::persist {
 namespace {
@@ -301,6 +302,180 @@ TEST(PersistStore, RejectsMismatchedFingerprint) {
     EXPECT_EQ(loaded.status, LoadResult::Status::kBadFingerprint);
     EXPECT_NE(loaded.detail.find("fp-writer"), std::string::npos);
     EXPECT_NE(loaded.detail.find("fp-reader"), std::string::npos);
+}
+
+// ---- salvage ----------------------------------------------------------------
+
+[[nodiscard]] std::vector<StoreEntry> threeEntries() {
+    std::vector<StoreEntry> entries;
+    for (const char* key : {"sig-A", "sig-B", "sig-C"})
+        entries.push_back(
+            {key, std::make_shared<const JobResult>(sampleResult())});
+    return entries;
+}
+
+TEST(PersistSalvage, TruncatedTailSalvagesTheIntactPrefix) {
+    TempFile file("salvage_trunc");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    const std::string bytes = readFile(file.path());
+    writeFile(file.path(), bytes.substr(0, bytes.size() - 1));
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kSalvaged);
+    EXPECT_TRUE(loaded.usable());
+    EXPECT_FALSE(loaded.ok()) << "salvaged must stay distinct from loaded";
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.entries[0].key, "sig-A");
+    EXPECT_EQ(loaded.entries[1].key, "sig-B");
+    EXPECT_EQ(loaded.droppedEntries, 1u);
+    EXPECT_NE(loaded.detail.find("salvaged 2 of 3"), std::string::npos)
+        << loaded.detail;
+}
+
+TEST(PersistSalvage, FlippedByteInTheLastEntrySalvagesTheRest) {
+    TempFile file("salvage_flip");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    std::string bytes = readFile(file.path());
+    bytes[bytes.size() - 10] =
+        static_cast<char>(bytes[bytes.size() - 10] ^ 0x01);
+    writeFile(file.path(), bytes);
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kSalvaged);
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.droppedEntries, 1u);
+    // The surviving entries are checksum-verified, not just hoped-for.
+    expectSameResult(*threeEntries()[0].result, *loaded.entries[0].result);
+}
+
+TEST(PersistSalvage, DamagedFirstEntryMeansNoSalvage) {
+    // A prefix of zero entries is indistinguishable from random damage:
+    // the load must reject outright (kCorrupt), not report a successful
+    // zero-entry salvage.
+    TempFile file("salvage_none");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    std::string bytes = readFile(file.path());
+    const std::size_t headerEnd = kMagic.size() + 4 /*version*/ +
+                                  (4 + 2) /*"fp" str*/ + 8 /*count u64*/;
+    // First byte of entry 0's key ("sig-A"): the entry checksum rejects
+    // it, the salvageable prefix is empty.
+    const std::size_t keyByte = headerEnd + 4;
+    bytes[keyByte] = static_cast<char>(bytes[keyByte] ^ 0x01);
+    writeFile(file.path(), bytes);
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kCorrupt);
+    EXPECT_FALSE(loaded.usable());
+    EXPECT_TRUE(loaded.entries.empty());
+}
+
+TEST(PersistSalvage, EngineWarmStartsFromASalvagedStore) {
+    TempFile file("salvage_warm");
+    EngineOptions opt;
+    opt.cacheFile = file.path();
+    std::vector<JobSpec> specs;
+    for (const char* name : {"majority7", "counter8"}) {
+        JobSpec s;
+        s.benchmark = name;
+        specs.push_back(std::move(s));
+    }
+    {
+        Engine engine(opt);
+        for (const auto& r : engine.runBatch(specs))
+            ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_TRUE(engine.flushCache());
+    }
+    const std::string bytes = readFile(file.path());
+    writeFile(file.path(), bytes.substr(0, bytes.size() - 3));
+
+    Engine warm(opt);
+    EXPECT_EQ(warm.persistInfo().loadStatus, LoadResult::Status::kSalvaged);
+    EXPECT_EQ(warm.persistInfo().loadedEntries, 1u);
+    EXPECT_EQ(warm.persistInfo().droppedEntries, 1u);
+    const auto results = warm.runBatch(specs);
+    std::size_t diskHits = 0;
+    for (const auto& r : results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        diskHits += r.cacheSource == CacheSource::kDisk ? 1 : 0;
+    }
+    EXPECT_EQ(diskHits, 1u)
+        << "the salvaged prefix must still pay for its jobs";
+}
+
+// ---- injected save/load faults ---------------------------------------------
+
+/// Arms a plan for the test body; disarms all sites on scope exit.
+class ScopedFaults {
+public:
+    explicit ScopedFaults(const std::string& plan) {
+        std::string error;
+        EXPECT_TRUE(fault::armPlan(plan, &error)) << error;
+    }
+    ~ScopedFaults() { fault::disarmAllForTest(); }
+};
+
+TEST(PersistFault, EnospcFailsTheSaveAndLeavesNoFile) {
+    TempFile file("fault_enospc");
+    std::string error;
+    {
+        ScopedFaults faults("persist.save.enospc:n1");
+        EXPECT_FALSE(
+            CacheStore::save(file.path(), "fp", threeEntries(), &error));
+        EXPECT_NE(error.find("no space left on device"), std::string::npos)
+            << error;
+    }
+    EXPECT_EQ(CacheStore::load(file.path(), "fp").status,
+              LoadResult::Status::kNoFile)
+        << "a failed save must not leave a target file behind";
+    EXPECT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+}
+
+TEST(PersistFault, ShortWriteLeavesATornStoreTheLoadContains) {
+    // The nastiest disk failure: the save *reports success* but the
+    // store is torn mid-file. The next load must contain the damage —
+    // salvage the intact prefix or reject — never crash or serve junk.
+    TempFile file("fault_short");
+    {
+        ScopedFaults faults("persist.save.short_write:n1");
+        EXPECT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    }
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_FALSE(loaded.ok());
+    if (loaded.status == LoadResult::Status::kSalvaged) {
+        EXPECT_GE(loaded.entries.size(), 1u);
+        EXPECT_LT(loaded.entries.size(), 3u);
+    } else {
+        EXPECT_EQ(loaded.status, LoadResult::Status::kCorrupt);
+        EXPECT_TRUE(loaded.entries.empty());
+    }
+}
+
+TEST(PersistFault, RenameFailureKeepsThePreviousStoreVersion) {
+    TempFile file("fault_rename");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    const std::string before = readFile(file.path());
+    auto all = threeEntries();
+    const std::vector<StoreEntry> smaller(all.begin(), all.begin() + 1);
+    std::string error;
+    {
+        ScopedFaults faults("persist.save.rename:n1");
+        EXPECT_FALSE(CacheStore::save(file.path(), "fp", smaller, &error));
+        EXPECT_NE(error.find("persist.save.rename"), std::string::npos)
+            << error;
+    }
+    EXPECT_EQ(readFile(file.path()), before)
+        << "an aborted save must leave the previous version byte-intact";
+}
+
+TEST(PersistFault, LoadFlipIsCaughtAndClearsWhenDisarmed) {
+    TempFile file("fault_flip");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    {
+        ScopedFaults faults("persist.load.flip:n1");
+        const auto loaded = CacheStore::load(file.path(), "fp");
+        EXPECT_FALSE(loaded.ok());
+        EXPECT_TRUE(loaded.status == LoadResult::Status::kSalvaged ||
+                    loaded.status == LoadResult::Status::kCorrupt);
+    }
+    EXPECT_TRUE(CacheStore::load(file.path(), "fp").ok())
+        << "the file itself was never damaged; disarmed loads are clean";
 }
 
 // ---- engine-level warm start / flush ---------------------------------------

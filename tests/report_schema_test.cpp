@@ -128,6 +128,15 @@ TEST(ReportSchemaTest, BatchReportMatchesGoldenSchema) {
     EXPECT_EQ(age->find("count")->asInt(), 2);
     ASSERT_TRUE(age->find("buckets")->isArray());
     EXPECT_EQ(age->find("buckets")->asArray().size(), 33u);
+
+    // The resilience block is always present and all-zero on a healthy
+    // run with no armed faults.
+    const JsonValue* resilience = doc.find("resilience");
+    ASSERT_NE(resilience, nullptr);
+    EXPECT_EQ(resilience->find("worker_crashes")->asInt(), 0);
+    EXPECT_EQ(resilience->find("fallback_jobs")->asInt(), 0);
+    EXPECT_EQ(resilience->find("interrupted_jobs")->asInt(), 0);
+    EXPECT_TRUE(resilience->find("armed_faults")->asArray().empty());
 }
 
 TEST(ReportSchemaTest, BuildProvenanceIsPopulated) {

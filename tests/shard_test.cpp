@@ -1,18 +1,24 @@
 // Sharded-engine tests: the pipe framing codec (round-trips, hostile
 // bytes — run under ASan/UBSan in CI), end-to-end equivalence of sharded
 // and in-process batches across --shards {1,2,4}, crash isolation
-// (respawn, single retry, clean per-job failure, cache completeness),
-// wall-budget kills, and worker-pool collapse. Everything that can go
-// wrong in a worker must cost at most its own job — never the batch, the
-// report, or the store.
+// (respawn, retry budgets, clean per-job failure, cache completeness),
+// wall-budget kills, worker-pool collapse → in-process fallback, spawn
+// failure accounting, drain timeouts, graceful shutdown, and the pd_cli
+// batch exit-code contract. Everything that can go wrong in a worker
+// must cost at most its own job — never the batch, the report, or the
+// store.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/registry.hpp"
@@ -23,6 +29,8 @@
 #include "engine/shard/protocol.hpp"
 #include "engine/shard/worker.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
+#include "util/shutdown.hpp"
 
 namespace pd::engine::shard {
 namespace {
@@ -58,6 +66,18 @@ public:
 
 private:
     const char* name_;
+};
+
+/// Arms a fault plan for the test body and disarms every site on exit —
+/// the coordinator forwards armed plans to its workers, so a leaked
+/// plan would poison later tests in this binary.
+class ScopedFaults {
+public:
+    explicit ScopedFaults(const std::string& plan) {
+        std::string error;
+        EXPECT_TRUE(fault::armPlan(plan, &error)) << error;
+    }
+    ~ScopedFaults() { fault::disarmAllForTest(); }
 };
 
 [[nodiscard]] EngineOptions shardOptions(std::size_t shards,
@@ -547,10 +567,11 @@ TEST(ShardEngine, WallBudgetKillsHangingWorkers) {
         << results[0].error;
 }
 
-TEST(ShardEngine, WorkerPoolCollapseFailsJobsInsteadOfHanging) {
+TEST(ShardEngine, WorkerPoolCollapseFallsBackToInProcess) {
     // /bin/false exits immediately without ever speaking the protocol:
-    // every slot retires after two startup crashes and the queued jobs
-    // must come back as failures, not a hung coordinator.
+    // every slot retires after two startup crashes, and the queued jobs
+    // must degrade to in-process execution — same results, fallback
+    // provenance — never a hung coordinator or a failed batch.
     if (::access("/bin/false", X_OK) != 0) GTEST_SKIP();
     EngineOptions opt = shardOptions(2);
     opt.shardWorkerExe = "/bin/false";
@@ -559,9 +580,177 @@ TEST(ShardEngine, WorkerPoolCollapseFailsJobsInsteadOfHanging) {
     s.benchmark = "majority7";
     const auto results = engine.runBatch({s});
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_FALSE(results[0].ok);
-    EXPECT_NE(results[0].error.find("worker"), std::string::npos)
-        << results[0].error;
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].shard, -1);
+    EXPECT_TRUE(results[0].shardFallback);
+    EXPECT_EQ(engine.resilience().fallbackJobs, 1u);
+}
+
+TEST(ShardEngine, SpawnFailureIsCountedApartAndCostsNoRetries) {
+    // An exec failure (exit 127) means the worker binary never ran: the
+    // respawned slot picks the work up, no job's retry budget is
+    // charged, and the failure is counted apart from genuine crashes.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.worker.spawn:n1");
+    Engine engine(shardOptions(2));
+    const auto results = engine.runBatch(lightSpecs());
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    const auto& res = engine.resilience();
+    EXPECT_GE(res.spawnFailures, 1u);
+    EXPECT_EQ(res.workerCrashes, 0u);
+    EXPECT_EQ(res.retries, 0u);
+}
+
+TEST(ShardEngine, RetriesDisabledFailsOnTheFirstCrash) {
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedEnv crash(kCrashJobEnv, "counter8");
+    EngineOptions opt = shardOptions(2);
+    opt.shardRetries = 0;
+    Engine engine(opt);
+    const auto results = engine.runBatch(lightSpecs());
+    for (const auto& r : results) {
+        if (r.name == "counter8") {
+            EXPECT_FALSE(r.ok);
+            EXPECT_NE(r.error.find("retries disabled by --shard-retries 0"),
+                      std::string::npos)
+                << r.error;
+        } else {
+            EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+        }
+    }
+    EXPECT_EQ(engine.resilience().retries, 0u);
+}
+
+TEST(ShardEngine, RetryBudgetGrantsTheConfiguredAttempts) {
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedEnv crash(kCrashJobEnv, "counter8");
+    EngineOptions opt = shardOptions(2);
+    opt.shardRetries = 2;
+    Engine engine(opt);
+    const auto results = engine.runBatch(lightSpecs());
+    for (const auto& r : results) {
+        if (r.name == "counter8") {
+            EXPECT_FALSE(r.ok);
+            EXPECT_NE(r.error.find("already retried 2 times"),
+                      std::string::npos)
+                << r.error;
+        } else {
+            EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+        }
+    }
+    EXPECT_EQ(engine.resilience().retries, 2u);
+    EXPECT_GE(engine.resilience().workerCrashes, 3u);
+}
+
+TEST(ShardEngine, DrainTimeoutBoundsAWedgedWorkerShutdown) {
+    // The worker receives the forwarded fault plan, computes every job
+    // normally, then parks forever instead of answering the shutdown
+    // frame. Only the configured drain budget (not the 60 s default)
+    // stands between the finished batch and a hang; deltas were already
+    // streamed after each job, so the kill loses nothing.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.worker.drain.hang:n1");
+    EngineOptions opt = shardOptions(1);
+    opt.shardDrainMs = 300;
+    Engine engine(opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = engine.runBatch(lightSpecs());
+    const auto elapsedMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_LT(elapsedMs, 30000) << "drain must time out, not wait forever";
+}
+
+TEST(ShardEngine, ShutdownRequestInterruptsTheBatchButStillFlushes) {
+    // A shutdown requested before the batch starts: every job comes back
+    // as interrupted (never silently dropped), and the store still
+    // flushes to a loadable artifact.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    TempFile store("shutdown");
+    util::requestShutdown();
+    Engine engine(shardOptions(2, store.path()));
+    const auto results = engine.runBatch(lightSpecs());
+    const bool flushed = engine.flushCache();
+    util::clearShutdownForTest();
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) {
+        EXPECT_FALSE(r.ok) << r.name;
+        EXPECT_NE(r.error.find(util::kInterruptedError), std::string::npos)
+            << r.name << ": " << r.error;
+    }
+    EXPECT_TRUE(flushed);
+    const auto loaded = persist::CacheStore::load(
+        store.path(), persistFingerprint(shardOptions(2)));
+    EXPECT_TRUE(loaded.ok()) << loaded.detail;
+}
+
+// ---- pd_cli batch exit-code contract ---------------------------------------
+
+/// Runs the pd_cli binary (the same one the shard tests use for
+/// workers) through the shell; returns the exit status or -1.
+int runCli(const std::string& cmd) {
+    const int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliExitCodes, ZeroAllOkTwoPartialOneFatalSixtyFourUsage) {
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    const std::string cli = workerExe();
+    EXPECT_EQ(runCli(cli + " batch majority7 >/dev/null 2>&1"), 0);
+    // One injected per-job failure: the batch ran, so partial = 2.
+    EXPECT_EQ(runCli("PD_FAULTS=engine.job.fail:n1 " + cli +
+                     " batch majority7 >/dev/null 2>&1"),
+              2);
+    // A failed store flush is an engine failure: fatal = 1 even though
+    // every job succeeded.
+    TempFile store("exitcodes");
+    EXPECT_EQ(runCli("PD_FAULTS=persist.save.enospc:n1 " + cli +
+                     " batch majority7 --cache-file " + store.path() +
+                     " >/dev/null 2>&1"),
+              1);
+    EXPECT_EQ(runCli(cli + " batch --not-a-flag >/dev/null 2>&1"), 64);
+}
+
+TEST(CliExitCodes, SigtermDrainsReportsAndExitsTwo) {
+    // SIGTERM mid-batch: the coordinator purges the queue as
+    // interrupted, grants the in-flight (hanging) job its drain grace,
+    // kills it, and the process still writes the report and exits with
+    // the partial-failure code — never dies signal-fatally.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    const std::string report = std::string(::testing::TempDir()) +
+                               "pd_sigterm_report_" +
+                               std::to_string(::getpid()) + ".json";
+    std::remove(report.c_str());
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv(kHangJobEnv, "majority7", 1);
+        (void)::freopen("/dev/null", "w", stdout);
+        (void)::freopen("/dev/null", "w", stderr);
+        ::execl(workerExe(), workerExe(), "batch", "majority7", "counter8",
+                "--shards", "1", "--shard-drain-ms", "500", "--json",
+                report.c_str(), static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    // Let the batch get in flight on the hanging job (if the signal
+    // lands earlier, both jobs are purged from the queue — same
+    // contract, same exit code).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "must drain on SIGTERM, not die";
+    EXPECT_EQ(WEXITSTATUS(status), 2);
+    std::ifstream in(report);
+    ASSERT_TRUE(in.good()) << "report must still be written";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("interrupted"), std::string::npos);
+    std::remove(report.c_str());
 }
 
 }  // namespace

@@ -51,12 +51,26 @@
 //                    results are bit-identical at every n ≥ 1)
 //   --verify-conflict-budget <n>  per-searcher conflict cap (0 = unlimited)
 //   --verify-prop-budget <n>      per-searcher propagation cap
+//   --shard-retries <n>  how many times a sharded job may be requeued
+//                    after a worker crash before it is reported failed
+//                    (default 1; 0 = fail on the first crash)
+//   --shard-drain-ms <n>  worker shutdown-drain timeout and the grace an
+//                    in-flight job gets after SIGINT/SIGTERM (default
+//                    60000)
 //   --trace-out <f>  enable pd-trace span collection and write a Chrome
 //                    trace-event JSON (load it at ui.perfetto.dev). In
 //                    sharded mode the file is one merged fleet trace:
 //                    coordinator plus one process track per worker.
 //   --metrics-out <f>  dump the metrics registry in Prometheus text
 //                    exposition format after the batch
+//   --fault <site:spec>  arm a deterministic fault-injection site
+//                    (repeatable; same grammar as PD_FAULTS — see
+//                    src/util/fault/fault.hpp). Chaos testing only.
+//
+// Batch exit codes: 0 = every job ok and all artifacts written, 2 = the
+// batch ran but some jobs failed (including jobs interrupted by
+// SIGINT/SIGTERM), 1 = fatal engine error (store flush / artifact write
+// failure, pd::Error), 64 = usage error.
 //
 // There is also a hidden `pd_cli worker` mode: the shard coordinator
 // fork/execs it with pipes on stdin/stdout (see src/engine/shard/README.md
@@ -97,6 +111,8 @@
 #include "synth/opt.hpp"
 #include "synth/sta.hpp"
 #include "util/error.hpp"
+#include "util/fault/fault.hpp"
+#include "util/shutdown.hpp"
 
 namespace {
 
@@ -115,11 +131,14 @@ int usage() {
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
         "         --cache-file <file>  --cache-readonly  --no-verify\n"
         "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n"
+        "         --shard-retries <n>  --shard-drain-ms <n>\n"
         "         --verify-threads <n>  --verify-conflict-budget <n>\n"
         "         --verify-prop-budget <n>\n"
         "         --trace-out <file>  --metrics-out <file>\n"
+        "chaos:   --fault <site:spec>  (or PD_FAULTS=\"site:spec,...\")\n"
+        "batch exit codes: 0 all ok, 2 some jobs failed, 1 fatal error\n"
         "(full reference: docs/cli.md)\n";
-    return 2;
+    return 64;  // EX_USAGE — distinct from batch's partial-failure 2
 }
 
 /// Range-checked unsigned option parsing: rejects junk, negatives and
@@ -174,6 +193,8 @@ struct Options {
     std::size_t shards = 0;
     std::size_t shardWallMs = 0;
     std::size_t shardRssMb = 0;
+    std::size_t shardRetries = 1;
+    std::size_t shardDrainMs = 60000;
     std::size_t probeThreads = 0;
     std::size_t verifyThreads = 0;
     std::size_t verifyConflictBudget = 0;
@@ -253,6 +274,8 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--shards" ||
                                arg == "--shard-wall-ms" ||
                                arg == "--shard-rss-mb" ||
+                               arg == "--shard-retries" ||
+                               arg == "--shard-drain-ms" ||
                                arg == "--verify-threads" ||
                                arg == "--verify-conflict-budget" ||
                                arg == "--verify-prop-budget" ||
@@ -298,6 +321,20 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             if (!countArg(opt.shardWallMs)) return usage();
         } else if (arg == "--shard-rss-mb") {
             if (!countArg(opt.shardRssMb)) return usage();
+        } else if (arg == "--shard-retries") {
+            if (!countArg(opt.shardRetries)) return usage();
+        } else if (arg == "--shard-drain-ms") {
+            if (!countArg(opt.shardDrainMs)) return usage();
+        } else if (arg == "--fault") {
+            if (++i >= argc) {
+                std::cerr << "option --fault expects <site>:<spec>\n";
+                return usage();
+            }
+            std::string error;
+            if (!pd::fault::armPlan(argv[i], &error)) {
+                std::cerr << "--fault: " << error << "\n";
+                return usage();
+            }
         } else if (arg == "--verify-threads") {
             if (!countArg(opt.verifyThreads)) return usage();
         } else if (arg == "--verify-conflict-budget") {
@@ -352,6 +389,11 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
 }
 
 int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
+    // First SIGINT/SIGTERM requests a cooperative drain (queued jobs are
+    // reported interrupted, in-flight jobs get --shard-drain-ms of grace,
+    // the merged store still flushes); a second one kills the process.
+    pd::util::installShutdownSignalHandlers();
+
     std::vector<std::string> selected = names;
     if (opt.all) {
         for (auto& n : pd::circuits::benchmarkNames(opt.heavy))
@@ -390,6 +432,8 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.shards = opt.shards;
     eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
     eopt.shardRssMb = opt.shardRssMb;
+    eopt.shardRetries = opt.shardRetries;
+    eopt.shardDrainMs = static_cast<int>(opt.shardDrainMs);
     eopt.probeThreads = opt.probeThreads;
     eopt.verifyThreads = opt.verifyThreads;
     eopt.verifyConflictBudget = opt.verifyConflictBudget;
@@ -403,6 +447,11 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         if (pinfo.loadStatus ==
             pd::engine::persist::LoadResult::Status::kLoaded)
             std::cout << " (" << pinfo.loadedEntries << " entries)";
+        else if (pinfo.loadStatus ==
+                 pd::engine::persist::LoadResult::Status::kSalvaged)
+            std::cout << " (" << pinfo.loadedEntries << " entries kept, "
+                      << pinfo.droppedEntries << " dropped from a damaged "
+                      << "tail)";
         else if (!pinfo.loadDetail.empty())
             std::cout << " — " << pinfo.loadDetail << "; cold start";
         std::cout << "\n";
@@ -410,10 +459,10 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
 
     const auto results = engine.runBatch(specs);
 
-    bool anyFailed = false;
+    bool anyJobFailed = false;
     for (const auto& r : results) {
         if (!r.ok) {
-            anyFailed = true;
+            anyJobFailed = true;
             std::cout << r.name << ": FAILED: " << r.error << "\n";
             continue;
         }
@@ -427,6 +476,7 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         if (r.cacheHit)
             std::cout << " (" << pd::engine::cacheSourceName(r.cacheSource)
                       << " hit)";
+        if (r.shardFallback) std::cout << " (in-process fallback)";
         std::cout << "\n";
     }
     const auto cs = engine.cacheStats();
@@ -434,13 +484,24 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
               << " misses, " << cs.evictions << " evictions, " << cs.restored
               << " restored, " << cs.entries << " resident\n";
 
+    const auto& res = engine.resilience();
+    if (res.workerCrashes || res.workerRespawns || res.spawnFailures ||
+        res.retries || res.fallbackJobs || res.interruptedJobs) {
+        std::cout << "resilience: " << res.workerCrashes << " crashes, "
+                  << res.workerRespawns << " respawns, " << res.spawnFailures
+                  << " spawn failures, " << res.retries << " retries, "
+                  << res.fallbackJobs << " fallback jobs, "
+                  << res.interruptedJobs << " interrupted\n";
+    }
+
     if (!opt.jsonPath.empty()) {
         std::ofstream os(opt.jsonPath);
         if (!os) {
             std::cerr << "cannot write " << opt.jsonPath << "\n";
             return 1;
         }
-        pd::engine::writeBatchReport(os, eopt, results, cs, &pinfo);
+        pd::engine::writeBatchReport(os, eopt, results, cs, &pinfo,
+                                     &engine.resilience());
         std::cout << "wrote " << opt.jsonPath << "\n";
     }
 
@@ -473,6 +534,7 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
         std::cout << "wrote " << opt.metricsOutPath << "\n";
     }
 
+    bool fatal = false;
     if (!opt.cacheFile.empty() && !opt.cacheReadonly) {
         std::size_t saved = 0;
         std::string error;
@@ -484,10 +546,14 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
             // (CI caches it, the next run depends on it) — fail loudly
             // here, not one run later.
             std::cerr << "cache flush failed: " << error << "\n";
-            anyFailed = true;
+            fatal = true;
         }
     }
-    return anyFailed ? 1 : 0;
+    // Exit contract (asserted by tests and scripts/check_chaos.py):
+    // 1 = the engine itself failed, 2 = the batch ran but some jobs
+    // (possibly interrupted ones) did not, 0 = everything succeeded.
+    if (fatal) return 1;
+    return anyJobFailed ? 2 : 0;
 }
 
 /// Hidden `worker` mode: the ShardCoordinator fork/execs this with the
@@ -540,6 +606,19 @@ int runWorkerMode(const std::vector<std::string>& args) {
             if (!countArgAt(wopt.rssBudgetMb)) return 2;
         } else if (arg == "--obs") {
             wopt.obs = true;
+        } else if (arg == "--fault") {
+            // Forwarded by the coordinator so workers arm the same plans
+            // as the parent (PD_FAULTS also inherits across exec; the
+            // registry ignores a plan that is already armed).
+            if (++i >= args.size()) {
+                std::cerr << "worker option --fault expects <site>:<spec>\n";
+                return 2;
+            }
+            std::string error;
+            if (!pd::fault::armPlan(args[i], &error)) {
+                std::cerr << "worker --fault: " << error << "\n";
+                return 2;
+            }
         } else if (arg == "--cache-file") {
             if (++i >= args.size()) {
                 std::cerr << "worker option --cache-file expects a path\n";
@@ -603,10 +682,13 @@ int runCacheInfo(const std::vector<std::string>& args) {
               << pd::engine::persist::loadStatusName(loaded.status);
     if (loaded.ok())
         std::cout << ", " << loaded.entries.size() << " entries";
+    else if (loaded.usable())
+        std::cout << ", " << loaded.entries.size() << " entries kept ("
+                  << loaded.detail << ")";
     else if (!loaded.detail.empty())
         std::cout << " — " << loaded.detail;
     std::cout << "\n";
-    if (loaded.ok() && !loaded.entries.empty()) {
+    if (loaded.usable() && !loaded.entries.empty()) {
         // Per-entry size distributions, log2-bucketed. The pd-cache-v3
         // format deliberately stores no timestamps (its byte-identical
         // rewrite guarantee forbids them), so entry *age* is only
@@ -639,7 +721,9 @@ int runCacheInfo(const std::vector<std::string>& args) {
         print("key bytes", keyBytes);
         print("payload bytes", payloadBytes);
     }
-    return loaded.ok() ? 0 : 1;
+    // A salvaged store is usable (the engine warm-starts from its intact
+    // prefix), so it exits 0; corrupt/rejected stores stay non-zero.
+    return loaded.usable() ? 0 : 1;
 }
 
 }  // namespace
@@ -687,7 +771,7 @@ int main(int argc, char** argv) {
                 if (eq == std::string::npos) {
                     std::cerr << "expected <name>=<expr>, got '" << spec
                               << "'\n";
-                    return 2;
+                    return 64;
                 }
                 names.push_back(spec.substr(0, eq));
                 outputs.push_back(pd::anf::parse(spec.substr(eq + 1), vt));
@@ -701,7 +785,7 @@ int main(int argc, char** argv) {
             if (!bench) {
                 std::cerr << "unknown benchmark '" << positional[0]
                           << "' (try: pd_cli list)\n";
-                return 2;
+                return 64;
             }
             if (!bench->anf) {
                 std::cerr << "benchmark has no tractable Reed-Muller form\n";

@@ -148,7 +148,7 @@ def check_generic(plan, result, baseline, cli, store=None):
         base = dict(baseline[name])
         # Verification effort may legitimately differ under budget
         # faults; outcome fields may not.
-        if plan.startswith("verify-") or plan.startswith("soak-"):
+        if plan.startswith(("verify-", "soak-", "proof-")):
             job.pop("verification", None)
             base.pop("verification", None)
         if job != base:
@@ -320,6 +320,49 @@ def run_matrix(cli, workdir, baseline):
            f"error must name the wall budget: {bad['counter8']!r}")
     print(f"  {plan}: ok (exit 2, wedge contained by the wall budget)")
 
+    # --- SAT proof store torn in flight: salvage, honest re-solve,
+    # rerun heals --------------------------------------------------------
+    plan = "proof-torn"
+    pstore = os.path.join(workdir, "proofs.pdp")
+    r = run_batch(cli, workdir, plan + "-cold",
+                  args=("--verify-threads", "1",
+                        "--proof-cache-file", pstore))
+    check_generic(plan + "-cold", r, baseline, cli)
+    expect(plan, r.code == 0, f"cold run expected exit 0, got {r.code}", r)
+    expect(plan, os.path.exists(pstore),
+           "the cold run must flush a proof store", r)
+    # The warm load sees a flipped byte: the damaged tail is dropped
+    # with honest accounting, surviving proofs replay, the missing ones
+    # are re-solved — never a wrong verdict, never a dead batch.
+    r = run_batch(cli, workdir, plan, faults="persist.proof.load.flip:n1",
+                  args=("--verify-threads", "1",
+                        "--proof-cache-file", pstore))
+    check_generic(plan, r, baseline, cli)
+    expect(plan, r.code == 0, f"expected exit 0, got {r.code}", r)
+    expect(plan, not failed_jobs(r),
+           "a torn proof store must not fail any job", r)
+    ps = r.report.get("proof_store") or {}
+    expect(plan, ps.get("load_status") in ("salvaged", "corrupt"),
+           f"the flip must be detected, got {ps.get('load_status')!r}", r)
+    # The faulted run's flush rewrote the store from scratch; a
+    # fault-free rerun must load it clean and replay every proof.
+    r = run_batch(cli, workdir, plan + "-rerun",
+                  args=("--verify-threads", "1",
+                        "--proof-cache-file", pstore))
+    check_generic(plan + "-rerun", r, baseline, cli)
+    expect(plan, r.code == 0,
+           f"rerun expected exit 0, got {r.code}", r)
+    ps = r.report.get("proof_store") or {}
+    expect(plan, ps.get("load_status") == "loaded",
+           f"the rerun must heal the store, got "
+           f"{ps.get('load_status')!r}", r)
+    sources = [j["verification"].get("sat", {}).get("proof_source")
+               for j in r.report["jobs"]]
+    expect(plan, sources and all(s == "cache" for s in sources),
+           f"the healed store must replay every proof, got {sources}", r)
+    print(f"  {plan}: ok (flip salvaged, rerun healed, "
+          f"{len(sources)} proofs replayed)")
+
 
 def run_soak(cli, workdir, baseline, iterations, seed):
     rng = random.Random(seed)
@@ -388,7 +431,7 @@ def main():
             shutil.rmtree(workdir, ignore_errors=True)
 
     soak_note = f" + {opt.soak} soak plans" if opt.soak else ""
-    print(f"chaos gate OK: matrix of 8 fault plans{soak_note} — "
+    print(f"chaos gate OK: matrix of 9 fault plans{soak_note} — "
           f"coordinator survived every one, blast radii held, stores "
           f"stayed readable")
 

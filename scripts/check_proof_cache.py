@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI gate for the persistent SAT proof-cache round trip.
+
+Usage: check_proof_cache.py cold_report.json warm_report.json
+
+Asserts, against two pd-batch-report-v1 documents produced by running
+the same `pd_cli batch --verify-threads N --proof-cache-file ...`
+command twice (cold, then warm over the flushed store):
+
+  1. the warm run actually loaded the proof store
+     (proof_store.load_status == "loaded", entries > 0);
+  2. every SAT-certified job in the warm report replayed its refutation
+     (verification.sat.proof_source == "cache") — and there was at
+     least one such job, so the gate cannot pass vacuously;
+  3. the warm run did near-zero solver work: the verify.sat.proof.miss
+     counter is 0 and the verify.sat.{conflicts,propagations} work
+     counters are 0 — replayed statistics are the original solve's and
+     must never leak into this process's work accounting;
+  4. the verdicts are byte-identical: every job's semantic payload —
+     everything except timings, cache provenance, and the proof_source
+     provenance marker itself — matches the cold report exactly.
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+import json
+import sys
+
+
+def semantic_jobs(report):
+    """Jobs with volatile / provenance fields removed.
+
+    proof_source is provenance, not payload: "computed" cold vs "cache"
+    warm is the expected difference, while everything else in the sat
+    block (the verdict and the original solve's statistics) must match.
+    """
+    jobs = []
+    for job in report["jobs"]:
+        job = json.loads(json.dumps(job))  # deep copy
+        job.pop("timing", None)
+        job.pop("cache", None)
+        sat = job.get("verification", {}).get("sat")
+        if sat is not None:
+            sat.pop("proof_source", None)
+        jobs.append(job)
+    return jobs
+
+
+def sat_jobs(report):
+    return [j for j in report["jobs"] if "sat" in j.get("verification", {})]
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    cold_path, warm_path = sys.argv[1], sys.argv[2]
+    with open(cold_path) as f:
+        cold = json.load(f)
+    with open(warm_path) as f:
+        warm = json.load(f)
+
+    for report, path in ((cold, cold_path), (warm, warm_path)):
+        if report.get("schema") != "pd-batch-report-v1":
+            sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+        for job in report["jobs"]:
+            if not job["ok"]:
+                sys.exit(f"{path}: job {job['name']!r} failed: "
+                         f"{job['error']!r}")
+
+    store = warm.get("proof_store")
+    if not store:
+        sys.exit(f"{warm_path}: no proof_store section — was "
+                 f"--proof-cache-file set?")
+    if store["load_status"] != "loaded":
+        sys.exit(f"{warm_path}: proof store not loaded on the second run: "
+                 f"{store['load_status']} ({store['load_detail']!r})")
+    if store["loaded_entries"] == 0:
+        sys.exit(f"{warm_path}: proof store loaded but contained 0 proofs")
+
+    certified = sat_jobs(warm)
+    if not certified:
+        sys.exit(f"{warm_path}: no SAT-certified jobs — was "
+                 f"--verify-threads set?")
+    recomputed = [j["name"] for j in certified
+                  if j["verification"]["sat"]["proof_source"] != "cache"]
+    if recomputed:
+        sys.exit(f"{warm_path}: jobs re-solved instead of replaying their "
+                 f"proofs: {recomputed}")
+
+    counters = warm.get("observability", {}).get("counters", {})
+    misses = counters.get("verify.sat.proof.miss", 0)
+    if misses:
+        sys.exit(f"{warm_path}: {misses} proof-cache misses on the warm "
+                 f"run — the store did not cover the batch")
+    for work in ("verify.sat.conflicts", "verify.sat.propagations"):
+        if counters.get(work, 0):
+            sys.exit(f"{warm_path}: {work} = {counters[work]} on the warm "
+                     f"run — replayed proofs must not count as solver work")
+
+    cold_sem = json.dumps(semantic_jobs(cold), sort_keys=True)
+    warm_sem = json.dumps(semantic_jobs(warm), sort_keys=True)
+    if cold_sem != warm_sem:
+        for a, b in zip(semantic_jobs(cold), semantic_jobs(warm)):
+            if a != b:
+                sys.exit(f"verdict drift on job {a['name']!r}:\n"
+                         f"  cold: {json.dumps(a, sort_keys=True)}\n"
+                         f"  warm: {json.dumps(b, sort_keys=True)}")
+        sys.exit("verdict drift: job lists differ in length or order")
+
+    hits = counters.get("verify.sat.proof.hit", 0)
+    print(f"proof-cache gate OK: {len(certified)} SAT-certified jobs all "
+          f"replayed from the proof store ({store['loaded_entries']} proofs "
+          f"loaded, {hits} hits, 0 misses), verdicts byte-identical")
+
+
+if __name__ == "__main__":
+    main()

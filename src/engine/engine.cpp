@@ -10,6 +10,7 @@
 #include "anf/parser.hpp"
 #include "circuits/registry.hpp"
 #include "engine/persist/format.hpp"
+#include "engine/persist/proof_store.hpp"
 #include "engine/persist/serialize.hpp"
 #include "engine/shard/coordinator.hpp"
 #include "engine/shard/scheduler.hpp"
@@ -192,6 +193,16 @@ std::string persistFingerprint(const EngineOptions& opt) {
                 : std::string("|vs0"));
 }
 
+std::string proofFingerprint(const EngineOptions& opt) {
+    // The budgets change which searcher wins and what the winning solve's
+    // statistics are, so proofs minted under one budget never replay
+    // under another. The searcher count is NOT in the salt: the
+    // portfolio's fixed tie-break makes results bit-identical at every
+    // count, so one proof store serves any --verify-threads setting.
+    return "pd-proof|vcb" + std::to_string(opt.verifyConflictBudget) +
+           "|vpb" + std::to_string(opt.verifyPropagationBudget);
+}
+
 Engine::Engine(EngineOptions opt)
     : opt_(opt),
       lib_(synth::CellLibrary::umc130()),
@@ -201,6 +212,27 @@ Engine::Engine(EngineOptions opt)
         probePool_ = std::make_shared<ThreadPool>(opt_.probeThreads);
     if (opt_.verifyThreads > 1)
         verifyPool_ = std::make_shared<ThreadPool>(opt_.verifyThreads);
+    proofPersistInfo_.file = opt_.proofCacheFile;
+    proofPersistInfo_.readonly = opt_.proofCacheReadonly;
+    if (!opt_.proofCacheFile.empty()) {
+        if (opt_.verifyThreads == 0) {
+            proofPersistInfo_.loadDetail =
+                "SAT verification is off (verify-threads 0); proof store "
+                "not loaded";
+        } else {
+            auto loaded = persist::ProofStore::load(opt_.proofCacheFile,
+                                                    proofFingerprint(opt_));
+            proofPersistInfo_.loadStatus = loaded.status;
+            proofPersistInfo_.loadDetail = loaded.detail;
+            proofPersistInfo_.droppedEntries = loaded.droppedEntries;
+            // Like the result store: a salvaged prefix warms the proof
+            // cache (every adopted entry passed its own checksum);
+            // anything less usable cold-starts, loudly recorded.
+            if (loaded.usable())
+                proofPersistInfo_.loadedEntries =
+                    proofCache_.restore(loaded.entries);
+        }
+    }
     persistInfo_.file = opt_.cacheFile;
     persistInfo_.readonly = opt_.cacheReadonly;
     if (opt_.cacheFile.empty()) return;
@@ -228,6 +260,9 @@ Engine::Engine(EngineOptions opt)
 Engine::~Engine() {
     if (cache_.stats().inserts > flushedInserts_ || unflushedDeltas_)
         flushCache();
+    if (proofCache_.stats().inserts > flushedProofInserts_ ||
+        unflushedProofDeltas_)
+        flushProofCache();
 }
 
 bool Engine::flushCache(std::size_t* savedOut, std::string* errorOut) {
@@ -306,6 +341,82 @@ std::size_t Engine::adoptCacheDeltas(
     return adopted;
 }
 
+bool Engine::flushProofCache(std::size_t* savedOut, std::string* errorOut) {
+    if (opt_.proofCacheFile.empty()) {
+        if (errorOut) *errorOut = "no proof cache file configured";
+        return false;
+    }
+    if (opt_.proofCacheReadonly) {
+        if (errorOut) *errorOut = "proof cache file is read-only";
+        return false;
+    }
+    if (opt_.verifyThreads == 0) {
+        // No proofs were minted this run; writing would replace a
+        // possibly warm store with an empty one.
+        if (errorOut)
+            *errorOut = "SAT verification is off (verify-threads 0); "
+                        "refusing to overwrite the proof store with nothing";
+        return false;
+    }
+    const std::uint64_t insertsBefore = proofCache_.stats().inserts;
+    auto snap = proofCache_.snapshot();
+    // Canonical order: hash-map order varies run to run; sorting by
+    // digest makes equal proof *sets* produce byte-identical stores, so
+    // cold and warm runs (and sharded vs single-process runs) of the
+    // same batch leave the same artifact bits.
+    std::sort(snap.begin(), snap.end(), [](const auto& a, const auto& b) {
+        return a.digest < b.digest;
+    });
+    std::string error;
+    if (!persist::ProofStore::save(opt_.proofCacheFile,
+                                   proofFingerprint(opt_), snap, &error)) {
+        if (errorOut) *errorOut = error;
+        return false;
+    }
+    flushedProofInserts_ = insertsBefore;
+    unflushedProofDeltas_ = false;
+    if (savedOut) *savedOut = snap.size();
+    return true;
+}
+
+std::vector<shard::ProofDelta> Engine::proofDelta(
+    const std::unordered_set<std::uint64_t>& alreadyShipped) const {
+    const auto snap = proofCache_.snapshot(/*localOnly=*/true);
+    std::vector<shard::ProofDelta> deltas;
+    deltas.reserve(snap.size());
+    for (const auto& e : snap) {
+        if (alreadyShipped.contains(e.digest)) continue;
+        shard::ProofDelta d;
+        d.digest = e.digest;
+        d.conflicts = e.entry.conflicts;
+        d.propagations = e.entry.propagations;
+        d.restarts = e.entry.restarts;
+        d.learned = e.entry.learned;
+        d.winner = e.entry.winner;
+        deltas.push_back(d);
+    }
+    return deltas;
+}
+
+std::size_t Engine::adoptProofDeltas(
+    const std::vector<shard::ProofDelta>& deltas) {
+    std::vector<sat::ProofCache::SnapshotEntry> entries;
+    entries.reserve(deltas.size());
+    for (const auto& d : deltas) {
+        sat::ProofCache::SnapshotEntry e;
+        e.digest = d.digest;
+        e.entry.conflicts = d.conflicts;
+        e.entry.propagations = d.propagations;
+        e.entry.restarts = d.restarts;
+        e.entry.learned = d.learned;
+        e.entry.winner = d.winner;
+        entries.push_back(e);
+    }
+    const std::size_t adopted = proofCache_.restore(entries);
+    if (adopted > 0) unflushedProofDeltas_ = true;
+    return adopted;
+}
+
 std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
     obs::ScopedSpan batchSpan("batch.run", "job");
     // One scheduling core for both execution paths: the scheduler
@@ -363,6 +474,7 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         cfg.verifyPropagationBudget = opt_.verifyPropagationBudget;
         cfg.equiv = opt_.equiv;
         cfg.cacheFile = opt_.cacheFile;
+        cfg.proofCacheFile = opt_.proofCacheFile;
         cfg.wallMsPerJob = opt_.shardWallMsPerJob;
         cfg.rssBudgetMb = opt_.shardRssMb;
         cfg.retries = opt_.shardRetries;
@@ -370,6 +482,7 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         shard::ShardCoordinator coordinator(cfg);
         const auto outcome = coordinator.run(sched, specs);
         adoptCacheDeltas(outcome.deltas);
+        adoptProofDeltas(outcome.proofDeltas);
         resilience_.workerCrashes += outcome.workerCrashes;
         resilience_.workerRespawns += outcome.workerRespawns;
         resilience_.spawnFailures += outcome.spawnFailures;
@@ -412,6 +525,9 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
             freshest = std::max(freshest, e.lastUse);
         for (const auto& e : entries) ages.observe(freshest - e.lastUse);
     }
+    if (opt_.verifyThreads > 0)
+        obs::gauge("verify.sat.proof.store_entries")
+            .set(static_cast<std::int64_t>(proofCache_.stats().entries));
     return std::move(sched).take();
 }
 
@@ -528,6 +644,14 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
                 result.vectorsTested = cached.vectorsTested;
                 result.exhaustive = cached.exhaustive;
                 result.satVerify = cached.satVerify;
+                // The copied sat block describes the donor's solve, not
+                // work done for this hit: no search ran here, and the
+                // verify.sat.* counters were (correctly) not bumped. Mark
+                // the replay so the report can't claim conflicts this
+                // process never had.
+                if (result.satVerify.ran)
+                    result.satVerify.proofSource =
+                        JobResult::SatVerify::ProofSource::kCache;
                 if (spec.keepMapped) result.mapped = cached.mapped;
                 result.name = name;
                 result.cacheKey = key;
@@ -621,19 +745,28 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             static auto& satLearned = obs::counter("verify.sat.learned");
             static auto& satExhausted =
                 obs::counter("verify.sat.budget_exhausted");
+            static auto& proofHits = obs::counter("verify.sat.proof.hit");
+            static auto& proofMisses = obs::counter("verify.sat.proof.miss");
             sat::EquivSatOptions satOpt;
             satOpt.searchers = opt_.verifyThreads;
             satOpt.conflictBudget = opt_.verifyConflictBudget;
             satOpt.propagationBudget = opt_.verifyPropagationBudget;
+            satOpt.proofCache = &proofCache_;
             if (PD_FAULT("verify.sat.budget")) {
                 // Starve the search: the honest outcome is kUnknown with
-                // budget_exhausted, never a wrong verdict.
+                // budget_exhausted, never a wrong verdict. The proof
+                // cache is disconnected entirely — a hit would mask the
+                // starvation the fault is meant to exercise, and a
+                // starved run must never publish a proof.
                 satOpt.conflictBudget = 1;
                 satOpt.propagationBudget = 1;
+                satOpt.proofCache = nullptr;
                 tainted = true;
             }
             satOpt.pool = verifyPool_.get();
             const auto eq = sat::checkEquivalentSat(raw, mapped, satOpt);
+            const bool replayed =
+                eq.proofSource == sat::EquivCheckResult::ProofSource::kCache;
             result.satVerify.ran = true;
             result.satVerify.conflicts = eq.conflicts;
             result.satVerify.propagations = eq.propagations;
@@ -641,14 +774,27 @@ JobResult Engine::execute(const JobSpec& spec, std::size_t index) const {
             result.satVerify.learned = eq.learned;
             result.satVerify.winner = eq.winner;
             result.satVerify.budgetExhausted = eq.budgetExhausted;
+            if (replayed)
+                result.satVerify.proofSource =
+                    JobResult::SatVerify::ProofSource::kCache;
             satJobs.add(1);
-            satConflicts.add(eq.conflicts);
-            satProps.add(eq.propagations);
-            satRestarts.add(eq.restarts);
-            satLearned.add(eq.learned);
-            obs::histogram("verify.sat.conflicts").observe(eq.conflicts);
-            obs::histogram("verify.sat.propagations")
-                .observe(eq.propagations);
+            if (eq.proofSource ==
+                sat::EquivCheckResult::ProofSource::kComputed)
+                proofMisses.add(1);
+            else if (replayed)
+                proofHits.add(1);
+            // Solve-work counters describe searches that actually ran in
+            // this process; a replayed proof's statistics belong to the
+            // original solve and would double-count here.
+            if (!replayed) {
+                satConflicts.add(eq.conflicts);
+                satProps.add(eq.propagations);
+                satRestarts.add(eq.restarts);
+                satLearned.add(eq.learned);
+                obs::histogram("verify.sat.conflicts").observe(eq.conflicts);
+                obs::histogram("verify.sat.propagations")
+                    .observe(eq.propagations);
+            }
             switch (eq.status) {
                 case sat::EquivCheckResult::Status::kEquivalent:
                     result.verification = VerifyStatus::kSat;

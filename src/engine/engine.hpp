@@ -29,6 +29,7 @@
 #include "engine/persist/store.hpp"
 #include "engine/pool.hpp"
 #include "engine/shard/protocol.hpp"
+#include "sat/proof_cache.hpp"
 #include "sim/equivalence.hpp"
 #include "synth/celllib.hpp"
 
@@ -86,6 +87,17 @@ struct EngineOptions {
     /// Load from cacheFile but never write it back (CI consumers, shared
     /// read-mostly artifacts).
     bool cacheReadonly = false;
+    /// Path of a persistent pd-proof-v1 SAT proof store ("" disables).
+    /// Meaningful only with verifyThreads > 0: the engine warm-starts
+    /// the content-addressed proof cache from it and flushes completed
+    /// refutations back on destruction (or flushProofCache()), so a warm
+    /// batch replays its proofs (verification.sat.proof_source "cache")
+    /// instead of racing the portfolio again. Same cold-start-on-damage
+    /// rules as cacheFile, reported via proofPersistInfo().
+    std::string proofCacheFile;
+    /// Load from proofCacheFile but never write it back (shard workers,
+    /// CI consumers).
+    bool proofCacheReadonly = false;
     /// Worker *processes* for runBatch (0 → everything in-process).
     /// With N ≥ 1 every wire-serializable job (registry benchmarks,
     /// expression jobs) runs in one of N crash-isolated `pd_cli worker`
@@ -121,6 +133,18 @@ struct PersistInfo {
     std::string loadDetail;         ///< reason when the load was rejected
     std::uint64_t loadedEntries = 0;  ///< entries adopted at warm start
     /// Entries lost to a damaged tail when the load was salvaged.
+    std::uint64_t droppedEntries = 0;
+};
+
+/// What happened to the persistent proof store (same shape as
+/// PersistInfo; statuses share persist::loadStatusName).
+struct ProofPersistInfo {
+    std::string file;               ///< "" when proof persistence is off
+    bool readonly = false;
+    persist::LoadResult::Status loadStatus =
+        persist::LoadResult::Status::kNoFile;
+    std::string loadDetail;
+    std::uint64_t loadedEntries = 0;
     std::uint64_t droppedEntries = 0;
 };
 
@@ -175,6 +199,22 @@ public:
         return persistInfo_;
     }
 
+    /// Snapshots the proof cache (sorted by digest, so identical content
+    /// yields a byte-identical store) and atomically rewrites the
+    /// configured pd-proof-v1 store. Same contract as flushCache().
+    bool flushProofCache(std::size_t* savedOut = nullptr,
+                         std::string* errorOut = nullptr);
+
+    /// Warm-start outcome of the proof store.
+    [[nodiscard]] const ProofPersistInfo& proofPersistInfo() const {
+        return proofPersistInfo_;
+    }
+
+    /// Hit/miss/entry statistics of the content-addressed proof cache.
+    [[nodiscard]] sat::ProofCache::Stats proofCacheStats() const {
+        return proofCache_.stats();
+    }
+
     /// Degraded-mode accounting for the most recent runBatch.
     [[nodiscard]] const BatchResilience& resilience() const {
         return resilience_;
@@ -196,6 +236,17 @@ public:
     /// number adopted.
     std::size_t adoptCacheDeltas(const std::vector<shard::CacheDelta>& deltas);
 
+    /// Proof-cache analogue of cacheDelta(): the refutations this engine
+    /// completed itself (excluding warm-start adoptions and digests in
+    /// `alreadyShipped`), ready for the shard wire.
+    [[nodiscard]] std::vector<shard::ProofDelta> proofDelta(
+        const std::unordered_set<std::uint64_t>& alreadyShipped = {}) const;
+
+    /// Coordinator half: adopts worker proof deltas (a proof of a given
+    /// digest is unique, so first-in wins and duplicates are dropped).
+    /// Returns the number adopted.
+    std::size_t adoptProofDeltas(const std::vector<shard::ProofDelta>& deltas);
+
 private:
     [[nodiscard]] JobResult execute(const JobSpec& spec,
                                     std::size_t index) const;
@@ -203,7 +254,12 @@ private:
     EngineOptions opt_;
     synth::CellLibrary lib_;
     mutable ResultCache cache_;
+    /// Content-addressed SAT proof cache, shared by every job's verify
+    /// portfolio (thread-safe; see sat/proof_cache.hpp). Active only
+    /// when verifyThreads > 0; warm-started from proofCacheFile.
+    mutable sat::ProofCache proofCache_;
     PersistInfo persistInfo_;
+    ProofPersistInfo proofPersistInfo_;
     BatchResilience resilience_;
     /// Insert count at the last successful flush: the destructor only
     /// rewrites the store when something new was cached since.
@@ -212,6 +268,10 @@ private:
     /// (which bumps `restored`, not `inserts`), so the destructor needs
     /// its own dirty marker for them.
     bool unflushedDeltas_ = false;
+    /// Same pair for the proof store: insert count at the last flush,
+    /// and a dirty marker for adopted worker proof deltas.
+    std::uint64_t flushedProofInserts_ = 0;
+    bool unflushedProofDeltas_ = false;
     /// Registry-named specs memoize (name, options) → canonical
     /// signature, so a repeat hit skips rebuilding the (possibly huge)
     /// flat Reed-Muller form just to compute its own cache key. Safe
@@ -256,6 +316,13 @@ private:
 /// every cache key); conflictBudget is folded into those options before
 /// keys are computed, so it is covered too.
 [[nodiscard]] std::string persistFingerprint(const EngineOptions& opt);
+
+/// The salt of the pd-proof-v1 store: the per-searcher SAT budgets, which
+/// change which searcher wins and what its statistics look like. The
+/// searcher *count* is deliberately excluded — the portfolio contract
+/// keeps results bit-identical at any count, so proofs are shareable
+/// across --verify-threads settings.
+[[nodiscard]] std::string proofFingerprint(const EngineOptions& opt);
 
 /// 64-bit FNV-1a hex digest used as the short cache key in reports.
 [[nodiscard]] std::string signatureDigest(const std::string& signature);

@@ -105,6 +105,17 @@ struct JobResult {
         /// The search hit its budget: status keeps the simulation /
         /// algebraic answer and is never guessed from a partial search.
         bool budgetExhausted = false;
+        /// Where this refutation came from: kComputed means the portfolio
+        /// actually ran in this process; kCache means the statistics
+        /// replay an earlier solve (a proof-cache hit, or the whole
+        /// JobResult served from the result cache). Replayed stats are
+        /// honest about the *original* solve but describe zero work done
+        /// here — verify.sat.* counters only count kComputed solves.
+        /// Per-process provenance like cacheSource/shard: never part of
+        /// the semantic payload, the wire's semantic section, or the
+        /// persistent store.
+        enum class ProofSource : std::uint8_t { kComputed, kCache };
+        ProofSource proofSource = ProofSource::kComputed;
     };
     SatVerify satVerify;
 

@@ -1,0 +1,85 @@
+// Versioned on-disk SAT proof store ("pd-proof-v1").
+//
+// Persists the content-addressed proof cache (sat/proof_cache.hpp):
+// miter digest → completed-refutation statistics, so a warm batch can
+// skip refutations it has already finished. File layout (little-endian,
+// format.hpp primitives):
+//
+//   magic            8 bytes   "pdproof\0"
+//   version          u32       kProofFormatVersion (1)
+//   fingerprint      str       SAT-budget salt of the writer
+//   entry count      u64
+//   entry[count]     56 bytes fixed:
+//     digest         u64       FNV-1a of the miter's canonical DIMACS
+//     conflicts      u64
+//     propagations   u64
+//     restarts       u64
+//     learned        u64
+//     winner         u64       portfolio winner index, biased by one
+//     checksum       u64       FNV-1a over the preceding 48 bytes
+//
+// The fingerprint is salted from the per-searcher SAT budgets only
+// (proofFingerprint): budgets change which searcher wins and what its
+// statistics are, so proofs minted under one budget must not replay
+// under another. Searcher *count* is deliberately not in the salt — the
+// portfolio contract makes the result bit-identical at any count.
+//
+// Same trust ladder as the pd-cache store (store.hpp): load() never
+// throws; header damage rejects the whole file (cold start), entry
+// damage salvages the checksummed prefix, a salvage recovering nothing
+// is plain kCorrupt, and droppedEntries is clamped to what the
+// remaining bytes could plausibly hold so a corrupted count field can't
+// publish a garbage drop count. save() is atomic tmp+rename. Fault
+// sites: persist.proof.load.flip, persist.proof.save.enospc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/persist/store.hpp"
+#include "sat/proof_cache.hpp"
+
+namespace pd::engine::persist {
+
+inline constexpr std::string_view kProofFormatName = "pd-proof-v1";
+inline constexpr std::uint32_t kProofFormatVersion = 1;
+inline constexpr std::string_view kProofMagic{"pdproof\0", 8};
+
+/// load() outcome; reuses the pd-cache status ladder and names
+/// (loadStatusName) so the report speaks one vocabulary.
+struct ProofLoadResult {
+    LoadResult::Status status = LoadResult::Status::kNoFile;
+    std::string detail;  ///< human-readable reason when not kLoaded
+    std::vector<sat::ProofCache::SnapshotEntry> entries;
+    /// Declared entries lost to the damaged tail when kSalvaged,
+    /// clamped to what the file could have held.
+    std::uint64_t droppedEntries = 0;
+
+    [[nodiscard]] bool ok() const {
+        return status == LoadResult::Status::kLoaded;
+    }
+    [[nodiscard]] bool usable() const {
+        return status == LoadResult::Status::kLoaded ||
+               status == LoadResult::Status::kSalvaged;
+    }
+};
+
+class ProofStore {
+public:
+    /// Reads and fully validates the store at `path`; `fingerprint` is
+    /// the caller's SAT-budget salt. Never throws.
+    [[nodiscard]] static ProofLoadResult load(const std::string& path,
+                                              std::string_view fingerprint);
+
+    /// Serializes `entries` under `fingerprint` and atomically replaces
+    /// `path`. Callers wanting byte-identical stores across runs sort by
+    /// digest first. Returns false (with `errorOut` set) on failure.
+    static bool save(const std::string& path, std::string_view fingerprint,
+                     std::span<const sat::ProofCache::SnapshotEntry> entries,
+                     std::string* errorOut = nullptr);
+};
+
+}  // namespace pd::engine::persist

@@ -75,6 +75,7 @@ LoadResult parse(std::string_view bytes, std::string_view fingerprint) {
     out.entries.reserve(static_cast<std::size_t>(
         std::min<std::uint64_t>(count, r.remaining() / 16)));
     for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t remainingBefore = r.remaining();
         try {
             const std::string_view key = r.str();
             const std::string_view payload = r.str();
@@ -89,10 +90,24 @@ LoadResult parse(std::string_view bytes, std::string_view fingerprint) {
             out.entries.push_back(std::move(e));
         } catch (const std::exception& e) {
             out.status = LoadResult::Status::kSalvaged;
-            out.droppedEntries = count - i;
+            // `count - i` trusts the declared count — but when the
+            // damage hit the count field itself that difference is
+            // garbage (potentially billions), and it feeds the
+            // `persist.salvage.dropped` counter and the report. An
+            // intact entry occupies ≥ 16 bytes (two length prefixes +
+            // checksum), so the bytes left at this entry bound how many
+            // the file could actually have held; clamp to that and say
+            // the count itself is untrusted.
+            const std::uint64_t declared = count - i;
+            const std::uint64_t plausible = remainingBefore / 16;
+            out.droppedEntries = std::min(declared, plausible);
             out.detail = "salvaged " + std::to_string(i) + " of " +
                          std::to_string(count) + " entries (" + e.what() +
                          ")";
+            if (declared > plausible)
+                out.detail += "; declared entry count untrusted (room for "
+                              "at most " + std::to_string(plausible) +
+                              " more)";
             break;
         }
     }

@@ -1,5 +1,6 @@
 #include "engine/report_json.hpp"
 
+#include "engine/persist/proof_store.hpp"
 #include "engine/persist/store.hpp"
 #include "engine/shard/protocol.hpp"
 #include "obs/metrics.hpp"
@@ -29,11 +30,20 @@ std::string_view cacheSourceName(CacheSource s) {
     return "unknown";
 }
 
+std::string_view proofSourceName(JobResult::SatVerify::ProofSource s) {
+    switch (s) {
+        case JobResult::SatVerify::ProofSource::kComputed: return "computed";
+        case JobResult::SatVerify::ProofSource::kCache: return "cache";
+    }
+    return "unknown";
+}
+
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
                       const ResultCache::Stats& cache,
                       const PersistInfo* persist,
-                      const BatchResilience* resilience) {
+                      const BatchResilience* resilience,
+                      const ProofPersistInfo* proofPersist) {
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", "pd-batch-report-v1");
@@ -59,6 +69,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.key("schemas").beginObject();
         w.field("report", "pd-batch-report-v1");
         w.field("cache_store", persist::kFormatName);
+        w.field("proof_store", persist::kProofFormatName);
         w.field("shard_wire",
                 static_cast<std::uint64_t>(shard::kProtocolVersion));
         w.endObject();
@@ -113,6 +124,10 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
             w.field("learned", r.satVerify.learned);
             w.field("winner", static_cast<std::int64_t>(r.satVerify.winner));
             w.field("budget_exhausted", r.satVerify.budgetExhausted);
+            // Honest provenance: "cache" means the refutation was
+            // replayed from the content-addressed proof cache and the
+            // stats above are the original solve's, not this run's work.
+            w.field("proof_source", proofSourceName(r.satVerify.proofSource));
             w.endObject();
         }
         w.endObject();
@@ -154,6 +169,18 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("load_detail", persist->loadDetail);
         w.field("loaded_entries", persist->loadedEntries);
         w.field("dropped_entries", persist->droppedEntries);
+        w.endObject();
+    }
+
+    if (proofPersist && !proofPersist->file.empty()) {
+        w.key("proof_store").beginObject();
+        w.field("file", proofPersist->file);
+        w.field("readonly", proofPersist->readonly);
+        w.field("load_status",
+                persist::loadStatusName(proofPersist->loadStatus));
+        w.field("load_detail", proofPersist->loadDetail);
+        w.field("loaded_entries", proofPersist->loadedEntries);
+        w.field("dropped_entries", proofPersist->droppedEntries);
         w.endObject();
     }
 

@@ -17,6 +17,7 @@
 //                "build": {"git_hash": s, "git_dirty": s, "compiler": s,
 //                          "build_type": s,       // provenance identity
 //                          "schemas": {"report": s, "cache_store": s,
+//                                      "proof_store": s,
 //                                      "shard_wire": u}}},
 //     "cache":  {"hits": u, "misses": u, "inserts": u, "evictions": u,
 //                "entries": u},
@@ -33,7 +34,12 @@
 //                            "conflicts": u, "propagations": u,
 //                            "restarts": u, "learned": u,
 //                            "winner": i,          // portfolio searcher index
-//                            "budget_exhausted": b}},
+//                            "budget_exhausted": b,
+//                            "proof_source": "computed"|"cache"}},
+//                                                  // "cache" = refutation
+//                                                  // replayed from the proof
+//                                                  // cache; stats above are
+//                                                  // the original solve's
 //         "timing": {"wall_ms": f, "cpu_ms": f,    // only non-deterministic
 //                    "phases": {"decompose_ms": f, // fields in the report;
 //                     "synth_ms": f, "optimize_ms": f,  // phases are zero
@@ -52,6 +58,9 @@
 //                      "bad-fingerprint"|"corrupt"|"salvaged",
 //       "load_detail": s, "loaded_entries": u,
 //       "dropped_entries": u                       // lost to a salvaged tail
+//     },
+//     "proof_store": {                             // only with a proof file;
+//       same fields as "persist"                   // pd-proof-v1 outcome
 //     },
 //     "resilience": {                              // always present; zeros
 //       "worker_crashes": u, "worker_respawns": u, // on a healthy run
@@ -93,15 +102,18 @@ using JsonWriter = util::JsonWriter;
 
 [[nodiscard]] std::string_view verifyStatusName(VerifyStatus s);
 [[nodiscard]] std::string_view cacheSourceName(CacheSource s);
+[[nodiscard]] std::string_view proofSourceName(JobResult::SatVerify::ProofSource s);
 
 /// Renders the "pd-batch-report-v1" document for one batch run.
 /// `persist` (optional) records the persistent-store outcome;
 /// `resilience` (optional) the degraded-mode accounting — the
-/// resilience block is emitted either way (zeros when absent).
+/// resilience block is emitted either way (zeros when absent);
+/// `proofPersist` (optional) the pd-proof-v1 store outcome.
 void writeBatchReport(std::ostream& os, const EngineOptions& opt,
                       std::span<const JobResult> results,
                       const ResultCache::Stats& cache,
                       const PersistInfo* persist = nullptr,
-                      const BatchResilience* resilience = nullptr);
+                      const BatchResilience* resilience = nullptr,
+                      const ProofPersistInfo* proofPersist = nullptr);
 
 }  // namespace pd::engine

@@ -14,6 +14,7 @@
 #include <deque>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -166,6 +167,11 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
     std::unordered_map<std::size_t, std::size_t> avoidSlot;  // retried jobs
     std::unordered_map<std::size_t, int> attempts;
     std::size_t completed = 0;
+    // Proofs are unique per miter digest, so de-duplication is first-in
+    // wins: once any worker has shipped a digest, later copies (other
+    // workers solving the same obligation from the shared warm store's
+    // misses) add nothing.
+    std::unordered_set<std::uint64_t> proofSeen;
 
     std::vector<Slot> slots(slotCount);
 
@@ -215,6 +221,10 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         if (!cfg_.cacheFile.empty()) {
             args.push_back("--cache-file");
             args.push_back(cfg_.cacheFile);
+        }
+        if (!cfg_.proofCacheFile.empty()) {
+            args.push_back("--proof-cache-file");
+            args.push_back(cfg_.proofCacheFile);
         }
         if (cfg_.rssBudgetMb != 0) {
             args.push_back("--rss-budget-mb");
@@ -445,6 +455,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                         outcome.deltas.push_back(
                             decodeCacheDelta(frame->payload));
                         break;
+                    case FrameType::kProofEntry: {
+                        ProofDelta d = decodeProofDelta(frame->payload);
+                        if (proofSeen.insert(d.digest).second)
+                            outcome.proofDeltas.push_back(d);
+                        break;
+                    }
                     case FrameType::kBye:
                         s.byeSeen = true;
                         break;

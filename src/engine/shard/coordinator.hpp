@@ -60,6 +60,10 @@ struct ShardConfig {
     std::uint64_t verifyPropagationBudget = 0;
     sim::EquivOptions equiv;
     std::string cacheFile;  ///< workers warm-start from it read-only
+    /// pd-proof-v1 SAT proof store: workers warm-start from it read-only
+    /// and stream fresh refutations back; the coordinator's engine
+    /// merges and flushes the one store.
+    std::string proofCacheFile;
     /// Per-job wall budget in ms (0 = unlimited): a worker whose job runs
     /// past it is SIGKILLed and the job takes the crash-retry path.
     double wallMsPerJob = 0.0;
@@ -79,6 +83,10 @@ struct ShardConfig {
 struct ShardOutcome {
     /// Newest-wins-merged cache deltas from every cleanly-drained worker.
     std::vector<CacheDelta> deltas;
+    /// Completed SAT refutations streamed by the workers, de-duplicated
+    /// by digest (a proof of a given obligation is unique, so first-in
+    /// wins).
+    std::vector<ProofDelta> proofDeltas;
     std::size_t workerCrashes = 0;   ///< deaths observed (incl. budget kills)
     std::size_t workerRespawns = 0;
     std::size_t retries = 0;         ///< jobs requeued after a crash

@@ -12,7 +12,7 @@ using persist::ByteWriter;
 using persist::fnv1a;
 
 constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kObs);
+    static_cast<std::uint8_t>(FrameType::kProofEntry);
 constexpr std::uint8_t kMaxCacheSource =
     static_cast<std::uint8_t>(CacheSource::kDisk);
 
@@ -189,6 +189,7 @@ std::string encodeResult(std::uint32_t index, const JobResult& result) {
     w.f64(result.phases.verifyMs);
     w.u8(result.cacheHit ? 1 : 0);
     w.u8(static_cast<std::uint8_t>(result.cacheSource));
+    w.u8(static_cast<std::uint8_t>(result.satVerify.proofSource));
     w.str(result.cacheKey);
     std::string semantic;
     persist::serializeJobResult(result, semantic);
@@ -214,6 +215,10 @@ std::pair<std::uint32_t, JobResult> decodeResult(std::string_view payload) {
     const std::uint8_t source = r.u8();
     if (source > kMaxCacheSource)
         fail("shard", "bad cache source " + std::to_string(source));
+    const std::uint8_t proofSource = r.u8();
+    if (proofSource > static_cast<std::uint8_t>(
+                          JobResult::SatVerify::ProofSource::kCache))
+        fail("shard", "bad proof source " + std::to_string(proofSource));
     const std::string cacheKey(r.str());
     const auto semantic = persist::deserializeJobResult(r.str());
     if (!r.done()) fail("shard", "trailing bytes after job result");
@@ -224,6 +229,8 @@ std::pair<std::uint32_t, JobResult> decodeResult(std::string_view payload) {
     result.phases = phases;
     result.cacheHit = cacheHit;
     result.cacheSource = static_cast<CacheSource>(source);
+    result.satVerify.proofSource =
+        static_cast<JobResult::SatVerify::ProofSource>(proofSource);
     result.cacheKey = cacheKey;
     return {index, std::move(result)};
 }
@@ -244,6 +251,33 @@ CacheDelta decodeCacheDelta(std::string_view payload) {
     d.payload = std::string(r.str());
     d.stamp = r.u64();
     if (!r.done()) fail("shard", "trailing bytes after cache delta");
+    return d;
+}
+
+std::string encodeProofDelta(const ProofDelta& d) {
+    std::string out;
+    ByteWriter w(out);
+    w.u64(d.digest);
+    w.u64(d.conflicts);
+    w.u64(d.propagations);
+    w.u64(d.restarts);
+    w.u64(d.learned);
+    // winner is -1..N; bias by one so it travels as an unsigned count
+    // (same convention as the pd-cache-v3 satVerify encoding).
+    w.u64(static_cast<std::uint64_t>(d.winner + 1));
+    return out;
+}
+
+ProofDelta decodeProofDelta(std::string_view payload) {
+    ByteReader r(payload);
+    ProofDelta d;
+    d.digest = r.u64();
+    d.conflicts = r.u64();
+    d.propagations = r.u64();
+    d.restarts = r.u64();
+    d.learned = r.u64();
+    d.winner = static_cast<int>(r.u64()) - 1;
+    if (!r.done()) fail("shard", "trailing bytes after proof delta");
     return d;
 }
 

@@ -1,5 +1,5 @@
 // Wire protocol between the shard coordinator and its worker processes
-// ("pd-shard-wire-v4"; see src/engine/shard/README.md for the full spec).
+// ("pd-shard-wire-v5"; see src/engine/shard/README.md for the full spec).
 //
 // Everything that crosses a worker pipe is a length-prefixed, checksummed
 // frame over the same little-endian primitives as the pd-cache-v3 store:
@@ -47,7 +47,15 @@ namespace pd::engine::shard {
 /// the pd-cache-v3 JobResult encoding — gained the SAT-verification
 /// block (satVerify.*, VerifyStatus::kSat); workers additionally accept
 /// --verify-threads/--verify-conflict-budget/--verify-prop-budget argv.
-inline constexpr std::uint32_t kProtocolVersion = 4;
+///
+/// v5 (proof cache): new kProofEntry frame — a worker streams the SAT
+/// refutations it completed (miter digest + solve statistics) after each
+/// result and once more at shutdown, so the coordinator merges one
+/// pd-proof-v1 store for the fleet. kResult additionally carries the
+/// per-process satVerify.proofSource provenance byte (outside the
+/// semantic payload, like cacheHit/cacheSource); workers accept
+/// --proof-cache-file argv and warm-start the proof cache read-only.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 /// Upper bound on a single frame payload. Generous (a mapped multiplier
 /// netlist is kilobytes, not gigabytes) while keeping a corrupt length
@@ -62,6 +70,7 @@ enum class FrameType : std::uint8_t {
     kCacheEntry = 5,  ///< worker → coordinator: one cache-delta entry
     kBye = 6,         ///< worker → coordinator: delta complete, exiting
     kObs = 7,         ///< worker → coordinator: spans + metrics delta
+    kProofEntry = 8,  ///< worker → coordinator: one completed SAT proof
 };
 
 struct Frame {
@@ -125,6 +134,22 @@ struct CacheDelta {
 
 [[nodiscard]] std::string encodeCacheDelta(const CacheDelta& d);
 [[nodiscard]] CacheDelta decodeCacheDelta(std::string_view payload);
+
+/// One completed SAT refutation handed back by a worker: the miter's
+/// content digest plus the winning solve's statistics (the pd-proof-v1
+/// entry fields). Proofs are unique per digest, so the coordinator's
+/// merge is first-in-wins — no stamp needed.
+struct ProofDelta {
+    std::uint64_t digest = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+    int winner = 0;
+};
+
+[[nodiscard]] std::string encodeProofDelta(const ProofDelta& d);
+[[nodiscard]] ProofDelta decodeProofDelta(std::string_view payload);
 
 /// One observability shipment: the worker's drained spans (pid still 0;
 /// the coordinator re-tags them with shardId + 1) and its metrics delta

@@ -62,6 +62,10 @@ int runWorker(const WorkerOptions& opt) {
     EngineOptions eopt = opt.engine;
     eopt.jobs = 1;  // parallelism lives in the process fan-out
     eopt.cacheReadonly = true;
+    // Proof store likewise: workers warm-start read-only and stream
+    // their completed refutations back as kProofEntry frames; only the
+    // coordinator writes the merged pd-proof-v1 store.
+    eopt.proofCacheReadonly = true;
     eopt.shards = 0;  // a worker never recursively shards
     Engine engine(eopt);
 
@@ -82,6 +86,20 @@ int runWorker(const WorkerOptions& opt) {
                            encodeCacheDelta(d)))
                 return false;
             shipped.insert(d.key);
+        }
+        return true;
+    };
+
+    // Completed SAT refutations ship on the same cadence: one
+    // kProofEntry frame per fresh proof, so a crash forfeits at most the
+    // in-flight job's proof.
+    std::unordered_set<std::uint64_t> shippedProofs;
+    const auto shipProofDeltas = [&] {
+        for (const ProofDelta& d : engine.proofDelta(shippedProofs)) {
+            if (!sendFrame(outFd, FrameType::kProofEntry,
+                           encodeProofDelta(d)))
+                return false;
+            shippedProofs.insert(d.digest);
         }
         return true;
     };
@@ -161,6 +179,7 @@ int runWorker(const WorkerOptions& opt) {
                 }
                 if (!writeAll(outFd, out)) return 3;
                 if (!shipDeltas()) return 3;
+                if (!shipProofDeltas()) return 3;
                 if (!shipObs()) return 3;
                 break;
             }
@@ -176,6 +195,7 @@ int runWorker(const WorkerOptions& opt) {
                 // empty); disk-restored entries stay behind — the
                 // coordinator already has them.
                 if (!shipDeltas()) return 3;
+                if (!shipProofDeltas()) return 3;
                 if (!shipObs()) return 3;
                 sendFrame(outFd, FrameType::kBye, {});
                 return 0;

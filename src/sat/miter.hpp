@@ -4,9 +4,9 @@
 // exporter, the portfolio verify mode, and bench_sat — so a given
 // netlist pair always produces the *same* CNF: identical variable
 // numbering, identical clause order, byte-identical DIMACS text. That
-// canonical remap is what makes future proof caching possible (the CNF
-// digest identifies the obligation) and is regression-tested in
-// tests/sat_test.cpp.
+// canonical remap is what the proof cache (sat/proof_cache.hpp) is
+// built on — miterDigest of the DIMACS bytes identifies the verify
+// obligation — and is regression-tested in tests/sat_test.cpp.
 //
 // Variable numbering contract:
 //   - nets of `a` in net order, then nets of `b` in net order (Tseitin

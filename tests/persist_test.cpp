@@ -366,6 +366,31 @@ TEST(PersistSalvage, DamagedFirstEntryMeansNoSalvage) {
     EXPECT_TRUE(loaded.entries.empty());
 }
 
+TEST(PersistSalvage, CorruptCountFieldClampsDroppedEntries) {
+    // Worst placement for a single bit flip: the count field itself. The
+    // declared count becomes astronomically large, so `count - salvaged`
+    // is a garbage number — the drop accounting must clamp to what the
+    // remaining bytes could plausibly hold and flag the count untrusted
+    // rather than publish the garbage.
+    TempFile file("salvage_count");
+    ASSERT_TRUE(CacheStore::save(file.path(), "fp", threeEntries()));
+    std::string bytes = readFile(file.path());
+    const std::size_t countOff =
+        kMagic.size() + 4 /*version*/ + (4 + 2) /*"fp" str*/;
+    // Little-endian high byte: declared count jumps to ~2^59.
+    bytes[countOff + 7] = static_cast<char>(bytes[countOff + 7] ^ 0x08);
+    writeFile(file.path(), bytes);
+    const auto loaded = CacheStore::load(file.path(), "fp");
+    EXPECT_EQ(loaded.status, LoadResult::Status::kSalvaged);
+    ASSERT_EQ(loaded.entries.size(), 3u)
+        << "every checksummed entry must still be adopted";
+    EXPECT_EQ(loaded.droppedEntries, 0u)
+        << "no bytes remain, so no real entries can have been dropped";
+    EXPECT_NE(loaded.detail.find("declared entry count untrusted"),
+              std::string::npos)
+        << loaded.detail;
+}
+
 TEST(PersistSalvage, EngineWarmStartsFromASalvagedStore) {
     TempFile file("salvage_warm");
     EngineOptions opt;

@@ -925,5 +925,45 @@ TEST(Portfolio, BudgetExhaustionIsDeterministicToo) {
     EXPECT_EQ(results[0].result, results[1].result);
 }
 
+TEST(Portfolio, CancellationHarvestIsDeterministicWithSmallPools) {
+    // Adversarial completion orders: with more searchers than pool
+    // threads, which searchers are mid-flight (and in what order they
+    // observe the stop flag) when the winner lands varies wildly with
+    // pool size — a 1-thread pool finishes searchers in index order, a
+    // 3-thread pool interleaves them. The harvest must aggregate slots
+    // 0..winner only, so every schedule reports the sequential
+    // baseline's answer bit for bit, across finite and zero budgets.
+    const auto miter =
+        sat::buildMiterCnf(rippleAdder(12, false), selectAdder(12));
+    ASSERT_FALSE(miter.trivialUnsat);
+    for (const std::uint64_t budget : {0ull, 8ull, 64ull}) {
+        sat::PortfolioOptions base;
+        base.searchers = 6;
+        base.conflictBudget = budget;
+        const auto baseline = sat::solvePortfolio(miter.problem, base);
+        for (const std::size_t threads : {1u, 2u, 3u}) {
+            util::ThreadPool pool(threads);
+            sat::PortfolioOptions opt = base;
+            opt.pool = &pool;
+            // Several rounds per pool size: one lucky schedule proving
+            // nothing, repeated agreement is the point.
+            for (int round = 0; round < 3; ++round) {
+                const auto r = sat::solvePortfolio(miter.problem, opt);
+                EXPECT_EQ(r.result, baseline.result)
+                    << "budget " << budget << " threads " << threads;
+                EXPECT_EQ(r.winner, baseline.winner);
+                EXPECT_EQ(r.budgetExhausted, baseline.budgetExhausted);
+                EXPECT_EQ(r.stats.conflicts, baseline.stats.conflicts);
+                EXPECT_EQ(r.stats.propagations,
+                          baseline.stats.propagations);
+                EXPECT_EQ(r.stats.restarts, baseline.stats.restarts);
+                EXPECT_EQ(r.stats.learnedClauses,
+                          baseline.stats.learnedClauses);
+                EXPECT_EQ(r.model, baseline.model);
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace pd

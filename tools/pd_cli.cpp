@@ -36,6 +36,13 @@
 //   --cache-file <f> persistent pd-cache-v3 store: warm-start from it and
 //                    flush results back after the batch
 //   --cache-readonly load the store but never write it back
+//   --proof-cache-file <f>  persistent pd-proof-v1 SAT proof store:
+//                    warm-start the content-addressed proof cache from it
+//                    and flush completed refutations back, so a warm rerun
+//                    replays every proof (verification.sat.proof_source
+//                    "cache") instead of racing the portfolio again.
+//                    Meaningful with --verify-threads >= 1.
+//   --proof-cache-readonly  load the proof store but never write it back
 //   --budget <n>     per-job decomposition iteration budget (0 = unlimited)
 //   --no-verify      skip verification of the mapped netlists
 //   --shards <n>     partition the batch across n crash-isolated worker
@@ -130,6 +137,7 @@ int usage() {
         "         --no-identities --no-nullspace --no-sizered --no-linmin\n"
         "batch:   --all  --heavy  --json <file>  --cache <n>  --budget <n>\n"
         "         --cache-file <file>  --cache-readonly  --no-verify\n"
+        "         --proof-cache-file <file>  --proof-cache-readonly\n"
         "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n"
         "         --shard-retries <n>  --shard-drain-ms <n>\n"
         "         --verify-threads <n>  --verify-conflict-budget <n>\n"
@@ -190,6 +198,8 @@ struct Options {
     std::size_t budget = 0;
     std::string cacheFile;
     bool cacheReadonly = false;
+    std::string proofCacheFile;
+    bool proofCacheReadonly = false;
     std::size_t shards = 0;
     std::size_t shardWallMs = 0;
     std::size_t shardRssMb = 0;
@@ -271,6 +281,8 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--budget" || arg == "--no-verify" ||
                                arg == "--cache-file" ||
                                arg == "--cache-readonly" ||
+                               arg == "--proof-cache-file" ||
+                               arg == "--proof-cache-readonly" ||
                                arg == "--shards" ||
                                arg == "--shard-wall-ms" ||
                                arg == "--shard-rss-mb" ||
@@ -313,6 +325,14 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             opt.cacheFile = argv[i];
         } else if (arg == "--cache-readonly") {
             opt.cacheReadonly = true;
+        } else if (arg == "--proof-cache-file") {
+            if (++i >= argc) {
+                std::cerr << "option --proof-cache-file expects a path\n";
+                return usage();
+            }
+            opt.proofCacheFile = argv[i];
+        } else if (arg == "--proof-cache-readonly") {
+            opt.proofCacheReadonly = true;
         } else if (arg == "--budget") {
             if (!countArg(opt.budget)) return usage();
         } else if (arg == "--shards") {
@@ -429,6 +449,8 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.conflictBudget = opt.budget;
     eopt.cacheFile = opt.cacheFile;
     eopt.cacheReadonly = opt.cacheReadonly;
+    eopt.proofCacheFile = opt.proofCacheFile;
+    eopt.proofCacheReadonly = opt.proofCacheReadonly;
     eopt.shards = opt.shards;
     eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
     eopt.shardRssMb = opt.shardRssMb;
@@ -454,6 +476,22 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
                       << "tail)";
         else if (!pinfo.loadDetail.empty())
             std::cout << " — " << pinfo.loadDetail << "; cold start";
+        std::cout << "\n";
+    }
+    const auto& prinfo = engine.proofPersistInfo();
+    if (!prinfo.file.empty()) {
+        std::cout << "proof store " << prinfo.file << ": "
+                  << pd::engine::persist::loadStatusName(prinfo.loadStatus);
+        if (prinfo.loadStatus ==
+            pd::engine::persist::LoadResult::Status::kLoaded)
+            std::cout << " (" << prinfo.loadedEntries << " proofs)";
+        else if (prinfo.loadStatus ==
+                 pd::engine::persist::LoadResult::Status::kSalvaged)
+            std::cout << " (" << prinfo.loadedEntries << " proofs kept, "
+                      << prinfo.droppedEntries << " dropped from a damaged "
+                      << "tail)";
+        else if (!prinfo.loadDetail.empty())
+            std::cout << " — " << prinfo.loadDetail << "; cold start";
         std::cout << "\n";
     }
 
@@ -483,6 +521,11 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     std::cout << "cache: " << cs.hits << " hits, " << cs.misses
               << " misses, " << cs.evictions << " evictions, " << cs.restored
               << " restored, " << cs.entries << " resident\n";
+    if (opt.verifyThreads > 0) {
+        const auto ps = engine.proofCacheStats();
+        std::cout << "proof cache: " << ps.hits << " hits, " << ps.misses
+                  << " misses, " << ps.entries << " resident\n";
+    }
 
     const auto& res = engine.resilience();
     if (res.workerCrashes || res.workerRespawns || res.spawnFailures ||
@@ -501,7 +544,7 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
             return 1;
         }
         pd::engine::writeBatchReport(os, eopt, results, cs, &pinfo,
-                                     &engine.resilience());
+                                     &engine.resilience(), &prinfo);
         std::cout << "wrote " << opt.jsonPath << "\n";
     }
 
@@ -546,6 +589,19 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
             // (CI caches it, the next run depends on it) — fail loudly
             // here, not one run later.
             std::cerr << "cache flush failed: " << error << "\n";
+            fatal = true;
+        }
+    }
+    if (!opt.proofCacheFile.empty() && !opt.proofCacheReadonly) {
+        std::size_t saved = 0;
+        std::string error;
+        if (engine.flushProofCache(&saved, &error)) {
+            std::cout << "flushed " << saved << " proofs to "
+                      << opt.proofCacheFile << "\n";
+        } else {
+            // Same contract as the result-cache flush: the warm artifact
+            // is a deliverable, so failing to write it is fatal.
+            std::cerr << "proof store flush failed: " << error << "\n";
             fatal = true;
         }
     }
@@ -625,6 +681,15 @@ int runWorkerMode(const std::vector<std::string>& args) {
                 return 2;
             }
             wopt.engine.cacheFile = args[i];
+        } else if (arg == "--proof-cache-file") {
+            if (++i >= args.size()) {
+                std::cerr
+                    << "worker option --proof-cache-file expects a path\n";
+                return 2;
+            }
+            // runWorker() forces proofCacheReadonly: workers warm-start
+            // from the store and stream fresh proofs back as frames.
+            wopt.engine.proofCacheFile = args[i];
         } else {
             std::cerr << "unknown worker option '" << arg << "'\n";
             return 2;

@@ -3,7 +3,16 @@
 fault plans and assert the fleet degrades gracefully instead of dying.
 
 Usage: check_chaos.py --cli ./build/pd_cli [--workdir DIR]
-                      [--soak N] [--seed S] [--keep]
+                      [--transport pipe|socket] [--soak N] [--seed S]
+                      [--keep]
+
+With --transport socket the whole matrix (and the baseline it is
+compared against) runs under --shard-transport socket, proving the
+degradation contract holds when frames travel a localhost connection
+instead of inherited pipes. Two socket-only liveness plans always run
+regardless: a worker frozen mid-job must die at the heartbeat deadline
+with its job retried on another worker, and a connection that never
+establishes must book spawn-failure (not crash) accounting.
 
 Every plan runs the same three-benchmark batch and is held to the
 generic contract first:
@@ -44,6 +53,10 @@ BENCHES = ("majority7", "counter8", "adder8")
 VOLATILE_JOB_FIELDS = ("timing", "cache", "shard", "shard_fallback")
 RUN_TIMEOUT_S = 300
 
+# Which --shard-transport every sharded run uses (set from --transport);
+# plans that pass an explicit --shard-transport are left alone.
+TRANSPORT = "pipe"
+
 # Sites safe for randomized soaking: each either kills/starves a worker
 # (retry/fallback territory) or tears an artifact (salvage territory).
 # Hang sites are excluded — they only convert chaos time into wall time.
@@ -80,6 +93,8 @@ def run_batch(cli, workdir, tag, faults=None, env_extra=None, args=()):
     """One `pd_cli batch` run; returns exit code + parsed report."""
     report_path = os.path.join(workdir, f"{tag}.json")
     cmd = [cli, "batch", *BENCHES, "--json", report_path, *args]
+    if "--shards" in args and "--shard-transport" not in args:
+        cmd += ["--shard-transport", TRANSPORT]
     env = dict(os.environ)
     env.pop("PD_FAULTS", None)
     if faults:
@@ -364,6 +379,58 @@ def run_matrix(cli, workdir, baseline):
           f"{len(sources)} proofs replayed)")
 
 
+def run_socket_plans(cli, workdir, baseline):
+    """Socket-transport liveness plans (wire v6); always run, whatever
+    --transport the main matrix uses."""
+    # --- frozen worker: only the heartbeat deadline can reap it -------
+    # SIGSTOP freezes the whole worker process, pump thread included, so
+    # neither the wall budget (no overrunning job timer here) nor pipe
+    # EOF fires — the kill must come from --shard-heartbeat-ms. The
+    # retry lands on another worker, which freezes on the same job name,
+    # so the final verdict is the contained retried-once failure.
+    plan = "socket-heartbeat-stall"
+    r = run_batch(cli, workdir, plan,
+                  env_extra={"PD_SHARD_TEST_STALL_JOB": "counter8"},
+                  args=("--shards", "2", "--shard-transport", "socket",
+                        "--shard-heartbeat-ms", "500"))
+    check_generic(plan, r, baseline, cli)
+    expect(plan, r.code == 2, f"expected exit 2, got {r.code}", r)
+    bad = failed_jobs(r)
+    expect(plan, set(bad) == {"counter8"},
+           f"only the frozen job may fail, got {sorted(bad)}", r)
+    expect(plan, "heartbeat deadline" in bad["counter8"],
+           f"error must name the heartbeat deadline: {bad['counter8']!r}")
+    expect(plan, "retried once" in bad["counter8"],
+           f"error must name the spent retry: {bad['counter8']!r}")
+    res = resilience(r)
+    expect(plan, res["heartbeat_misses"] >= 1,
+           "the missed deadline must be counted", r)
+    expect(plan, res["deadline_kills"] >= 1,
+           "the liveness kill must be counted", r)
+    expect(plan, res["retries"] >= 1,
+           "the retry-on-another-worker must be counted", r)
+    print(f"  {plan}: ok (exit 2, {res['deadline_kills']} deadline kills, "
+          f"job retried on another worker)")
+
+    # --- connection never establishes: spawn-failure accounting -------
+    plan = "socket-accept-fault"
+    r = run_batch(cli, workdir, plan, faults="shard.sock.accept:n1",
+                  args=("--shards", "2", "--shard-transport", "socket"))
+    check_generic(plan, r, baseline, cli)
+    expect(plan, r.code == 0, f"expected exit 0, got {r.code}", r)
+    expect(plan, not failed_jobs(r),
+           "a failed establishment must cost no job", r)
+    res = resilience(r)
+    expect(plan, res["spawn_failures"] >= 1,
+           "the failed connect must book a spawn failure", r)
+    expect(plan, res["worker_crashes"] == 0,
+           "a failed establishment is not a crash", r)
+    expect(plan, res["retries"] == 0,
+           "no retry budget may be charged", r)
+    print(f"  {plan}: ok (exit 0, "
+          f"{res['spawn_failures']} spawn failures, no crash charged)")
+
+
 def run_soak(cli, workdir, baseline, iterations, seed):
     rng = random.Random(seed)
     for i in range(iterations):
@@ -395,6 +462,10 @@ def main():
                     help="path to the pd_cli binary under test")
     ap.add_argument("--workdir",
                     help="scratch dir (default: a fresh temp dir)")
+    ap.add_argument("--transport", choices=("pipe", "socket"),
+                    default="pipe",
+                    help="--shard-transport for every sharded plan "
+                         "(the two socket liveness plans always run)")
     ap.add_argument("--soak", type=int, default=0, metavar="N",
                     help="extra randomized seeded-probabilistic plans")
     ap.add_argument("--seed", type=int, default=20260808,
@@ -408,10 +479,14 @@ def main():
     if not os.access(cli, os.X_OK):
         sys.exit(f"--cli {opt.cli}: not an executable")
 
+    global TRANSPORT
+    TRANSPORT = opt.transport
+
     workdir = opt.workdir or tempfile.mkdtemp(prefix="pd-chaos-")
     os.makedirs(workdir, exist_ok=True)
     try:
-        print(f"chaos gate: baseline batch ({', '.join(BENCHES)})")
+        print(f"chaos gate: baseline batch ({', '.join(BENCHES)}) over "
+              f"the {TRANSPORT} transport")
         base = run_batch(cli, workdir, "baseline",
                          args=("--shards", "2"))
         if base.code != 0 or base.report is None:
@@ -422,6 +497,7 @@ def main():
         baseline = semantic_jobs(base.report)
 
         run_matrix(cli, workdir, baseline)
+        run_socket_plans(cli, workdir, baseline)
         if opt.soak > 0:
             print(f"chaos gate: soaking {opt.soak} randomized plans "
                   f"(seed {opt.seed})")
@@ -431,9 +507,9 @@ def main():
             shutil.rmtree(workdir, ignore_errors=True)
 
     soak_note = f" + {opt.soak} soak plans" if opt.soak else ""
-    print(f"chaos gate OK: matrix of 9 fault plans{soak_note} — "
-          f"coordinator survived every one, blast radii held, stores "
-          f"stayed readable")
+    print(f"chaos gate OK: matrix of 9 fault plans over the {TRANSPORT} "
+          f"transport + 2 socket liveness plans{soak_note} — coordinator "
+          f"survived every one, blast radii held, stores stayed readable")
 
 
 if __name__ == "__main__":

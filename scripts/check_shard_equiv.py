@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
 """CI gate for sharded-vs-single-process batch equivalence.
 
-Usage: check_shard_equiv.py single_report.json sharded_report.json
+Usage: check_shard_equiv.py single_report.json sharded_report.json [more...]
 
-Asserts, against two pd-batch-report-v1 documents produced by running the
-same `pd_cli batch ...` selection with and without --shards:
+Asserts, against pd-batch-report-v1 documents produced by running the
+same `pd_cli batch ...` selection with and without --shards (any mix of
+--shard-transport pipe/socket legs may follow the single-process
+baseline):
 
-  1. both runs succeeded on every job;
-  2. the sharded report really ran sharded (engine.shards >= 1, and every
-     wire-eligible job carries a worker shard id >= 0);
+  1. every run succeeded on every job;
+  2. each sharded report really ran sharded (engine.shards >= 1, and
+     every wire-eligible job carries a worker shard id >= 0);
   3. the semantic payload of every job — everything except timings, cache
-     provenance, and the shard id — is byte-identical between the two
-     reports.
+     provenance, and the shard id — is byte-identical between the
+     single-process baseline and every sharded leg, whatever transport
+     carried the frames;
+  4. a fault-free socket leg kept its liveness machinery silent:
+     resilience.heartbeat_misses, deadline_kills and wire_poisons are 0
+     (reconnects stay 0 too — nothing should have torn a connection).
 
 Exits non-zero with a diagnostic on the first violation.
 """
@@ -32,24 +38,9 @@ def semantic_jobs(report):
     return jobs
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    single_path, sharded_path = sys.argv[1], sys.argv[2]
-    with open(single_path) as f:
-        single = json.load(f)
-    with open(sharded_path) as f:
-        sharded = json.load(f)
-
-    for report, path in ((single, single_path), (sharded, sharded_path)):
-        if report.get("schema") != "pd-batch-report-v1":
-            sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
-        for job in report["jobs"]:
-            if not job["ok"]:
-                sys.exit(f"{path}: job {job['name']!r} failed: "
-                         f"{job['error']!r}")
-
+def check_sharded_leg(single, sharded, sharded_path):
     shards = sharded.get("engine", {}).get("shards", 0)
+    transport = sharded.get("engine", {}).get("shard_transport", "pipe")
     if shards < 1:
         sys.exit(f"{sharded_path}: engine.shards is {shards} — "
                  f"was --shards passed?")
@@ -63,21 +54,60 @@ def main():
     if single_sem != sharded_sem:
         for a, b in zip(semantic_jobs(single), semantic_jobs(sharded)):
             if a != b:
-                sys.exit(f"result drift on job {a['name']!r}:\n"
+                sys.exit(f"{sharded_path}: result drift on job "
+                         f"{a['name']!r}:\n"
                          f"  single:  {json.dumps(a, sort_keys=True)}\n"
                          f"  sharded: {json.dumps(b, sort_keys=True)}")
-        sys.exit("result drift: job lists differ in length or order")
+        sys.exit(f"{sharded_path}: result drift: job lists differ in "
+                 f"length or order")
+
+    # A fault-free run must never exercise the degraded paths; on the
+    # socket transport that specifically includes the wire-v6 liveness
+    # machinery (a false-positive deadline kill would silently show up
+    # here as a retried job long before it flaked a chaos plan).
+    res = sharded.get("resilience", {})
+    if not res.get("armed_faults"):
+        for counter in ("heartbeat_misses", "deadline_kills", "wire_poisons",
+                        "reconnects"):
+            if res.get(counter, 0) != 0:
+                sys.exit(f"{sharded_path}: fault-free {transport} run has "
+                         f"resilience.{counter} = {res.get(counter)}")
 
     used = sorted({j["shard"] for j in sharded["jobs"]})
-    # Probe-thread plumbing coverage: when the sharded run fanned its
-    # probe sweeps out (--probe-threads through the pd-shard-wire v2 job
-    # frames), byte-identical semantics above proves the sweep's
-    # determinism held across both the process and the thread fan-out.
-    probe_threads = sharded.get("engine", {}).get("probe_threads", 0)
+    return shards, transport, used
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    paths = sys.argv[1:]
+    reports = []
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        if report.get("schema") != "pd-batch-report-v1":
+            sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+        for job in report["jobs"]:
+            if not job["ok"]:
+                sys.exit(f"{path}: job {job['name']!r} failed: "
+                         f"{job['error']!r}")
+        reports.append(report)
+
+    single = reports[0]
+    legs = []
+    for report, path in zip(reports[1:], paths[1:]):
+        shards, transport, used = check_sharded_leg(single, report, path)
+        legs.append(f"{transport}×{shards} (workers used: {used})")
+
+    # Probe-thread plumbing coverage: when a sharded run fanned its probe
+    # sweeps out (--probe-threads through the pd-shard-wire job frames),
+    # byte-identical semantics above proves the sweep's determinism held
+    # across both the process and the thread fan-out.
+    probe_threads = reports[1].get("engine", {}).get("probe_threads", 0)
     probe_note = (f", probe_threads={probe_threads} (deterministic sweep "
                   f"verified)" if probe_threads else "")
-    print(f"shard-equivalence gate OK: {len(sharded['jobs'])} jobs across "
-          f"{shards} shards (workers used: {used}), results byte-identical "
+    print(f"shard-equivalence gate OK: {len(single['jobs'])} jobs, "
+          f"{len(legs)} sharded leg(s) [{'; '.join(legs)}] byte-identical "
           f"to the single-process run{probe_note}")
 
 

@@ -479,6 +479,13 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         cfg.rssBudgetMb = opt_.shardRssMb;
         cfg.retries = opt_.shardRetries;
         cfg.drainTimeoutMs = opt_.shardDrainMs;
+        const auto transport =
+            shard::parseTransportName(opt_.shardTransport);
+        if (!transport)
+            fail("shard", "unknown shard transport '" + opt_.shardTransport +
+                              "' (expected pipe or socket)");
+        cfg.transport = *transport;
+        cfg.heartbeatMs = opt_.shardHeartbeatMs;
         shard::ShardCoordinator coordinator(cfg);
         const auto outcome = coordinator.run(sched, specs);
         adoptCacheDeltas(outcome.deltas);
@@ -488,6 +495,10 @@ std::vector<JobResult> Engine::runBatch(const std::vector<JobSpec>& specs) {
         resilience_.spawnFailures += outcome.spawnFailures;
         resilience_.retries += outcome.retries;
         resilience_.interruptedJobs += outcome.interruptedJobs;
+        resilience_.heartbeatMisses += outcome.heartbeatMisses;
+        resilience_.deadlineKills += outcome.deadlineKills;
+        resilience_.reconnects += outcome.reconnects;
+        resilience_.wirePoisons += outcome.wirePoisons;
         fallbackJobs = outcome.fallbackJobs;
     }
 

@@ -122,6 +122,18 @@ struct EngineOptions {
     /// drain) may take before stragglers are killed, and the grace an
     /// in-flight job gets after a cooperative shutdown request.
     int shardDrainMs = 60000;
+    /// Shard frame transport: "pipe" (fork/exec stdin/stdout, the
+    /// default) or "socket" (SOCK_STREAM over localhost — the
+    /// remote-host stepping stone). A scheduling knob only: results,
+    /// reports, and flushed stores are byte-identical either way, so it
+    /// deliberately never salts persistFingerprint/proofFingerprint.
+    std::string shardTransport = "pipe";
+    /// Worker liveness deadline in ms (0 disables supervision): a
+    /// worker whose frame stream stays completely silent past it is
+    /// declared dead exactly like a crash — killed, respawned under
+    /// backoff, its in-flight job retried under shardRetries. Workers
+    /// emit kHeartbeat frames at a quarter of this interval.
+    int shardHeartbeatMs = 10000;
 };
 
 /// What happened to the persistent store this engine was given.
@@ -154,10 +166,14 @@ struct ProofPersistInfo {
 struct BatchResilience {
     std::size_t workerCrashes = 0;
     std::size_t workerRespawns = 0;
-    std::size_t spawnFailures = 0;   ///< exec failures (exit 127)
+    std::size_t spawnFailures = 0;   ///< exec failures / failed connects
     std::size_t retries = 0;         ///< jobs requeued after a crash
     std::size_t fallbackJobs = 0;    ///< ran in-process after pool collapse
     std::size_t interruptedJobs = 0; ///< abandoned by a shutdown request
+    std::size_t heartbeatMisses = 0; ///< liveness deadlines expired
+    std::size_t deadlineKills = 0;   ///< workers killed for silence
+    std::size_t reconnects = 0;      ///< socket re-establishments
+    std::size_t wirePoisons = 0;     ///< frame streams that poisoned
 };
 
 class Engine {

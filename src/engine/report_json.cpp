@@ -57,6 +57,7 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
     w.field("verify_conflict_budget", opt.verifyConflictBudget);
     w.field("verify_prop_budget", opt.verifyPropagationBudget);
     w.field("shards", opt.shards);
+    w.field("shard_transport", opt.shardTransport);
     {
         // Provenance identity: which exact source + toolchain produced
         // this document, and which schema versions its artifacts speak.
@@ -196,6 +197,10 @@ void writeBatchReport(std::ostream& os, const EngineOptions& opt,
         w.field("retries", r.retries);
         w.field("fallback_jobs", r.fallbackJobs);
         w.field("interrupted_jobs", r.interruptedJobs);
+        w.field("heartbeat_misses", r.heartbeatMisses);
+        w.field("deadline_kills", r.deadlineKills);
+        w.field("reconnects", r.reconnects);
+        w.field("wire_poisons", r.wirePoisons);
         w.field("salvaged_entries",
                 persist && persist->loadStatus ==
                                persist::LoadResult::Status::kSalvaged

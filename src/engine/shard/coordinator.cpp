@@ -1,6 +1,5 @@
 #include "engine/shard/coordinator.hpp"
 
-#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <string.h>
@@ -105,11 +104,21 @@ struct Slot {
     std::size_t job = 0;
     Clock::time_point jobStart{};
     bool budgetKilled = false;
+    bool hbKilled = false;  ///< SIGKILLed for a missed heartbeat deadline
     bool byeSeen = false;
     bool everSpawned = false;
+    bool everConnected = false;  ///< completed at least one establish()
     int idleCrashes = 0;  ///< consecutive deaths with no job in flight
     int deathStreak = 0;  ///< consecutive deaths since the last result
     Clock::time_point respawnAfter{};  ///< backoff gate for the next spawn
+    /// Arrival time of the last bytes — frames, heartbeats, or even a
+    /// partial frame — on this slot's stream. The liveness deadline
+    /// keys on bytes, not complete frames, so a worker mid-way through
+    /// a large kResult is never mistaken for a wedge.
+    Clock::time_point lastByteAt{};
+    /// Decoder-poison detail (which frame/offset tore), carried into
+    /// the death verdict so the failed job's error names the damage.
+    std::string wireError;
 
     [[nodiscard]] bool live() const {
         return state == State::kSpawning || state == State::kIdle ||
@@ -174,6 +183,7 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
     std::unordered_set<std::uint64_t> proofSeen;
 
     std::vector<Slot> slots(slotCount);
+    Transport transport(cfg_.transport);
 
     const auto failJob = [&](std::size_t index, const std::string& why) {
         JobResult r;
@@ -184,22 +194,42 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         ++completed;
     };
 
+    /// Books one failed spawn attempt (exec failure under pipes, or a
+    /// failed channel establishment under sockets): counted apart from
+    /// crashes, charged to no job's retry budget, backed off like any
+    /// other death, retired after two idle failures.
+    const auto bookSpawnFailure = [&](std::size_t slotId,
+                                      const std::string& why) {
+        Slot& s = slots[slotId];
+        ++outcome.spawnFailures;
+        static auto& cSpawnFail = obs::counter("shard.worker.spawn_failures");
+        cSpawnFail.add();
+        log::warn("shard",
+                  "worker " + std::to_string(slotId) + " failed to spawn (" +
+                      why + ")");
+        ++s.deathStreak;
+        const int backoffMs =
+            std::min(kRespawnBackoffBaseMs << std::min(s.deathStreak - 1, 7),
+                     kRespawnBackoffCapMs);
+        s.respawnAfter = Clock::now() + std::chrono::milliseconds(backoffMs);
+        if (s.inFlight) {  // can't normally happen pre-hello; be safe
+            avoidSlot[s.job] = slotId;
+            queue.push_front(s.job);
+        } else if ((s.state == Slot::State::kSpawning ||
+                    s.state == Slot::State::kIdle) &&
+                   ++s.idleCrashes >= 2) {
+            s.inFlight = false;
+            s.state = Slot::State::kRetired;
+            return;
+        }
+        s.inFlight = false;
+        s.state = Slot::State::kDown;
+    };
+
     const auto spawn = [&](std::size_t slotId) {
         if (exe.empty()) exe = resolveWorkerExe(cfg_.workerExe);
         Slot& s = slots[slotId];
-        int toChild[2] = {-1, -1};
-        int fromChild[2] = {-1, -1};
-        if (::pipe(toChild) != 0 || ::pipe(fromChild) != 0) {
-            if (toChild[0] >= 0) ::close(toChild[0]);
-            if (toChild[1] >= 0) ::close(toChild[1]);
-            fail("shard", "pipe() failed spawning worker " +
-                              std::to_string(slotId));
-        }
-        // Parent-kept ends close on exec so later workers don't inherit
-        // their siblings' pipes (an inherited write end would mask EOF
-        // on a crashed sibling).
-        ::fcntl(toChild[1], F_SETFD, FD_CLOEXEC);
-        ::fcntl(fromChild[0], F_SETFD, FD_CLOEXEC);
+        const auto channel = transport.open(slotId);
 
         std::vector<std::string> args = {
             exe,
@@ -218,6 +248,13 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             "--equiv-rb", std::to_string(cfg_.equiv.randomBatches),
             "--equiv-seed", std::to_string(cfg_.equiv.seed),
         };
+        // Transport argv (socket: --connect host:port; pipe: nothing)
+        // and the liveness interval the worker must beat against.
+        for (const auto& extra : channel->workerArgs()) args.push_back(extra);
+        if (cfg_.heartbeatMs > 0) {
+            args.push_back("--heartbeat-ms");
+            args.push_back(std::to_string(cfg_.heartbeatMs));
+        }
         if (!cfg_.cacheFile.empty()) {
             args.push_back("--cache-file");
             args.push_back(cfg_.cacheFile);
@@ -247,22 +284,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         const bool spawnFault = PD_FAULT("shard.worker.spawn");
 
         const pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(toChild[0]);
-            ::close(toChild[1]);
-            ::close(fromChild[0]);
-            ::close(fromChild[1]);
+        if (pid < 0)
             fail("shard", "fork() failed spawning worker " +
-                              std::to_string(slotId));
-        }
+                              std::to_string(slotId));  // channel dtor cleans
         if (pid == 0) {
             if (spawnFault) _exit(127);
-            ::dup2(toChild[0], STDIN_FILENO);
-            ::dup2(fromChild[1], STDOUT_FILENO);
-            ::close(toChild[0]);
-            ::close(toChild[1]);
-            ::close(fromChild[0]);
-            ::close(fromChild[1]);
+            channel->childSetup();
             std::vector<char*> argv;
             argv.reserve(args.size() + 1);
             for (auto& a : args) argv.push_back(a.data());
@@ -270,23 +297,52 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             ::execv(exe.c_str(), argv.data());
             _exit(127);  // exec failed; parent counts a spawn failure
         }
-        ::close(toChild[0]);
-        ::close(fromChild[1]);
+        // The slot owns a process from this instant: mark it kSpawning
+        // *before* establishment so a failure there retires the slot on
+        // the same two-strikes rule as a pipe worker's exit 127 (which
+        // only surfaces later, through onDeath). Without this a socket
+        // worker that dies pre-connect leaves the slot kDown, the retire
+        // branch never fires, and a persistent spawn fault respawns
+        // forever instead of collapsing the pool.
+        s.state = Slot::State::kSpawning;
+        // Channel establishment is where the transports diverge: pipes
+        // are live the instant they exist, a socket must be dialed and
+        // accepted under kConnectTimeoutMs. A failed establishment is a
+        // spawn failure (the worker never joined the fleet), never a
+        // crash — the same accounting split exit 127 gets.
+        EstablishResult est = channel->establish(pid);
+        if (!est.endpoints) {
+            if (!est.childExited) {
+                ::kill(pid, SIGKILL);
+                int status = 0;
+                ::waitpid(pid, &status, 0);
+            }
+            bookSpawnFailure(slotId, est.error);
+            return;
+        }
         s.pid = pid;
-        s.toChild = toChild[1];
-        s.fromChild = fromChild[0];
+        s.toChild = est.endpoints->toChild;
+        s.fromChild = est.endpoints->fromChild;
         s.decoder = FrameDecoder{};
         s.state = Slot::State::kSpawning;
         s.inFlight = false;
         s.budgetKilled = false;
+        s.hbKilled = false;
         s.byeSeen = false;
+        s.wireError.clear();
+        s.lastByteAt = Clock::now();
+        if (cfg_.transport == TransportKind::kSocket && s.everConnected)
+            ++outcome.reconnects;
+        s.everConnected = true;
         if (s.everSpawned) ++outcome.workerRespawns;
         s.everSpawned = true;
     };
 
     const auto closeSlot = [&](Slot& s) {
+        // Over a socket both endpoints are the same fd: close it once.
         if (s.toChild >= 0) ::close(s.toChild);
-        if (s.fromChild >= 0) ::close(s.fromChild);
+        if (s.fromChild >= 0 && s.fromChild != s.toChild)
+            ::close(s.fromChild);
         s.toChild = s.fromChild = -1;
         if (s.pid > 0) {
             int status = 0;
@@ -306,6 +362,15 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             s.state = Slot::State::kDone;
             return;
         }
+
+        // Exit 127 is the exec-failure sentinel: the worker binary never
+        // ran, so this is a spawn failure, not a crash — counted apart
+        // and charged to no job's retry budget.
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 127) {
+            bookSpawnFailure(slotId, "exec failure, exit 127");
+            return;
+        }
+
         // Every unclean death backs off the slot's next spawn; the
         // streak only resets when the slot completes a job.
         ++s.deathStreak;
@@ -315,40 +380,22 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                      kRespawnBackoffCapMs);
         s.respawnAfter = Clock::now() + std::chrono::milliseconds(backoffMs);
 
-        // Exit 127 is the exec-failure sentinel: the worker binary never
-        // ran, so this is a spawn failure, not a crash — counted apart
-        // and charged to no job's retry budget.
-        if (WIFEXITED(status) && WEXITSTATUS(status) == 127) {
-            ++outcome.spawnFailures;
-            static auto& cSpawnFail =
-                obs::counter("shard.worker.spawn_failures");
-            cSpawnFail.add();
-            log::warn("shard", "worker " + std::to_string(slotId) +
-                                   " failed to spawn (exec failure, "
-                                   "exit 127)");
-            if (s.inFlight) {  // can't normally happen pre-hello; be safe
-                avoidSlot[s.job] = slotId;
-                queue.push_front(s.job);
-            } else if ((s.state == Slot::State::kSpawning ||
-                        s.state == Slot::State::kIdle) &&
-                       ++s.idleCrashes >= 2) {
-                s.inFlight = false;
-                s.state = Slot::State::kRetired;
-                return;
-            }
-            s.inFlight = false;
-            s.state = Slot::State::kDown;
-            return;
-        }
-
         ++outcome.workerCrashes;
         static auto& cCrashes = obs::counter("shard.worker.crashes");
         cCrashes.add();
-        const std::string how =
-            s.budgetKilled
-                ? "exceeded the per-job wall budget of " +
-                      std::to_string(cfg_.wallMsPerJob) + " ms and was killed"
-                : describeExit(status);
+        std::string how;
+        if (s.budgetKilled)
+            how = "exceeded the per-job wall budget of " +
+                  std::to_string(cfg_.wallMsPerJob) + " ms and was killed";
+        else if (s.hbKilled)
+            how = "missed the heartbeat deadline (silent past "
+                  "--shard-heartbeat-ms " +
+                  std::to_string(cfg_.heartbeatMs) + ") and was killed";
+        else if (!s.wireError.empty())
+            how = "poisoned its frame stream (" + s.wireError +
+                  ") and was killed";
+        else
+            how = describeExit(status);
         log::warn("shard", "worker " + std::to_string(slotId) + " " + how);
         if (s.inFlight) {
             s.idleCrashes = 0;
@@ -418,6 +465,21 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
             onDeath(slotId);
             return;
         }
+        // Deterministic torn-connection fault (socket runs): drop the
+        // worker as if the stream died mid-read.
+        if (cfg_.transport == TransportKind::kSocket &&
+            PD_FAULT("shard.sock.read")) {
+            log::warn("shard", "worker " + std::to_string(slotId) +
+                                   ": injected read fault "
+                                   "(shard.sock.read); dropping the "
+                                   "connection");
+            if (s.pid > 0) ::kill(s.pid, SIGKILL);
+            onDeath(slotId);
+            return;
+        }
+        // Any bytes reset the liveness clock — a worker mid-way through
+        // a large frame is alive, just not frame-complete yet.
+        s.lastByteAt = Clock::now();
         s.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         static auto& rxBytes = obs::counter("shard.wire.rx.bytes");
         rxBytes.add(static_cast<std::uint64_t>(n));
@@ -464,6 +526,14 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                     case FrameType::kBye:
                         s.byeSeen = true;
                         break;
+                    case FrameType::kHeartbeat: {
+                        // Liveness only: decode validates the payload,
+                        // arrival already reset the slot's byte clock.
+                        (void)decodeHeartbeat(frame->payload);
+                        static auto& cBeats = obs::counter("shard.heartbeats");
+                        cBeats.add();
+                        break;
+                    }
                     case FrameType::kObs: {
                         // Fold the worker's shipment in right away: spans
                         // re-tagged onto the worker's pid track, metric
@@ -480,11 +550,59 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
                         fail("shard", "unexpected frame from worker");
                 }
             }
-        } catch (const std::exception&) {
+        } catch (const std::exception& e) {
             // Malformed stream: the worker is not speaking the protocol.
-            // Kill it and take the ordinary death path (retry/fail).
+            // Keep the decoder's damage report (frame ordinal + stream
+            // offset), kill the worker, and take the ordinary death
+            // path (retry/fail) — the failed job's error will name what
+            // tore, not just that something did.
+            ++outcome.wirePoisons;
+            static auto& cPoisons = obs::counter("shard.wire.poisons");
+            cPoisons.add();
+            s.wireError = e.what();
             if (s.pid > 0) ::kill(s.pid, SIGKILL);
             onDeath(slotId);
+        }
+    };
+
+    /// Heartbeat-deadline supervision: a slot whose stream has been
+    /// completely silent past cfg_.heartbeatMs is declared dead and
+    /// SIGKILLed; the EOF then takes the ordinary crash path (respawn,
+    /// retry-elsewhere). kSpawning is exempt — warm-starting a large
+    /// store can legitimately outlast a deadline, and pre-hello death
+    /// is already covered by EOF (pipe) or the connect timeout
+    /// (socket). Works identically over either transport: sockets have
+    /// no waitpid signal to lose, pipes just gain a second tripwire.
+    const auto superviseLiveness = [&] {
+        if (cfg_.heartbeatMs <= 0) return;
+        const auto now = Clock::now();
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot& s = slots[i];
+            if (s.state != Slot::State::kIdle &&
+                s.state != Slot::State::kBusy &&
+                s.state != Slot::State::kDraining)
+                continue;
+            if (s.hbKilled || s.budgetKilled) continue;
+            const auto silentMs =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - s.lastByteAt)
+                    .count();
+            if (silentMs <= cfg_.heartbeatMs) continue;
+            ++outcome.heartbeatMisses;
+            static auto& cMisses = obs::counter("shard.heartbeat.misses");
+            cMisses.add();
+            s.hbKilled = true;
+            log::warn("shard",
+                      "worker " + std::to_string(i) + " silent for " +
+                          std::to_string(silentMs) +
+                          " ms (heartbeat deadline " +
+                          std::to_string(cfg_.heartbeatMs) + " ms); killing");
+            if (s.pid > 0) {
+                ++outcome.deadlineKills;
+                static auto& cKills = obs::counter("shard.heartbeat.kills");
+                cKills.add();
+                ::kill(s.pid, SIGKILL);
+            }
         }
     };
 
@@ -585,8 +703,12 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
 
         // Poll timeout: the nearest wall-budget deadline, else a guard
         // tick — short enough that a shutdown signal delivered to
-        // another thread (whose EINTR we never see) is noticed promptly.
+        // another thread (whose EINTR we never see) is noticed promptly,
+        // and never longer than half a heartbeat deadline so liveness
+        // checks can't be starved by a quiet fleet.
         int timeoutMs = 250;
+        if (cfg_.heartbeatMs > 0)
+            timeoutMs = std::clamp(cfg_.heartbeatMs / 2 + 1, 1, timeoutMs);
         if (cfg_.wallMsPerJob > 0) {
             for (const Slot& s : slots) {
                 if (s.state != Slot::State::kBusy) continue;
@@ -623,6 +745,10 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         for (std::size_t f = 0; f < fds.size(); ++f)
             if (fds[f].revents & (POLLIN | POLLHUP | POLLERR))
                 onReadable(fdSlot[f]);
+
+        // Heartbeat-deadline enforcement: a silent slot is killed like a
+        // crash; the EOF arrives on the next poll.
+        superviseLiveness();
 
         // Wall-budget enforcement: SIGKILL overrunning workers; the EOF
         // arrives on the next poll and takes the crash-retry path.
@@ -692,6 +818,10 @@ ShardOutcome ShardCoordinator::run(BatchScheduler& sched,
         for (std::size_t f = 0; f < fds.size(); ++f)
             if (fds[f].revents & (POLLIN | POLLHUP | POLLERR))
                 onReadable(fdSlot[f]);
+        // A draining worker still beats (the pump stops only at exit),
+        // so supervision here reaps a truly dead-silent straggler at
+        // the heartbeat deadline instead of the full drain budget.
+        superviseLiveness();
     }
     } catch (const std::exception& e) {
         // Coordinator-side failure (fork/pipe/poll/protocol): the fleet

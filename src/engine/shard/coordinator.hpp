@@ -35,6 +35,7 @@
 #include "engine/job.hpp"
 #include "engine/shard/protocol.hpp"
 #include "engine/shard/scheduler.hpp"
+#include "engine/shard/transport.hpp"
 #include "sim/equivalence.hpp"
 
 namespace pd::engine::shard {
@@ -76,6 +77,19 @@ struct ShardConfig {
     /// SIGKILLed and their cache deltas forfeited; also the grace an
     /// in-flight job gets after a cooperative shutdown request.
     int drainTimeoutMs = 60000;
+    /// Frame transport to every worker. Pipe is the fork/exec default;
+    /// socket carries the identical frames over SOCK_STREAM to a
+    /// localhost listener (the remote-host stepping stone). Results and
+    /// flushed stores are byte-identical either way — the transport is
+    /// a scheduling knob, never a fingerprint salt.
+    TransportKind transport = TransportKind::kPipe;
+    /// Liveness deadline in ms (0 = no supervision): a worker whose
+    /// stream stays completely silent past it — no frames, no
+    /// heartbeats, not even a partial frame's bytes — is declared dead
+    /// and SIGKILLed exactly like a crash (respawn under backoff, the
+    /// in-flight job retried under `retries`). Workers beat at a
+    /// quarter of this interval, so one lost beat never kills.
+    int heartbeatMs = 10000;
 };
 
 /// What one coordinated run produced besides the per-job results (which
@@ -94,6 +108,18 @@ struct ShardOutcome {
     /// apart from crashes and charged to no job's retry budget.
     std::size_t spawnFailures = 0;
     std::size_t interruptedJobs = 0; ///< failed by a shutdown request
+    /// Heartbeat-deadline expiries noticed (a slot silent past
+    /// ShardConfig::heartbeatMs) and the SIGKILLs issued for them. The
+    /// two differ only when a slot's process was already gone when the
+    /// deadline fired.
+    std::size_t heartbeatMisses = 0;
+    std::size_t deadlineKills = 0;
+    /// Socket-transport channel re-establishments after a slot's first
+    /// successful connect (a respawned worker dialing back in).
+    std::size_t reconnects = 0;
+    /// Frame streams that poisoned their decoder (checksum mismatch,
+    /// unknown type, oversize length — the torn-connection signature).
+    std::size_t wirePoisons = 0;
     /// Jobs the pool could not run (collapse, coordinator failure),
     /// handed back for in-process execution. Not yet completed in the
     /// scheduler — the caller owns running them.

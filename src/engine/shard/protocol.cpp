@@ -12,7 +12,7 @@ using persist::ByteWriter;
 using persist::fnv1a;
 
 constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kProofEntry);
+    static_cast<std::uint8_t>(FrameType::kHeartbeat);
 constexpr std::uint8_t kMaxCacheSource =
     static_cast<std::uint8_t>(CacheSource::kDisk);
 
@@ -49,6 +49,11 @@ void FrameDecoder::feed(std::string_view bytes) {
 std::optional<Frame> FrameDecoder::next() {
     if (poisoned_)
         fail("shard", "frame stream already malformed; decoder is poisoned");
+    // Every poison detail pins the damage to the stream: which frame
+    // ordinal, at which absolute byte offset its header starts. A torn
+    // socket and a corrupt pipe then diagnose themselves from the error.
+    const std::string where = " at frame " + std::to_string(frames_) +
+                              ", stream offset " + std::to_string(consumed_);
     const std::string_view avail =
         std::string_view(buf_).substr(pos_);
     if (avail.size() < 5) return std::nullopt;  // type + length prefix
@@ -62,12 +67,13 @@ std::optional<Frame> FrameDecoder::next() {
     // now, not make the reader block forever on bytes that never come.
     if (t == 0 || t > kMaxFrameType) {
         poisoned_ = true;
-        fail("shard", "unknown frame type " + std::to_string(t));
+        fail("shard", "unknown frame type " + std::to_string(t) + where);
     }
     if (len > kMaxFramePayload) {
         poisoned_ = true;
         fail("shard", "frame length " + std::to_string(len) +
-                          " exceeds the protocol limit");
+                          " exceeds the protocol limit (type " +
+                          std::to_string(t) + ")" + where);
     }
     if (avail.size() < 5 + static_cast<std::size_t>(len) + 8)
         return std::nullopt;  // body or checksum still in flight
@@ -82,9 +88,12 @@ std::optional<Frame> FrameDecoder::next() {
     if (stored != frameChecksum(f.type, f.payload)) {
         poisoned_ = true;
         fail("shard", "frame checksum mismatch (type " + std::to_string(t) +
-                          ", " + std::to_string(len) + " payload bytes)");
+                          ", " + std::to_string(len) + " payload bytes)" +
+                          where);
     }
     pos_ += 5 + static_cast<std::size_t>(len) + 8;
+    consumed_ += 5 + static_cast<std::uint64_t>(len) + 8;
+    ++frames_;
     return f;
 }
 
@@ -279,6 +288,23 @@ ProofDelta decodeProofDelta(std::string_view payload) {
     d.winner = static_cast<int>(r.u64()) - 1;
     if (!r.done()) fail("shard", "trailing bytes after proof delta");
     return d;
+}
+
+std::string encodeHeartbeat(const Heartbeat& h) {
+    std::string out;
+    ByteWriter w(out);
+    w.u32(h.shardId);
+    w.u64(h.seq);
+    return out;
+}
+
+Heartbeat decodeHeartbeat(std::string_view payload) {
+    ByteReader r(payload);
+    Heartbeat h;
+    h.shardId = r.u32();
+    h.seq = r.u64();
+    if (!r.done()) fail("shard", "trailing bytes after heartbeat");
+    return h;
 }
 
 std::string encodeObsDelta(const ObsDelta& d) {

@@ -55,7 +55,16 @@ namespace pd::engine::shard {
 /// per-process satVerify.proofSource provenance byte (outside the
 /// semantic payload, like cacheHit/cacheSource); workers accept
 /// --proof-cache-file argv and warm-start the proof cache read-only.
-inline constexpr std::uint32_t kProtocolVersion = 5;
+///
+/// v6 (PR 10, socket transport): new kHeartbeat frame — a worker emits
+/// (shardId, monotone sequence) on an interval so the coordinator can
+/// supervise liveness by protocol deadline (--shard-heartbeat-ms)
+/// instead of waitpid, which a socket transport to a remote host cannot
+/// offer. Heartbeats carry no semantics: the coordinator counts them,
+/// resets the slot's silence clock, and discards them. Workers accept
+/// --connect/--heartbeat-ms argv; frame layouts other than the new type
+/// are unchanged.
+inline constexpr std::uint32_t kProtocolVersion = 6;
 
 /// Upper bound on a single frame payload. Generous (a mapped multiplier
 /// netlist is kilobytes, not gigabytes) while keeping a corrupt length
@@ -71,6 +80,7 @@ enum class FrameType : std::uint8_t {
     kBye = 6,         ///< worker → coordinator: delta complete, exiting
     kObs = 7,         ///< worker → coordinator: spans + metrics delta
     kProofEntry = 8,  ///< worker → coordinator: one completed SAT proof
+    kHeartbeat = 9,   ///< worker → coordinator: liveness beat (wire v6)
 };
 
 struct Frame {
@@ -88,17 +98,25 @@ public:
     void feed(std::string_view bytes);
 
     /// The next complete frame, or nullopt when the buffer holds only a
-    /// frame prefix (feed more). Throws pd::Error on a malformed stream;
-    /// the decoder is then poisoned and every later call throws too.
+    /// frame prefix (feed more). Throws pd::Error on a malformed stream —
+    /// the detail names the offending frame type, its ordinal in the
+    /// stream, and the absolute stream offset of its header, so a torn
+    /// connection is diagnosable from the error alone. The decoder is
+    /// then poisoned and every later call throws too.
     [[nodiscard]] std::optional<Frame> next();
 
     /// True when every fed byte has been consumed by next().
     [[nodiscard]] bool drained() const { return pos_ == buf_.size(); }
 
+    /// True once a malformed stream has poisoned this decoder.
+    [[nodiscard]] bool poisoned() const { return poisoned_; }
+
 private:
     std::string buf_;
     std::size_t pos_ = 0;
     bool poisoned_ = false;
+    std::uint64_t frames_ = 0;     ///< complete frames yielded so far
+    std::uint64_t consumed_ = 0;   ///< stream bytes consumed by next()
 };
 
 // ---- payload encodings -----------------------------------------------------
@@ -150,6 +168,17 @@ struct ProofDelta {
 
 [[nodiscard]] std::string encodeProofDelta(const ProofDelta& d);
 [[nodiscard]] ProofDelta decodeProofDelta(std::string_view payload);
+
+/// One liveness beat (wire v6). Sequence numbers are worker-local and
+/// strictly increasing; the coordinator only uses arrival time, but the
+/// sequence makes a stalled-then-replayed stream visible in traces.
+struct Heartbeat {
+    std::uint32_t shardId = 0;
+    std::uint64_t seq = 0;
+};
+
+[[nodiscard]] std::string encodeHeartbeat(const Heartbeat& h);
+[[nodiscard]] Heartbeat decodeHeartbeat(std::string_view payload);
 
 /// One observability shipment: the worker's drained spans (pid still 0;
 /// the coordinator re-tags them with shardId + 1) and its metrics delta

@@ -1,15 +1,20 @@
 #include "engine/shard/worker.hpp"
 
+#include <signal.h>
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "engine/shard/protocol.hpp"
+#include "engine/shard/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/fault/fault.hpp"
@@ -33,20 +38,82 @@ bool writeAll(int fd, std::string_view bytes) {
     return true;
 }
 
-bool sendFrame(int fd, FrameType type, std::string_view payload) {
-    std::string out;
-    appendFrame(out, type, payload);
-    return writeAll(fd, out);
-}
+/// Background liveness pump (wire v6): one kHeartbeat frame every
+/// quarter of the coordinator's deadline, so a worker busy inside a
+/// long engine.runJob() — or parked in a test hang — still proves it is
+/// alive. All frame writes go through the shared wire mutex: a beat
+/// must never splice into the middle of a kResult.
+class HeartbeatPump {
+public:
+    HeartbeatPump(int fd, std::mutex& wireMu, std::uint32_t shardId,
+                  int deadlineMs) {
+        if (deadlineMs <= 0) return;
+        const auto interval =
+            std::chrono::milliseconds(std::max(deadlineMs / 4, 25));
+        thread_ = std::thread([this, fd, &wireMu, shardId, interval] {
+            std::unique_lock<std::mutex> lk(mu_);
+            std::uint64_t seq = 0;
+            while (!stop_) {
+                cv_.wait_for(lk, interval);
+                if (stop_) break;
+                lk.unlock();
+                bool ok = true;
+                // Deterministic beat-skipping fault: one missed beat is
+                // harmless (the deadline is four intervals); only a
+                // sustained skip plan can trip supervision.
+                if (!PD_FAULT("shard.sock.hb.skip")) {
+                    Heartbeat hb;
+                    hb.shardId = shardId;
+                    hb.seq = ++seq;
+                    std::string out;
+                    appendFrame(out, FrameType::kHeartbeat,
+                                encodeHeartbeat(hb));
+                    std::lock_guard<std::mutex> wl(wireMu);
+                    ok = writeAll(fd, out);
+                }
+                lk.lock();
+                if (!ok) break;  // coordinator gone; the main loop
+                                 // notices on its next read
+            }
+        });
+    }
+
+    ~HeartbeatPump() {
+        if (!thread_.joinable()) return;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
 
 }  // namespace
 
 int runWorker(const WorkerOptions& opt) {
-    // Claim the frame channel, then point stdout at stderr: any library
-    // or debug print from here on lands in the coordinator's stderr
-    // passthrough instead of splicing garbage into the frame stream.
-    const int outFd = ::dup(STDOUT_FILENO);
-    if (outFd < 0) return 3;
+    // Claim the frame channel. Pipe mode: frames arrive on stdin and
+    // leave on a private dup of stdout. Socket mode (--connect): the
+    // worker dials the coordinator's listener and both directions share
+    // the connected fd. Either way stdout is then re-pointed at stderr,
+    // so a stray library print can never splice into the frame stream
+    // (pipe) or interleave with the coordinator's own stdout (socket).
+    int inFd = STDIN_FILENO;
+    int outFd = -1;
+    if (!opt.connect.empty()) {
+        const int sock = connectToCoordinator(opt.connect, kConnectTimeoutMs);
+        if (sock < 0) return 3;
+        inFd = outFd = sock;
+    } else {
+        outFd = ::dup(STDOUT_FILENO);
+        if (outFd < 0) return 3;
+    }
     ::dup2(STDERR_FILENO, STDOUT_FILENO);
 
     log::setScopePrefix("w" + std::to_string(opt.shardId));
@@ -69,12 +136,28 @@ int runWorker(const WorkerOptions& opt) {
     eopt.shards = 0;  // a worker never recursively shards
     Engine engine(eopt);
 
+    // Every frame write — results, deltas, heartbeats from the pump's
+    // thread — serializes on this mutex so frames never interleave.
+    std::mutex wireMu;
+    const auto send = [&](FrameType type, std::string_view payload) {
+        std::string out;
+        appendFrame(out, type, payload);
+        std::lock_guard<std::mutex> lock(wireMu);
+        return writeAll(outFd, out);
+    };
+
     Hello hello;
     hello.shardId = opt.shardId;
-    if (!sendFrame(outFd, FrameType::kHello, encodeHello(hello))) return 3;
+    if (!send(FrameType::kHello, encodeHello(hello))) return 3;
+
+    // The pump starts only after the hello: the coordinator's liveness
+    // clock starts at channel establishment, and warm-starting the
+    // engine above is covered by the spawn state, not the deadline.
+    HeartbeatPump pump(outFd, wireMu, opt.shardId, opt.heartbeatMs);
 
     const char* crashJob = std::getenv(kCrashJobEnv);
     const char* hangJob = std::getenv(kHangJobEnv);
+    const char* stallJob = std::getenv(kStallJobEnv);
 
     // Keys already streamed to the coordinator. Deltas ship eagerly after
     // every job so a later crash forfeits only the in-flight entry, never
@@ -82,8 +165,7 @@ int runWorker(const WorkerOptions& opt) {
     std::unordered_set<std::string> shipped;
     const auto shipDeltas = [&] {
         for (const CacheDelta& d : engine.cacheDelta(shipped)) {
-            if (!sendFrame(outFd, FrameType::kCacheEntry,
-                           encodeCacheDelta(d)))
+            if (!send(FrameType::kCacheEntry, encodeCacheDelta(d)))
                 return false;
             shipped.insert(d.key);
         }
@@ -96,8 +178,7 @@ int runWorker(const WorkerOptions& opt) {
     std::unordered_set<std::uint64_t> shippedProofs;
     const auto shipProofDeltas = [&] {
         for (const ProofDelta& d : engine.proofDelta(shippedProofs)) {
-            if (!sendFrame(outFd, FrameType::kProofEntry,
-                           encodeProofDelta(d)))
+            if (!send(FrameType::kProofEntry, encodeProofDelta(d)))
                 return false;
             shippedProofs.insert(d.digest);
         }
@@ -121,7 +202,7 @@ int runWorker(const WorkerOptions& opt) {
         if (d.spans.empty() && d.metrics.counters.empty() &&
             d.metrics.gauges.empty() && d.metrics.histograms.empty())
             return true;
-        return sendFrame(outFd, FrameType::kObs, encodeObsDelta(d));
+        return send(FrameType::kObs, encodeObsDelta(d));
     };
 
     FrameDecoder decoder;
@@ -134,12 +215,12 @@ int runWorker(const WorkerOptions& opt) {
             return 4;  // malformed stream: nothing sane left to do
         }
         if (!frame) {
-            const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+            const ssize_t n = ::read(inFd, buf, sizeof buf);
             if (n < 0) {
                 if (errno == EINTR) continue;
                 return 4;
             }
-            if (n == 0) return 0;  // coordinator closed the pipe
+            if (n == 0) return 0;  // coordinator closed the channel
             decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
             continue;
         }
@@ -157,9 +238,18 @@ int runWorker(const WorkerOptions& opt) {
                 if ((hangJob && hookName == hangJob) ||
                     PD_FAULT("shard.worker.hang")) {
                     // Park until the coordinator's wall budget kills us.
+                    // The heartbeat pump keeps beating — a hung job is
+                    // the wall budget's case, not liveness's.
                     for (;;)
                         std::this_thread::sleep_for(
                             std::chrono::seconds(3600));
+                }
+                if ((stallJob && hookName == stallJob) ||
+                    PD_FAULT("shard.sock.stall")) {
+                    // Freeze the whole process — pump included — so
+                    // only the coordinator's heartbeat deadline can
+                    // reap us (SIGKILL works on stopped processes).
+                    ::raise(SIGSTOP);
                 }
                 const JobResult result = engine.runJob(spec);
                 std::string out;
@@ -173,11 +263,15 @@ int runWorker(const WorkerOptions& opt) {
                 if (PD_FAULT("shard.wire.partial")) {
                     // Crash mid-frame: ship half, then die. The
                     // coordinator sees EOF inside a frame.
+                    std::lock_guard<std::mutex> lock(wireMu);
                     writeAll(outFd, std::string_view(out).substr(
                                         0, out.size() / 2));
                     std::abort();
                 }
-                if (!writeAll(outFd, out)) return 3;
+                {
+                    std::lock_guard<std::mutex> lock(wireMu);
+                    if (!writeAll(outFd, out)) return 3;
+                }
                 if (!shipDeltas()) return 3;
                 if (!shipProofDeltas()) return 3;
                 if (!shipObs()) return 3;
@@ -197,7 +291,7 @@ int runWorker(const WorkerOptions& opt) {
                 if (!shipDeltas()) return 3;
                 if (!shipProofDeltas()) return 3;
                 if (!shipObs()) return 3;
-                sendFrame(outFd, FrameType::kBye, {});
+                send(FrameType::kBye, {});
                 return 0;
             }
             default:

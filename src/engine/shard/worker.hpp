@@ -33,6 +33,13 @@ inline constexpr const char* kCrashJobEnv = "PD_SHARD_TEST_CRASH_JOB";
 /// Same idea for the wall-budget tests: the worker sleeps forever on the
 /// named job, forcing the coordinator's deadline kill.
 inline constexpr const char* kHangJobEnv = "PD_SHARD_TEST_HANG_JOB";
+/// Liveness-supervision hook: the worker raises SIGSTOP on the named
+/// job, freezing every thread — heartbeat pump included — so the
+/// coordinator's --shard-heartbeat-ms deadline is the only thing that
+/// can reap it. (A hang parks one thread and keeps beating; a stall is
+/// the whole process wedged, the failure waitpid cannot see over a
+/// socket.)
+inline constexpr const char* kStallJobEnv = "PD_SHARD_TEST_STALL_JOB";
 
 struct WorkerOptions {
     std::uint32_t shardId = 0;
@@ -46,6 +53,15 @@ struct WorkerOptions {
     /// Mirrors the coordinator's tracing switch (--obs): buffer spans and
     /// ship kObs frames after every job and at shutdown.
     bool obs = false;
+    /// Socket-transport endpoint (`--connect host:port`): the worker
+    /// dials the coordinator's listener and speaks the identical frame
+    /// protocol over the connection. Empty = pipe mode (stdin/stdout).
+    std::string connect;
+    /// Liveness deadline the coordinator supervises
+    /// (`--heartbeat-ms`, 0 = no heartbeats): the worker emits a
+    /// kHeartbeat frame every quarter of this interval from a
+    /// background pump, so a busy main thread never looks dead.
+    int heartbeatMs = 0;
 };
 
 /// Runs the worker loop over stdin/stdout until kShutdown or EOF.

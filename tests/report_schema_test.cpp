@@ -150,7 +150,8 @@ TEST(ReportSchemaTest, BuildProvenanceIsPopulated) {
     // build tree but must at least be non-empty strings.
     EXPECT_FALSE(doc.findPath("engine.build.compiler")->asString().empty());
     EXPECT_FALSE(doc.findPath("engine.build.git_hash")->asString().empty());
-    EXPECT_EQ(doc.findPath("engine.build.schemas.shard_wire")->asInt(), 5);
+    EXPECT_EQ(doc.findPath("engine.build.schemas.shard_wire")->asInt(), 6);
+    EXPECT_EQ(doc.findPath("engine.shard_transport")->asString(), "pipe");
     EXPECT_EQ(doc.findPath("engine.build.schemas.proof_store")->asString(),
               "pd-proof-v1");
 }

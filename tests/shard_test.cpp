@@ -1,10 +1,13 @@
-// Sharded-engine tests: the pipe framing codec (round-trips, hostile
-// bytes — run under ASan/UBSan in CI), end-to-end equivalence of sharded
-// and in-process batches across --shards {1,2,4}, crash isolation
-// (respawn, retry budgets, clean per-job failure, cache completeness),
-// wall-budget kills, worker-pool collapse → in-process fallback, spawn
-// failure accounting, drain timeouts, graceful shutdown, and the pd_cli
-// batch exit-code contract. Everything that can go wrong in a worker
+// Sharded-engine tests: the frame codec (round-trips, hostile bytes —
+// run under ASan/UBSan in CI), end-to-end equivalence of sharded and
+// in-process batches across --shards {1,2,4} and both transports
+// (pipe and localhost socket, byte-identical stores), heartbeat
+// liveness (beating workers survive, silent ones die at the deadline
+// and their jobs retry elsewhere), crash isolation (respawn, retry
+// budgets, clean per-job failure, cache completeness), wall-budget
+// kills, worker-pool collapse → in-process fallback, spawn failure
+// accounting, drain timeouts, graceful shutdown, and the pd_cli batch
+// exit-code contract. Everything that can go wrong in a worker
 // must cost at most its own job — never the batch, the report, or the
 // store.
 #include <gtest/gtest.h>
@@ -300,6 +303,48 @@ TEST(ShardProtocol, MalformedHeadersThrow) {
     }
 }
 
+TEST(ShardProtocol, HeartbeatRoundTrip) {
+    Heartbeat hb;
+    hb.shardId = 3;
+    hb.seq = 0x1122334455667788ull;
+    const Heartbeat back = decodeHeartbeat(encodeHeartbeat(hb));
+    EXPECT_EQ(back.shardId, hb.shardId);
+    EXPECT_EQ(back.seq, hb.seq);
+    // Trailing junk is a protocol violation, exactly like every other
+    // payload decoder.
+    EXPECT_THROW((void)decodeHeartbeat(encodeHeartbeat(hb) + "x"),
+                 pd::Error);
+    EXPECT_THROW((void)decodeHeartbeat("123"), pd::Error);
+}
+
+TEST(ShardProtocol, PoisonDetailNamesFrameAndOffset) {
+    // A poisoned decoder must say *where* the stream went bad: one clean
+    // frame, then a corrupted one, so the detail pins frame 1 at the
+    // offset right after the first frame's bytes.
+    std::string stream;
+    appendFrame(stream, FrameType::kHello, encodeHello({kProtocolVersion, 0}));
+    const std::size_t firstFrameBytes = stream.size();
+    appendFrame(stream, FrameType::kCacheEntry,
+                encodeCacheDelta({"key", "value", 3}));
+    stream[firstFrameBytes + 7] =
+        static_cast<char>(stream[firstFrameBytes + 7] ^ 0x10);
+    FrameDecoder d;
+    d.feed(stream);
+    ASSERT_TRUE(d.next().has_value());  // the clean hello
+    try {
+        (void)d.next();
+        FAIL() << "corrupted frame must throw";
+    } catch (const pd::Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("at frame 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("stream offset " +
+                            std::to_string(firstFrameBytes)),
+                  std::string::npos)
+            << what;
+    }
+    EXPECT_TRUE(d.poisoned());
+}
+
 /// Property test: random frame streams round-trip; any single-byte
 /// mutation either still decodes (frames before the damage), parks, or
 /// throws pd::Error — never UB (ASan/UBSan legs enforce the "never").
@@ -309,16 +354,19 @@ TEST(ShardProtocol, FuzzMutatedStreamsNeverMisbehave) {
         rng = rng * 6364136223846793005ull + 1442695040888963407ull;
         return (rng >> 33) % bound;
     };
-    const FrameType types[] = {FrameType::kHello, FrameType::kJob,
-                               FrameType::kResult, FrameType::kShutdown,
-                               FrameType::kCacheEntry, FrameType::kBye};
+    const FrameType types[] = {FrameType::kHello,      FrameType::kJob,
+                               FrameType::kResult,     FrameType::kShutdown,
+                               FrameType::kCacheEntry, FrameType::kBye,
+                               FrameType::kObs,        FrameType::kProofEntry,
+                               FrameType::kHeartbeat};
+    constexpr std::size_t kTypeCount = sizeof(types) / sizeof(types[0]);
     for (int round = 0; round < 8; ++round) {
         std::string stream;
         const std::size_t frames = 1 + rnd(4);
         for (std::size_t f = 0; f < frames; ++f) {
             std::string payload(rnd(40), '\0');
             for (auto& c : payload) c = static_cast<char>(rnd(256));
-            appendFrame(stream, types[rnd(6)], payload);
+            appendFrame(stream, types[rnd(kTypeCount)], payload);
         }
         {  // clean stream decodes completely
             FrameDecoder d;
@@ -496,6 +544,200 @@ TEST(ShardEngine, WorkersWarmStartFromASharedStore) {
         EXPECT_TRUE(r.cacheHit) << r.name;
         EXPECT_EQ(r.cacheSource, CacheSource::kDisk) << r.name;
     }
+}
+
+// ---- socket transport & liveness ------------------------------------------
+
+[[nodiscard]] EngineOptions socketOptions(std::size_t shards,
+                                          std::string cacheFile = {}) {
+    EngineOptions opt = shardOptions(shards, std::move(cacheFile));
+    opt.shardTransport = "socket";
+    return opt;
+}
+
+TEST(ShardTransport, SocketBatchesMatchInProcessAcross12) {
+    // The transport is pure plumbing: the same pd-shard-wire frames over
+    // a localhost connection must yield field-identical results.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    const auto specs = lightSpecs();
+    const auto reference = Engine(shardOptions(0)).runBatch(specs);
+    for (const auto& r : reference) ASSERT_TRUE(r.ok) << r.error;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+        Engine engine(socketOptions(shards));
+        const auto results = engine.runBatch(specs);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASSERT_TRUE(results[i].ok)
+                << "shards=" << shards << ": " << results[i].error;
+            expectSameSemantics(reference[i], results[i]);
+            EXPECT_GE(results[i].shard, 0) << "shards=" << shards;
+        }
+        // Fault-free socket run: liveness machinery must stay silent.
+        EXPECT_EQ(engine.resilience().heartbeatMisses, 0u);
+        EXPECT_EQ(engine.resilience().deadlineKills, 0u);
+        EXPECT_EQ(engine.resilience().wirePoisons, 0u);
+    }
+}
+
+TEST(ShardTransport, SocketStoreIsByteIdenticalToPipe) {
+    // The flushed warm artifact must not betray which transport carried
+    // the frames (the persist fingerprint deliberately excludes it).
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    const auto specs = lightSpecs();
+    TempFile pipeStore("store_pipe");
+    TempFile sockStore("store_sock");
+    {
+        Engine engine(shardOptions(2, pipeStore.path()));
+        for (const auto& r : engine.runBatch(specs))
+            ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_TRUE(engine.flushCache());
+    }
+    {
+        Engine engine(socketOptions(2, sockStore.path()));
+        for (const auto& r : engine.runBatch(specs))
+            ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_TRUE(engine.flushCache());
+    }
+    std::ifstream a(pipeStore.path(), std::ios::binary);
+    std::ifstream b(sockStore.path(), std::ios::binary);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    ASSERT_GT(sa.str().size(), 0u);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(ShardTransport, UnknownTransportNameFailsTheBatch) {
+    EngineOptions opt = shardOptions(2);
+    opt.shardTransport = "carrier-pigeon";
+    Engine engine(opt);
+    EXPECT_THROW((void)engine.runBatch(lightSpecs()), pd::Error);
+}
+
+TEST(ShardLiveness, HeartbeatsKeepAHangingWorkerAlivePastTheDeadline) {
+    // A worker parked inside a job keeps beating from the pump thread,
+    // so a deadline several beats long must never fire — the wall
+    // budget, not liveness, owns the hung-job failure mode. This also
+    // pins the supervision rule: any received bytes (a beat, a partial
+    // kResult) reset the silence clock, so a live-but-busy worker is
+    // never killed mid-frame.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedEnv hang(kHangJobEnv, "majority7");
+    EngineOptions opt = socketOptions(1);
+    opt.shardWallMsPerJob = 1200;
+    opt.shardHeartbeatMs = 300;  // four 75 ms beats per deadline
+    Engine engine(opt);
+    JobSpec s;
+    s.benchmark = "majority7";
+    const auto results = engine.runBatch({s});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("wall budget"), std::string::npos)
+        << results[0].error;
+    EXPECT_EQ(engine.resilience().heartbeatMisses, 0u);
+    EXPECT_EQ(engine.resilience().deadlineKills, 0u);
+}
+
+TEST(ShardLiveness, SilentWorkerIsKilledAtTheDeadlineAndTheJobRetried) {
+    // SIGSTOP freezes the whole worker — pump included — so only the
+    // coordinator's heartbeat deadline can reap it. The victim job is
+    // retried on another worker (which stalls on the same name, so the
+    // final verdict is the retried-once failure); every other job
+    // survives and the coordinator never hangs.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedEnv stall(kStallJobEnv, "counter8");
+    EngineOptions opt = socketOptions(2);
+    opt.shardHeartbeatMs = 400;
+    Engine engine(opt);
+    const auto results = engine.runBatch(lightSpecs());
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) {
+        if (r.name == "counter8") {
+            EXPECT_FALSE(r.ok);
+            EXPECT_NE(r.error.find("heartbeat deadline"), std::string::npos)
+                << r.error;
+            EXPECT_NE(r.error.find("retried once"), std::string::npos)
+                << r.error;
+        } else {
+            EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+        }
+    }
+    const auto& res = engine.resilience();
+    EXPECT_GE(res.heartbeatMisses, 1u);
+    EXPECT_GE(res.deadlineKills, 1u);
+    EXPECT_GE(res.retries, 1u);
+}
+
+TEST(ShardLiveness, OneSkippedBeatNeverKills) {
+    // The deadline is four beat intervals exactly so a single lost
+    // heartbeat (scheduling jitter, a dropped wakeup) is harmless.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.sock.hb.skip:n1");
+    EngineOptions opt = socketOptions(2);
+    opt.shardHeartbeatMs = 400;
+    Engine engine(opt);
+    const auto results = engine.runBatch(lightSpecs());
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_EQ(engine.resilience().deadlineKills, 0u);
+}
+
+TEST(ShardLiveness, BeatingWorkerSurvivesDrainUntilTheDrainBudget) {
+    // A worker wedged in shutdown keeps beating, so drain-time liveness
+    // supervision must not reap it early — only the drain budget may.
+    // (The converse — a *silent* drain straggler dying at the heartbeat
+    // deadline instead of the full drain budget — is why supervision
+    // runs in the drain loop at all.)
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.worker.drain.hang:n1");
+    EngineOptions opt = socketOptions(1);
+    opt.shardHeartbeatMs = 300;
+    opt.shardDrainMs = 1000;
+    Engine engine(opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = engine.runBatch(lightSpecs());
+    const auto elapsedMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_EQ(engine.resilience().heartbeatMisses, 0u);
+    EXPECT_EQ(engine.resilience().deadlineKills, 0u);
+    EXPECT_LT(elapsedMs, 30000) << "drain must still time out";
+}
+
+TEST(ShardLiveness, TornConnectionMidStreamIsACountedCrash) {
+    // shard.sock.read simulates the coordinator-side half of a torn
+    // connection: the worker is killed, the death is charged like any
+    // crash, the slot respawns (a counted reconnect), and the batch
+    // completes.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.sock.read:n2");
+    Engine engine(socketOptions(2));
+    const auto results = engine.runBatch(lightSpecs());
+    ASSERT_EQ(results.size(), 4u);
+    const auto& res = engine.resilience();
+    EXPECT_GE(res.workerCrashes, 1u);
+    EXPECT_GE(res.reconnects + res.workerRespawns, 1u);
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+}
+
+TEST(ShardTransport, SocketAcceptFaultIsASpawnFailureNotACrash) {
+    // A connection that never establishes books spawn-failure
+    // accounting: no retry budget charged, no crash counted, and the
+    // respawned slot picks the work up.
+    if (!workerExe()) GTEST_SKIP() << "no worker executable configured";
+    ScopedFaults faults("shard.sock.accept:n1");
+    Engine engine(socketOptions(2));
+    const auto results = engine.runBatch(lightSpecs());
+    for (const auto& r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    const auto& res = engine.resilience();
+    EXPECT_GE(res.spawnFailures, 1u);
+    EXPECT_EQ(res.workerCrashes, 0u);
+    EXPECT_EQ(res.retries, 0u);
 }
 
 // ---- crash isolation -------------------------------------------------------
@@ -713,6 +955,23 @@ TEST(CliExitCodes, ZeroAllOkTwoPartialOneFatalSixtyFourUsage) {
                      " >/dev/null 2>&1"),
               1);
     EXPECT_EQ(runCli(cli + " batch --not-a-flag >/dev/null 2>&1"), 64);
+    // Transport knobs share the contract: a bogus transport name or an
+    // out-of-range ms value is a usage error, a valid socket run is 0.
+    EXPECT_EQ(runCli(cli + " batch majority7 --shards 1 --shard-transport "
+                           "bogus >/dev/null 2>&1"),
+              64);
+    EXPECT_EQ(runCli(cli + " batch majority7 --shard-heartbeat-ms "
+                           "99999999999 >/dev/null 2>&1"),
+              64);
+    EXPECT_EQ(runCli(cli + " batch majority7 --shard-drain-ms "
+                           "99999999999 >/dev/null 2>&1"),
+              64);
+    EXPECT_EQ(runCli(cli + " expr --shard-transport socket \"f=a^b\" "
+                           ">/dev/null 2>&1"),
+              64);  // batch-only flag outside batch mode
+    EXPECT_EQ(runCli(cli + " batch majority7 --shards 1 --shard-transport "
+                           "socket >/dev/null 2>&1"),
+              0);
 }
 
 TEST(CliExitCodes, SigtermDrainsReportsAndExitsTwo) {

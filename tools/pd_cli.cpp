@@ -64,6 +64,13 @@
 //   --shard-drain-ms <n>  worker shutdown-drain timeout and the grace an
 //                    in-flight job gets after SIGINT/SIGTERM (default
 //                    60000)
+//   --shard-transport <pipe|socket>  how coordinator and workers exchange
+//                    pd-shard-wire frames: inherited pipes (default) or a
+//                    localhost TCP connection per worker. Results and
+//                    flushed stores are byte-identical across transports.
+//   --shard-heartbeat-ms <n>  liveness deadline: a worker silent this
+//                    long is declared dead, killed, and its job retried
+//                    on another worker (default 10000; 0 disables)
 //   --trace-out <f>  enable pd-trace span collection and write a Chrome
 //                    trace-event JSON (load it at ui.perfetto.dev). In
 //                    sharded mode the file is one merged fleet trace:
@@ -80,8 +87,11 @@
 // failure, pd::Error), 64 = usage error.
 //
 // There is also a hidden `pd_cli worker` mode: the shard coordinator
-// fork/execs it with pipes on stdin/stdout (see src/engine/shard/README.md
-// for the frame protocol). It is not for interactive use.
+// fork/execs it with pipes on stdin/stdout, or — under
+// --shard-transport socket — passes `--connect <host>:<port>` and the
+// worker dials back (see src/engine/shard/README.md for the frame
+// protocol). `--heartbeat-ms <n>` mirrors the coordinator's
+// --shard-heartbeat-ms. It is not for interactive use.
 //
 // The complete flag reference with examples lives in docs/cli.md.
 //
@@ -93,6 +103,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -105,6 +116,7 @@
 #include "engine/persist/serialize.hpp"
 #include "engine/persist/store.hpp"
 #include "engine/report_json.hpp"
+#include "engine/shard/transport.hpp"
 #include "engine/shard/worker.hpp"
 #include "io/blif.hpp"
 #include "obs/export.hpp"
@@ -140,10 +152,14 @@ int usage() {
         "         --proof-cache-file <file>  --proof-cache-readonly\n"
         "         --shards <n>  --shard-wall-ms <n>  --shard-rss-mb <n>\n"
         "         --shard-retries <n>  --shard-drain-ms <n>\n"
+        "         --shard-transport <pipe|socket>  --shard-heartbeat-ms <n>\n"
         "         --verify-threads <n>  --verify-conflict-budget <n>\n"
         "         --verify-prop-budget <n>\n"
         "         --trace-out <file>  --metrics-out <file>\n"
         "chaos:   --fault <site:spec>  (or PD_FAULTS=\"site:spec,...\")\n"
+        "worker:  (internal; spawned by the batch coordinator) transport\n"
+        "         flags mirror batch: --connect <host>:<port> dials a\n"
+        "         socket coordinator, --heartbeat-ms <n> sets the beat\n"
         "batch exit codes: 0 all ok, 2 some jobs failed, 1 fatal error\n"
         "(full reference: docs/cli.md)\n";
     return 64;  // EX_USAGE — distinct from batch's partial-failure 2
@@ -162,6 +178,21 @@ bool parseCount(const char* flag, const char* text, std::size_t& out) {
                                                        : "")
               << "\n";
     return false;
+}
+
+/// Millisecond knobs (--shard-drain-ms, --shard-heartbeat-ms, worker
+/// --heartbeat-ms) land in `int` engine fields; reject anything past
+/// INT_MAX here so the narrowing cast can never wrap a huge value into
+/// a negative timeout.
+bool parseMs(const char* flag, const char* text, std::size_t& out) {
+    if (!parseCount(flag, text, out)) return false;
+    if (out > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+        std::cerr << "option " << flag << " expects at most "
+                  << std::numeric_limits<int>::max() << " ms, got '" << text
+                  << "'\n";
+        return false;
+    }
+    return true;
 }
 
 void printTrace(const pd::core::Decomposition& d) {
@@ -205,6 +236,8 @@ struct Options {
     std::size_t shardRssMb = 0;
     std::size_t shardRetries = 1;
     std::size_t shardDrainMs = 60000;
+    std::string shardTransport = "pipe";
+    std::size_t shardHeartbeatMs = 10000;
     std::size_t probeThreads = 0;
     std::size_t verifyThreads = 0;
     std::size_t verifyConflictBudget = 0;
@@ -275,6 +308,13 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
             }
             return parseCount(arg.c_str(), argv[i], out);
         };
+        const auto msArg = [&](std::size_t& out) {
+            if (++i >= argc) {
+                std::cerr << "option " << arg << " expects a value\n";
+                return false;
+            }
+            return parseMs(arg.c_str(), argv[i], out);
+        };
         // Reject options that would otherwise be silently ignored.
         const bool batchOnly = arg == "--all" || arg == "--heavy" ||
                                arg == "--json" || arg == "--cache" ||
@@ -288,6 +328,8 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
                                arg == "--shard-rss-mb" ||
                                arg == "--shard-retries" ||
                                arg == "--shard-drain-ms" ||
+                               arg == "--shard-transport" ||
+                               arg == "--shard-heartbeat-ms" ||
                                arg == "--verify-threads" ||
                                arg == "--verify-conflict-budget" ||
                                arg == "--verify-prop-budget" ||
@@ -344,7 +386,21 @@ int parseCommon(int argc, char** argv, int first, bool batchMode,
         } else if (arg == "--shard-retries") {
             if (!countArg(opt.shardRetries)) return usage();
         } else if (arg == "--shard-drain-ms") {
-            if (!countArg(opt.shardDrainMs)) return usage();
+            if (!msArg(opt.shardDrainMs)) return usage();
+        } else if (arg == "--shard-transport") {
+            if (++i >= argc) {
+                std::cerr << "option --shard-transport expects pipe or "
+                             "socket\n";
+                return usage();
+            }
+            if (!pd::engine::shard::parseTransportName(argv[i])) {
+                std::cerr << "unknown shard transport '" << argv[i]
+                          << "' (expected pipe or socket)\n";
+                return usage();
+            }
+            opt.shardTransport = argv[i];
+        } else if (arg == "--shard-heartbeat-ms") {
+            if (!msArg(opt.shardHeartbeatMs)) return usage();
         } else if (arg == "--fault") {
             if (++i >= argc) {
                 std::cerr << "option --fault expects <site>:<spec>\n";
@@ -455,7 +511,10 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
     eopt.shardWallMsPerJob = static_cast<double>(opt.shardWallMs);
     eopt.shardRssMb = opt.shardRssMb;
     eopt.shardRetries = opt.shardRetries;
+    // Safe narrowing: parseMs() capped both ms knobs at INT_MAX.
     eopt.shardDrainMs = static_cast<int>(opt.shardDrainMs);
+    eopt.shardTransport = opt.shardTransport;
+    eopt.shardHeartbeatMs = static_cast<int>(opt.shardHeartbeatMs);
     eopt.probeThreads = opt.probeThreads;
     eopt.verifyThreads = opt.verifyThreads;
     eopt.verifyConflictBudget = opt.verifyConflictBudget;
@@ -529,12 +588,21 @@ int runBatchMode(const Options& opt, const std::vector<std::string>& names) {
 
     const auto& res = engine.resilience();
     if (res.workerCrashes || res.workerRespawns || res.spawnFailures ||
-        res.retries || res.fallbackJobs || res.interruptedJobs) {
+        res.retries || res.fallbackJobs || res.interruptedJobs ||
+        res.heartbeatMisses || res.deadlineKills || res.reconnects ||
+        res.wirePoisons) {
         std::cout << "resilience: " << res.workerCrashes << " crashes, "
                   << res.workerRespawns << " respawns, " << res.spawnFailures
                   << " spawn failures, " << res.retries << " retries, "
                   << res.fallbackJobs << " fallback jobs, "
                   << res.interruptedJobs << " interrupted\n";
+        if (res.heartbeatMisses || res.deadlineKills || res.reconnects ||
+            res.wirePoisons)
+            std::cout << "liveness: " << res.heartbeatMisses
+                      << " heartbeat misses, " << res.deadlineKills
+                      << " deadline kills, " << res.reconnects
+                      << " reconnects, " << res.wirePoisons
+                      << " wire poisons\n";
     }
 
     if (!opt.jsonPath.empty()) {
@@ -660,6 +728,24 @@ int runWorkerMode(const std::vector<std::string>& args) {
             if (!countArgAt(equivSeed)) return 2;
         } else if (arg == "--rss-budget-mb") {
             if (!countArgAt(wopt.rssBudgetMb)) return 2;
+        } else if (arg == "--connect") {
+            // Socket transport: dial the coordinator's listener instead
+            // of speaking frames over inherited stdin/stdout pipes.
+            if (++i >= args.size()) {
+                std::cerr << "worker option --connect expects "
+                             "<host>:<port>\n";
+                return 2;
+            }
+            wopt.connect = args[i];
+        } else if (arg == "--heartbeat-ms") {
+            std::size_t v = 0;
+            if (++i >= args.size()) {
+                std::cerr << "worker option --heartbeat-ms expects a "
+                             "value\n";
+                return 2;
+            }
+            if (!parseMs(arg.c_str(), args[i].c_str(), v)) return 2;
+            wopt.heartbeatMs = static_cast<int>(v);
         } else if (arg == "--obs") {
             wopt.obs = true;
         } else if (arg == "--fault") {
